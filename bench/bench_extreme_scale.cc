@@ -1,0 +1,53 @@
+// Section 7.3 reproduction (scaled): extreme-scale single-device training. The paper
+// trains GraphSage + DistMult (10 neighbors, 500 negatives, dim 50) over the 3.5B-node
+// / 128B-edge hyperlink graph on one P3.2xLarge at 194k edges/sec and $564/epoch.
+//
+// Here: a hyperlink-like graph many times larger than the partition buffer is trained
+// disk-based for one epoch; we report the measured edges/sec and extrapolate the
+// $/epoch of the full 128B-edge graph at that throughput.
+#include "bench/bench_common.h"
+#include "src/util/timer.h"
+
+using namespace mariusgnn;
+using namespace mariusgnn::bench;
+
+int main() {
+  PrintHeader("Section 7.3: extreme-scale stress test (hyperlink-like graph)");
+  Graph graph = HyperlinkMini(0.5);
+  std::printf("graph: %lld nodes, %lld edges; buffer holds 1/8 of partitions\n",
+              static_cast<long long>(graph.num_nodes()),
+              static_cast<long long>(graph.num_edges()));
+
+  TrainingConfig config;
+  config.layer_type = GnnLayerType::kGraphSage;
+  config.fanouts = {10};
+  config.dims = {50, 50};
+  config.decoder = "distmult";
+  config.batch_size = 2000;
+  config.num_negatives = 100;  // paper: 500; scaled for the CPU substrate
+  config.use_disk = true;
+  config.num_physical = 16;
+  config.num_logical = 16;
+  config.buffer_capacity = 2;
+  config.policy = "comet";
+
+  LinkPredictionTrainer trainer(&graph, config);
+  const EpochStats stats = trainer.TrainEpoch();
+  const double edges_per_sec =
+      static_cast<double>(stats.num_examples) / stats.wall_seconds;
+  std::printf("epoch: %.1fs wall (%.1fs compute, %.3fs IO stall), %lld examples\n",
+              stats.wall_seconds, stats.compute_seconds, stats.io_stall_seconds,
+              static_cast<long long>(stats.num_examples));
+  std::printf("throughput: %.0f edges/sec\n", edges_per_sec);
+
+  // Extrapolated cost of one epoch over the full 128B-edge hyperlink graph on a
+  // P3.2xLarge at this throughput (the paper measured $564/epoch at 194k edges/sec).
+  const double full_edges = 128e9;
+  const double full_seconds = full_edges / edges_per_sec;
+  std::printf("extrapolated full-graph epoch: %.1f hours -> $%.0f/epoch on P3.2xLarge\n",
+              full_seconds / 3600.0, EpochCost("p3.2xlarge", full_seconds));
+  std::printf(
+      "\nShape check vs paper: training proceeds with a buffer far smaller than the\n"
+      "graph, IO stays overlapped with compute, and cost scales linearly with edges.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Micro-benchmarks (google-benchmark) for the kernels behind the paper's compute
+// claims: contiguous segment reductions (the DENSE dense-kernel path) vs per-edge
+// scatter aggregation (the sparse baseline path), gather, one-hop sampling, and
+// end-to-end DENSE construction.
+#include <benchmark/benchmark.h>
+
+#include "src/data/datasets.h"
+#include "src/graph/neighbor_index.h"
+#include "src/sampler/dense.h"
+#include "src/tensor/ops.h"
+
+namespace mariusgnn {
+namespace {
+
+constexpr int64_t kDim = 64;
+
+// Contiguous segment sum: the aggregation DENSE enables (Algorithm 3).
+void BM_SegmentSumAggregation(benchmark::State& state) {
+  const int64_t num_segments = state.range(0);
+  const int64_t per_segment = 10;
+  Rng rng(1);
+  Tensor src = Tensor::Normal(num_segments * per_segment, kDim, 1.0f, rng);
+  std::vector<int64_t> offsets;
+  for (int64_t s = 0; s <= num_segments; ++s) {
+    offsets.push_back(s * per_segment);
+  }
+  for (auto _ : state) {
+    Tensor out = SegmentSum(src, offsets);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * num_segments * per_segment);
+}
+BENCHMARK(BM_SegmentSumAggregation)->Arg(1000)->Arg(10000);
+
+// Per-edge scatter-add into shuffled destinations: the sparse-kernel analogue.
+void BM_ScatterAggregation(benchmark::State& state) {
+  const int64_t num_segments = state.range(0);
+  const int64_t per_segment = 10;
+  Rng rng(1);
+  Tensor src = Tensor::Normal(num_segments * per_segment, kDim, 1.0f, rng);
+  std::vector<int64_t> dst(static_cast<size_t>(num_segments * per_segment));
+  for (size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = static_cast<int64_t>(i) % num_segments;
+  }
+  rng.Shuffle(dst);
+  for (auto _ : state) {
+    Tensor out(num_segments, kDim);
+    ScatterAddRows(out, dst, src);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * num_segments * per_segment);
+}
+BENCHMARK(BM_ScatterAggregation)->Arg(1000)->Arg(10000);
+
+void BM_IndexSelect(benchmark::State& state) {
+  Rng rng(2);
+  Tensor table = Tensor::Normal(100000, kDim, 1.0f, rng);
+  std::vector<int64_t> idx(static_cast<size_t>(state.range(0)));
+  for (auto& v : idx) {
+    v = static_cast<int64_t>(rng.UniformInt(100000));
+  }
+  for (auto _ : state) {
+    Tensor out = IndexSelect(table, idx);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IndexSelect)->Arg(10000);
+
+void BM_OneHopSample(benchmark::State& state) {
+  Graph g = LiveJournalMini(0.25);
+  NeighborIndex index(g);
+  Rng rng(3);
+  std::vector<Neighbor> out;
+  int64_t node = 0;
+  for (auto _ : state) {
+    out.clear();
+    index.SampleOneHop(node, 10, EdgeDirection::kBoth, rng, out);
+    node = (node + 37) % g.num_nodes();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OneHopSample);
+
+void BM_DenseSample(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Graph g = LiveJournalMini(0.25);
+  NeighborIndex index(g);
+  std::vector<int64_t> fanouts(static_cast<size_t>(depth), 10);
+  DenseSampler sampler(&index, fanouts, EdgeDirection::kBoth, 4);
+  std::vector<int64_t> targets;
+  for (int64_t v = 0; v < 128; ++v) {
+    targets.push_back(v * 50);
+  }
+  for (auto _ : state) {
+    DenseBatch b = sampler.Sample(targets);
+    benchmark::DoNotOptimize(b.node_ids.data());
+  }
+}
+BENCHMARK(BM_DenseSample)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_NeighborIndexBuild(benchmark::State& state) {
+  Graph g = LiveJournalMini(0.25);
+  for (auto _ : state) {
+    NeighborIndex index(g);
+    benchmark::DoNotOptimize(index.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_NeighborIndexBuild);
+
+}  // namespace
+}  // namespace mariusgnn
+
+BENCHMARK_MAIN();

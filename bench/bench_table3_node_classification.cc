@@ -1,0 +1,70 @@
+// Table 3 reproduction: node classification on Papers100M-like and Mag240M-like
+// graphs with a 3-layer GraphSage GNN. Rows: MariusGNN in-memory (DENSE, 1 device),
+// MariusGNN disk-based (DENSE + training-node caching), and DGL/PyG-style baselines
+// (layer-wise resampling + block execution). Columns: epoch time, test accuracy, and
+// $/epoch using the paper's instance pricing (M-GNN_Disk runs on the cheap
+// P3.2xLarge; in-memory systems need the larger instances).
+#include "bench/bench_common.h"
+
+using namespace mariusgnn;
+using namespace mariusgnn::bench;
+
+namespace {
+
+struct Row {
+  const char* system;
+  RunResult result;
+  const char* instance;
+};
+
+void RunDataset(const char* name, const Graph& graph, const char* mem_instance) {
+  TrainingConfig base;
+  base.layer_type = GnnLayerType::kGraphSage;
+  base.fanouts = {15, 10, 5};  // paper: 30/20/10, scaled with the graphs
+  base.dims = {graph.features().cols(), 64, 64, 32};
+  base.batch_size = 500;
+  base.weight_lr = 0.1f;
+  const int epochs = 10;
+
+  std::vector<Row> rows;
+
+  TrainingConfig mem = base;
+  rows.push_back({"M-GNN_Mem", RunNodeClassification(graph, mem, epochs), mem_instance});
+
+  TrainingConfig disk = base;
+  disk.use_disk = true;
+  disk.num_physical = 16;
+  disk.buffer_capacity = 8;
+  rows.push_back({"M-GNN_Disk", RunNodeClassification(graph, disk, epochs),
+                  "p3.2xlarge"});
+
+  TrainingConfig dgl = base;
+  dgl.sampler = SamplerKind::kLayerwise;
+  rows.push_back({"DGL-like", RunNodeClassification(graph, dgl, epochs), mem_instance});
+
+  TrainingConfig pyg = base;
+  pyg.sampler = SamplerKind::kLayerwise;
+  pyg.batch_size = base.batch_size / 2;  // paper: PyG needs half batch on Mag
+  pyg.seed = 13;
+  rows.push_back({"PyG-like", RunNodeClassification(graph, pyg, epochs), mem_instance});
+
+  std::printf("\n-- %s --\n", name);
+  std::printf("%-12s %12s %12s %14s\n", "System", "Epoch (s)", "Accuracy", "$/epoch");
+  for (const Row& row : rows) {
+    std::printf("%-12s %12.2f %11.2f%% %14.6f\n", row.system,
+                row.result.avg_epoch_seconds, 100.0 * row.result.metric,
+                EpochCost(row.instance, row.result.avg_epoch_seconds));
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table 3: node classification (3-layer GraphSage)");
+  RunDataset("Papers100M-like", PapersMini(0.6), "p3.8xlarge");
+  RunDataset("Mag240M-like", MagMini(0.5), "p3.16xlarge");
+  std::printf(
+      "\nShape check vs paper: M-GNN epoch time < baselines; disk accuracy within ~1%%\n"
+      "of memory; disk $/epoch is the cheapest column (16-64x in the paper).\n");
+  return 0;
+}

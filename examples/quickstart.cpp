@@ -1,0 +1,39 @@
+// Quickstart: train a 1-layer GraphSage + DistMult link-prediction model on an
+// FB15k-237-like knowledge graph, fully in memory, and report MRR per epoch.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build --target quickstart
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/core/mariusgnn.h"
+
+using namespace mariusgnn;
+
+int main() {
+  // 1. Load (generate) a knowledge graph: ~14.5k nodes, ~270k edges, 237 relations.
+  Graph graph = Fb15k237Like(/*scale=*/0.25);
+  std::printf("graph: %lld nodes, %lld edges, %d relations\n",
+              static_cast<long long>(graph.num_nodes()),
+              static_cast<long long>(graph.num_edges()), graph.num_relations());
+
+  // 2. Configure a 1-layer GraphSage encoder (fanout 20, both edge directions) with a
+  //    DistMult decoder — the paper's link-prediction setup (Section 7.1).
+  TrainingConfig config;
+  config.layer_type = GnnLayerType::kGraphSage;
+  config.fanouts = {20};
+  config.dims = {32, 32};
+  config.decoder = "distmult";
+  config.batch_size = 1000;
+  config.num_negatives = 64;
+
+  // 3. Train and evaluate.
+  LinkPredictionTrainer trainer(&graph, config);
+  for (int epoch = 1; epoch <= 5; ++epoch) {
+    const EpochStats stats = trainer.TrainEpoch();
+    const double mrr = trainer.EvaluateMrr(/*num_negatives=*/200, /*max_edges=*/500);
+    std::printf("epoch %d: loss=%.4f  time=%.2fs  MRR=%.4f\n", epoch, stats.loss,
+                stats.wall_seconds, mrr);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Training configuration and per-epoch statistics shared by both trainers.
+#ifndef SRC_CORE_CONFIG_H_
+#define SRC_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/neighbor_index.h"
+#include "src/nn/encoder.h"
+#include "src/storage/disk.h"
+
+namespace mariusgnn {
+
+enum class SamplerKind {
+  kDense,      // MariusGNN: DENSE with one-hop sample reuse (Algorithm 1)
+  kLayerwise,  // baseline: DGL/PyG-style per-layer resampling + block execution
+};
+
+struct TrainingConfig {
+  // Model.
+  GnnLayerType layer_type = GnnLayerType::kGraphSage;
+  std::vector<int64_t> fanouts;  // per hop, ordered away from targets; empty = no GNN
+  std::vector<int64_t> dims;     // dims[0] = base representation width
+  EdgeDirection direction = EdgeDirection::kBoth;
+  std::string decoder = "distmult";  // link prediction only
+  SamplerKind sampler = SamplerKind::kDense;
+
+  // Optimisation.
+  int64_t batch_size = 1000;
+  int64_t num_negatives = 100;        // link prediction only
+  float embedding_lr = 0.1f;          // sparse Adagrad on base representations
+  float weight_lr = 0.01f;            // Adagrad on GNN/decoder weights
+  bool pipelined = true;              // overlap sampling with compute
+  uint64_t seed = 7;
+
+  // Storage.
+  bool use_disk = false;
+  int32_t num_physical = 1;    // p
+  int32_t num_logical = 1;     // l (COMET)
+  int32_t buffer_capacity = 1; // c
+  std::string policy = "comet";  // "comet" or "beta" (link prediction)
+  bool comet_randomize_grouping = true;   // ablation knob (Section 5.1, mechanism 1)
+  bool comet_deferred_assignment = true;  // ablation knob (Section 5.1, mechanism 2)
+  DiskModel disk_model;
+  bool prefetch = true;  // overlap partition IO with compute in reported timings
+  std::string storage_dir;  // defaults to a fresh temp path
+
+  int64_t num_layers() const { return static_cast<int64_t>(fanouts.size()); }
+};
+
+struct EpochStats {
+  double loss = 0.0;
+  double wall_seconds = 0.0;      // compute + unhidden IO stalls
+  double compute_seconds = 0.0;
+  double io_seconds = 0.0;        // total modeled IO
+  double io_stall_seconds = 0.0;  // IO not hidden by prefetch overlap
+  int64_t num_batches = 0;
+  int64_t num_examples = 0;
+  int64_t num_partition_sets = 0;
+};
+
+}  // namespace mariusgnn
+
+#endif  // SRC_CORE_CONFIG_H_

@@ -1,0 +1,433 @@
+#include "src/core/link_prediction_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/eval/metrics.h"
+#include "src/pipeline/pipeline.h"
+#include "src/policy/beta.h"
+#include "src/policy/comet.h"
+#include "src/tensor/ops.h"
+#include "src/util/binary_io.h"
+#include "src/util/check.h"
+#include "src/util/logging.h"
+#include "src/util/timer.h"
+
+namespace mariusgnn {
+
+struct LinkPredictionTrainer::PreparedBatch {
+  std::vector<int64_t> targets;  // unique nodes: srcs, dsts, then negatives
+  std::vector<int64_t> src_rows;
+  std::vector<int64_t> dst_rows;
+  std::vector<int64_t> neg_rows;
+  std::vector<int32_t> rels;
+  DenseBatch dense;
+  std::vector<int64_t> dense_nodes;  // node_ids snapshot (dense is consumed by Forward)
+  LayerwiseSample layerwise;
+};
+
+LinkPredictionTrainer::LinkPredictionTrainer(const Graph* graph, TrainingConfig config)
+    : graph_(graph), config_(std::move(config)), rng_(config_.seed) {
+  MG_CHECK(!config_.dims.empty());
+  MG_CHECK(static_cast<int64_t>(config_.dims.size()) == config_.num_layers() + 1);
+  const int64_t emb_dim = config_.dims.front();
+
+  if (config_.num_layers() > 0) {
+    if (config_.sampler == SamplerKind::kDense) {
+      encoder_ = std::make_unique<GnnEncoder>(config_.layer_type, config_.dims,
+                                              Activation::kRelu, rng_);
+      dense_sampler_ = std::make_unique<DenseSampler>(nullptr, config_.fanouts,
+                                                      config_.direction, config_.seed + 1);
+    } else {
+      block_encoder_ = std::make_unique<BlockEncoder>(config_.layer_type, config_.dims,
+                                                      Activation::kRelu, rng_);
+      layerwise_sampler_ = std::make_unique<LayerwiseSampler>(
+          nullptr, config_.fanouts, config_.direction, config_.seed + 1);
+    }
+  }
+  decoder_ = MakeDecoder(config_.decoder, graph_->num_relations(), config_.dims.back(), rng_);
+
+  weight_opt_ = std::make_unique<Adagrad>(config_.weight_lr);
+  if (encoder_ != nullptr) {
+    weight_params_ = encoder_->Parameters();
+  } else if (block_encoder_ != nullptr) {
+    weight_params_ = block_encoder_->Parameters();
+  }
+  for (Parameter* p : decoder_->Parameters()) {
+    weight_params_.push_back(p);
+  }
+
+  // Training-edge membership (disk policies iterate all buckets; only train edges
+  // become examples).
+  is_train_edge_.assign(static_cast<size_t>(graph_->num_edges()), 0);
+  if (graph_->train_edges().empty()) {
+    std::fill(is_train_edge_.begin(), is_train_edge_.end(), 1);
+  } else {
+    for (int64_t e : graph_->train_edges()) {
+      is_train_edge_[static_cast<size_t>(e)] = 1;
+    }
+  }
+
+  const float init_scale = 1.0f / std::sqrt(static_cast<float>(emb_dim));
+  if (!config_.use_disk) {
+    mem_store_ = std::make_unique<InMemoryEmbeddingStore>(graph_->num_nodes(), emb_dim,
+                                                          init_scale, rng_);
+    full_index_ = std::make_unique<NeighborIndex>(*graph_);
+    store_ = mem_store_.get();
+  } else {
+    MG_CHECK(config_.num_physical >= 2 && config_.buffer_capacity >= 2);
+    partitioning_ = std::make_unique<Partitioning>(*graph_, config_.num_physical,
+                                                   PartitionAssignment::kRandom, rng_);
+    Tensor init = Tensor::Uniform(graph_->num_nodes(), emb_dim, init_scale, rng_);
+    const std::string path = config_.storage_dir.empty()
+                                 ? TempPath("mgnn_lp_embeddings")
+                                 : config_.storage_dir + "/embeddings.bin";
+    buffer_ = std::make_unique<PartitionBuffer>(partitioning_.get(), emb_dim,
+                                                config_.buffer_capacity, path,
+                                                config_.disk_model, /*learnable=*/true,
+                                                &init);
+    disk_store_ = std::make_unique<BufferedEmbeddingStore>(buffer_.get(), true);
+    store_ = disk_store_.get();
+    if (config_.policy == "beta") {
+      policy_ = std::make_unique<BetaPolicy>();
+    } else {
+      MG_CHECK_MSG(config_.policy == "comet", "policy must be comet or beta");
+      policy_ = std::make_unique<CometPolicy>(config_.num_logical,
+                                              config_.comet_randomize_grouping,
+                                              config_.comet_deferred_assignment);
+    }
+    MG_CHECK_MSG(config_.sampler == SamplerKind::kDense,
+                 "baseline sampler supports in-memory training only");
+  }
+}
+
+LinkPredictionTrainer::~LinkPredictionTrainer() = default;
+
+LinkPredictionTrainer::PreparedBatch LinkPredictionTrainer::PrepareBatch(
+    const std::vector<int64_t>& edge_ids, const NeighborIndex& index,
+    UniformNegativeSampler& negatives) {
+  PreparedBatch batch;
+  std::unordered_map<int64_t, int64_t> row_of;
+  row_of.reserve(edge_ids.size() * 3);
+  auto row = [&](int64_t node) {
+    auto [it, inserted] = row_of.emplace(node, static_cast<int64_t>(batch.targets.size()));
+    if (inserted) {
+      batch.targets.push_back(node);
+    }
+    return it->second;
+  };
+
+  batch.src_rows.reserve(edge_ids.size());
+  batch.dst_rows.reserve(edge_ids.size());
+  batch.rels.reserve(edge_ids.size());
+  for (int64_t e : edge_ids) {
+    const Edge& edge = graph_->edge(e);
+    batch.src_rows.push_back(row(edge.src));
+    batch.dst_rows.push_back(row(edge.dst));
+    batch.rels.push_back(edge.rel);
+  }
+  for (int64_t n : negatives.Sample(config_.num_negatives)) {
+    batch.neg_rows.push_back(row(n));
+  }
+
+  if (dense_sampler_ != nullptr) {
+    dense_sampler_->set_index(&index);
+    batch.dense = dense_sampler_->Sample(batch.targets);
+    batch.dense.FinalizeForDevice();
+    batch.dense_nodes = batch.dense.node_ids;
+  } else if (layerwise_sampler_ != nullptr) {
+    layerwise_sampler_->set_index(&index);
+    batch.layerwise = layerwise_sampler_->Sample(batch.targets);
+  }
+  return batch;
+}
+
+float LinkPredictionTrainer::ConsumeBatch(PreparedBatch& batch) {
+  Tensor reprs;
+  if (encoder_ != nullptr) {
+    Tensor h0;
+    store_->Gather(batch.dense_nodes, &h0);
+    reprs = encoder_->Forward(batch.dense, h0);
+  } else if (block_encoder_ != nullptr) {
+    Tensor h0;
+    store_->Gather(batch.layerwise.input_nodes(), &h0);
+    reprs = block_encoder_->Forward(batch.layerwise, h0);
+  } else {
+    store_->Gather(batch.targets, &reprs);
+  }
+
+  Tensor d_reprs(reprs.rows(), reprs.cols());
+  const float loss = decoder_->LossAndGrad(reprs, batch.src_rows, batch.dst_rows,
+                                           batch.rels, batch.neg_rows, &d_reprs);
+
+  if (encoder_ != nullptr) {
+    Tensor dh0 = encoder_->Backward(d_reprs);
+    store_->ApplyGradients(batch.dense_nodes, dh0, config_.embedding_lr);
+  } else if (block_encoder_ != nullptr) {
+    Tensor dh0 = block_encoder_->Backward(d_reprs);
+    store_->ApplyGradients(batch.layerwise.input_nodes(), dh0, config_.embedding_lr);
+  } else {
+    store_->ApplyGradients(batch.targets, d_reprs, config_.embedding_lr);
+  }
+  if (!weight_params_.empty()) {
+    weight_opt_->StepAll(weight_params_);
+  }
+  return loss;
+}
+
+float LinkPredictionTrainer::TrainBatch(const std::vector<int64_t>& edge_ids,
+                                        const NeighborIndex& index,
+                                        UniformNegativeSampler& negatives) {
+  PreparedBatch batch = PrepareBatch(edge_ids, index, negatives);
+  return ConsumeBatch(batch);
+}
+
+void LinkPredictionTrainer::RunBatches(const std::vector<int64_t>& edge_ids,
+                                       const NeighborIndex& index,
+                                       UniformNegativeSampler& negatives,
+                                       EpochStats* stats) {
+  const int64_t total = static_cast<int64_t>(edge_ids.size());
+  if (total == 0) {
+    return;
+  }
+  const int64_t bs = config_.batch_size;
+  const int64_t num_batches = (total + bs - 1) / bs;
+  auto slice = [&](int64_t b) {
+    const int64_t begin = b * bs;
+    const int64_t end = std::min(begin + bs, total);
+    return std::vector<int64_t>(edge_ids.begin() + begin, edge_ids.begin() + end);
+  };
+
+  if (config_.pipelined) {
+    RunPipelined<PreparedBatch>(
+        num_batches, /*queue_capacity=*/4,
+        [&](int64_t b) { return PrepareBatch(slice(b), index, negatives); },
+        [&](PreparedBatch& batch, int64_t) { stats->loss += ConsumeBatch(batch); });
+  } else {
+    for (int64_t b = 0; b < num_batches; ++b) {
+      const std::vector<int64_t> ids = slice(b);
+      stats->loss += TrainBatch(ids, index, negatives);
+    }
+  }
+  stats->num_batches += num_batches;
+  stats->num_examples += total;
+}
+
+EpochStats LinkPredictionTrainer::TrainEpochInMemory() {
+  EpochStats stats;
+  WallTimer timer;
+  std::vector<int64_t> edge_ids = graph_->train_edges();
+  if (edge_ids.empty()) {
+    edge_ids.resize(static_cast<size_t>(graph_->num_edges()));
+    for (int64_t e = 0; e < graph_->num_edges(); ++e) {
+      edge_ids[static_cast<size_t>(e)] = e;
+    }
+  }
+  rng_.Shuffle(edge_ids);
+  UniformNegativeSampler negatives(graph_->num_nodes(), rng_.Next());
+  RunBatches(edge_ids, *full_index_, negatives, &stats);
+  stats.compute_seconds = timer.Seconds();
+  stats.wall_seconds = stats.compute_seconds;
+  stats.num_partition_sets = 1;
+  if (stats.num_batches > 0) {
+    stats.loss /= static_cast<double>(stats.num_batches);
+  }
+  return stats;
+}
+
+EpochStats LinkPredictionTrainer::TrainEpochDisk() {
+  EpochStats stats;
+  EpochPlan plan = policy_->GenerateEpoch(*partitioning_, config_.buffer_capacity, rng_);
+  stats.num_partition_sets = plan.num_sets();
+
+  double prev_compute = 0.0;
+  for (int64_t i = 0; i < plan.num_sets(); ++i) {
+    const double io = buffer_->SetResident(plan.sets[static_cast<size_t>(i)]);
+    stats.io_seconds += io;
+    const double stall = config_.prefetch ? std::max(0.0, io - prev_compute) : io;
+    stats.io_stall_seconds += stall;
+
+    WallTimer set_timer;
+    // In-memory subgraph: all edges between resident partitions (Section 4.1).
+    std::vector<Edge> resident_edges;
+    const auto& set = plan.sets[static_cast<size_t>(i)];
+    for (int32_t a : set) {
+      for (int32_t b : set) {
+        for (int64_t e : partitioning_->Bucket(a, b)) {
+          resident_edges.push_back(graph_->edge(e));
+        }
+      }
+    }
+    NeighborIndex index(graph_->num_nodes(), resident_edges);
+
+    // X_i: training examples assigned to this set.
+    std::vector<int64_t> train_ids;
+    for (const BucketId& bucket : plan.buckets_per_set[static_cast<size_t>(i)]) {
+      for (int64_t e : partitioning_->Bucket(bucket.first, bucket.second)) {
+        if (is_train_edge_[static_cast<size_t>(e)] != 0) {
+          train_ids.push_back(e);
+        }
+      }
+    }
+    rng_.Shuffle(train_ids);
+
+    UniformNegativeSampler negatives(buffer_->ResidentNodes(), rng_.Next());
+    RunBatches(train_ids, index, negatives, &stats);
+    prev_compute = set_timer.Seconds();
+    stats.compute_seconds += prev_compute;
+  }
+  const double flush_io = buffer_->FlushAll();
+  stats.io_seconds += flush_io;
+  stats.io_stall_seconds += flush_io;
+  stats.wall_seconds = stats.compute_seconds + stats.io_stall_seconds;
+  if (stats.num_batches > 0) {
+    stats.loss /= static_cast<double>(stats.num_batches);
+  }
+  return stats;
+}
+
+EpochStats LinkPredictionTrainer::TrainEpoch() {
+  return config_.use_disk ? TrainEpochDisk() : TrainEpochInMemory();
+}
+
+Tensor LinkPredictionTrainer::InferReprs(const std::vector<int64_t>& nodes,
+                                         const Tensor& values,
+                                         const NeighborIndex& index) {
+  if (encoder_ != nullptr) {
+    dense_sampler_->set_index(&index);
+    DenseBatch batch = dense_sampler_->Sample(nodes);
+    batch.FinalizeForDevice();
+    Tensor h0 = IndexSelect(values, batch.node_ids);
+    return encoder_->Forward(batch, h0);
+  }
+  if (block_encoder_ != nullptr) {
+    layerwise_sampler_->set_index(&index);
+    LayerwiseSample sample = layerwise_sampler_->Sample(nodes);
+    Tensor h0 = IndexSelect(values, sample.input_nodes());
+    return block_encoder_->Forward(sample, h0);
+  }
+  return IndexSelect(values, nodes);
+}
+
+namespace {
+
+// Exact packed key for (src, rel, dst); valid for graphs below 2^20 nodes and 2^24
+// relations (checked by the caller).
+uint64_t EdgeKey(int64_t src, int32_t rel, int64_t dst) {
+  return (static_cast<uint64_t>(src) << 44) |
+         (static_cast<uint64_t>(static_cast<uint32_t>(rel)) << 20) |
+         static_cast<uint64_t>(dst);
+}
+
+}  // namespace
+
+double LinkPredictionTrainer::EvaluateMrr(int64_t num_negatives, int64_t max_edges,
+                                          bool use_valid, bool filtered) {
+  if (filtered && true_edges_.empty()) {
+    MG_CHECK_MSG(graph_->num_nodes() < (1LL << 20) && graph_->num_relations() < (1 << 24),
+                 "filtered MRR requires < 2^20 nodes and < 2^24 relations");
+    true_edges_.reserve(static_cast<size_t>(graph_->num_edges()) * 2);
+    for (const Edge& e : graph_->edges()) {
+      true_edges_.insert(EdgeKey(e.src, e.rel, e.dst));
+    }
+  }
+  // Base representations in memory (exported from disk when needed).
+  Tensor values;
+  if (config_.use_disk) {
+    values = buffer_->ExportAll();
+  } else {
+    values = mem_store_->values();
+  }
+  if (full_index_ == nullptr) {
+    full_index_ = std::make_unique<NeighborIndex>(*graph_);
+  }
+
+  const std::vector<int64_t>& split = use_valid ? graph_->valid_edges() : graph_->test_edges();
+  std::vector<int64_t> edge_ids = split;
+  if (edge_ids.empty()) {
+    for (int64_t e = 0; e < std::min<int64_t>(max_edges, graph_->num_edges()); ++e) {
+      edge_ids.push_back(e);
+    }
+  }
+  if (static_cast<int64_t>(edge_ids.size()) > max_edges) {
+    edge_ids.resize(static_cast<size_t>(max_edges));
+  }
+
+  Rng eval_rng(config_.seed + 97);
+  std::vector<int64_t> neg_nodes(static_cast<size_t>(num_negatives));
+  for (auto& v : neg_nodes) {
+    v = eval_rng.UniformInt(0, graph_->num_nodes());
+  }
+
+  std::vector<int64_t> ranks;
+  const int64_t chunk = 256;
+  for (size_t begin = 0; begin < edge_ids.size(); begin += chunk) {
+    const size_t end = std::min(edge_ids.size(), begin + chunk);
+    std::vector<int64_t> targets;
+    std::unordered_map<int64_t, int64_t> row_of;
+    auto row = [&](int64_t node) {
+      auto [it, inserted] = row_of.emplace(node, static_cast<int64_t>(targets.size()));
+      if (inserted) {
+        targets.push_back(node);
+      }
+      return it->second;
+    };
+    std::vector<int64_t> srcs, dsts;
+    std::vector<int32_t> rels;
+    for (size_t k = begin; k < end; ++k) {
+      const Edge& e = graph_->edge(edge_ids[k]);
+      srcs.push_back(row(e.src));
+      dsts.push_back(row(e.dst));
+      rels.push_back(e.rel);
+    }
+    std::vector<int64_t> neg_rows;
+    for (int64_t n : neg_nodes) {
+      neg_rows.push_back(row(n));
+    }
+
+    Tensor reprs = InferReprs(targets, values, *full_index_);
+    std::vector<float> neg_scores;
+    std::vector<float> kept_scores;
+    std::vector<float> pos_score;
+    // Node ids behind each edge row in this chunk (needed for filtering).
+    std::vector<int64_t> src_ids, dst_ids;
+    for (size_t k = begin; k < end; ++k) {
+      src_ids.push_back(graph_->edge(edge_ids[k]).src);
+      dst_ids.push_back(graph_->edge(edge_ids[k]).dst);
+    }
+    for (size_t k = 0; k < srcs.size(); ++k) {
+      // dst corruption.
+      decoder_->ScoreCandidates(reprs, srcs[k], rels[k], {dsts[k]}, false, &pos_score);
+      decoder_->ScoreCandidates(reprs, srcs[k], rels[k], neg_rows, false, &neg_scores);
+      if (filtered) {
+        kept_scores.clear();
+        for (size_t j = 0; j < neg_nodes.size(); ++j) {
+          if (true_edges_.count(EdgeKey(src_ids[k], rels[k], neg_nodes[j])) == 0) {
+            kept_scores.push_back(neg_scores[j]);
+          }
+        }
+        ranks.push_back(RankOfPositive(pos_score[0], kept_scores));
+      } else {
+        ranks.push_back(RankOfPositive(pos_score[0], neg_scores));
+      }
+      // src corruption.
+      decoder_->ScoreCandidates(reprs, dsts[k], rels[k], {srcs[k]}, true, &pos_score);
+      decoder_->ScoreCandidates(reprs, dsts[k], rels[k], neg_rows, true, &neg_scores);
+      if (filtered) {
+        kept_scores.clear();
+        for (size_t j = 0; j < neg_nodes.size(); ++j) {
+          if (true_edges_.count(EdgeKey(neg_nodes[j], rels[k], dst_ids[k])) == 0) {
+            kept_scores.push_back(neg_scores[j]);
+          }
+        }
+        ranks.push_back(RankOfPositive(pos_score[0], kept_scores));
+      } else {
+        ranks.push_back(RankOfPositive(pos_score[0], neg_scores));
+      }
+    }
+  }
+  return MrrFromRanks(ranks);
+}
+
+}  // namespace mariusgnn

@@ -1,0 +1,108 @@
+// End-to-end link-prediction training (Sections 3 and 5.1).
+//
+// Supports every configuration the paper evaluates:
+//  - decoder-only knowledge-graph models (empty fanouts: DistMult/TransE/ComplEx as in
+//    Marius) and k-layer GNN encoders (GraphSage/GCN/GAT);
+//  - in-memory training (the whole graph resident) and disk-based training through the
+//    partition buffer with a COMET or BETA replacement policy;
+//  - DENSE sampling (MariusGNN) or baseline layer-wise sampling + block execution
+//    (in-memory only, mirroring DGL/PyG's capabilities);
+//  - pipelined mini-batch construction.
+#ifndef SRC_CORE_LINK_PREDICTION_TRAINER_H_
+#define SRC_CORE_LINK_PREDICTION_TRAINER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/graph/graph.h"
+#include "src/graph/partition.h"
+#include "src/nn/decoder.h"
+#include "src/nn/encoder.h"
+#include "src/nn/optimizer.h"
+#include "src/policy/policy.h"
+#include "src/sampler/dense.h"
+#include "src/sampler/layerwise.h"
+#include "src/sampler/negative.h"
+#include "src/storage/embedding_store.h"
+#include "src/storage/partition_buffer.h"
+#include "src/util/rng.h"
+
+namespace mariusgnn {
+
+class LinkPredictionTrainer {
+ public:
+  LinkPredictionTrainer(const Graph* graph, TrainingConfig config);
+  ~LinkPredictionTrainer();
+
+  EpochStats TrainEpoch();
+
+  // Ranking MRR with shared uniform negatives, averaged over dst- and src-corruption.
+  // Evaluates on up to max_edges test (or valid) edges. With filtered=true, negatives
+  // that form true edges of the graph are excluded from the ranking (the standard
+  // "filtered" knowledge-graph protocol); the default raw protocol matches the paper.
+  double EvaluateMrr(int64_t num_negatives = 500, int64_t max_edges = 2000,
+                     bool use_valid = false, bool filtered = false);
+
+  const TrainingConfig& config() const { return config_; }
+  const Partitioning* partitioning() const { return partitioning_.get(); }
+
+ private:
+  struct PreparedBatch;
+
+  // Trains one mini batch of edge ids using `index` for sampling and `negatives` as
+  // the corruption universe; returns the batch loss.
+  float TrainBatch(const std::vector<int64_t>& edge_ids, const NeighborIndex& index,
+                   UniformNegativeSampler& negatives);
+  PreparedBatch PrepareBatch(const std::vector<int64_t>& edge_ids,
+                             const NeighborIndex& index,
+                             UniformNegativeSampler& negatives);
+  float ConsumeBatch(PreparedBatch& batch);
+
+  // Runs all batches of `edge_ids` (already shuffled), pipelined when configured.
+  void RunBatches(const std::vector<int64_t>& edge_ids, const NeighborIndex& index,
+                  UniformNegativeSampler& negatives, EpochStats* stats);
+
+  EpochStats TrainEpochInMemory();
+  EpochStats TrainEpochDisk();
+
+  // Representations of `nodes` for evaluation, using full-graph sampling over
+  // `values` (the exported/in-memory base representations).
+  Tensor InferReprs(const std::vector<int64_t>& nodes, const Tensor& values,
+                    const NeighborIndex& index);
+
+  const Graph* graph_;
+  TrainingConfig config_;
+  Rng rng_;
+
+  std::unique_ptr<GnnEncoder> encoder_;        // DENSE path (may be null: decoder-only)
+  std::unique_ptr<BlockEncoder> block_encoder_;  // baseline path
+  std::unique_ptr<Decoder> decoder_;
+  std::unique_ptr<Adagrad> weight_opt_;
+  std::vector<Parameter*> weight_params_;
+
+  std::unique_ptr<DenseSampler> dense_sampler_;
+  std::unique_ptr<LayerwiseSampler> layerwise_sampler_;
+
+  // In-memory state.
+  std::unique_ptr<InMemoryEmbeddingStore> mem_store_;
+  std::unique_ptr<NeighborIndex> full_index_;
+
+  // Disk state.
+  std::unique_ptr<Partitioning> partitioning_;
+  std::unique_ptr<PartitionBuffer> buffer_;
+  std::unique_ptr<BufferedEmbeddingStore> disk_store_;
+  std::unique_ptr<OrderingPolicy> policy_;
+  std::vector<char> is_train_edge_;
+
+  // Lazily built true-edge set for the filtered MRR protocol.
+  std::unordered_set<uint64_t> true_edges_;
+
+  EmbeddingStore* store_ = nullptr;  // active store (memory or disk)
+};
+
+}  // namespace mariusgnn
+
+#endif  // SRC_CORE_LINK_PREDICTION_TRAINER_H_

@@ -1,0 +1,28 @@
+// Umbrella header: the public API of the MariusGNN reproduction.
+//
+// Quick start (see examples/quickstart.cpp):
+//
+//   Graph graph = Fb15k237Like();
+//   TrainingConfig config;
+//   config.fanouts = {20};
+//   config.dims = {32, 32};
+//   LinkPredictionTrainer trainer(&graph, config);
+//   for (int epoch = 0; epoch < 5; ++epoch) trainer.TrainEpoch();
+//   double mrr = trainer.EvaluateMrr();
+#ifndef SRC_CORE_MARIUSGNN_H_
+#define SRC_CORE_MARIUSGNN_H_
+
+#include "src/core/config.h"
+#include "src/core/link_prediction_trainer.h"
+#include "src/core/node_classification_trainer.h"
+#include "src/data/datasets.h"
+#include "src/data/generators.h"
+#include "src/eval/metrics.h"
+#include "src/policy/autotune.h"
+#include "src/policy/beta.h"
+#include "src/policy/bias.h"
+#include "src/policy/comet.h"
+#include "src/sampler/dense.h"
+#include "src/sampler/layerwise.h"
+
+#endif  // SRC_CORE_MARIUSGNN_H_

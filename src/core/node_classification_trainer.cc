@@ -1,0 +1,259 @@
+#include "src/core/node_classification_trainer.h"
+
+#include <algorithm>
+
+#include "src/pipeline/pipeline.h"
+#include "src/tensor/ops.h"
+#include "src/util/binary_io.h"
+#include "src/util/check.h"
+#include "src/util/timer.h"
+
+namespace mariusgnn {
+
+struct NodeClassificationTrainer::PreparedBatch {
+  std::vector<int64_t> nodes;  // batch target nodes
+  std::vector<int64_t> labels;
+  DenseBatch dense;
+  std::vector<int64_t> dense_nodes;
+  LayerwiseSample layerwise;
+};
+
+NodeClassificationTrainer::NodeClassificationTrainer(const Graph* graph,
+                                                     TrainingConfig config)
+    : graph_(graph), config_(std::move(config)), rng_(config_.seed) {
+  MG_CHECK(graph_->has_features());
+  MG_CHECK(!graph_->labels().empty() && graph_->num_classes() > 0);
+  MG_CHECK(config_.num_layers() >= 1);
+  MG_CHECK(static_cast<int64_t>(config_.dims.size()) == config_.num_layers() + 1);
+  MG_CHECK(config_.dims.front() == graph_->features().cols());
+
+  if (config_.sampler == SamplerKind::kDense) {
+    encoder_ = std::make_unique<GnnEncoder>(config_.layer_type, config_.dims,
+                                            Activation::kRelu, rng_);
+    dense_sampler_ = std::make_unique<DenseSampler>(nullptr, config_.fanouts,
+                                                    config_.direction, config_.seed + 1);
+    weight_params_ = encoder_->Parameters();
+  } else {
+    block_encoder_ = std::make_unique<BlockEncoder>(config_.layer_type, config_.dims,
+                                                    Activation::kRelu, rng_);
+    layerwise_sampler_ = std::make_unique<LayerwiseSampler>(
+        nullptr, config_.fanouts, config_.direction, config_.seed + 1);
+    weight_params_ = block_encoder_->Parameters();
+  }
+  head_ = std::make_unique<LinearLayer>(config_.dims.back(), graph_->num_classes(), rng_);
+  for (Parameter* p : head_->Parameters()) {
+    weight_params_.push_back(p);
+  }
+  weight_opt_ = std::make_unique<Adagrad>(config_.weight_lr);
+
+  if (!config_.use_disk) {
+    full_index_ = std::make_unique<NeighborIndex>(*graph_);
+  } else {
+    MG_CHECK(config_.num_physical >= 2 && config_.buffer_capacity >= 2);
+    MG_CHECK_MSG(config_.sampler == SamplerKind::kDense,
+                 "baseline sampler supports in-memory training only");
+    partitioning_ = std::make_unique<Partitioning>(
+        *graph_, config_.num_physical, PartitionAssignment::kTrainingNodesFirst, rng_);
+    const std::string path = config_.storage_dir.empty()
+                                 ? TempPath("mgnn_nc_features")
+                                 : config_.storage_dir + "/features.bin";
+    buffer_ = std::make_unique<PartitionBuffer>(
+        partitioning_.get(), graph_->features().cols(), config_.buffer_capacity, path,
+        config_.disk_model, /*learnable=*/false, &graph_->features());
+  }
+}
+
+NodeClassificationTrainer::~NodeClassificationTrainer() = default;
+
+Tensor NodeClassificationTrainer::GatherFeatures(const std::vector<int64_t>& nodes,
+                                                 bool from_graph) {
+  if (from_graph || !use_buffer_features_) {
+    return IndexSelect(graph_->features(), nodes);
+  }
+  Tensor out(static_cast<int64_t>(nodes.size()), buffer_->dim());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const float* row = buffer_->ValueRow(nodes[i]);
+    std::copy(row, row + buffer_->dim(), out.RowPtr(static_cast<int64_t>(i)));
+  }
+  return out;
+}
+
+NodeClassificationTrainer::PreparedBatch NodeClassificationTrainer::PrepareBatch(
+    const std::vector<int64_t>& nodes, const NeighborIndex& index) {
+  PreparedBatch batch;
+  batch.nodes = nodes;
+  batch.labels.reserve(nodes.size());
+  for (int64_t v : nodes) {
+    batch.labels.push_back(graph_->labels()[static_cast<size_t>(v)]);
+  }
+  if (dense_sampler_ != nullptr) {
+    dense_sampler_->set_index(&index);
+    batch.dense = dense_sampler_->Sample(nodes);
+    batch.dense.FinalizeForDevice();
+    batch.dense_nodes = batch.dense.node_ids;
+  } else {
+    layerwise_sampler_->set_index(&index);
+    batch.layerwise = layerwise_sampler_->Sample(nodes);
+  }
+  return batch;
+}
+
+float NodeClassificationTrainer::ConsumeBatch(PreparedBatch& batch) {
+  Tensor reprs;
+  if (encoder_ != nullptr) {
+    Tensor h0 = GatherFeatures(batch.dense_nodes, /*from_graph=*/false);
+    reprs = encoder_->Forward(batch.dense, h0);
+  } else {
+    Tensor h0 = GatherFeatures(batch.layerwise.input_nodes(), /*from_graph=*/false);
+    reprs = block_encoder_->Forward(batch.layerwise, h0);
+  }
+  Tensor logits = head_->Forward(reprs);
+  Tensor dlogits;
+  const float loss = SoftmaxCrossEntropy(logits, batch.labels, &dlogits);
+  Tensor dreprs = head_->Backward(dlogits);
+  if (encoder_ != nullptr) {
+    encoder_->Backward(dreprs);  // features are fixed; d(h0) is discarded
+  } else {
+    block_encoder_->Backward(dreprs);
+  }
+  weight_opt_->StepAll(weight_params_);
+  return loss;
+}
+
+void NodeClassificationTrainer::RunBatches(const std::vector<int64_t>& nodes,
+                                           const NeighborIndex& index, EpochStats* stats) {
+  const int64_t total = static_cast<int64_t>(nodes.size());
+  if (total == 0) {
+    return;
+  }
+  const int64_t bs = config_.batch_size;
+  const int64_t num_batches = (total + bs - 1) / bs;
+  auto slice = [&](int64_t b) {
+    const int64_t begin = b * bs;
+    const int64_t end = std::min(begin + bs, total);
+    return std::vector<int64_t>(nodes.begin() + begin, nodes.begin() + end);
+  };
+  if (config_.pipelined) {
+    RunPipelined<PreparedBatch>(
+        num_batches, /*queue_capacity=*/4,
+        [&](int64_t b) { return PrepareBatch(slice(b), index); },
+        [&](PreparedBatch& batch, int64_t) { stats->loss += ConsumeBatch(batch); });
+  } else {
+    for (int64_t b = 0; b < num_batches; ++b) {
+      PreparedBatch batch = PrepareBatch(slice(b), index);
+      stats->loss += ConsumeBatch(batch);
+    }
+  }
+  stats->num_batches += num_batches;
+  stats->num_examples += total;
+}
+
+EpochStats NodeClassificationTrainer::TrainEpoch() {
+  EpochStats stats;
+  std::vector<int64_t> train = graph_->train_nodes();
+  rng_.Shuffle(train);
+
+  if (!config_.use_disk) {
+    WallTimer timer;
+    RunBatches(train, *full_index_, &stats);
+    stats.compute_seconds = timer.Seconds();
+    stats.wall_seconds = stats.compute_seconds;
+    stats.num_partition_sets = 1;
+  } else {
+    const auto sets =
+        caching_policy_.GenerateEpoch(*partitioning_, config_.buffer_capacity, rng_);
+    stats.num_partition_sets = static_cast<int64_t>(sets.size());
+    double prev_compute = 0.0;
+    // A partition's training nodes are trained the first time it becomes resident
+    // (in the cached regime all training partitions are resident in the single set).
+    std::vector<char> partition_done(static_cast<size_t>(config_.num_physical), 0);
+    for (size_t i = 0; i < sets.size(); ++i) {
+      const double io = buffer_->SetResident(sets[i]);
+      stats.io_seconds += io;
+      stats.io_stall_seconds += config_.prefetch ? std::max(0.0, io - prev_compute) : io;
+
+      WallTimer set_timer;
+      std::vector<Edge> resident_edges;
+      std::vector<char> resident_fresh(static_cast<size_t>(config_.num_physical), 0);
+      for (int32_t a : sets[i]) {
+        if (partition_done[static_cast<size_t>(a)] == 0) {
+          resident_fresh[static_cast<size_t>(a)] = 1;
+          partition_done[static_cast<size_t>(a)] = 1;
+        }
+        for (int32_t b : sets[i]) {
+          for (int64_t e : partitioning_->Bucket(a, b)) {
+            resident_edges.push_back(graph_->edge(e));
+          }
+        }
+      }
+      NeighborIndex index(graph_->num_nodes(), resident_edges);
+
+      std::vector<int64_t> subset;
+      for (int64_t v : train) {
+        if (resident_fresh[static_cast<size_t>(partitioning_->PartitionOf(v))] != 0) {
+          subset.push_back(v);
+        }
+      }
+      if (!subset.empty()) {
+        use_buffer_features_ = true;
+        RunBatches(subset, index, &stats);
+        use_buffer_features_ = false;
+      }
+      prev_compute = set_timer.Seconds();
+      stats.compute_seconds += prev_compute;
+    }
+    stats.wall_seconds = stats.compute_seconds + stats.io_stall_seconds;
+  }
+  if (stats.num_batches > 0) {
+    stats.loss /= static_cast<double>(stats.num_batches);
+  }
+  return stats;
+}
+
+Tensor NodeClassificationTrainer::InferLogits(const std::vector<int64_t>& nodes,
+                                              const NeighborIndex& index) {
+  Tensor reprs;
+  if (encoder_ != nullptr) {
+    dense_sampler_->set_index(&index);
+    DenseBatch batch = dense_sampler_->Sample(nodes);
+    batch.FinalizeForDevice();
+    Tensor h0 = GatherFeatures(batch.node_ids, /*from_graph=*/true);
+    reprs = encoder_->Forward(batch, h0);
+  } else {
+    layerwise_sampler_->set_index(&index);
+    LayerwiseSample sample = layerwise_sampler_->Sample(nodes);
+    Tensor h0 = GatherFeatures(sample.input_nodes(), /*from_graph=*/true);
+    reprs = block_encoder_->Forward(sample, h0);
+  }
+  return head_->Forward(reprs);
+}
+
+double NodeClassificationTrainer::EvaluateAccuracy(const std::vector<int64_t>& nodes) {
+  if (nodes.empty()) {
+    return 0.0;
+  }
+  if (full_index_ == nullptr) {
+    full_index_ = std::make_unique<NeighborIndex>(*graph_);
+  }
+  int64_t correct = 0;
+  const int64_t chunk = 512;
+  for (size_t begin = 0; begin < nodes.size(); begin += chunk) {
+    const size_t end = std::min(nodes.size(), begin + chunk);
+    std::vector<int64_t> batch(nodes.begin() + begin, nodes.begin() + end);
+    Tensor logits = InferLogits(batch, *full_index_);
+    for (int64_t r = 0; r < logits.rows(); ++r) {
+      int64_t best = 0;
+      for (int64_t c = 1; c < logits.cols(); ++c) {
+        if (logits(r, c) > logits(r, best)) {
+          best = c;
+        }
+      }
+      if (best == graph_->labels()[static_cast<size_t>(batch[static_cast<size_t>(r)])]) {
+        ++correct;
+      }
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(nodes.size());
+}
+
+}  // namespace mariusgnn

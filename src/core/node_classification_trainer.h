@@ -1,0 +1,78 @@
+// End-to-end node-classification training (Sections 3 and 5.2).
+//
+// Fixed node features feed a k-layer GNN encoder plus a linear/softmax head. Storage
+// modes:
+//  - in-memory: features and graph resident, full-graph neighbor sampling;
+//  - disk: features stored per-partition on the simulated disk; training nodes are
+//    packed into the leading partitions and cached in CPU memory for the whole epoch
+//    (the Section 5.2 policy), with sampling restricted to the in-memory subgraph.
+#ifndef SRC_CORE_NODE_CLASSIFICATION_TRAINER_H_
+#define SRC_CORE_NODE_CLASSIFICATION_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/graph/graph.h"
+#include "src/graph/partition.h"
+#include "src/nn/encoder.h"
+#include "src/nn/linear.h"
+#include "src/nn/optimizer.h"
+#include "src/policy/node_caching.h"
+#include "src/sampler/dense.h"
+#include "src/sampler/layerwise.h"
+#include "src/storage/embedding_store.h"
+#include "src/storage/partition_buffer.h"
+#include "src/util/rng.h"
+
+namespace mariusgnn {
+
+class NodeClassificationTrainer {
+ public:
+  NodeClassificationTrainer(const Graph* graph, TrainingConfig config);
+  ~NodeClassificationTrainer();
+
+  EpochStats TrainEpoch();
+
+  // Multi-class accuracy over a node split, computed with full-graph sampling.
+  double EvaluateAccuracy(const std::vector<int64_t>& nodes);
+  double EvaluateTestAccuracy() { return EvaluateAccuracy(graph_->test_nodes()); }
+  double EvaluateValidAccuracy() { return EvaluateAccuracy(graph_->valid_nodes()); }
+
+  const TrainingConfig& config() const { return config_; }
+
+ private:
+  struct PreparedBatch;
+
+  PreparedBatch PrepareBatch(const std::vector<int64_t>& nodes, const NeighborIndex& index);
+  float ConsumeBatch(PreparedBatch& batch);
+  void RunBatches(const std::vector<int64_t>& nodes, const NeighborIndex& index,
+                  EpochStats* stats);
+  Tensor GatherFeatures(const std::vector<int64_t>& nodes, bool from_graph);
+  Tensor InferLogits(const std::vector<int64_t>& nodes, const NeighborIndex& index);
+
+  const Graph* graph_;
+  TrainingConfig config_;
+  Rng rng_;
+
+  std::unique_ptr<GnnEncoder> encoder_;
+  std::unique_ptr<BlockEncoder> block_encoder_;
+  std::unique_ptr<LinearLayer> head_;
+  std::unique_ptr<Adagrad> weight_opt_;
+  std::vector<Parameter*> weight_params_;
+
+  std::unique_ptr<DenseSampler> dense_sampler_;
+  std::unique_ptr<LayerwiseSampler> layerwise_sampler_;
+
+  std::unique_ptr<NeighborIndex> full_index_;
+
+  // Disk state (features are read-only: no write-back).
+  std::unique_ptr<Partitioning> partitioning_;
+  std::unique_ptr<PartitionBuffer> buffer_;
+  NodeCachingPolicy caching_policy_;
+  bool use_buffer_features_ = false;  // true while training from resident partitions
+};
+
+}  // namespace mariusgnn
+
+#endif  // SRC_CORE_NODE_CLASSIFICATION_TRAINER_H_

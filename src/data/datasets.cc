@@ -1,0 +1,84 @@
+#include "src/data/datasets.h"
+
+#include <algorithm>
+
+namespace mariusgnn {
+
+namespace {
+
+int64_t Scaled(double scale, int64_t base) {
+  return std::max<int64_t>(64, static_cast<int64_t>(scale * static_cast<double>(base)));
+}
+
+}  // namespace
+
+Graph Fb15k237Like(double scale, uint64_t seed) {
+  Rng rng(seed);
+  KnowledgeGraphConfig config;
+  config.num_nodes = Scaled(scale, 14541);
+  config.edges_per_node = 18;  // ~272k edges at scale 1
+  config.num_relations = 237;
+  return MakeKnowledgeGraph(config, rng);
+}
+
+Graph FreebaseMini(double scale, uint64_t seed) {
+  Rng rng(seed);
+  KnowledgeGraphConfig config;
+  config.num_nodes = Scaled(scale, 50000);
+  config.edges_per_node = 8;
+  config.num_relations = 500;
+  return MakeKnowledgeGraph(config, rng);
+}
+
+Graph WikiMini(double scale, uint64_t seed) {
+  Rng rng(seed);
+  KnowledgeGraphConfig config;
+  config.num_nodes = Scaled(scale, 40000);
+  config.edges_per_node = 7;
+  config.num_relations = 200;
+  return MakeKnowledgeGraph(config, rng);
+}
+
+Graph PapersMini(double scale, uint64_t seed) {
+  Rng rng(seed);
+  CommunityGraphConfig config;
+  config.num_nodes = Scaled(scale, 30000);
+  config.edges_per_node = 10;
+  config.num_communities = 32;
+  config.feature_dim = 64;
+  config.feature_noise = 2.5f;   // features alone are weakly separable; aggregation helps
+  config.train_fraction = 0.08;  // Papers100M labels ~1% of nodes; scaled up slightly
+  return MakeCommunityGraph(config, rng);
+}
+
+Graph MagMini(double scale, uint64_t seed) {
+  Rng rng(seed);
+  CommunityGraphConfig config;
+  config.num_nodes = Scaled(scale, 40000);
+  config.edges_per_node = 9;
+  config.num_communities = 40;
+  config.feature_dim = 64;
+  config.feature_noise = 2.5f;
+  config.train_fraction = 0.03;
+  return MakeCommunityGraph(config, rng);
+}
+
+Graph LiveJournalMini(double scale, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges = BarabasiAlbertEdges(Scaled(scale, 48000), 14, rng);
+  const int64_t n = Scaled(scale, 48000);
+  return Graph(n, std::move(edges), /*num_relations=*/1);
+}
+
+Graph HyperlinkMini(double scale, uint64_t seed) {
+  Rng rng(seed);
+  KnowledgeGraphConfig config;
+  config.num_nodes = Scaled(scale, 120000);
+  config.edges_per_node = 12;
+  config.num_relations = 1;
+  config.valid_fraction = 0.0;
+  config.test_fraction = 0.0;
+  return MakeKnowledgeGraph(config, rng);
+}
+
+}  // namespace mariusgnn

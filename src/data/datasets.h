@@ -1,0 +1,35 @@
+// Named scaled stand-ins for the paper's benchmark graphs (Table 1 / Section 7.1).
+//
+// Each function returns a synthetic graph whose *shape* (degree distribution, relation
+// skew, community structure, train-label fraction) matches the original at a scale
+// that trains in seconds on one CPU core. `scale` multiplies node counts (1.0 =
+// default size below); all generators are deterministic given `seed`.
+//
+//   Fb15k237Like     — FB15k-237 (14541 nodes, 272k edges, 237 relations), LP
+//   FreebaseMini     — Freebase86M stand-in, LP
+//   WikiMini         — WikiKG90Mv2 stand-in, LP
+//   PapersMini       — ogbn-papers100M stand-in (features+labels), NC
+//   MagMini          — Mag240M-Cites stand-in (features+labels), NC
+//   LiveJournalMini  — LiveJournal stand-in (plain graph), sampling benches
+//   HyperlinkMini    — Common Crawl hyperlink stand-in for the §7.3 stress test
+#ifndef SRC_DATA_DATASETS_H_
+#define SRC_DATA_DATASETS_H_
+
+#include <cstdint>
+
+#include "src/data/generators.h"
+#include "src/graph/graph.h"
+
+namespace mariusgnn {
+
+Graph Fb15k237Like(double scale = 1.0, uint64_t seed = 101);
+Graph FreebaseMini(double scale = 1.0, uint64_t seed = 102);
+Graph WikiMini(double scale = 1.0, uint64_t seed = 103);
+Graph PapersMini(double scale = 1.0, uint64_t seed = 104);
+Graph MagMini(double scale = 1.0, uint64_t seed = 105);
+Graph LiveJournalMini(double scale = 1.0, uint64_t seed = 106);
+Graph HyperlinkMini(double scale = 1.0, uint64_t seed = 107);
+
+}  // namespace mariusgnn
+
+#endif  // SRC_DATA_DATASETS_H_

@@ -1,0 +1,216 @@
+#include "src/data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+std::vector<Edge> BarabasiAlbertEdges(int64_t num_nodes, int64_t edges_per_node,
+                                      Rng& rng) {
+  MG_CHECK(num_nodes > edges_per_node && edges_per_node >= 1);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(num_nodes * edges_per_node));
+  // Endpoint pool: sampling uniformly from it is degree-proportional sampling.
+  std::vector<int64_t> pool;
+  pool.reserve(static_cast<size_t>(num_nodes * edges_per_node) * 2);
+  // Seed clique among the first edges_per_node + 1 nodes.
+  for (int64_t v = 1; v <= edges_per_node; ++v) {
+    edges.push_back(Edge{v, v - 1, 0});
+    pool.push_back(v);
+    pool.push_back(v - 1);
+  }
+  for (int64_t v = edges_per_node + 1; v < num_nodes; ++v) {
+    for (int64_t k = 0; k < edges_per_node; ++k) {
+      const int64_t target = pool[static_cast<size_t>(rng.UniformInt(pool.size()))];
+      edges.push_back(Edge{v, target, 0});
+      pool.push_back(v);
+      pool.push_back(target);
+    }
+  }
+  return edges;
+}
+
+std::vector<Edge> ErdosRenyiEdges(int64_t num_nodes, int64_t num_edges, Rng& rng) {
+  MG_CHECK(num_nodes >= 2);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(num_edges));
+  for (int64_t e = 0; e < num_edges; ++e) {
+    const int64_t src = rng.UniformInt(0, num_nodes);
+    int64_t dst = rng.UniformInt(0, num_nodes - 1);
+    if (dst >= src) {
+      ++dst;
+    }
+    edges.push_back(Edge{src, dst, 0});
+  }
+  return edges;
+}
+
+void AssignZipfRelations(std::vector<Edge>& edges, int32_t num_relations, Rng& rng) {
+  MG_CHECK(num_relations >= 1);
+  // Precompute the Zipf(s=1) CDF.
+  std::vector<double> cdf(static_cast<size_t>(num_relations));
+  double total = 0.0;
+  for (int32_t r = 0; r < num_relations; ++r) {
+    total += 1.0 / static_cast<double>(r + 1);
+    cdf[static_cast<size_t>(r)] = total;
+  }
+  for (auto& c : cdf) {
+    c /= total;
+  }
+  for (Edge& e : edges) {
+    const double u = rng.UniformDouble();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    e.rel = static_cast<int32_t>(it - cdf.begin());
+    if (e.rel >= num_relations) {
+      e.rel = num_relations - 1;
+    }
+  }
+}
+
+Graph MakeCommunityGraph(const CommunityGraphConfig& config, Rng& rng) {
+  const int64_t n = config.num_nodes;
+  const int64_t k = config.num_communities;
+  MG_CHECK(n >= k && k >= 2);
+
+  std::vector<int64_t> community(static_cast<size_t>(n));
+  std::vector<std::vector<int64_t>> members(static_cast<size_t>(k));
+  for (int64_t v = 0; v < n; ++v) {
+    community[static_cast<size_t>(v)] = rng.UniformInt(0, k);
+    members[static_cast<size_t>(community[static_cast<size_t>(v)])].push_back(v);
+  }
+  // Guard against empty communities on tiny graphs.
+  for (int64_t c = 0; c < k; ++c) {
+    if (members[static_cast<size_t>(c)].empty()) {
+      const int64_t v = rng.UniformInt(0, n);
+      members[static_cast<size_t>(community[static_cast<size_t>(v)])].clear();
+      community[static_cast<size_t>(v)] = c;
+      members[static_cast<size_t>(c)].push_back(v);
+    }
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(n * config.edges_per_node));
+  for (int64_t v = 0; v < n; ++v) {
+    const auto& own = members[static_cast<size_t>(community[static_cast<size_t>(v)])];
+    for (int64_t e = 0; e < config.edges_per_node; ++e) {
+      int64_t dst;
+      if (rng.UniformDouble() < config.intra_community_prob && own.size() > 1) {
+        dst = own[static_cast<size_t>(rng.UniformInt(own.size()))];
+      } else {
+        dst = rng.UniformInt(0, n);
+      }
+      if (dst == v) {
+        continue;
+      }
+      edges.push_back(Edge{v, dst, 0});
+    }
+  }
+
+  Graph graph(n, std::move(edges), /*num_relations=*/1);
+
+  // Features: community centroid + noise.
+  Tensor centroids = Tensor::Normal(k, config.feature_dim, 2.0f, rng);
+  Tensor features = Tensor::Normal(n, config.feature_dim, config.feature_noise, rng);
+  for (int64_t v = 0; v < n; ++v) {
+    const float* c = centroids.RowPtr(community[static_cast<size_t>(v)]);
+    float* f = features.RowPtr(v);
+    for (int64_t d = 0; d < config.feature_dim; ++d) {
+      f[d] += c[d];
+    }
+  }
+  graph.set_features(std::move(features));
+  graph.set_labels(community);
+  graph.set_num_classes(k);
+
+  // Node splits.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) {
+    order[static_cast<size_t>(v)] = v;
+  }
+  rng.Shuffle(order);
+  const int64_t n_train = static_cast<int64_t>(config.train_fraction * static_cast<double>(n));
+  const int64_t n_valid = static_cast<int64_t>(config.valid_fraction * static_cast<double>(n));
+  const int64_t n_test = static_cast<int64_t>(config.test_fraction * static_cast<double>(n));
+  MG_CHECK(n_train + n_valid + n_test <= n);
+  graph.set_node_splits(
+      {order.begin(), order.begin() + n_train},
+      {order.begin() + n_train, order.begin() + n_train + n_valid},
+      {order.begin() + n_train + n_valid, order.begin() + n_train + n_valid + n_test});
+  return graph;
+}
+
+Graph MakeKnowledgeGraph(const KnowledgeGraphConfig& config, Rng& rng) {
+  const int64_t n = config.num_nodes;
+  const int64_t k = std::max<int64_t>(2, std::min(config.num_clusters, n / 4));
+  const int64_t num_edges = n * config.edges_per_node;
+
+  // Latent clusters with Zipf-ranked members (long-tailed node popularity).
+  std::vector<std::vector<int64_t>> members(static_cast<size_t>(k));
+  for (int64_t v = 0; v < n; ++v) {
+    members[static_cast<size_t>(rng.UniformInt(0, k))].push_back(v);
+  }
+  for (int64_t c = 0; c < k; ++c) {
+    if (members[static_cast<size_t>(c)].empty()) {
+      members[static_cast<size_t>(c)].push_back(rng.UniformInt(0, n));
+    }
+  }
+  // Zipf CDF over the largest cluster size (reused for all clusters by truncation).
+  size_t max_size = 0;
+  for (const auto& m : members) {
+    max_size = std::max(max_size, m.size());
+  }
+  std::vector<double> zipf_cdf(max_size);
+  double total = 0.0;
+  for (size_t i = 0; i < max_size; ++i) {
+    total += 1.0 / std::sqrt(static_cast<double>(i + 1));  // Zipf(s=0.5): heavy tail
+    zipf_cdf[i] = total;
+  }
+  auto pick_member = [&](int64_t cluster) {
+    const auto& m = members[static_cast<size_t>(cluster)];
+    const double limit = zipf_cdf[m.size() - 1];
+    const double u = rng.UniformDouble() * limit;
+    const auto it = std::lower_bound(zipf_cdf.begin(), zipf_cdf.begin() +
+                                     static_cast<int64_t>(m.size()), u);
+    return m[static_cast<size_t>(it - zipf_cdf.begin())];
+  };
+
+  // Deterministic relation -> (src cluster, dst cluster) mapping.
+  auto src_cluster = [&](int32_t r) {
+    return static_cast<int64_t>((static_cast<uint64_t>(r) * 2654435761ULL) % k);
+  };
+  auto dst_cluster = [&](int32_t r) {
+    return static_cast<int64_t>((static_cast<uint64_t>(r) * 40503ULL + 7) % k);
+  };
+
+  // Relation frequencies are Zipf-distributed (reuse AssignZipfRelations' CDF logic).
+  std::vector<Edge> edges(static_cast<size_t>(num_edges));
+  AssignZipfRelations(edges, config.num_relations, rng);
+  for (Edge& e : edges) {
+    if (rng.UniformDouble() < config.noise_fraction) {
+      e.src = rng.UniformInt(0, n);
+      e.dst = rng.UniformInt(0, n);
+    } else {
+      e.src = pick_member(src_cluster(e.rel));
+      e.dst = pick_member(dst_cluster(e.rel));
+    }
+  }
+  rng.Shuffle(edges);
+  Graph graph(n, std::move(edges), config.num_relations);
+
+  const int64_t m = graph.num_edges();
+  const int64_t n_valid = static_cast<int64_t>(config.valid_fraction * static_cast<double>(m));
+  const int64_t n_test = static_cast<int64_t>(config.test_fraction * static_cast<double>(m));
+  std::vector<int64_t> idx(static_cast<size_t>(m));
+  for (int64_t e = 0; e < m; ++e) {
+    idx[static_cast<size_t>(e)] = e;
+  }
+  rng.Shuffle(idx);
+  graph.set_edge_splits({idx.begin(), idx.end() - n_valid - n_test},
+                        {idx.end() - n_valid - n_test, idx.end() - n_test},
+                        {idx.end() - n_test, idx.end()});
+  return graph;
+}
+
+}  // namespace mariusgnn

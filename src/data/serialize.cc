@@ -1,0 +1,136 @@
+#include "src/data/serialize.h"
+
+#include <cstdio>
+
+#include "src/util/binary_io.h"
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x4D47474E31ULL;  // "MGGN1"
+
+struct Meta {
+  uint64_t magic = kMagic;
+  int64_t num_nodes = 0;
+  int64_t num_edges = 0;
+  int32_t num_relations = 1;
+  int32_t has_features = 0;
+  int64_t feature_dim = 0;
+  int64_t num_classes = 0;
+  int64_t n_train_nodes = 0, n_valid_nodes = 0, n_test_nodes = 0;
+  int64_t n_train_edges = 0, n_valid_edges = 0, n_test_edges = 0;
+  int32_t has_labels = 0;
+};
+
+}  // namespace
+
+void SaveGraph(const Graph& graph, const std::string& prefix) {
+  Meta meta;
+  meta.num_nodes = graph.num_nodes();
+  meta.num_edges = graph.num_edges();
+  meta.num_relations = graph.num_relations();
+  meta.has_features = graph.has_features() ? 1 : 0;
+  meta.feature_dim = graph.has_features() ? graph.features().cols() : 0;
+  meta.num_classes = graph.num_classes();
+  meta.has_labels = graph.labels().empty() ? 0 : 1;
+  meta.n_train_nodes = static_cast<int64_t>(graph.train_nodes().size());
+  meta.n_valid_nodes = static_cast<int64_t>(graph.valid_nodes().size());
+  meta.n_test_nodes = static_cast<int64_t>(graph.test_nodes().size());
+  meta.n_train_edges = static_cast<int64_t>(graph.train_edges().size());
+  meta.n_valid_edges = static_cast<int64_t>(graph.valid_edges().size());
+  meta.n_test_edges = static_cast<int64_t>(graph.test_edges().size());
+  {
+    File f(prefix + ".meta", /*truncate=*/true);
+    f.WriteAt(&meta, sizeof(meta), 0);
+  }
+  {
+    File f(prefix + ".edges", /*truncate=*/true);
+    if (!graph.edges().empty()) {
+      f.WriteAt(graph.edges().data(), graph.edges().size() * sizeof(Edge), 0);
+    }
+  }
+  if (graph.has_features()) {
+    File f(prefix + ".feat", /*truncate=*/true);
+    f.WriteAt(graph.features().data(),
+              static_cast<size_t>(graph.features().size()) * sizeof(float), 0);
+  }
+  if (!graph.labels().empty()) {
+    WriteVector(prefix + ".labels", graph.labels());
+  }
+  {
+    File f(prefix + ".splits", /*truncate=*/true);
+    uint64_t offset = 0;
+    auto write_split = [&](const std::vector<int64_t>& split) {
+      if (!split.empty()) {
+        f.WriteAt(split.data(), split.size() * sizeof(int64_t), offset);
+        offset += split.size() * sizeof(int64_t);
+      }
+    };
+    write_split(graph.train_nodes());
+    write_split(graph.valid_nodes());
+    write_split(graph.test_nodes());
+    write_split(graph.train_edges());
+    write_split(graph.valid_edges());
+    write_split(graph.test_edges());
+  }
+}
+
+Graph LoadGraph(const std::string& prefix) {
+  Meta meta;
+  {
+    File f(prefix + ".meta");
+    f.ReadAt(&meta, sizeof(meta), 0);
+  }
+  MG_CHECK_MSG(meta.magic == kMagic, "bad graph file magic");
+
+  std::vector<Edge> edges(static_cast<size_t>(meta.num_edges));
+  if (meta.num_edges > 0) {
+    File f(prefix + ".edges");
+    f.ReadAt(edges.data(), edges.size() * sizeof(Edge), 0);
+  }
+  Graph graph(meta.num_nodes, std::move(edges), meta.num_relations);
+
+  if (meta.has_features != 0) {
+    std::vector<float> data(static_cast<size_t>(meta.num_nodes * meta.feature_dim));
+    File f(prefix + ".feat");
+    f.ReadAt(data.data(), data.size() * sizeof(float), 0);
+    graph.set_features(Tensor(meta.num_nodes, meta.feature_dim, std::move(data)));
+  }
+  if (meta.has_labels != 0) {
+    graph.set_labels(ReadVector<int64_t>(prefix + ".labels"));
+    graph.set_num_classes(meta.num_classes);
+  }
+  {
+    File f(prefix + ".splits");
+    uint64_t offset = 0;
+    auto read_split = [&](int64_t count) {
+      std::vector<int64_t> split(static_cast<size_t>(count));
+      if (count > 0) {
+        f.ReadAt(split.data(), split.size() * sizeof(int64_t), offset);
+        offset += split.size() * sizeof(int64_t);
+      }
+      return split;
+    };
+    std::vector<int64_t> train_nodes = read_split(meta.n_train_nodes);
+    std::vector<int64_t> valid_nodes = read_split(meta.n_valid_nodes);
+    std::vector<int64_t> test_nodes = read_split(meta.n_test_nodes);
+    graph.set_node_splits(std::move(train_nodes), std::move(valid_nodes),
+                          std::move(test_nodes));
+    std::vector<int64_t> train_edges = read_split(meta.n_train_edges);
+    std::vector<int64_t> valid_edges = read_split(meta.n_valid_edges);
+    std::vector<int64_t> test_edges = read_split(meta.n_test_edges);
+    graph.set_edge_splits(std::move(train_edges), std::move(valid_edges),
+                          std::move(test_edges));
+  }
+  return graph;
+}
+
+void RemoveGraphFiles(const std::string& prefix) {
+  for (const char* suffix : {".meta", ".edges", ".feat", ".labels", ".splits"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+}  // namespace mariusgnn

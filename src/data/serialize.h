@@ -1,0 +1,27 @@
+// Binary graph (de)serialisation — the preprocessing artifact format.
+//
+// Like Marius' preprocessing step, datasets are converted once into flat binary files
+// that training jobs load directly: an edge file, optional feature/label files, and
+// split files, all under a common path prefix with a small header recording shapes.
+#ifndef SRC_DATA_SERIALIZE_H_
+#define SRC_DATA_SERIALIZE_H_
+
+#include <string>
+
+#include "src/graph/graph.h"
+
+namespace mariusgnn {
+
+// Writes `<prefix>.meta`, `<prefix>.edges`, and (when present) `<prefix>.feat`,
+// `<prefix>.labels`, `<prefix>.splits`.
+void SaveGraph(const Graph& graph, const std::string& prefix);
+
+// Loads a graph previously written by SaveGraph. Aborts on malformed input.
+Graph LoadGraph(const std::string& prefix);
+
+// Removes all files written by SaveGraph (cleanup helper for tests/benches).
+void RemoveGraphFiles(const std::string& prefix);
+
+}  // namespace mariusgnn
+
+#endif  // SRC_DATA_SERIALIZE_H_

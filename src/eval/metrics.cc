@@ -1,0 +1,58 @@
+#include "src/eval/metrics.h"
+
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+int64_t RankOfPositive(float positive_score, const std::vector<float>& negative_scores) {
+  int64_t greater = 0;
+  int64_t equal = 0;
+  for (float s : negative_scores) {
+    if (s > positive_score) {
+      ++greater;
+    } else if (s == positive_score) {
+      ++equal;
+    }
+  }
+  return 1 + greater + equal / 2;
+}
+
+double MrrFromRanks(const std::vector<int64_t>& ranks) {
+  if (ranks.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (int64_t r : ranks) {
+    sum += 1.0 / static_cast<double>(r);
+  }
+  return sum / static_cast<double>(ranks.size());
+}
+
+double Accuracy(const std::vector<int64_t>& predictions,
+                const std::vector<int64_t>& labels) {
+  MG_CHECK(predictions.size() == labels.size());
+  if (predictions.empty()) {
+    return 0.0;
+  }
+  int64_t correct = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == labels[i]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(predictions.size());
+}
+
+double CostModel::CostFor(const std::string& instance, double seconds) const {
+  double per_hour = p3_2xlarge_per_hour;
+  if (instance == "p3.8xlarge") {
+    per_hour = p3_8xlarge_per_hour;
+  } else if (instance == "p3.16xlarge") {
+    per_hour = p3_16xlarge_per_hour;
+  } else {
+    MG_CHECK_MSG(instance == "p3.2xlarge", "unknown instance type");
+  }
+  return per_hour * seconds / 3600.0;
+}
+
+}  // namespace mariusgnn

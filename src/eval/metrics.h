@@ -1,0 +1,33 @@
+// Evaluation metrics: MRR for link prediction, accuracy for node classification, and
+// the AWS cost model used to reproduce the paper's $/epoch columns.
+#ifndef SRC_EVAL_METRICS_H_
+#define SRC_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mariusgnn {
+
+// Rank of the positive among candidates: 1 + #candidates strictly greater, with ties
+// broken pessimistically at the midpoint (standard protocol).
+int64_t RankOfPositive(float positive_score, const std::vector<float>& negative_scores);
+
+// Mean reciprocal rank from a list of ranks.
+double MrrFromRanks(const std::vector<int64_t>& ranks);
+
+// Fraction of correct predictions.
+double Accuracy(const std::vector<int64_t>& predictions, const std::vector<int64_t>& labels);
+
+// AWS P3 on-demand pricing (Table 2 of the paper).
+struct CostModel {
+  double p3_2xlarge_per_hour = 3.06;   // 1 GPU, 61 GB
+  double p3_8xlarge_per_hour = 12.24;  // 4 GPU, 244 GB
+  double p3_16xlarge_per_hour = 24.48; // 8 GPU, 488 GB
+
+  double CostFor(const std::string& instance, double seconds) const;
+};
+
+}  // namespace mariusgnn
+
+#endif  // SRC_EVAL_METRICS_H_

@@ -1,0 +1,34 @@
+#include "src/graph/graph.h"
+
+namespace mariusgnn {
+
+const std::vector<int64_t>& Graph::OutDegrees() const {
+  if (out_degrees_.empty() && num_nodes_ > 0) {
+    out_degrees_.assign(static_cast<size_t>(num_nodes_), 0);
+    for (const Edge& e : edges_) {
+      ++out_degrees_[static_cast<size_t>(e.src)];
+    }
+  }
+  return out_degrees_;
+}
+
+const std::vector<int64_t>& Graph::InDegrees() const {
+  if (in_degrees_.empty() && num_nodes_ > 0) {
+    in_degrees_.assign(static_cast<size_t>(num_nodes_), 0);
+    for (const Edge& e : edges_) {
+      ++in_degrees_[static_cast<size_t>(e.dst)];
+    }
+  }
+  return in_degrees_;
+}
+
+std::vector<int64_t> Graph::TotalDegrees() const {
+  std::vector<int64_t> total(static_cast<size_t>(num_nodes_), 0);
+  for (const Edge& e : edges_) {
+    ++total[static_cast<size_t>(e.src)];
+    ++total[static_cast<size_t>(e.dst)];
+  }
+  return total;
+}
+
+}  // namespace mariusgnn

@@ -1,0 +1,97 @@
+// In-memory graph representation: an edge list with optional relation types, node
+// features, and node labels.
+//
+// MariusGNN represents a graph as an edge list (Section 3). Knowledge graphs carry a
+// relation id per edge (used by DistMult/TransE/ComplEx decoders); node-classification
+// graphs carry fixed node features and class labels. Train/valid/test splits live here
+// too: node-id splits for node classification, edge-index splits for link prediction.
+#ifndef SRC_GRAPH_GRAPH_H_
+#define SRC_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace mariusgnn {
+
+struct Edge {
+  int64_t src = 0;
+  int64_t dst = 0;
+  int32_t rel = 0;
+
+  bool operator==(const Edge& o) const {
+    return src == o.src && dst == o.dst && rel == o.rel;
+  }
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  Graph(int64_t num_nodes, std::vector<Edge> edges, int32_t num_relations = 1)
+      : num_nodes_(num_nodes), num_relations_(num_relations), edges_(std::move(edges)) {}
+
+  int64_t num_nodes() const { return num_nodes_; }
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+  int32_t num_relations() const { return num_relations_; }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  std::vector<Edge>& mutable_edges() { return edges_; }
+  const Edge& edge(int64_t i) const { return edges_[static_cast<size_t>(i)]; }
+
+  // Fixed node features (node classification); empty when absent.
+  const Tensor& features() const { return features_; }
+  void set_features(Tensor features) { features_ = std::move(features); }
+  bool has_features() const { return !features_.empty(); }
+
+  // Class labels per node; -1 for unlabeled. Empty when absent.
+  const std::vector<int64_t>& labels() const { return labels_; }
+  void set_labels(std::vector<int64_t> labels) { labels_ = std::move(labels); }
+  int64_t num_classes() const { return num_classes_; }
+  void set_num_classes(int64_t n) { num_classes_ = n; }
+
+  // Node-id splits (node classification).
+  const std::vector<int64_t>& train_nodes() const { return train_nodes_; }
+  const std::vector<int64_t>& valid_nodes() const { return valid_nodes_; }
+  const std::vector<int64_t>& test_nodes() const { return test_nodes_; }
+  void set_node_splits(std::vector<int64_t> train, std::vector<int64_t> valid,
+                       std::vector<int64_t> test) {
+    train_nodes_ = std::move(train);
+    valid_nodes_ = std::move(valid);
+    test_nodes_ = std::move(test);
+  }
+
+  // Edge-index splits (link prediction). Training edges default to all edges.
+  const std::vector<int64_t>& train_edges() const { return train_edges_; }
+  const std::vector<int64_t>& valid_edges() const { return valid_edges_; }
+  const std::vector<int64_t>& test_edges() const { return test_edges_; }
+  void set_edge_splits(std::vector<int64_t> train, std::vector<int64_t> valid,
+                       std::vector<int64_t> test) {
+    train_edges_ = std::move(train);
+    valid_edges_ = std::move(valid);
+    test_edges_ = std::move(test);
+  }
+
+  // Out-degree / in-degree of every node (computed on demand, cached).
+  const std::vector<int64_t>& OutDegrees() const;
+  const std::vector<int64_t>& InDegrees() const;
+
+  // Total degree (in + out) per node; used by the Edge Permutation Bias metric.
+  std::vector<int64_t> TotalDegrees() const;
+
+ private:
+  int64_t num_nodes_ = 0;
+  int32_t num_relations_ = 1;
+  int64_t num_classes_ = 0;
+  std::vector<Edge> edges_;
+  Tensor features_;
+  std::vector<int64_t> labels_;
+  std::vector<int64_t> train_nodes_, valid_nodes_, test_nodes_;
+  std::vector<int64_t> train_edges_, valid_edges_, test_edges_;
+  mutable std::vector<int64_t> out_degrees_, in_degrees_;
+};
+
+}  // namespace mariusgnn
+
+#endif  // SRC_GRAPH_GRAPH_H_

@@ -1,0 +1,87 @@
+#include "src/graph/partition.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+Partitioning::Partitioning(const Graph& graph, int32_t num_partitions,
+                           PartitionAssignment mode, Rng& rng)
+    : p_(num_partitions) {
+  MG_CHECK(num_partitions > 0);
+  const int64_t n = graph.num_nodes();
+  MG_CHECK(n >= num_partitions);
+
+  // Build the node order: either a full random permutation, or training nodes first
+  // followed by shuffled non-training nodes.
+  std::vector<int64_t> order;
+  order.reserve(static_cast<size_t>(n));
+  if (mode == PartitionAssignment::kTrainingNodesFirst) {
+    std::vector<char> is_train(static_cast<size_t>(n), 0);
+    for (int64_t v : graph.train_nodes()) {
+      is_train[static_cast<size_t>(v)] = 1;
+    }
+    for (int64_t v : graph.train_nodes()) {
+      order.push_back(v);
+    }
+    std::vector<int64_t> rest;
+    rest.reserve(static_cast<size_t>(n) - order.size());
+    for (int64_t v = 0; v < n; ++v) {
+      if (is_train[static_cast<size_t>(v)] == 0) {
+        rest.push_back(v);
+      }
+    }
+    rng.Shuffle(rest);
+    order.insert(order.end(), rest.begin(), rest.end());
+  } else {
+    for (int64_t v = 0; v < n; ++v) {
+      order.push_back(v);
+    }
+    rng.Shuffle(order);
+  }
+
+  // Near-equal contiguous chunks of the order become partitions.
+  part_of_node_.assign(static_cast<size_t>(n), 0);
+  local_index_.assign(static_cast<size_t>(n), 0);
+  nodes_per_partition_.assign(static_cast<size_t>(p_), {});
+  const int64_t base = n / p_;
+  const int64_t extra = n % p_;
+  int64_t cursor = 0;
+  for (int32_t part = 0; part < p_; ++part) {
+    const int64_t size = base + (part < extra ? 1 : 0);
+    auto& nodes = nodes_per_partition_[static_cast<size_t>(part)];
+    nodes.reserve(static_cast<size_t>(size));
+    for (int64_t k = 0; k < size; ++k) {
+      const int64_t v = order[static_cast<size_t>(cursor + k)];
+      part_of_node_[static_cast<size_t>(v)] = part;
+      local_index_[static_cast<size_t>(v)] = k;
+      nodes.push_back(v);
+    }
+    cursor += size;
+  }
+
+  if (mode == PartitionAssignment::kTrainingNodesFirst) {
+    const int64_t train_count = static_cast<int64_t>(graph.train_nodes().size());
+    int64_t covered = 0;
+    int32_t parts = 0;
+    while (covered < train_count && parts < p_) {
+      covered += PartitionSize(parts);
+      ++parts;
+    }
+    num_training_partitions_ = parts;
+  }
+
+  // Group edges into buckets.
+  buckets_.assign(static_cast<size_t>(p_) * p_, {});
+  const auto& edges = graph.edges();
+  for (int64_t i = 0; i < graph.num_edges(); ++i) {
+    const Edge& e = edges[static_cast<size_t>(i)];
+    const int32_t bi = part_of_node_[static_cast<size_t>(e.src)];
+    const int32_t bj = part_of_node_[static_cast<size_t>(e.dst)];
+    buckets_[static_cast<size_t>(bi) * p_ + bj].push_back(i);
+  }
+  total_edges_ = graph.num_edges();
+}
+
+}  // namespace mariusgnn

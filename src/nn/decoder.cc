@@ -1,0 +1,200 @@
+#include "src/nn/decoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+float Decoder::SideLossAndGrad(const Tensor& reprs, const std::vector<int64_t>& src_rows,
+                               const std::vector<int64_t>& dst_rows,
+                               const std::vector<int32_t>& rels,
+                               const std::vector<int64_t>& neg_rows, bool corrupt_src,
+                               float scale, Tensor* d_reprs) {
+  const int64_t batch = static_cast<int64_t>(src_rows.size());
+  const int64_t m = static_cast<int64_t>(neg_rows.size());
+  MG_CHECK(batch > 0 && m > 0);
+  const float inv_b = scale / static_cast<float>(batch);
+
+  std::vector<float> logits(static_cast<size_t>(m) + 1);
+  std::vector<float> probs(static_cast<size_t>(m) + 1);
+  double loss = 0.0;
+  for (int64_t i = 0; i < batch; ++i) {
+    const float* s = reprs.RowPtr(src_rows[static_cast<size_t>(i)]);
+    const float* o = reprs.RowPtr(dst_rows[static_cast<size_t>(i)]);
+    const int32_t rel = rels[static_cast<size_t>(i)];
+    const float* r = rel_.value.RowPtr(rel);
+
+    logits[0] = Score(s, r, o);
+    for (int64_t j = 0; j < m; ++j) {
+      const float* n = reprs.RowPtr(neg_rows[static_cast<size_t>(j)]);
+      logits[static_cast<size_t>(j) + 1] = corrupt_src ? Score(n, r, o) : Score(s, r, n);
+    }
+
+    // Softmax CE with the positive in class 0.
+    float maxv = logits[0];
+    for (float v : logits) {
+      maxv = std::max(maxv, v);
+    }
+    double denom = 0.0;
+    for (size_t j = 0; j < logits.size(); ++j) {
+      probs[j] = std::exp(logits[j] - maxv);
+      denom += probs[j];
+    }
+    const float inv_denom = static_cast<float>(1.0 / denom);
+    for (auto& p : probs) {
+      p *= inv_denom;
+    }
+    loss -= std::log(std::max(probs[0], 1e-12f));
+
+    // dlogit_0 = (p0 - 1)/B, dlogit_j = p_j/B.
+    float* ds = d_reprs->RowPtr(src_rows[static_cast<size_t>(i)]);
+    float* do_ = d_reprs->RowPtr(dst_rows[static_cast<size_t>(i)]);
+    float* dr = rel_.grad.RowPtr(rel);
+    ScoreBackward(s, r, o, (probs[0] - 1.0f) * inv_b, ds, dr, do_);
+    for (int64_t j = 0; j < m; ++j) {
+      const int64_t nrow = neg_rows[static_cast<size_t>(j)];
+      const float* n = reprs.RowPtr(nrow);
+      float* dn = d_reprs->RowPtr(nrow);
+      const float coeff = probs[static_cast<size_t>(j) + 1] * inv_b;
+      if (coeff == 0.0f) {
+        continue;
+      }
+      if (corrupt_src) {
+        ScoreBackward(n, r, o, coeff, dn, dr, do_);
+      } else {
+        ScoreBackward(s, r, n, coeff, ds, dr, dn);
+      }
+    }
+  }
+  return static_cast<float>(loss * inv_b);
+}
+
+float Decoder::LossAndGrad(const Tensor& reprs, const std::vector<int64_t>& src_rows,
+                           const std::vector<int64_t>& dst_rows,
+                           const std::vector<int32_t>& rels,
+                           const std::vector<int64_t>& neg_rows, Tensor* d_reprs) {
+  MG_CHECK(d_reprs != nullptr);
+  MG_CHECK(d_reprs->rows() == reprs.rows() && d_reprs->cols() == reprs.cols());
+  MG_CHECK(src_rows.size() == dst_rows.size() && src_rows.size() == rels.size());
+  const float dst_loss = SideLossAndGrad(reprs, src_rows, dst_rows, rels, neg_rows,
+                                         /*corrupt_src=*/false, 0.5f, d_reprs);
+  const float src_loss = SideLossAndGrad(reprs, src_rows, dst_rows, rels, neg_rows,
+                                         /*corrupt_src=*/true, 0.5f, d_reprs);
+  return dst_loss + src_loss;
+}
+
+void Decoder::ScoreCandidates(const Tensor& reprs, int64_t fixed_row, int32_t rel,
+                              const std::vector<int64_t>& cand_rows, bool corrupt_src,
+                              std::vector<float>* out) const {
+  const float* fixed = reprs.RowPtr(fixed_row);
+  const float* r = rel_.value.RowPtr(rel);
+  out->resize(cand_rows.size());
+  for (size_t j = 0; j < cand_rows.size(); ++j) {
+    const float* c = reprs.RowPtr(cand_rows[j]);
+    (*out)[j] = corrupt_src ? Score(c, r, fixed) : Score(fixed, r, c);
+  }
+}
+
+float DistMultDecoder::Score(const float* s, const float* r, const float* o) const {
+  float v = 0.0f;
+  for (int64_t d = 0; d < dim_; ++d) {
+    v += s[d] * r[d] * o[d];
+  }
+  return v;
+}
+
+void DistMultDecoder::ScoreBackward(const float* s, const float* r, const float* o,
+                                    float coeff, float* ds, float* dr, float* do_) const {
+  for (int64_t d = 0; d < dim_; ++d) {
+    if (ds != nullptr) {
+      ds[d] += coeff * r[d] * o[d];
+    }
+    if (dr != nullptr) {
+      dr[d] += coeff * s[d] * o[d];
+    }
+    if (do_ != nullptr) {
+      do_[d] += coeff * s[d] * r[d];
+    }
+  }
+}
+
+float TransEDecoder::Score(const float* s, const float* r, const float* o) const {
+  float v = 0.0f;
+  for (int64_t d = 0; d < dim_; ++d) {
+    const float diff = s[d] + r[d] - o[d];
+    v -= diff * diff;
+  }
+  return v;
+}
+
+void TransEDecoder::ScoreBackward(const float* s, const float* r, const float* o,
+                                  float coeff, float* ds, float* dr, float* do_) const {
+  for (int64_t d = 0; d < dim_; ++d) {
+    const float g = -2.0f * (s[d] + r[d] - o[d]) * coeff;
+    if (ds != nullptr) {
+      ds[d] += g;
+    }
+    if (dr != nullptr) {
+      dr[d] += g;
+    }
+    if (do_ != nullptr) {
+      do_[d] -= g;
+    }
+  }
+}
+
+float ComplExDecoder::Score(const float* s, const float* r, const float* o) const {
+  const int64_t half = dim_ / 2;
+  const float* sr = s;
+  const float* si = s + half;
+  const float* rr = r;
+  const float* ri = r + half;
+  const float* onr = o;
+  const float* oni = o + half;
+  float v = 0.0f;
+  for (int64_t d = 0; d < half; ++d) {
+    v += (sr[d] * rr[d] - si[d] * ri[d]) * onr[d] + (sr[d] * ri[d] + si[d] * rr[d]) * oni[d];
+  }
+  return v;
+}
+
+void ComplExDecoder::ScoreBackward(const float* s, const float* r, const float* o,
+                                   float coeff, float* ds, float* dr, float* do_) const {
+  const int64_t half = dim_ / 2;
+  for (int64_t d = 0; d < half; ++d) {
+    const float sr = s[d], si = s[d + half];
+    const float rr = r[d], ri = r[d + half];
+    const float onr = o[d], oni = o[d + half];
+    if (ds != nullptr) {
+      ds[d] += coeff * (rr * onr + ri * oni);
+      ds[d + half] += coeff * (rr * oni - ri * onr);
+    }
+    if (dr != nullptr) {
+      dr[d] += coeff * (sr * onr + si * oni);
+      dr[d + half] += coeff * (sr * oni - si * onr);
+    }
+    if (do_ != nullptr) {
+      do_[d] += coeff * (sr * rr - si * ri);
+      do_[d + half] += coeff * (sr * ri + si * rr);
+    }
+  }
+}
+
+std::unique_ptr<Decoder> MakeDecoder(const std::string& name, int32_t num_relations,
+                                     int64_t dim, Rng& rng) {
+  if (name == "distmult") {
+    return std::make_unique<DistMultDecoder>(num_relations, dim, rng);
+  }
+  if (name == "transe") {
+    return std::make_unique<TransEDecoder>(num_relations, dim, rng);
+  }
+  if (name == "complex") {
+    return std::make_unique<ComplExDecoder>(num_relations, dim, rng);
+  }
+  MG_CHECK_MSG(false, "unknown decoder");
+  return nullptr;
+}
+
+}  // namespace mariusgnn

@@ -1,0 +1,120 @@
+// Link-prediction score functions (decoders) over node representations.
+//
+// Training follows the Marius/DGL-KE scheme the paper uses: each positive edge
+// (s, r, o) is scored against a set of shared negative nodes that corrupt the
+// destination and (separately) the source; the loss is softmax cross-entropy with the
+// positive in class 0, averaged over both corruption sides.
+//
+// Decoders implemented: DistMult (the paper's evaluation decoder), TransE and ComplEx
+// (the specialised knowledge-graph models subsumed per Section 1).
+#ifndef SRC_NN_DECODER_H_
+#define SRC_NN_DECODER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/parameter.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace mariusgnn {
+
+class Decoder {
+ public:
+  virtual ~Decoder() = default;
+
+  // Computes the mean softmax-CE ranking loss for `src_rows/dst_rows/rels` (parallel
+  // arrays of edges; rows index into `reprs`) against shared negatives `neg_rows`.
+  // Accumulates d loss / d reprs into *d_reprs (must be pre-sized reprs.rows() x dim)
+  // and relation-parameter gradients. Returns the loss.
+  float LossAndGrad(const Tensor& reprs, const std::vector<int64_t>& src_rows,
+                    const std::vector<int64_t>& dst_rows, const std::vector<int32_t>& rels,
+                    const std::vector<int64_t>& neg_rows, Tensor* d_reprs);
+
+  // out[j] = score(src, rel, cand_j); used for MRR ranking. corrupt_src=true scores
+  // (cand_j, rel, dst_row_or_src...) with the candidate on the source side.
+  void ScoreCandidates(const Tensor& reprs, int64_t fixed_row, int32_t rel,
+                       const std::vector<int64_t>& cand_rows, bool corrupt_src,
+                       std::vector<float>* out) const;
+
+  virtual std::vector<Parameter*> Parameters() = 0;
+  virtual std::string name() const = 0;
+
+ protected:
+  Decoder(int32_t num_relations, int64_t dim, float init_scale, Rng& rng)
+      : dim_(dim), rel_(Tensor::Uniform(num_relations, dim, init_scale, rng)) {}
+
+  // score(s, r, o) for dim_-wide vectors.
+  virtual float Score(const float* s, const float* r, const float* o) const = 0;
+
+  // Adds coeff * dScore into ds, dr, do_ (any may be nullptr).
+  virtual void ScoreBackward(const float* s, const float* r, const float* o, float coeff,
+                             float* ds, float* dr, float* do_) const = 0;
+
+  int64_t dim_;
+  Parameter rel_;  // num_relations x dim
+
+ private:
+  // One corruption side of the loss; gradients and the returned loss are multiplied by
+  // `scale` so two sides can be averaged without rescaling accumulated gradients.
+  float SideLossAndGrad(const Tensor& reprs, const std::vector<int64_t>& src_rows,
+                        const std::vector<int64_t>& dst_rows, const std::vector<int32_t>& rels,
+                        const std::vector<int64_t>& neg_rows, bool corrupt_src, float scale,
+                        Tensor* d_reprs);
+};
+
+// score(s, r, o) = sum_d s_d * r_d * o_d.
+class DistMultDecoder : public Decoder {
+ public:
+  DistMultDecoder(int32_t num_relations, int64_t dim, Rng& rng)
+      : Decoder(num_relations, dim, 0.5f, rng) {}
+
+  std::vector<Parameter*> Parameters() override { return {&rel_}; }
+  std::string name() const override { return "DistMult"; }
+
+ protected:
+  float Score(const float* s, const float* r, const float* o) const override;
+  void ScoreBackward(const float* s, const float* r, const float* o, float coeff,
+                     float* ds, float* dr, float* do_) const override;
+};
+
+// score(s, r, o) = -||s + r - o||^2.
+class TransEDecoder : public Decoder {
+ public:
+  TransEDecoder(int32_t num_relations, int64_t dim, Rng& rng)
+      : Decoder(num_relations, dim, 0.5f, rng) {}
+
+  std::vector<Parameter*> Parameters() override { return {&rel_}; }
+  std::string name() const override { return "TransE"; }
+
+ protected:
+  float Score(const float* s, const float* r, const float* o) const override;
+  void ScoreBackward(const float* s, const float* r, const float* o, float coeff,
+                     float* ds, float* dr, float* do_) const override;
+};
+
+// score(s, r, o) = Re(<s, r, conj(o)>); dim must be even (first half real, second
+// half imaginary).
+class ComplExDecoder : public Decoder {
+ public:
+  ComplExDecoder(int32_t num_relations, int64_t dim, Rng& rng)
+      : Decoder(num_relations, dim, 0.5f, rng) {
+    MG_CHECK(dim % 2 == 0);
+  }
+
+  std::vector<Parameter*> Parameters() override { return {&rel_}; }
+  std::string name() const override { return "ComplEx"; }
+
+ protected:
+  float Score(const float* s, const float* r, const float* o) const override;
+  void ScoreBackward(const float* s, const float* r, const float* o, float coeff,
+                     float* ds, float* dr, float* do_) const override;
+};
+
+std::unique_ptr<Decoder> MakeDecoder(const std::string& name, int32_t num_relations,
+                                     int64_t dim, Rng& rng);
+
+}  // namespace mariusgnn
+
+#endif  // SRC_NN_DECODER_H_

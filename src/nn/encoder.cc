@@ -1,0 +1,146 @@
+#include "src/nn/encoder.h"
+
+#include <numeric>
+
+#include "src/nn/gat.h"
+#include "src/nn/gcn.h"
+#include "src/nn/graphsage.h"
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+std::vector<std::unique_ptr<GnnLayer>> BuildGnnLayers(GnnLayerType type,
+                                                      const std::vector<int64_t>& dims,
+                                                      Activation hidden_act, Rng& rng) {
+  MG_CHECK(dims.size() >= 2);
+  std::vector<std::unique_ptr<GnnLayer>> layers;
+  for (size_t j = 0; j + 1 < dims.size(); ++j) {
+    const Activation act = (j + 2 < dims.size()) ? hidden_act : Activation::kNone;
+    switch (type) {
+      case GnnLayerType::kGraphSage:
+        layers.push_back(std::make_unique<GraphSageLayer>(dims[j], dims[j + 1], act, rng));
+        break;
+      case GnnLayerType::kGcn:
+        layers.push_back(std::make_unique<GcnLayer>(dims[j], dims[j + 1], act, rng));
+        break;
+      case GnnLayerType::kGat:
+        layers.push_back(std::make_unique<GatLayer>(dims[j], dims[j + 1], act, rng));
+        break;
+    }
+  }
+  return layers;
+}
+
+Tensor GnnEncoder::Forward(DenseBatch& batch, const Tensor& h0) {
+  MG_CHECK(batch.num_deltas() == num_layers() + 1);
+  MG_CHECK(h0.rows() == batch.num_nodes());
+  MG_CHECK(batch.repr_map.size() == batch.nbrs.size());
+  contexts_.clear();
+  contexts_.resize(layers_.size());
+
+  Tensor h = h0;
+  for (size_t j = 0; j < layers_.size(); ++j) {
+    LayerView view;
+    view.h = &h;
+    const int64_t out_begin = batch.node_id_offsets[1];
+    view.self_rows.resize(static_cast<size_t>(batch.num_nodes() - out_begin));
+    std::iota(view.self_rows.begin(), view.self_rows.end(), out_begin);
+    view.nbr_rows = batch.repr_map;
+    view.seg_offsets = batch.SegmentOffsets();
+    view.nbr_rels = batch.nbr_rels;
+    Tensor out = layers_[j]->Forward(view, &contexts_[j]);
+    if (j + 1 < layers_.size()) {
+      batch.AdvanceLayer();
+    }
+    h = std::move(out);
+  }
+  return h;
+}
+
+Tensor GnnEncoder::Backward(const Tensor& grad_targets) {
+  MG_CHECK(contexts_.size() == layers_.size());
+  Tensor grad = grad_targets;
+  for (size_t j = layers_.size(); j-- > 0;) {
+    grad = layers_[j]->Backward(*contexts_[j], grad);
+  }
+  return grad;
+}
+
+std::vector<Parameter*> GnnEncoder::Parameters() {
+  std::vector<Parameter*> params;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->Parameters()) {
+      params.push_back(p);
+    }
+  }
+  return params;
+}
+
+namespace {
+
+// Converts a bipartite block to segment (CSR-by-dst) form: the per-layer format
+// conversion baseline systems perform before aggregation.
+LayerView BlockToView(const LayerBlock& block, const Tensor& h) {
+  LayerView view;
+  view.h = &h;
+  const int64_t num_dst = static_cast<int64_t>(block.dst_nodes.size());
+  view.self_rows.resize(static_cast<size_t>(num_dst));
+  std::iota(view.self_rows.begin(), view.self_rows.end(), 0);
+
+  // Counting sort of edges by dst.
+  std::vector<int64_t> counts(static_cast<size_t>(num_dst) + 1, 0);
+  for (int64_t d : block.edge_dst) {
+    ++counts[static_cast<size_t>(d) + 1];
+  }
+  for (size_t i = 1; i < counts.size(); ++i) {
+    counts[i] += counts[i - 1];
+  }
+  view.seg_offsets = counts;
+  view.nbr_rows.resize(block.edge_dst.size());
+  view.nbr_rels.resize(block.edge_dst.size());
+  std::vector<int64_t> cursor(counts.begin(), counts.end() - 1);
+  for (size_t e = 0; e < block.edge_dst.size(); ++e) {
+    const int64_t pos = cursor[static_cast<size_t>(block.edge_dst[e])]++;
+    view.nbr_rows[static_cast<size_t>(pos)] = block.edge_src[e];
+    view.nbr_rels[static_cast<size_t>(pos)] = block.edge_rel[e];
+  }
+  return view;
+}
+
+}  // namespace
+
+Tensor BlockEncoder::Forward(const LayerwiseSample& sample, const Tensor& h0) {
+  MG_CHECK(static_cast<int64_t>(sample.blocks.size()) == num_layers());
+  MG_CHECK(h0.rows() == sample.NumInputNodes());
+  contexts_.clear();
+  contexts_.resize(layers_.size());
+
+  Tensor h = h0;
+  for (size_t j = 0; j < layers_.size(); ++j) {
+    LayerView view = BlockToView(sample.blocks[j], h);
+    Tensor out = layers_[j]->Forward(view, &contexts_[j]);
+    h = std::move(out);
+  }
+  return h;
+}
+
+Tensor BlockEncoder::Backward(const Tensor& grad_targets) {
+  MG_CHECK(contexts_.size() == layers_.size());
+  Tensor grad = grad_targets;
+  for (size_t j = layers_.size(); j-- > 0;) {
+    grad = layers_[j]->Backward(*contexts_[j], grad);
+  }
+  return grad;
+}
+
+std::vector<Parameter*> BlockEncoder::Parameters() {
+  std::vector<Parameter*> params;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->Parameters()) {
+      params.push_back(p);
+    }
+  }
+  return params;
+}
+
+}  // namespace mariusgnn

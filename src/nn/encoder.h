@@ -1,0 +1,81 @@
+// Multi-layer GNN encoders.
+//
+// GnnEncoder executes the paper's DENSE forward pass (Section 4.2): every layer reads
+// the current DENSE state (repr_map + contiguous neighbor segments), computes output
+// representations for node_ids[offsets[1]:], then AdvanceLayer() slices the structure
+// (Algorithm 2) so the next layer runs the identical code path. Contexts saved per
+// layer drive the manual backward pass down to d(H0).
+//
+// BlockEncoder executes the baseline per-block path over a LayerwiseSample: each block
+// is converted to segment form on the fly (the CSR conversion baseline systems perform)
+// and the same GnnLayer implementations are applied. It exists so the end-to-end
+// baseline comparisons isolate the sampling/data-structure difference.
+#ifndef SRC_NN_ENCODER_H_
+#define SRC_NN_ENCODER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/layer.h"
+#include "src/sampler/dense.h"
+#include "src/sampler/layerwise.h"
+#include "src/util/rng.h"
+
+namespace mariusgnn {
+
+enum class GnnLayerType { kGraphSage, kGcn, kGat };
+
+// Builds a stack of `dims.size()-1` layers; dims[0] is the base representation width.
+// Hidden layers use `hidden_act`; the final layer uses kNone.
+std::vector<std::unique_ptr<GnnLayer>> BuildGnnLayers(GnnLayerType type,
+                                                      const std::vector<int64_t>& dims,
+                                                      Activation hidden_act, Rng& rng);
+
+class GnnEncoder {
+ public:
+  GnnEncoder(GnnLayerType type, const std::vector<int64_t>& dims, Activation hidden_act,
+             Rng& rng)
+      : layers_(BuildGnnLayers(type, dims, hidden_act, rng)) {}
+
+  // `batch` must be finalized (repr_map built); it is consumed (advanced) in place.
+  // h0 rows align with batch.node_ids. Returns representations of the target nodes.
+  Tensor Forward(DenseBatch& batch, const Tensor& h0);
+
+  // Returns d loss / d h0, aligned with the original node_ids of the last Forward.
+  Tensor Backward(const Tensor& grad_targets);
+
+  std::vector<Parameter*> Parameters();
+
+  int64_t num_layers() const { return static_cast<int64_t>(layers_.size()); }
+  int64_t out_dim() const { return layers_.back()->out_dim(); }
+
+ private:
+  std::vector<std::unique_ptr<GnnLayer>> layers_;
+  std::vector<std::unique_ptr<LayerContext>> contexts_;
+};
+
+class BlockEncoder {
+ public:
+  BlockEncoder(GnnLayerType type, const std::vector<int64_t>& dims, Activation hidden_act,
+               Rng& rng)
+      : layers_(BuildGnnLayers(type, dims, hidden_act, rng)) {}
+
+  // h0 rows align with sample.input_nodes(). Returns target-node representations.
+  Tensor Forward(const LayerwiseSample& sample, const Tensor& h0);
+
+  // Returns d loss / d h0 (rows == input_nodes of the last Forward).
+  Tensor Backward(const Tensor& grad_targets);
+
+  std::vector<Parameter*> Parameters();
+
+  int64_t num_layers() const { return static_cast<int64_t>(layers_.size()); }
+  int64_t out_dim() const { return layers_.back()->out_dim(); }
+
+ private:
+  std::vector<std::unique_ptr<GnnLayer>> layers_;
+  std::vector<std::unique_ptr<LayerContext>> contexts_;
+};
+
+}  // namespace mariusgnn
+
+#endif  // SRC_NN_ENCODER_H_

@@ -1,0 +1,154 @@
+#include "src/nn/gat.h"
+
+#include "src/tensor/ops.h"
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+namespace {
+
+struct GatContext : public LayerContext {
+  std::vector<int64_t> self_rows;
+  std::vector<int64_t> nbr_rows;
+  std::vector<int64_t> seg_offsets;
+  std::vector<int64_t> owner;  // segment id of each neighbor entry
+  Tensor h;                    // layer input (copy; needed for dW)
+  Tensor self_in;              // gathered input rows of output nodes
+  Tensor z_self;               // W-projected self rows
+  Tensor z_nbr;                // W-projected neighbor rows
+  Tensor alpha;                // attention weights (E x 1, post-softmax)
+  Tensor e_act;                // post-LeakyReLU scores (E x 1)
+  Tensor out;
+};
+
+}  // namespace
+
+GatLayer::GatLayer(int64_t in_dim, int64_t out_dim, Activation act, Rng& rng,
+                   float leaky_slope)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      act_(act),
+      leaky_slope_(leaky_slope),
+      w_(Tensor::GlorotUniform(in_dim, out_dim, rng)),
+      w_root_(Tensor::GlorotUniform(in_dim, out_dim, rng)),
+      attn_l_(Tensor::Uniform(1, out_dim, 0.3f, rng)),
+      attn_r_(Tensor::Uniform(1, out_dim, 0.3f, rng)),
+      bias_(Tensor(1, out_dim)) {}
+
+Tensor GatLayer::Forward(const LayerView& view, std::unique_ptr<LayerContext>* ctx) {
+  MG_CHECK(view.h != nullptr && view.h->cols() == in_dim_);
+  auto c = std::make_unique<GatContext>();
+  c->self_rows = view.self_rows;
+  c->nbr_rows = view.nbr_rows;
+  c->seg_offsets = view.seg_offsets;
+  c->h = *view.h;
+
+  const int64_t num_out = view.num_outputs();
+  const int64_t num_edges = static_cast<int64_t>(view.nbr_rows.size());
+  c->owner.resize(static_cast<size_t>(num_edges));
+  for (int64_t s = 0; s < num_out; ++s) {
+    for (int64_t e = view.seg_offsets[static_cast<size_t>(s)];
+         e < view.seg_offsets[static_cast<size_t>(s) + 1]; ++e) {
+      c->owner[static_cast<size_t>(e)] = s;
+    }
+  }
+
+  Tensor z = Matmul(*view.h, w_.value);
+  c->self_in = IndexSelect(*view.h, view.self_rows);
+  c->z_self = IndexSelect(z, view.self_rows);
+  c->z_nbr = IndexSelect(z, view.nbr_rows);
+
+  // Raw attention scores.
+  Tensor scores(num_edges, 1);
+  for (int64_t e = 0; e < num_edges; ++e) {
+    const float* zs = c->z_self.RowPtr(c->owner[static_cast<size_t>(e)]);
+    const float* zn = c->z_nbr.RowPtr(e);
+    float s = 0.0f;
+    for (int64_t d = 0; d < out_dim_; ++d) {
+      s += attn_l_.value.data()[d] * zs[d] + attn_r_.value.data()[d] * zn[d];
+    }
+    scores.data()[e] = s;
+  }
+  c->e_act = LeakyRelu(scores, leaky_slope_);
+  c->alpha = c->e_act;
+  SegmentSoftmaxInPlace(c->alpha, view.seg_offsets);
+
+  // Weighted aggregation.
+  Tensor weighted(num_edges, out_dim_);
+  for (int64_t e = 0; e < num_edges; ++e) {
+    const float a = c->alpha.data()[e];
+    const float* zn = c->z_nbr.RowPtr(e);
+    float* wrow = weighted.RowPtr(e);
+    for (int64_t d = 0; d < out_dim_; ++d) {
+      wrow[d] = a * zn[d];
+    }
+  }
+  Tensor pre = SegmentSum(weighted, view.seg_offsets);
+  AddInPlace(pre, Matmul(c->self_in, w_root_.value));
+  AddBiasRows(pre, bias_.value);
+  c->out = ApplyActivation(act_, pre);
+  Tensor out = c->out;
+  if (ctx != nullptr) {
+    *ctx = std::move(c);
+  }
+  return out;
+}
+
+Tensor GatLayer::Backward(LayerContext& ctx, const Tensor& grad_out) {
+  auto& c = static_cast<GatContext&>(ctx);
+  const int64_t num_edges = static_cast<int64_t>(c.nbr_rows.size());
+  Tensor dpre = ActivationBackward(act_, c.out, grad_out);
+
+  // Root path.
+  AddInPlace(w_root_.grad, MatmulTransA(c.self_in, dpre));
+  AddInPlace(bias_.grad, SumRows(dpre));
+  Tensor dself_in = MatmulTransB(dpre, w_root_.value);
+
+  // Aggregation path: dweighted[e] = dpre[owner[e]].
+  Tensor dz_nbr(num_edges, out_dim_);
+  Tensor dalpha(num_edges, 1);
+  for (int64_t e = 0; e < num_edges; ++e) {
+    const float* dp = dpre.RowPtr(c.owner[static_cast<size_t>(e)]);
+    const float* zn = c.z_nbr.RowPtr(e);
+    float* dzn = dz_nbr.RowPtr(e);
+    const float a = c.alpha.data()[e];
+    float da = 0.0f;
+    for (int64_t d = 0; d < out_dim_; ++d) {
+      dzn[d] = a * dp[d];
+      da += dp[d] * zn[d];
+    }
+    dalpha.data()[e] = da;
+  }
+
+  // Attention path.
+  Tensor de_act = SegmentSoftmaxBackward(c.alpha, dalpha, c.seg_offsets);
+  Tensor de_raw = LeakyReluBackward(c.e_act, de_act, leaky_slope_);
+
+  Tensor dz_self(c.z_self.rows(), out_dim_);
+  for (int64_t e = 0; e < num_edges; ++e) {
+    const float de = de_raw.data()[e];
+    const int64_t s = c.owner[static_cast<size_t>(e)];
+    const float* zs = c.z_self.RowPtr(s);
+    const float* zn = c.z_nbr.RowPtr(e);
+    float* dzs = dz_self.RowPtr(s);
+    float* dzn = dz_nbr.RowPtr(e);
+    for (int64_t d = 0; d < out_dim_; ++d) {
+      attn_l_.grad.data()[d] += de * zs[d];
+      attn_r_.grad.data()[d] += de * zn[d];
+      dzs[d] += de * attn_l_.value.data()[d];
+      dzn[d] += de * attn_r_.value.data()[d];
+    }
+  }
+
+  // Collect dz over all input rows, then push through W.
+  Tensor dz(c.h.rows(), out_dim_);
+  ScatterAddRows(dz, c.self_rows, dz_self);
+  ScatterAddRows(dz, c.nbr_rows, dz_nbr);
+
+  AddInPlace(w_.grad, MatmulTransA(c.h, dz));
+  Tensor dh = MatmulTransB(dz, w_.value);
+  ScatterAddRows(dh, c.self_rows, dself_in);
+  return dh;
+}
+
+}  // namespace mariusgnn

@@ -1,0 +1,87 @@
+#include "src/nn/gcn.h"
+
+#include "src/tensor/ops.h"
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+namespace {
+
+struct GcnContext : public LayerContext {
+  std::vector<int64_t> self_rows;
+  std::vector<int64_t> nbr_rows;
+  std::vector<int64_t> seg_offsets;
+  int64_t num_inputs = 0;
+  Tensor agg;  // closed-neighborhood mean (num_outputs x in_dim)
+  Tensor out;
+};
+
+}  // namespace
+
+GcnLayer::GcnLayer(int64_t in_dim, int64_t out_dim, Activation act, Rng& rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      act_(act),
+      w_(Tensor::GlorotUniform(in_dim, out_dim, rng)),
+      bias_(Tensor(1, out_dim)) {}
+
+Tensor GcnLayer::Forward(const LayerView& view, std::unique_ptr<LayerContext>* ctx) {
+  MG_CHECK(view.h != nullptr && view.h->cols() == in_dim_);
+  auto c = std::make_unique<GcnContext>();
+  c->self_rows = view.self_rows;
+  c->nbr_rows = view.nbr_rows;
+  c->seg_offsets = view.seg_offsets;
+  c->num_inputs = view.num_inputs();
+
+  Tensor self_in = IndexSelect(*view.h, view.self_rows);
+  Tensor nbr_in = IndexSelect(*view.h, view.nbr_rows);
+  Tensor agg = SegmentSum(nbr_in, view.seg_offsets);
+  AddInPlace(agg, self_in);
+  for (int64_t s = 0; s < agg.rows(); ++s) {
+    const float inv =
+        1.0f / static_cast<float>(1 + view.seg_offsets[static_cast<size_t>(s) + 1] -
+                                  view.seg_offsets[static_cast<size_t>(s)]);
+    float* row = agg.RowPtr(s);
+    for (int64_t d = 0; d < in_dim_; ++d) {
+      row[d] *= inv;
+    }
+  }
+  c->agg = agg;
+
+  Tensor pre = Matmul(agg, w_.value);
+  AddBiasRows(pre, bias_.value);
+  c->out = ApplyActivation(act_, pre);
+  Tensor out = c->out;
+  if (ctx != nullptr) {
+    *ctx = std::move(c);
+  }
+  return out;
+}
+
+Tensor GcnLayer::Backward(LayerContext& ctx, const Tensor& grad_out) {
+  auto& c = static_cast<GcnContext&>(ctx);
+  Tensor dpre = ActivationBackward(act_, c.out, grad_out);
+
+  AddInPlace(w_.grad, MatmulTransA(c.agg, dpre));
+  AddInPlace(bias_.grad, SumRows(dpre));
+
+  Tensor dagg = MatmulTransB(dpre, w_.value);  // num_outputs x in_dim
+  // Undo the closed-neighborhood mean scaling per segment.
+  for (int64_t s = 0; s < dagg.rows(); ++s) {
+    const float inv =
+        1.0f / static_cast<float>(1 + c.seg_offsets[static_cast<size_t>(s) + 1] -
+                                  c.seg_offsets[static_cast<size_t>(s)]);
+    float* row = dagg.RowPtr(s);
+    for (int64_t d = 0; d < in_dim_; ++d) {
+      row[d] *= inv;
+    }
+  }
+  Tensor dnbr_in = SegmentSumBackward(dagg, c.seg_offsets);
+
+  Tensor dh(c.num_inputs, in_dim_);
+  ScatterAddRows(dh, c.self_rows, dagg);
+  ScatterAddRows(dh, c.nbr_rows, dnbr_in);
+  return dh;
+}
+
+}  // namespace mariusgnn

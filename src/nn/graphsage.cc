@@ -1,0 +1,71 @@
+#include "src/nn/graphsage.h"
+
+#include "src/tensor/ops.h"
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+namespace {
+
+struct SageContext : public LayerContext {
+  std::vector<int64_t> self_rows;
+  std::vector<int64_t> nbr_rows;
+  std::vector<int64_t> seg_offsets;
+  int64_t num_inputs = 0;
+  Tensor self_in;   // gathered self inputs (num_outputs x in_dim)
+  Tensor nbr_mean;  // aggregated neighbor inputs (num_outputs x in_dim)
+  Tensor out;       // post-activation output
+};
+
+}  // namespace
+
+GraphSageLayer::GraphSageLayer(int64_t in_dim, int64_t out_dim, Activation act, Rng& rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      act_(act),
+      w_self_(Tensor::GlorotUniform(in_dim, out_dim, rng)),
+      w_nbr_(Tensor::GlorotUniform(in_dim, out_dim, rng)),
+      bias_(Tensor(1, out_dim)) {}
+
+Tensor GraphSageLayer::Forward(const LayerView& view, std::unique_ptr<LayerContext>* ctx) {
+  MG_CHECK(view.h != nullptr && view.h->cols() == in_dim_);
+  auto c = std::make_unique<SageContext>();
+  c->self_rows = view.self_rows;
+  c->nbr_rows = view.nbr_rows;
+  c->seg_offsets = view.seg_offsets;
+  c->num_inputs = view.num_inputs();
+
+  c->self_in = IndexSelect(*view.h, view.self_rows);
+  Tensor nbr_in = IndexSelect(*view.h, view.nbr_rows);
+  c->nbr_mean = SegmentMean(nbr_in, view.seg_offsets);
+
+  Tensor pre = Matmul(c->self_in, w_self_.value);
+  AddInPlace(pre, Matmul(c->nbr_mean, w_nbr_.value));
+  AddBiasRows(pre, bias_.value);
+  c->out = ApplyActivation(act_, pre);
+  Tensor out = c->out;
+  if (ctx != nullptr) {
+    *ctx = std::move(c);
+  }
+  return out;
+}
+
+Tensor GraphSageLayer::Backward(LayerContext& ctx, const Tensor& grad_out) {
+  auto& c = static_cast<SageContext&>(ctx);
+  Tensor dpre = ActivationBackward(act_, c.out, grad_out);
+
+  AddInPlace(w_self_.grad, MatmulTransA(c.self_in, dpre));
+  AddInPlace(w_nbr_.grad, MatmulTransA(c.nbr_mean, dpre));
+  AddInPlace(bias_.grad, SumRows(dpre));
+
+  Tensor dself = MatmulTransB(dpre, w_self_.value);       // num_outputs x in_dim
+  Tensor dnbr_mean = MatmulTransB(dpre, w_nbr_.value);    // num_outputs x in_dim
+  Tensor dnbr_in = SegmentMeanBackward(dnbr_mean, c.seg_offsets);
+
+  Tensor dh(c.num_inputs, in_dim_);
+  ScatterAddRows(dh, c.self_rows, dself);
+  ScatterAddRows(dh, c.nbr_rows, dnbr_in);
+  return dh;
+}
+
+}  // namespace mariusgnn

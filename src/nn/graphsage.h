@@ -1,0 +1,40 @@
+// GraphSage layer (Hamilton et al. 2017) with a mean aggregator:
+//
+//   h_s' = act( W_self · h_s  +  W_nbr · mean_{j in N(s)} h_j  +  b )
+//
+// Lowered onto the dense kernels of Algorithm 3: index_select by nbr_rows, segment
+// mean over contiguous segments, two matmuls.
+#ifndef SRC_NN_GRAPHSAGE_H_
+#define SRC_NN_GRAPHSAGE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/layer.h"
+#include "src/util/rng.h"
+
+namespace mariusgnn {
+
+class GraphSageLayer : public GnnLayer {
+ public:
+  GraphSageLayer(int64_t in_dim, int64_t out_dim, Activation act, Rng& rng);
+
+  Tensor Forward(const LayerView& view, std::unique_ptr<LayerContext>* ctx) override;
+  Tensor Backward(LayerContext& ctx, const Tensor& grad_out) override;
+  std::vector<Parameter*> Parameters() override { return {&w_self_, &w_nbr_, &bias_}; }
+
+  int64_t in_dim() const override { return in_dim_; }
+  int64_t out_dim() const override { return out_dim_; }
+
+ private:
+  int64_t in_dim_;
+  int64_t out_dim_;
+  Activation act_;
+  Parameter w_self_;  // in_dim x out_dim
+  Parameter w_nbr_;   // in_dim x out_dim
+  Parameter bias_;    // 1 x out_dim
+};
+
+}  // namespace mariusgnn
+
+#endif  // SRC_NN_GRAPHSAGE_H_

@@ -1,0 +1,34 @@
+#include "src/nn/layer.h"
+
+#include "src/tensor/ops.h"
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+Tensor ApplyActivation(Activation act, const Tensor& pre) {
+  switch (act) {
+    case Activation::kNone:
+      return pre;
+    case Activation::kRelu:
+      return Relu(pre);
+    case Activation::kTanh:
+      return Tanh(pre);
+  }
+  MG_CHECK_MSG(false, "unknown activation");
+  return pre;
+}
+
+Tensor ActivationBackward(Activation act, const Tensor& out, const Tensor& grad_out) {
+  switch (act) {
+    case Activation::kNone:
+      return grad_out;
+    case Activation::kRelu:
+      return ReluBackward(out, grad_out);
+    case Activation::kTanh:
+      return TanhBackward(out, grad_out);
+  }
+  MG_CHECK_MSG(false, "unknown activation");
+  return grad_out;
+}
+
+}  // namespace mariusgnn

@@ -1,0 +1,67 @@
+// GNN layer abstraction shared by the DENSE execution path and the baseline per-block
+// (DGL/PyG-style) execution path.
+//
+// A LayerView describes one aggregation step over an input representation matrix h:
+//  - self_rows[s]  : the row of h holding output node s's own representation.
+//  - nbr_rows[e]   : the row of h holding neighbor entry e's representation. For the
+//                    DENSE path this is exactly the repr_map array of the paper, and
+//                    neighbor entries of each output node are contiguous.
+//  - seg_offsets   : size |self_rows|+1; neighbor entries of output node s occupy
+//                    nbr_rows[seg_offsets[s] .. seg_offsets[s+1]).
+//
+// Layers return the output representations for the view's output nodes. Backward
+// consumes the gradient of the output and produces the gradient w.r.t. h (all rows),
+// accumulating weight gradients into their Parameters.
+#ifndef SRC_NN_LAYER_H_
+#define SRC_NN_LAYER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/nn/parameter.h"
+#include "src/tensor/tensor.h"
+
+namespace mariusgnn {
+
+struct LayerView {
+  const Tensor* h = nullptr;
+  std::vector<int64_t> self_rows;
+  std::vector<int64_t> nbr_rows;
+  std::vector<int64_t> seg_offsets;
+  std::vector<int32_t> nbr_rels;  // optional, parallel to nbr_rows
+
+  int64_t num_outputs() const { return static_cast<int64_t>(self_rows.size()); }
+  int64_t num_inputs() const { return h->rows(); }
+};
+
+// Opaque per-invocation saved state; each layer derives its own.
+struct LayerContext {
+  virtual ~LayerContext() = default;
+};
+
+enum class Activation { kNone, kRelu, kTanh };
+
+Tensor ApplyActivation(Activation act, const Tensor& pre);
+Tensor ActivationBackward(Activation act, const Tensor& out, const Tensor& grad_out);
+
+class GnnLayer {
+ public:
+  virtual ~GnnLayer() = default;
+
+  // Computes output representations; fills *ctx with the state Backward needs.
+  virtual Tensor Forward(const LayerView& view, std::unique_ptr<LayerContext>* ctx) = 0;
+
+  // Returns d loss / d h (rows == the forward view's num_inputs()) and accumulates
+  // parameter gradients.
+  virtual Tensor Backward(LayerContext& ctx, const Tensor& grad_out) = 0;
+
+  virtual std::vector<Parameter*> Parameters() = 0;
+
+  virtual int64_t in_dim() const = 0;
+  virtual int64_t out_dim() const = 0;
+};
+
+}  // namespace mariusgnn
+
+#endif  // SRC_NN_LAYER_H_

@@ -1,0 +1,20 @@
+#include "src/nn/linear.h"
+
+#include "src/tensor/ops.h"
+
+namespace mariusgnn {
+
+Tensor LinearLayer::Forward(const Tensor& input) {
+  saved_input_ = input;
+  Tensor out = Matmul(input, w_.value);
+  AddBiasRows(out, bias_.value);
+  return out;
+}
+
+Tensor LinearLayer::Backward(const Tensor& grad_out) {
+  AddInPlace(w_.grad, MatmulTransA(saved_input_, grad_out));
+  AddInPlace(bias_.grad, SumRows(grad_out));
+  return MatmulTransB(grad_out, w_.value);
+}
+
+}  // namespace mariusgnn

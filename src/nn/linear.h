@@ -1,0 +1,37 @@
+// Fully-connected layer used as the node-classification head (Section 2: "to perform
+// node classification, h^k_v can be fed into a fully-connected and softmax layer").
+#ifndef SRC_NN_LINEAR_H_
+#define SRC_NN_LINEAR_H_
+
+#include <vector>
+
+#include "src/nn/parameter.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace mariusgnn {
+
+class LinearLayer {
+ public:
+  LinearLayer(int64_t in_dim, int64_t out_dim, Rng& rng)
+      : w_(Tensor::GlorotUniform(in_dim, out_dim, rng)), bias_(Tensor(1, out_dim)) {}
+
+  Tensor Forward(const Tensor& input);
+
+  // Returns d loss / d input; accumulates parameter gradients.
+  Tensor Backward(const Tensor& grad_out);
+
+  std::vector<Parameter*> Parameters() { return {&w_, &bias_}; }
+
+  int64_t in_dim() const { return w_.value.rows(); }
+  int64_t out_dim() const { return w_.value.cols(); }
+
+ private:
+  Parameter w_;
+  Parameter bias_;
+  Tensor saved_input_;
+};
+
+}  // namespace mariusgnn
+
+#endif  // SRC_NN_LINEAR_H_

@@ -1,0 +1,49 @@
+// Dense-parameter optimizers. Sparse per-row embedding updates live in
+// src/storage/embedding_store.h; these handle GNN weights and decoder parameters.
+#ifndef SRC_NN_OPTIMIZER_H_
+#define SRC_NN_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/parameter.h"
+
+namespace mariusgnn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Applies one update from p.grad to p.value. Does not zero the gradient.
+  virtual void Step(Parameter& p) = 0;
+
+  void StepAll(const std::vector<Parameter*>& params) {
+    for (Parameter* p : params) {
+      Step(*p);
+      p->ZeroGrad();
+    }
+  }
+};
+
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float lr) : lr_(lr) {}
+  void Step(Parameter& p) override;
+
+ private:
+  float lr_;
+};
+
+class Adagrad : public Optimizer {
+ public:
+  explicit Adagrad(float lr, float eps = 1e-10f) : lr_(lr), eps_(eps) {}
+  void Step(Parameter& p) override;
+
+ private:
+  float lr_;
+  float eps_;
+};
+
+}  // namespace mariusgnn
+
+#endif  // SRC_NN_OPTIMIZER_H_

@@ -1,0 +1,23 @@
+// Learnable parameter: value, gradient accumulator, and optimizer state.
+#ifndef SRC_NN_PARAMETER_H_
+#define SRC_NN_PARAMETER_H_
+
+#include "src/tensor/tensor.h"
+
+namespace mariusgnn {
+
+struct Parameter {
+  Tensor value;
+  Tensor grad;
+  // Per-element optimizer state (Adagrad accumulator); lazily sized by the optimizer.
+  Tensor state;
+
+  Parameter() = default;
+  explicit Parameter(Tensor v) : value(std::move(v)), grad(value.rows(), value.cols()) {}
+
+  void ZeroGrad() { grad.Zero(); }
+};
+
+}  // namespace mariusgnn
+
+#endif  // SRC_NN_PARAMETER_H_

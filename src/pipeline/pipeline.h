@@ -1,0 +1,43 @@
+// Two-stage producer/consumer pipeline: batch construction (CPU sampling) overlaps
+// with model compute, the core of MariusGNN's pipelined training (Section 3).
+#ifndef SRC_PIPELINE_PIPELINE_H_
+#define SRC_PIPELINE_PIPELINE_H_
+
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "src/pipeline/queue.h"
+
+namespace mariusgnn {
+
+// Runs producer(i) for i in [0, n) on a worker thread, buffering up to
+// `queue_capacity` prepared items; consumer(item, i) runs on the calling thread in
+// order. Exceptions are not expected (library code aborts via MG_CHECK).
+template <typename T>
+void RunPipelined(int64_t n, size_t queue_capacity,
+                  const std::function<T(int64_t)>& producer,
+                  const std::function<void(T&, int64_t)>& consumer) {
+  if (n <= 0) {
+    return;
+  }
+  BoundedQueue<T> queue(queue_capacity);
+  std::thread worker([&] {
+    for (int64_t i = 0; i < n; ++i) {
+      if (!queue.Push(producer(i))) {
+        return;
+      }
+    }
+    queue.Close();
+  });
+  for (int64_t i = 0; i < n; ++i) {
+    std::optional<T> item = queue.Pop();
+    MG_CHECK(item.has_value());
+    consumer(*item, i);
+  }
+  worker.join();
+}
+
+}  // namespace mariusgnn
+
+#endif  // SRC_PIPELINE_PIPELINE_H_

@@ -1,0 +1,65 @@
+#include "src/policy/autotune.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+AutoTuneResult AutoTune(const AutoTuneInput& input) {
+  MG_CHECK(input.num_nodes > 0 && input.num_edges > 0 && input.dim > 0);
+  MG_CHECK(input.cpu_bytes > 0 && input.block_bytes > 0);
+  const double no = static_cast<double>(input.num_nodes) * input.dim * 4.0;
+  const double eo = static_cast<double>(input.num_edges) * input.bytes_per_edge;
+  const double fudge = input.fudge_bytes > 0 ? input.fudge_bytes : 0.1 * input.cpu_bytes;
+  const double budget = input.cpu_bytes - fudge;
+
+  AutoTuneResult result;
+  if (no + 2.0 * eo <= budget) {
+    result.fits_in_memory = true;
+    return result;
+  }
+
+  // p = α4: the partition count at which the smallest disk read equals a block.
+  const double alpha4 = std::min(no / input.block_bytes, std::sqrt(eo / input.block_bytes));
+  int32_t p = std::max<int32_t>(4, static_cast<int32_t>(std::floor(alpha4)));
+
+  // Maximise c subject to c*PO + 2*c^2*EBO < budget.
+  auto fits = [&](int32_t c, int32_t pp) {
+    const double po = no / pp;
+    const double ebo = eo / (static_cast<double>(pp) * pp);
+    return static_cast<double>(c) * po + 2.0 * c * c * ebo < budget;
+  };
+  int32_t c = 2;
+  while (c + 1 <= p && fits(c + 1, p)) {
+    ++c;
+  }
+  MG_CHECK_MSG(fits(c, p), "CPU budget too small for even two partitions in memory");
+
+  // Round for COMET's divisibility constraints: c even, group g = c/2, p a multiple
+  // of g with l = p/g = 2p/c and c_l = 2. Rounding p down raises the per-partition
+  // overhead, so re-verify the fit and shrink c if the rounded geometry no longer
+  // fits the budget.
+  const int32_t p_base = p;
+  if (c % 2 != 0) {
+    --c;
+  }
+  c = std::max(c, 2);
+  int32_t g = c / 2;
+  p = std::max(c * 2, (p_base / g) * g);
+  while (c > 2 && !fits(c, p)) {
+    c -= 2;
+    g = c / 2;
+    p = std::max(c * 2, (p_base / g) * g);
+  }
+  MG_CHECK_MSG(fits(c, p), "rounded COMET geometry does not fit the CPU budget");
+  const int32_t l = p / g;
+
+  result.num_physical = p;
+  result.num_logical = l;
+  result.buffer_capacity = c;
+  return result;
+}
+
+}  // namespace mariusgnn

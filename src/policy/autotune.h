@@ -1,0 +1,41 @@
+// Auto-tuning rules for COMET's hyperparameters (Section 6).
+//
+// Given the graph size, representation width, CPU memory budget, and disk block size,
+// the rules produce:
+//   p = α4 = min(NO / D, sqrt(EO / D))   — as many physical partitions as possible
+//                                          without shrinking disk reads below a block;
+//   c = max c : c·PO + 2·c²·EBO + F < CPU — the largest buffer that fits (the factor 2
+//                                          accounts for the dual-sorted edge lists);
+//   l = 2p / c                            — as few logical partitions as the c_l >= 2
+//                                          constraint allows.
+// The raw values are then rounded so that (p % (p/l) == 0) and (c % (p/l) == 0) hold,
+// which CometPolicy requires.
+#ifndef SRC_POLICY_AUTOTUNE_H_
+#define SRC_POLICY_AUTOTUNE_H_
+
+#include <cstdint>
+
+namespace mariusgnn {
+
+struct AutoTuneInput {
+  int64_t num_nodes = 0;
+  int64_t num_edges = 0;
+  int64_t dim = 0;                      // base representation width
+  double cpu_bytes = 0;                 // CPU memory budget
+  double block_bytes = 512.0 * 1024;    // disk block size D
+  double bytes_per_edge = 20.0;         // sizeof(Edge)
+  double fudge_bytes = 0;               // working-memory reserve F (default: 10% of CPU)
+};
+
+struct AutoTuneResult {
+  bool fits_in_memory = false;  // when true p == l == c == 1 (train fully in memory)
+  int32_t num_physical = 1;     // p
+  int32_t num_logical = 1;      // l
+  int32_t buffer_capacity = 1;  // c
+};
+
+AutoTuneResult AutoTune(const AutoTuneInput& input);
+
+}  // namespace mariusgnn
+
+#endif  // SRC_POLICY_AUTOTUNE_H_

@@ -1,0 +1,29 @@
+#include "src/policy/beta.h"
+
+#include "src/policy/cover.h"
+
+namespace mariusgnn {
+
+EpochPlan BetaPolicy::GenerateEpoch(const Partitioning& partitioning, int32_t capacity,
+                                    Rng& rng) {
+  (void)rng;  // BETA is deterministic: its ordering depends only on (p, capacity).
+  CoverPlan cover = GreedyCoverOneSwap(partitioning.num_partitions(), capacity);
+  EpochPlan plan;
+  plan.sets = cover.sets;
+  plan.buckets_per_set.resize(cover.sets.size());
+  for (size_t i = 0; i < cover.sets.size(); ++i) {
+    for (const auto& [a, b] : cover.new_pairs[i]) {
+      // Eager assignment: both bucket orders of a freshly covered pair are trained on
+      // immediately while S_i is resident.
+      if (partitioning.BucketSize(a, b) > 0) {
+        plan.buckets_per_set[i].emplace_back(a, b);
+      }
+      if (a != b && partitioning.BucketSize(b, a) > 0) {
+        plan.buckets_per_set[i].emplace_back(b, a);
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace mariusgnn

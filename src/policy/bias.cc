@@ -1,0 +1,58 @@
+#include "src/policy/bias.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+double EdgePermutationBias(const EpochPlan& plan, const Partitioning& partitioning,
+                           const Graph& graph, double upper_pct, double lower_pct) {
+  const int64_t n = graph.num_nodes();
+  const std::vector<int64_t> totals = graph.TotalDegrees();
+  std::vector<int64_t> seen(static_cast<size_t>(n), 0);
+  std::vector<int64_t> active;  // nodes that participate in at least one edge
+  for (int64_t v = 0; v < n; ++v) {
+    if (totals[static_cast<size_t>(v)] > 0) {
+      active.push_back(v);
+    }
+  }
+  if (active.empty()) {
+    return 0.0;
+  }
+  const size_t hi_idx =
+      static_cast<size_t>(upper_pct * static_cast<double>(active.size() - 1));
+  const size_t lo_idx =
+      static_cast<size_t>(lower_pct * static_cast<double>(active.size() - 1));
+
+  double bias = 0.0;
+  std::vector<double> tallies(active.size());
+  const auto& edges = graph.edges();
+  for (size_t i = 0; i < plan.buckets_per_set.size(); ++i) {
+    for (const BucketId& b : plan.buckets_per_set[i]) {
+      for (int64_t e : partitioning.Bucket(b.first, b.second)) {
+        ++seen[static_cast<size_t>(edges[static_cast<size_t>(e)].src)];
+        ++seen[static_cast<size_t>(edges[static_cast<size_t>(e)].dst)];
+      }
+    }
+    // Skip the trailing state (all tallies equal 1.0 -> d == 0 by construction).
+    if (i + 1 == plan.buckets_per_set.size()) {
+      break;
+    }
+    for (size_t k = 0; k < active.size(); ++k) {
+      const int64_t v = active[k];
+      tallies[k] = static_cast<double>(seen[static_cast<size_t>(v)]) /
+                   static_cast<double>(totals[static_cast<size_t>(v)]);
+    }
+    std::nth_element(tallies.begin(), tallies.begin() + static_cast<int64_t>(hi_idx),
+                     tallies.end());
+    const double hi = tallies[hi_idx];
+    std::nth_element(tallies.begin(), tallies.begin() + static_cast<int64_t>(lo_idx),
+                     tallies.begin() + static_cast<int64_t>(hi_idx) + 1);
+    const double lo = tallies[lo_idx];
+    bias = std::max(bias, hi - lo);
+  }
+  return bias;
+}
+
+}  // namespace mariusgnn

@@ -1,0 +1,83 @@
+#include "src/policy/comet.h"
+
+#include <map>
+
+#include "src/policy/cover.h"
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+EpochPlan CometPolicy::GenerateEpoch(const Partitioning& partitioning, int32_t capacity,
+                                     Rng& rng) {
+  const int32_t p = partitioning.num_partitions();
+  const int32_t l = num_logical_;
+  MG_CHECK_MSG(p % l == 0, "num_logical must divide num_partitions");
+  const int32_t group = p / l;
+  MG_CHECK_MSG(capacity % group == 0, "group size must divide buffer capacity");
+  const int32_t logical_capacity = capacity / group;
+  MG_CHECK_MSG(logical_capacity >= 2 || l == 1, "COMET requires c_l >= 2");
+
+  // Mechanism 1: random physical -> logical grouping (dictionary only).
+  std::vector<int32_t> perm(static_cast<size_t>(p));
+  for (int32_t i = 0; i < p; ++i) {
+    perm[static_cast<size_t>(i)] = i;
+  }
+  if (randomize_grouping_) {
+    rng.Shuffle(perm);
+  }
+  std::vector<int32_t> logical_of(static_cast<size_t>(p));
+  std::vector<std::vector<int32_t>> members(static_cast<size_t>(l));
+  for (int32_t i = 0; i < p; ++i) {
+    const int32_t lg = i / group;
+    logical_of[static_cast<size_t>(perm[static_cast<size_t>(i)])] = lg;
+    members[static_cast<size_t>(lg)].push_back(perm[static_cast<size_t>(i)]);
+  }
+
+  // One-swap greedy cover over logical partitions.
+  CoverPlan cover = GreedyCoverOneSwap(l, logical_capacity);
+
+  EpochPlan plan;
+  plan.sets.resize(cover.sets.size());
+  plan.buckets_per_set.resize(cover.sets.size());
+  for (size_t i = 0; i < cover.sets.size(); ++i) {
+    for (int32_t lg : cover.sets[i]) {
+      const auto& m = members[static_cast<size_t>(lg)];
+      plan.sets[i].insert(plan.sets[i].end(), m.begin(), m.end());
+    }
+  }
+
+  // Index: logical pair -> set indices containing both.
+  std::map<std::pair<int32_t, int32_t>, std::vector<int32_t>> sets_with_pair;
+  for (size_t i = 0; i < cover.sets.size(); ++i) {
+    const auto& s = cover.sets[i];
+    for (size_t a = 0; a < s.size(); ++a) {
+      for (size_t b = a; b < s.size(); ++b) {
+        const int32_t x = std::min(s[a], s[b]);
+        const int32_t y = std::max(s[a], s[b]);
+        sets_with_pair[{x, y}].push_back(static_cast<int32_t>(i));
+      }
+    }
+  }
+
+  // Mechanism 2: randomized deferred bucket assignment.
+  for (int32_t i = 0; i < p; ++i) {
+    for (int32_t j = 0; j < p; ++j) {
+      if (partitioning.BucketSize(i, j) == 0) {
+        continue;
+      }
+      const int32_t li = logical_of[static_cast<size_t>(i)];
+      const int32_t lj = logical_of[static_cast<size_t>(j)];
+      const auto it = sets_with_pair.find({std::min(li, lj), std::max(li, lj)});
+      MG_CHECK_MSG(it != sets_with_pair.end(), "cover missed a logical pair");
+      const auto& candidates = it->second;
+      const int32_t pick =
+          deferred_assignment_
+              ? candidates[static_cast<size_t>(rng.UniformInt(candidates.size()))]
+              : candidates.front();
+      plan.buckets_per_set[static_cast<size_t>(pick)].emplace_back(i, j);
+    }
+  }
+  return plan;
+}
+
+}  // namespace mariusgnn

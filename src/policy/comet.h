@@ -1,0 +1,50 @@
+// COMET — COrrelation Minimizing Edge Traversal (Section 5.1, Figure 5).
+//
+// Two mechanisms on top of the one-swap greedy cover:
+//  1) Two-level partitioning: physical partitions are randomly grouped into logical
+//     partitions at the start of each epoch (a dictionary only — no data movement);
+//     the cover runs over logical partitions, so each swap moves a whole group and the
+//     turnover of graph data per S_i is high even though physical partitions are small.
+//  2) Randomized deferred bucket assignment: each edge bucket is assigned to a
+//     uniformly random S_i among all S_i that contain both of its partitions, which
+//     de-correlates consecutive training examples and balances |X_i| in expectation.
+#ifndef SRC_POLICY_COMET_H_
+#define SRC_POLICY_COMET_H_
+
+#include "src/policy/policy.h"
+
+namespace mariusgnn {
+
+class CometPolicy : public OrderingPolicy {
+ public:
+  // num_logical must divide the number of physical partitions, and the resulting
+  // group size must divide the buffer capacity with quotient >= 2 (the paper's
+  // c_l >= 2 constraint). The auto-tuning rules of Section 6 produce such values.
+  //
+  // The two boolean knobs ablate COMET's mechanisms (used by bench_ablation_comet):
+  //  - randomize_grouping=false keeps the identity physical->logical grouping every
+  //    epoch instead of a fresh random one;
+  //  - deferred_assignment=false assigns each bucket eagerly to the *first* set that
+  //    contains it (the greedy behaviour COMET's randomization replaces).
+  explicit CometPolicy(int32_t num_logical, bool randomize_grouping = true,
+                       bool deferred_assignment = true)
+      : num_logical_(num_logical),
+        randomize_grouping_(randomize_grouping),
+        deferred_assignment_(deferred_assignment) {}
+
+  EpochPlan GenerateEpoch(const Partitioning& partitioning, int32_t capacity,
+                          Rng& rng) override;
+
+  const char* name() const override { return "COMET"; }
+
+  int32_t num_logical() const { return num_logical_; }
+
+ private:
+  int32_t num_logical_;
+  bool randomize_grouping_;
+  bool deferred_assignment_;
+};
+
+}  // namespace mariusgnn
+
+#endif  // SRC_POLICY_COMET_H_

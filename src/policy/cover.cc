@@ -1,0 +1,160 @@
+#include "src/policy/cover.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+namespace {
+
+class PairTracker {
+ public:
+  explicit PairTracker(int32_t n) : n_(n), covered_(static_cast<size_t>(n) * n, false) {}
+
+  bool Covered(int32_t a, int32_t b) const {
+    return covered_[Key(a, b)];
+  }
+
+  void Cover(int32_t a, int32_t b) { covered_[Key(a, b)] = true; }
+
+  bool AllCovered() const {
+    for (int32_t a = 0; a < n_; ++a) {
+      for (int32_t b = a; b < n_; ++b) {
+        if (!covered_[Key(a, b)]) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+ private:
+  size_t Key(int32_t a, int32_t b) const {
+    if (a > b) {
+      std::swap(a, b);
+    }
+    return static_cast<size_t>(a) * n_ + b;
+  }
+
+  int32_t n_;
+  std::vector<bool> covered_;
+};
+
+}  // namespace
+
+CoverPlan GreedyCoverOneSwap(int32_t n, int32_t capacity) {
+  MG_CHECK(n >= 1);
+  CoverPlan plan;
+  if (capacity >= n) {
+    std::vector<int32_t> all(static_cast<size_t>(n));
+    std::vector<std::pair<int32_t, int32_t>> pairs;
+    for (int32_t a = 0; a < n; ++a) {
+      all[static_cast<size_t>(a)] = a;
+      for (int32_t b = a; b < n; ++b) {
+        pairs.emplace_back(a, b);
+      }
+    }
+    plan.sets.push_back(std::move(all));
+    plan.new_pairs.push_back(std::move(pairs));
+    return plan;
+  }
+  MG_CHECK_MSG(capacity >= 2, "pair cover requires capacity >= 2");
+
+  PairTracker tracker(n);
+  std::vector<int32_t> mem(static_cast<size_t>(capacity));
+  std::vector<bool> resident(static_cast<size_t>(n), false);
+  std::vector<std::pair<int32_t, int32_t>> fresh;
+  for (int32_t a = 0; a < capacity; ++a) {
+    mem[static_cast<size_t>(a)] = a;
+    resident[static_cast<size_t>(a)] = true;
+  }
+  for (int32_t a = 0; a < capacity; ++a) {
+    for (int32_t b = a; b < capacity; ++b) {
+      tracker.Cover(a, b);
+      fresh.emplace_back(a, b);
+    }
+  }
+  plan.sets.push_back(mem);
+  plan.new_pairs.push_back(std::move(fresh));
+
+  // Remaining uncovered pairs per partition (drives both swap-in and evict choices).
+  std::vector<int32_t> uncovered_count(static_cast<size_t>(n), 0);
+  for (int32_t a = 0; a < n; ++a) {
+    for (int32_t b = 0; b < n; ++b) {
+      if (a != b && !tracker.Covered(a, b)) {
+        ++uncovered_count[static_cast<size_t>(a)];
+      }
+    }
+    if (!tracker.Covered(a, a)) {
+      ++uncovered_count[static_cast<size_t>(a)];
+    }
+  }
+
+  while (!tracker.AllCovered()) {
+    // Swap-in choice: the non-resident partition q with the most uncovered pairs
+    // against the current residents (eager gain).
+    int32_t best_q = -1;
+    int32_t best_gain = -1;
+    int32_t best_potential = -1;
+    for (int32_t q = 0; q < n; ++q) {
+      if (resident[static_cast<size_t>(q)]) {
+        continue;
+      }
+      int32_t gain = tracker.Covered(q, q) ? 0 : 1;
+      for (int32_t m : mem) {
+        if (!tracker.Covered(q, m)) {
+          ++gain;
+        }
+      }
+      // Tie-break on total remaining uncovered pairs so zero-gain steps still make
+      // progress toward pairs whose members are both non-resident.
+      const int32_t potential = uncovered_count[static_cast<size_t>(q)];
+      if (gain > best_gain || (gain == best_gain && potential > best_potential)) {
+        best_gain = gain;
+        best_potential = potential;
+        best_q = q;
+      }
+    }
+    MG_CHECK(best_q >= 0 && best_potential > 0);
+
+    // Evict choice: the resident with the fewest remaining uncovered pairs overall,
+    // skipping residents that still have an uncovered pair with best_q.
+    int32_t evict_idx = -1;
+    int32_t evict_score = 0;
+    for (size_t idx = 0; idx < mem.size(); ++idx) {
+      const int32_t e = mem[idx];
+      const int32_t penalty = tracker.Covered(best_q, e) ? 0 : 1000000;
+      const int32_t score = uncovered_count[static_cast<size_t>(e)] + penalty;
+      if (evict_idx < 0 || score < evict_score) {
+        evict_idx = static_cast<int32_t>(idx);
+        evict_score = score;
+      }
+    }
+
+    resident[static_cast<size_t>(mem[static_cast<size_t>(evict_idx)])] = false;
+    mem[static_cast<size_t>(evict_idx)] = best_q;
+    resident[static_cast<size_t>(best_q)] = true;
+
+    fresh.clear();
+    for (int32_t m : mem) {
+      if (!tracker.Covered(best_q, m)) {
+        tracker.Cover(best_q, m);
+        const int32_t a = std::min(best_q, m);
+        const int32_t b = std::max(best_q, m);
+        fresh.emplace_back(a, b);
+        if (a != b) {
+          --uncovered_count[static_cast<size_t>(a)];
+          --uncovered_count[static_cast<size_t>(b)];
+        } else {
+          --uncovered_count[static_cast<size_t>(a)];
+        }
+      }
+    }
+    plan.sets.push_back(mem);
+    plan.new_pairs.push_back(fresh);
+  }
+  return plan;
+}
+
+}  // namespace mariusgnn

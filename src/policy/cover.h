@@ -1,0 +1,27 @@
+// Greedy one-swap pair-cover: the sequence generator shared by BETA (over physical
+// partitions) and COMET (over logical partitions).
+//
+// Produces a sequence of sets of size `capacity` over [0, n) such that every unordered
+// pair {a, b} (including a == b) is contained in at least one set, consecutive sets
+// differ by exactly one element, and the number of swaps is greedily minimised — the
+// one-swap greedy shown in prior work (Marius) to achieve near-lower-bound IO.
+#ifndef SRC_POLICY_COVER_H_
+#define SRC_POLICY_COVER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mariusgnn {
+
+struct CoverPlan {
+  std::vector<std::vector<int32_t>> sets;
+  // Unordered pairs (a <= b) first covered by each set (parallel to `sets`).
+  std::vector<std::vector<std::pair<int32_t, int32_t>>> new_pairs;
+};
+
+CoverPlan GreedyCoverOneSwap(int32_t n, int32_t capacity);
+
+}  // namespace mariusgnn
+
+#endif  // SRC_POLICY_COVER_H_

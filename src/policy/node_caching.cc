@@ -1,0 +1,50 @@
+#include "src/policy/node_caching.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+std::vector<std::vector<int32_t>> NodeCachingPolicy::GenerateEpoch(
+    const Partitioning& partitioning, int32_t capacity, Rng& rng) const {
+  const int32_t p = partitioning.num_partitions();
+  const int32_t k = partitioning.num_training_partitions();
+  MG_CHECK_MSG(k > 0, "partitioning must use kTrainingNodesFirst");
+  std::vector<std::vector<int32_t>> sets;
+
+  if (k < capacity) {
+    // Cached regime: training partitions pinned, remainder random.
+    std::vector<int32_t> set;
+    for (int32_t i = 0; i < k; ++i) {
+      set.push_back(i);
+    }
+    std::vector<int32_t> rest;
+    for (int32_t i = k; i < p; ++i) {
+      rest.push_back(i);
+    }
+    rng.Shuffle(rest);
+    const int32_t extra = std::min<int32_t>(capacity - k, static_cast<int32_t>(rest.size()));
+    set.insert(set.end(), rest.begin(), rest.begin() + extra);
+    sets.push_back(std::move(set));
+    return sets;
+  }
+
+  // Fallback: random rotation until every partition has been resident once.
+  std::vector<int32_t> order(static_cast<size_t>(p));
+  for (int32_t i = 0; i < p; ++i) {
+    order[static_cast<size_t>(i)] = i;
+  }
+  rng.Shuffle(order);
+  std::vector<int32_t> resident(order.begin(), order.begin() + capacity);
+  sets.push_back(resident);
+  size_t next = static_cast<size_t>(capacity);
+  while (next < order.size()) {
+    const size_t victim = static_cast<size_t>(rng.UniformInt(resident.size()));
+    resident[victim] = order[next++];
+    sets.push_back(resident);
+  }
+  return sets;
+}
+
+}  // namespace mariusgnn

@@ -1,0 +1,30 @@
+// Node-classification partition policy (Section 5.2).
+//
+// Training nodes are packed into the first k physical partitions (see
+// PartitionAssignment::kTrainingNodesFirst). When k < buffer capacity c, the policy
+// caches those k partitions for the whole epoch and fills the remaining c-k slots with
+// random partitions from disk — zero intra-epoch swaps; partitions rotate only between
+// epochs. When k >= c it falls back to a random rotation that makes every partition
+// resident at least once.
+#ifndef SRC_POLICY_NODE_CACHING_H_
+#define SRC_POLICY_NODE_CACHING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/partition.h"
+#include "src/util/rng.h"
+
+namespace mariusgnn {
+
+class NodeCachingPolicy {
+ public:
+  // Returns the sequence of resident partition sets for one epoch. In the cached
+  // regime the sequence has exactly one set.
+  std::vector<std::vector<int32_t>> GenerateEpoch(const Partitioning& partitioning,
+                                                  int32_t capacity, Rng& rng) const;
+};
+
+}  // namespace mariusgnn
+
+#endif  // SRC_POLICY_NODE_CACHING_H_

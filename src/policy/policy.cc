@@ -1,0 +1,49 @@
+#include "src/policy/policy.h"
+
+#include <set>
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+int64_t EpochPlan::TotalPartitionLoads() const {
+  if (sets.empty()) {
+    return 0;
+  }
+  int64_t loads = static_cast<int64_t>(sets.front().size());
+  for (size_t i = 1; i < sets.size(); ++i) {
+    std::unordered_set<int32_t> prev(sets[i - 1].begin(), sets[i - 1].end());
+    for (int32_t part : sets[i]) {
+      if (prev.find(part) == prev.end()) {
+        ++loads;
+      }
+    }
+  }
+  return loads;
+}
+
+void ValidatePlan(const EpochPlan& plan, const Partitioning& partitioning,
+                  int32_t capacity) {
+  MG_CHECK(plan.sets.size() == plan.buckets_per_set.size());
+  const int32_t p = partitioning.num_partitions();
+  std::set<BucketId> assigned;
+  for (size_t i = 0; i < plan.sets.size(); ++i) {
+    MG_CHECK(static_cast<int32_t>(plan.sets[i].size()) <= capacity);
+    std::unordered_set<int32_t> members(plan.sets[i].begin(), plan.sets[i].end());
+    MG_CHECK_MSG(members.size() == plan.sets[i].size(), "duplicate partition in set");
+    for (const BucketId& b : plan.buckets_per_set[i]) {
+      MG_CHECK(members.count(b.first) == 1 && members.count(b.second) == 1);
+      MG_CHECK_MSG(assigned.insert(b).second, "bucket assigned twice");
+    }
+  }
+  for (int32_t i = 0; i < p; ++i) {
+    for (int32_t j = 0; j < p; ++j) {
+      if (partitioning.BucketSize(i, j) > 0) {
+        MG_CHECK_MSG(assigned.count({i, j}) == 1, "non-empty bucket never assigned");
+      }
+    }
+  }
+}
+
+}  // namespace mariusgnn

@@ -1,0 +1,52 @@
+// Partition replacement / training-example ordering policies (Section 5).
+//
+// A policy produces, per epoch, the two sequences of Section 3:
+//   S = {S_1, S_2, ...} — sets of physical partitions consecutively resident in the
+//       buffer (each S_i fits in the buffer capacity);
+//   X = {X_1, X_2, ...} — the edge buckets whose edges are used as training examples
+//       while S_i is resident. Every bucket with edges is assigned to exactly one X_i,
+//       and both of its partitions are members of that S_i.
+#ifndef SRC_POLICY_POLICY_H_
+#define SRC_POLICY_POLICY_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/graph/partition.h"
+#include "src/util/rng.h"
+
+namespace mariusgnn {
+
+using BucketId = std::pair<int32_t, int32_t>;
+
+struct EpochPlan {
+  std::vector<std::vector<int32_t>> sets;            // S
+  std::vector<std::vector<BucketId>> buckets_per_set;  // X (parallel to sets)
+
+  int64_t num_sets() const { return static_cast<int64_t>(sets.size()); }
+
+  // Total partition loads implied by the plan (IO proxy): |S_1| + one per swap.
+  int64_t TotalPartitionLoads() const;
+};
+
+class OrderingPolicy {
+ public:
+  virtual ~OrderingPolicy() = default;
+
+  // Generates S and X for one epoch over `partitioning` with buffer capacity
+  // `capacity` physical partitions.
+  virtual EpochPlan GenerateEpoch(const Partitioning& partitioning, int32_t capacity,
+                                  Rng& rng) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+// Validates plan invariants: every non-empty bucket assigned exactly once, to a set
+// containing both endpoints, and every set fits the buffer. Aborts on violation.
+void ValidatePlan(const EpochPlan& plan, const Partitioning& partitioning,
+                  int32_t capacity);
+
+}  // namespace mariusgnn
+
+#endif  // SRC_POLICY_POLICY_H_

@@ -1,0 +1,93 @@
+#include "src/sampler/layerwise.h"
+
+#include <unordered_map>
+
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+int64_t LayerwiseSample::TotalSampledEdges() const {
+  int64_t total = 0;
+  for (const LayerBlock& b : blocks) {
+    total += b.num_edges();
+  }
+  return total;
+}
+
+LayerwiseSampler::LayerwiseSampler(const NeighborIndex* index, std::vector<int64_t> fanouts,
+                                   EdgeDirection dir, uint64_t seed)
+    : index_(index), fanouts_(std::move(fanouts)), dir_(dir), rng_(seed) {
+  MG_CHECK(!fanouts_.empty());
+}
+
+LayerwiseSample LayerwiseSampler::Sample(const std::vector<int64_t>& target_nodes) {
+  MG_CHECK(index_ != nullptr);
+  LayerwiseSample sample;
+  sample.blocks.resize(fanouts_.size());
+
+  std::vector<int64_t> frontier = target_nodes;
+  std::vector<Neighbor> scratch;
+  // Hop h = 0 is the layer closest to the targets (the k-th GNN layer); blocks are
+  // stored innermost-first so we fill from the back.
+  for (size_t h = 0; h < fanouts_.size(); ++h) {
+    LayerBlock& block = sample.blocks[fanouts_.size() - 1 - h];
+    block.dst_nodes = frontier;
+
+    // src_nodes = dst_nodes ++ newly sampled neighbors (deduped within this layer).
+    std::unordered_map<int64_t, int64_t> src_pos;
+    src_pos.reserve(frontier.size() * 4);
+    block.src_nodes = frontier;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      src_pos.emplace(frontier[i], static_cast<int64_t>(i));
+    }
+
+    for (size_t d = 0; d < frontier.size(); ++d) {
+      scratch.clear();
+      // Fresh sample per layer: this is the cross-layer resampling DENSE avoids.
+      index_->SampleOneHop(frontier[d], fanouts_[h], dir_, rng_, scratch);
+      for (const Neighbor& nb : scratch) {
+        auto [it, inserted] =
+            src_pos.emplace(nb.node, static_cast<int64_t>(block.src_nodes.size()));
+        if (inserted) {
+          block.src_nodes.push_back(nb.node);
+        }
+        block.edge_dst.push_back(static_cast<int64_t>(d));
+        block.edge_src.push_back(it->second);
+        block.edge_rel.push_back(nb.rel);
+      }
+    }
+    frontier = block.src_nodes;
+  }
+  return sample;
+}
+
+TreeSampler::TreeSampler(const NeighborIndex* index, std::vector<int64_t> fanouts,
+                         EdgeDirection dir, uint64_t seed)
+    : index_(index), fanouts_(std::move(fanouts)), dir_(dir), rng_(seed) {
+  MG_CHECK(!fanouts_.empty());
+}
+
+TreeSampleStats TreeSampler::Sample(const std::vector<int64_t>& target_nodes) {
+  MG_CHECK(index_ != nullptr);
+  TreeSampleStats stats;
+  std::vector<int64_t> level = target_nodes;
+  stats.total_instances = static_cast<int64_t>(level.size());
+  std::vector<Neighbor> scratch;
+  for (int64_t fanout : fanouts_) {
+    std::vector<int64_t> next;
+    next.reserve(level.size() * static_cast<size_t>(fanout));
+    for (int64_t v : level) {
+      scratch.clear();
+      index_->SampleOneHop(v, fanout, dir_, rng_, scratch);
+      for (const Neighbor& nb : scratch) {
+        next.push_back(nb.node);
+      }
+    }
+    stats.total_instances += static_cast<int64_t>(next.size());
+    stats.total_edges += static_cast<int64_t>(next.size());
+    level = std::move(next);
+  }
+  return stats;
+}
+
+}  // namespace mariusgnn

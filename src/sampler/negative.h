@@ -1,0 +1,51 @@
+// Negative sampling for link prediction training and MRR evaluation.
+//
+// MariusGNN (like Marius and DGL-KE) scores each positive edge against a set of
+// negative nodes shared across the mini batch. UniformNegativeSampler draws them
+// uniformly from a node universe — either the full graph (in-memory training) or the
+// nodes currently in the partition buffer (disk-based training), matching the paper's
+// constraint that sampling happens only over in-memory data.
+#ifndef SRC_SAMPLER_NEGATIVE_H_
+#define SRC_SAMPLER_NEGATIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace mariusgnn {
+
+class UniformNegativeSampler {
+ public:
+  // Universe = [0, num_nodes).
+  explicit UniformNegativeSampler(int64_t num_nodes, uint64_t seed = 41)
+      : num_nodes_(num_nodes), rng_(seed) {}
+
+  // Universe = an explicit node list (in-buffer nodes for disk training).
+  explicit UniformNegativeSampler(std::vector<int64_t> universe, uint64_t seed = 41)
+      : universe_(std::move(universe)), rng_(seed) {}
+
+  // Draws `count` negatives (with replacement — matching large-scale practice).
+  std::vector<int64_t> Sample(int64_t count) {
+    std::vector<int64_t> out(static_cast<size_t>(count));
+    if (!universe_.empty()) {
+      for (auto& v : out) {
+        v = universe_[static_cast<size_t>(rng_.UniformInt(universe_.size()))];
+      }
+    } else {
+      for (auto& v : out) {
+        v = static_cast<int64_t>(rng_.UniformInt(static_cast<uint64_t>(num_nodes_)));
+      }
+    }
+    return out;
+  }
+
+ private:
+  int64_t num_nodes_ = 0;
+  std::vector<int64_t> universe_;
+  Rng rng_;
+};
+
+}  // namespace mariusgnn
+
+#endif  // SRC_SAMPLER_NEGATIVE_H_

@@ -1,0 +1,27 @@
+#include "src/storage/disk.h"
+
+namespace mariusgnn {
+
+void SimulatedDisk::Read(void* dst, size_t bytes, uint64_t offset) {
+  if (bytes == 0) {
+    return;
+  }
+  file_.ReadAt(dst, bytes, offset);
+  stats_.bytes_read += bytes;
+  const uint64_t ops = OpsFor(bytes);
+  stats_.read_ops += ops;
+  stats_.modeled_seconds += model_.SecondsFor(bytes, ops);
+}
+
+void SimulatedDisk::Write(const void* src, size_t bytes, uint64_t offset) {
+  if (bytes == 0) {
+    return;
+  }
+  file_.WriteAt(src, bytes, offset);
+  stats_.bytes_written += bytes;
+  const uint64_t ops = OpsFor(bytes);
+  stats_.write_ops += ops;
+  stats_.modeled_seconds += model_.SecondsFor(bytes, ops);
+}
+
+}  // namespace mariusgnn

@@ -1,0 +1,73 @@
+// Block storage with a deterministic performance model.
+//
+// The paper's disk experiments run on an EBS volume with 1 GB/s bandwidth and 10k IOPS.
+// That hardware is not available here, so SimulatedDisk performs *real* file IO for
+// correctness while charging every operation to a virtual clock using a simple
+// latency + bandwidth model:
+//
+//     seconds(op, bytes) = 1/iops + bytes/bandwidth
+//
+// Out-of-core experiments report modeled IO seconds (overlapped with compute when
+// prefetching is on), which keeps the COMET-vs-BETA comparisons deterministic and
+// host-independent. See DESIGN.md §1 for the substitution rationale.
+#ifndef SRC_STORAGE_DISK_H_
+#define SRC_STORAGE_DISK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/binary_io.h"
+#include "src/util/timer.h"
+
+namespace mariusgnn {
+
+struct DiskModel {
+  double bandwidth_bytes_per_sec = 1e9;  // EBS gp-class volume, per the paper's setup
+  double iops = 10000.0;
+  uint64_t block_size = 1 << 19;  // 512 KiB: the size below which reads go random
+
+  double SecondsFor(uint64_t bytes, uint64_t ops) const {
+    return static_cast<double>(ops) / iops +
+           static_cast<double>(bytes) / bandwidth_bytes_per_sec;
+  }
+};
+
+struct DiskStats {
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t read_ops = 0;
+  uint64_t write_ops = 0;
+  double modeled_seconds = 0.0;
+
+  void Reset() { *this = DiskStats(); }
+};
+
+class SimulatedDisk {
+ public:
+  SimulatedDisk(const std::string& path, DiskModel model = DiskModel())
+      : file_(path, /*truncate=*/true), model_(model) {}
+
+  void Read(void* dst, size_t bytes, uint64_t offset);
+  void Write(const void* src, size_t bytes, uint64_t offset);
+  void Resize(uint64_t bytes) { file_.Resize(bytes); }
+
+  const DiskStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+  const DiskModel& model() const { return model_; }
+
+ private:
+  // An IO of `bytes` issued as ceil(bytes/block) device ops, matching the model's
+  // transition from sequential to random access as reads shrink (Section 6, "disk
+  // access transitions from large sequential reads/writes to small random ones").
+  uint64_t OpsFor(size_t bytes) const {
+    return bytes == 0 ? 0 : (bytes + model_.block_size - 1) / model_.block_size;
+  }
+
+  File file_;
+  DiskModel model_;
+  DiskStats stats_;
+};
+
+}  // namespace mariusgnn
+
+#endif  // SRC_STORAGE_DISK_H_

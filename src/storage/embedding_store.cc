@@ -1,0 +1,68 @@
+#include "src/storage/embedding_store.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+namespace {
+constexpr float kAdagradEps = 1e-10f;
+}  // namespace
+
+void InMemoryEmbeddingStore::Gather(const std::vector<int64_t>& nodes, Tensor* out) const {
+  *out = Tensor(static_cast<int64_t>(nodes.size()), values_.cols());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    std::memcpy(out->RowPtr(static_cast<int64_t>(i)), values_.RowPtr(nodes[i]),
+                static_cast<size_t>(values_.cols()) * sizeof(float));
+  }
+}
+
+void InMemoryEmbeddingStore::ApplyGradients(const std::vector<int64_t>& nodes,
+                                            const Tensor& grads, float lr) {
+  if (!trainable_) {
+    return;
+  }
+  MG_CHECK(static_cast<int64_t>(nodes.size()) == grads.rows());
+  const int64_t d = values_.cols();
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    float* row = values_.RowPtr(nodes[i]);
+    float* acc = state_.RowPtr(nodes[i]);
+    const float* g = grads.RowPtr(static_cast<int64_t>(i));
+    for (int64_t k = 0; k < d; ++k) {
+      acc[k] += g[k] * g[k];
+      row[k] -= lr * g[k] / (std::sqrt(acc[k]) + kAdagradEps);
+    }
+  }
+}
+
+void BufferedEmbeddingStore::Gather(const std::vector<int64_t>& nodes, Tensor* out) const {
+  const int64_t d = buffer_->dim();
+  *out = Tensor(static_cast<int64_t>(nodes.size()), d);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    std::memcpy(out->RowPtr(static_cast<int64_t>(i)), buffer_->ValueRow(nodes[i]),
+                static_cast<size_t>(d) * sizeof(float));
+  }
+}
+
+void BufferedEmbeddingStore::ApplyGradients(const std::vector<int64_t>& nodes,
+                                            const Tensor& grads, float lr) {
+  if (!trainable_) {
+    return;
+  }
+  MG_CHECK(static_cast<int64_t>(nodes.size()) == grads.rows());
+  const int64_t d = buffer_->dim();
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    float* row = buffer_->ValueRow(nodes[i]);
+    float* acc = buffer_->StateRow(nodes[i]);
+    const float* g = grads.RowPtr(static_cast<int64_t>(i));
+    for (int64_t k = 0; k < d; ++k) {
+      acc[k] += g[k] * g[k];
+      row[k] -= lr * g[k] / (std::sqrt(acc[k]) + kAdagradEps);
+    }
+    buffer_->MarkDirty(nodes[i]);
+  }
+}
+
+}  // namespace mariusgnn

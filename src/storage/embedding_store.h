@@ -1,0 +1,82 @@
+// Node base-representation storage (the "lookup table" of Section 2).
+//
+// EmbeddingStore abstracts where base representations live:
+//  - InMemoryEmbeddingStore keeps everything in RAM (M-GNN_Mem configurations);
+//  - BufferedEmbeddingStore reads/writes rows through a PartitionBuffer, so only the
+//    resident partitions are accessible (M-GNN_Disk configurations).
+//
+// For learnable representations (link prediction), ApplyGradients performs the sparse
+// per-row Adagrad update the paper's pipeline executes on the CPU after each batch
+// (Figure 2, step 6: "write repr. updates to CPU").
+#ifndef SRC_STORAGE_EMBEDDING_STORE_H_
+#define SRC_STORAGE_EMBEDDING_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/storage/partition_buffer.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace mariusgnn {
+
+class EmbeddingStore {
+ public:
+  virtual ~EmbeddingStore() = default;
+
+  virtual int64_t dim() const = 0;
+
+  // out[i] = row(nodes[i]); out is resized to |nodes| x dim.
+  virtual void Gather(const std::vector<int64_t>& nodes, Tensor* out) const = 0;
+
+  // Sparse Adagrad: for each i, row(nodes[i]) -= lr * g / sqrt(acc + eps) with
+  // acc += g^2 elementwise. `grads` rows parallel `nodes`.
+  virtual void ApplyGradients(const std::vector<int64_t>& nodes, const Tensor& grads,
+                              float lr) = 0;
+};
+
+class InMemoryEmbeddingStore : public EmbeddingStore {
+ public:
+  // Random-initialised learnable embeddings.
+  InMemoryEmbeddingStore(int64_t num_nodes, int64_t dim, float init_scale, Rng& rng)
+      : values_(Tensor::Uniform(num_nodes, dim, init_scale, rng)),
+        state_(num_nodes, dim) {}
+
+  // Fixed features (ApplyGradients becomes a no-op when `trainable` is false).
+  InMemoryEmbeddingStore(Tensor values, bool trainable)
+      : values_(std::move(values)),
+        state_(trainable ? Tensor(values_.rows(), values_.cols()) : Tensor()),
+        trainable_(trainable) {}
+
+  int64_t dim() const override { return values_.cols(); }
+  void Gather(const std::vector<int64_t>& nodes, Tensor* out) const override;
+  void ApplyGradients(const std::vector<int64_t>& nodes, const Tensor& grads,
+                      float lr) override;
+
+  const Tensor& values() const { return values_; }
+
+ private:
+  Tensor values_;
+  Tensor state_;
+  bool trainable_ = true;
+};
+
+class BufferedEmbeddingStore : public EmbeddingStore {
+ public:
+  // `trainable` must match the buffer's `learnable` flag.
+  BufferedEmbeddingStore(PartitionBuffer* buffer, bool trainable)
+      : buffer_(buffer), trainable_(trainable) {}
+
+  int64_t dim() const override { return buffer_->dim(); }
+  void Gather(const std::vector<int64_t>& nodes, Tensor* out) const override;
+  void ApplyGradients(const std::vector<int64_t>& nodes, const Tensor& grads,
+                      float lr) override;
+
+ private:
+  PartitionBuffer* buffer_;
+  bool trainable_;
+};
+
+}  // namespace mariusgnn
+
+#endif  // SRC_STORAGE_EMBEDDING_STORE_H_

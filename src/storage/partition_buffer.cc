@@ -1,0 +1,207 @@
+#include "src/storage/partition_buffer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+PartitionBuffer::PartitionBuffer(const Partitioning* partitioning, int64_t dim,
+                                 int32_t capacity, const std::string& path,
+                                 DiskModel model, bool learnable, const Tensor* init)
+    : partitioning_(partitioning),
+      dim_(dim),
+      capacity_(capacity),
+      learnable_(learnable),
+      disk_(std::make_unique<SimulatedDisk>(path, model)) {
+  const int32_t p = partitioning_->num_partitions();
+  MG_CHECK(capacity_ >= 1 && capacity_ <= p);
+  for (int32_t i = 0; i < p; ++i) {
+    max_partition_rows_ = std::max(max_partition_rows_, partitioning_->PartitionSize(i));
+  }
+  values_.assign(static_cast<size_t>(capacity_) * max_partition_rows_ * dim_, 0.0f);
+  if (learnable_) {
+    state_.assign(values_.size(), 0.0f);
+  }
+  partition_in_slot_.assign(static_cast<size_t>(capacity_), -1);
+  slot_of_partition_.assign(static_cast<size_t>(p), -1);
+  dirty_.assign(static_cast<size_t>(capacity_), false);
+
+  // Seed the on-disk layout: for each partition, value rows then (optional) state rows.
+  const uint64_t streams = learnable_ ? 2 : 1;
+  disk_->Resize(static_cast<uint64_t>(p) * max_partition_rows_ * dim_ * sizeof(float) *
+                streams);
+  std::vector<float> scratch(static_cast<size_t>(max_partition_rows_) * dim_, 0.0f);
+  for (int32_t part = 0; part < p; ++part) {
+    if (init != nullptr) {
+      const auto& nodes = partitioning_->NodesIn(part);
+      for (size_t k = 0; k < nodes.size(); ++k) {
+        std::memcpy(&scratch[k * static_cast<size_t>(dim_)], init->RowPtr(nodes[k]),
+                    static_cast<size_t>(dim_) * sizeof(float));
+      }
+    }
+    disk_->Write(scratch.data(),
+                 static_cast<size_t>(partitioning_->PartitionSize(part)) * dim_ * sizeof(float),
+                 PartitionFileOffset(part));
+    if (init == nullptr) {
+      break;  // File is zero-filled by Resize; no need to write every partition.
+    }
+  }
+  if (learnable_) {
+    // Adagrad state starts at zero; Resize already zero-filled it.
+  }
+  disk_->ResetStats();
+}
+
+uint64_t PartitionBuffer::PartitionFileOffset(int32_t partition) const {
+  const uint64_t per_partition = static_cast<uint64_t>(max_partition_rows_) * dim_ *
+                                 sizeof(float) * (learnable_ ? 2 : 1);
+  return static_cast<uint64_t>(partition) * per_partition;
+}
+
+double PartitionBuffer::LoadIntoSlot(int32_t partition, int32_t slot) {
+  const double before = disk_->stats().modeled_seconds;
+  const size_t rows = static_cast<size_t>(partitioning_->PartitionSize(partition));
+  const size_t bytes = rows * static_cast<size_t>(dim_) * sizeof(float);
+  float* vdst = &values_[static_cast<size_t>(slot) * max_partition_rows_ * dim_];
+  disk_->Read(vdst, bytes, PartitionFileOffset(partition));
+  if (learnable_) {
+    float* sdst = &state_[static_cast<size_t>(slot) * max_partition_rows_ * dim_];
+    disk_->Read(sdst, bytes,
+                PartitionFileOffset(partition) +
+                    static_cast<uint64_t>(max_partition_rows_) * dim_ * sizeof(float));
+  }
+  partition_in_slot_[static_cast<size_t>(slot)] = partition;
+  slot_of_partition_[static_cast<size_t>(partition)] = slot;
+  dirty_[static_cast<size_t>(slot)] = false;
+  return disk_->stats().modeled_seconds - before;
+}
+
+double PartitionBuffer::EvictSlot(int32_t slot) {
+  const int32_t partition = partition_in_slot_[static_cast<size_t>(slot)];
+  if (partition < 0) {
+    return 0.0;
+  }
+  const double before = disk_->stats().modeled_seconds;
+  if (dirty_[static_cast<size_t>(slot)]) {
+    const size_t rows = static_cast<size_t>(partitioning_->PartitionSize(partition));
+    const size_t bytes = rows * static_cast<size_t>(dim_) * sizeof(float);
+    const float* vsrc = &values_[static_cast<size_t>(slot) * max_partition_rows_ * dim_];
+    disk_->Write(vsrc, bytes, PartitionFileOffset(partition));
+    if (learnable_) {
+      const float* ssrc = &state_[static_cast<size_t>(slot) * max_partition_rows_ * dim_];
+      disk_->Write(ssrc, bytes,
+                   PartitionFileOffset(partition) +
+                       static_cast<uint64_t>(max_partition_rows_) * dim_ * sizeof(float));
+    }
+  }
+  slot_of_partition_[static_cast<size_t>(partition)] = -1;
+  partition_in_slot_[static_cast<size_t>(slot)] = -1;
+  dirty_[static_cast<size_t>(slot)] = false;
+  return disk_->stats().modeled_seconds - before;
+}
+
+double PartitionBuffer::SetResident(const std::vector<int32_t>& partitions) {
+  MG_CHECK(static_cast<int32_t>(partitions.size()) <= capacity_);
+  double io = 0.0;
+  std::unordered_set<int32_t> wanted(partitions.begin(), partitions.end());
+  // Evict residents that are no longer wanted.
+  for (int32_t slot = 0; slot < capacity_; ++slot) {
+    const int32_t part = partition_in_slot_[static_cast<size_t>(slot)];
+    if (part >= 0 && wanted.find(part) == wanted.end()) {
+      io += EvictSlot(slot);
+    }
+  }
+  // Load missing partitions into free slots.
+  for (int32_t part : partitions) {
+    if (IsResident(part)) {
+      continue;
+    }
+    int32_t free_slot = -1;
+    for (int32_t slot = 0; slot < capacity_; ++slot) {
+      if (partition_in_slot_[static_cast<size_t>(slot)] < 0) {
+        free_slot = slot;
+        break;
+      }
+    }
+    MG_CHECK(free_slot >= 0);
+    io += LoadIntoSlot(part, free_slot);
+  }
+  return io;
+}
+
+double PartitionBuffer::FlushAll() {
+  double io = 0.0;
+  for (int32_t slot = 0; slot < capacity_; ++slot) {
+    io += EvictSlot(slot);
+  }
+  return io;
+}
+
+int64_t PartitionBuffer::SlotRowOf(int64_t node) const {
+  const int32_t part = partitioning_->PartitionOf(node);
+  const int32_t slot = slot_of_partition_[static_cast<size_t>(part)];
+  MG_CHECK_MSG(slot >= 0, "node's partition is not resident");
+  return static_cast<int64_t>(slot) * max_partition_rows_ + partitioning_->LocalIndexOf(node);
+}
+
+float* PartitionBuffer::ValueRow(int64_t node) {
+  return &values_[static_cast<size_t>(SlotRowOf(node)) * dim_];
+}
+
+const float* PartitionBuffer::ValueRow(int64_t node) const {
+  return &values_[static_cast<size_t>(SlotRowOf(node)) * dim_];
+}
+
+float* PartitionBuffer::StateRow(int64_t node) {
+  MG_CHECK(learnable_);
+  return &state_[static_cast<size_t>(SlotRowOf(node)) * dim_];
+}
+
+Tensor PartitionBuffer::ExportAll() {
+  FlushAll();
+  int64_t num_nodes = 0;
+  const int32_t p = partitioning_->num_partitions();
+  for (int32_t part = 0; part < p; ++part) {
+    num_nodes += partitioning_->PartitionSize(part);
+  }
+  Tensor out(num_nodes, dim_);
+  std::vector<float> scratch(static_cast<size_t>(max_partition_rows_) * dim_);
+  for (int32_t part = 0; part < p; ++part) {
+    const auto& nodes = partitioning_->NodesIn(part);
+    disk_->Read(scratch.data(), nodes.size() * static_cast<size_t>(dim_) * sizeof(float),
+                PartitionFileOffset(part));
+    for (size_t k = 0; k < nodes.size(); ++k) {
+      std::memcpy(out.RowPtr(nodes[k]), &scratch[k * static_cast<size_t>(dim_)],
+                  static_cast<size_t>(dim_) * sizeof(float));
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> PartitionBuffer::ResidentNodes() const {
+  std::vector<int64_t> nodes;
+  for (int32_t slot = 0; slot < capacity_; ++slot) {
+    const int32_t part = partition_in_slot_[static_cast<size_t>(slot)];
+    if (part >= 0) {
+      const auto& pn = partitioning_->NodesIn(part);
+      nodes.insert(nodes.end(), pn.begin(), pn.end());
+    }
+  }
+  return nodes;
+}
+
+std::vector<int32_t> PartitionBuffer::ResidentPartitions() const {
+  std::vector<int32_t> parts;
+  for (int32_t slot = 0; slot < capacity_; ++slot) {
+    const int32_t part = partition_in_slot_[static_cast<size_t>(slot)];
+    if (part >= 0) {
+      parts.push_back(part);
+    }
+  }
+  return parts;
+}
+
+}  // namespace mariusgnn

@@ -1,0 +1,90 @@
+// Partition buffer: holds `capacity` physical node partitions of per-node vector data
+// (base representations and, when learnable, their Adagrad state) in CPU memory, backed
+// by a SimulatedDisk file laid out partition-by-partition.
+//
+// This is the storage-layer component of Figure 2: the replacement policy decides which
+// partitions are resident; the processing layer reads/writes rows of resident
+// partitions by global node id. Dirty partitions are written back on eviction.
+#ifndef SRC_STORAGE_PARTITION_BUFFER_H_
+#define SRC_STORAGE_PARTITION_BUFFER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graph/partition.h"
+#include "src/storage/disk.h"
+#include "src/tensor/tensor.h"
+
+namespace mariusgnn {
+
+class PartitionBuffer {
+ public:
+  // `learnable` adds a parallel Adagrad accumulator stream persisted next to the
+  // values. `init` seeds the on-disk values (rows indexed by global node id); pass
+  // nullptr to zero-initialise.
+  PartitionBuffer(const Partitioning* partitioning, int64_t dim, int32_t capacity,
+                  const std::string& path, DiskModel model, bool learnable,
+                  const Tensor* init);
+
+  int32_t capacity() const { return capacity_; }
+  int64_t dim() const { return dim_; }
+
+  bool IsResident(int32_t partition) const {
+    return slot_of_partition_[static_cast<size_t>(partition)] >= 0;
+  }
+
+  // Makes exactly `partitions` resident (evicting others, loading missing ones) and
+  // returns the modeled IO seconds spent. |partitions| must be <= capacity.
+  double SetResident(const std::vector<int32_t>& partitions);
+
+  // Flushes all dirty partitions to disk; returns modeled IO seconds.
+  double FlushAll();
+
+  // Row access by global node id; the node's partition must be resident.
+  float* ValueRow(int64_t node);
+  const float* ValueRow(int64_t node) const;
+  float* StateRow(int64_t node);  // Adagrad accumulator row (learnable only)
+
+  void MarkDirty(int64_t node) {
+    dirty_[static_cast<size_t>(slot_of_partition_[static_cast<size_t>(
+        partitioning_->PartitionOf(node))])] = true;
+  }
+
+  // Nodes of all resident partitions (used to bound negative sampling to in-memory
+  // data and to rebuild the in-memory edge index).
+  std::vector<int64_t> ResidentNodes() const;
+  std::vector<int32_t> ResidentPartitions() const;
+
+  const DiskStats& disk_stats() const { return disk_->stats(); }
+  void ResetDiskStats() { disk_->ResetStats(); }
+
+  // Reads the full on-disk table into a num_nodes x dim tensor indexed by global node
+  // id (for post-training evaluation). Flushes dirty partitions first.
+  Tensor ExportAll();
+
+ private:
+  uint64_t PartitionFileOffset(int32_t partition) const;
+  double LoadIntoSlot(int32_t partition, int32_t slot);
+  double EvictSlot(int32_t slot);
+  int64_t SlotRowOf(int64_t node) const;
+
+  const Partitioning* partitioning_;
+  int64_t dim_;
+  int32_t capacity_;
+  bool learnable_;
+  int64_t max_partition_rows_ = 0;
+  std::unique_ptr<SimulatedDisk> disk_;
+  // Buffer storage: capacity_ slots of max_partition_rows_ rows each. Values and
+  // (optionally) Adagrad state share slot geometry.
+  std::vector<float> values_;
+  std::vector<float> state_;
+  std::vector<int32_t> partition_in_slot_;  // -1 = free
+  std::vector<int32_t> slot_of_partition_;  // -1 = not resident
+  std::vector<bool> dirty_;
+};
+
+}  // namespace mariusgnn
+
+#endif  // SRC_STORAGE_PARTITION_BUFFER_H_

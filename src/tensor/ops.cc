@@ -1,0 +1,363 @@
+#include "src/tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mariusgnn {
+
+Tensor Matmul(const Tensor& a, const Tensor& b) {
+  MG_CHECK(a.cols() == b.rows());
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor c(m, n);
+  // ikj loop order keeps the inner loop contiguous over b and c.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.RowPtr(i);
+    float* crow = c.RowPtr(i);
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) {
+        continue;
+      }
+      const float* brow = b.RowPtr(kk);
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Tensor MatmulTransA(const Tensor& a, const Tensor& b) {
+  MG_CHECK(a.rows() == b.rows());
+  const int64_t k = a.rows(), m = a.cols(), n = b.cols();
+  Tensor c(m, n);
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = a.RowPtr(kk);
+    const float* brow = b.RowPtr(kk);
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) {
+        continue;
+      }
+      float* crow = c.RowPtr(i);
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Tensor MatmulTransB(const Tensor& a, const Tensor& b) {
+  MG_CHECK(a.cols() == b.cols());
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  Tensor c(m, n);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.RowPtr(i);
+    float* crow = c.RowPtr(i);
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b.RowPtr(j);
+      float s = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        s += arow[kk] * brow[kk];
+      }
+      crow[j] = s;
+    }
+  }
+  return c;
+}
+
+void AddInPlace(Tensor& out, const Tensor& in) {
+  MG_CHECK(out.rows() == in.rows() && out.cols() == in.cols());
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out.data()[i] += in.data()[i];
+  }
+}
+
+void Axpy(Tensor& out, const Tensor& in, float alpha) {
+  MG_CHECK(out.rows() == in.rows() && out.cols() == in.cols());
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out.data()[i] += alpha * in.data()[i];
+  }
+}
+
+Tensor Hadamard(const Tensor& a, const Tensor& b) {
+  MG_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Tensor c(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    c.data()[i] = a.data()[i] * b.data()[i];
+  }
+  return c;
+}
+
+void Scale(Tensor& t, float alpha) {
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.data()[i] *= alpha;
+  }
+}
+
+void AddBiasRows(Tensor& t, const Tensor& bias) {
+  MG_CHECK(bias.rows() == 1 && bias.cols() == t.cols());
+  for (int64_t r = 0; r < t.rows(); ++r) {
+    float* row = t.RowPtr(r);
+    for (int64_t c = 0; c < t.cols(); ++c) {
+      row[c] += bias.data()[c];
+    }
+  }
+}
+
+Tensor SumRows(const Tensor& t) {
+  Tensor out(1, t.cols());
+  for (int64_t r = 0; r < t.rows(); ++r) {
+    const float* row = t.RowPtr(r);
+    for (int64_t c = 0; c < t.cols(); ++c) {
+      out.data()[c] += row[c];
+    }
+  }
+  return out;
+}
+
+Tensor IndexSelect(const Tensor& t, const std::vector<int64_t>& indices) {
+  Tensor out(static_cast<int64_t>(indices.size()), t.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    MG_DCHECK(indices[i] >= 0 && indices[i] < t.rows());
+    std::copy(t.RowPtr(indices[i]), t.RowPtr(indices[i]) + t.cols(),
+              out.RowPtr(static_cast<int64_t>(i)));
+  }
+  return out;
+}
+
+void ScatterAddRows(Tensor& dst, const std::vector<int64_t>& indices, const Tensor& src) {
+  MG_CHECK(static_cast<int64_t>(indices.size()) == src.rows());
+  MG_CHECK(dst.cols() == src.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    MG_DCHECK(indices[i] >= 0 && indices[i] < dst.rows());
+    float* drow = dst.RowPtr(indices[i]);
+    const float* srow = src.RowPtr(static_cast<int64_t>(i));
+    for (int64_t c = 0; c < src.cols(); ++c) {
+      drow[c] += srow[c];
+    }
+  }
+}
+
+namespace {
+
+void CheckOffsets(const Tensor& src, const std::vector<int64_t>& offsets) {
+  MG_CHECK(!offsets.empty());
+  MG_CHECK(offsets.front() == 0);
+  MG_CHECK(offsets.back() == src.rows());
+}
+
+}  // namespace
+
+Tensor SegmentSum(const Tensor& src, const std::vector<int64_t>& offsets) {
+  CheckOffsets(src, offsets);
+  const int64_t segs = static_cast<int64_t>(offsets.size()) - 1;
+  Tensor out(segs, src.cols());
+  for (int64_t s = 0; s < segs; ++s) {
+    float* orow = out.RowPtr(s);
+    for (int64_t r = offsets[s]; r < offsets[s + 1]; ++r) {
+      const float* srow = src.RowPtr(r);
+      for (int64_t c = 0; c < src.cols(); ++c) {
+        orow[c] += srow[c];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor SegmentMean(const Tensor& src, const std::vector<int64_t>& offsets) {
+  Tensor out = SegmentSum(src, offsets);
+  for (int64_t s = 0; s < out.rows(); ++s) {
+    const int64_t count = offsets[s + 1] - offsets[s];
+    if (count > 1) {
+      const float inv = 1.0f / static_cast<float>(count);
+      float* orow = out.RowPtr(s);
+      for (int64_t c = 0; c < out.cols(); ++c) {
+        orow[c] *= inv;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor SegmentSumBackward(const Tensor& grad_out, const std::vector<int64_t>& offsets) {
+  MG_CHECK(grad_out.rows() == static_cast<int64_t>(offsets.size()) - 1);
+  Tensor grad_in(offsets.back(), grad_out.cols());
+  for (int64_t s = 0; s < grad_out.rows(); ++s) {
+    const float* grow = grad_out.RowPtr(s);
+    for (int64_t r = offsets[s]; r < offsets[s + 1]; ++r) {
+      std::copy(grow, grow + grad_out.cols(), grad_in.RowPtr(r));
+    }
+  }
+  return grad_in;
+}
+
+Tensor SegmentMeanBackward(const Tensor& grad_out, const std::vector<int64_t>& offsets) {
+  Tensor grad_in = SegmentSumBackward(grad_out, offsets);
+  for (int64_t s = 0; s < grad_out.rows(); ++s) {
+    const int64_t count = offsets[s + 1] - offsets[s];
+    if (count > 1) {
+      const float inv = 1.0f / static_cast<float>(count);
+      for (int64_t r = offsets[s]; r < offsets[s + 1]; ++r) {
+        float* row = grad_in.RowPtr(r);
+        for (int64_t c = 0; c < grad_in.cols(); ++c) {
+          row[c] *= inv;
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+void SegmentSoftmaxInPlace(Tensor& scores, const std::vector<int64_t>& offsets) {
+  MG_CHECK(scores.cols() == 1);
+  CheckOffsets(scores, offsets);
+  for (size_t s = 0; s + 1 < offsets.size(); ++s) {
+    const int64_t begin = offsets[s], end = offsets[s + 1];
+    if (begin == end) {
+      continue;
+    }
+    float maxv = scores.data()[begin];
+    for (int64_t r = begin + 1; r < end; ++r) {
+      maxv = std::max(maxv, scores.data()[r]);
+    }
+    float sum = 0.0f;
+    for (int64_t r = begin; r < end; ++r) {
+      scores.data()[r] = std::exp(scores.data()[r] - maxv);
+      sum += scores.data()[r];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t r = begin; r < end; ++r) {
+      scores.data()[r] *= inv;
+    }
+  }
+}
+
+Tensor SegmentSoftmaxBackward(const Tensor& probs, const Tensor& grad,
+                              const std::vector<int64_t>& offsets) {
+  MG_CHECK(probs.cols() == 1 && grad.cols() == 1 && probs.rows() == grad.rows());
+  Tensor out(probs.rows(), 1);
+  for (size_t s = 0; s + 1 < offsets.size(); ++s) {
+    const int64_t begin = offsets[s], end = offsets[s + 1];
+    float dot = 0.0f;
+    for (int64_t r = begin; r < end; ++r) {
+      dot += probs.data()[r] * grad.data()[r];
+    }
+    for (int64_t r = begin; r < end; ++r) {
+      out.data()[r] = probs.data()[r] * (grad.data()[r] - dot);
+    }
+  }
+  return out;
+}
+
+Tensor Relu(const Tensor& t) {
+  Tensor out(t.rows(), t.cols());
+  for (int64_t i = 0; i < t.size(); ++i) {
+    out.data()[i] = t.data()[i] > 0.0f ? t.data()[i] : 0.0f;
+  }
+  return out;
+}
+
+Tensor ReluBackward(const Tensor& out, const Tensor& grad_out) {
+  Tensor g(out.rows(), out.cols());
+  for (int64_t i = 0; i < out.size(); ++i) {
+    g.data()[i] = out.data()[i] > 0.0f ? grad_out.data()[i] : 0.0f;
+  }
+  return g;
+}
+
+Tensor LeakyRelu(const Tensor& t, float slope) {
+  Tensor out(t.rows(), t.cols());
+  for (int64_t i = 0; i < t.size(); ++i) {
+    const float v = t.data()[i];
+    out.data()[i] = v > 0.0f ? v : slope * v;
+  }
+  return out;
+}
+
+Tensor LeakyReluBackward(const Tensor& out, const Tensor& grad_out, float slope) {
+  Tensor g(out.rows(), out.cols());
+  for (int64_t i = 0; i < out.size(); ++i) {
+    g.data()[i] = out.data()[i] > 0.0f ? grad_out.data()[i] : slope * grad_out.data()[i];
+  }
+  return g;
+}
+
+Tensor Tanh(const Tensor& t) {
+  Tensor out(t.rows(), t.cols());
+  for (int64_t i = 0; i < t.size(); ++i) {
+    out.data()[i] = std::tanh(t.data()[i]);
+  }
+  return out;
+}
+
+Tensor TanhBackward(const Tensor& out, const Tensor& grad_out) {
+  Tensor g(out.rows(), out.cols());
+  for (int64_t i = 0; i < out.size(); ++i) {
+    g.data()[i] = (1.0f - out.data()[i] * out.data()[i]) * grad_out.data()[i];
+  }
+  return g;
+}
+
+Tensor RowSoftmax(const Tensor& logits) {
+  Tensor out(logits.rows(), logits.cols());
+  for (int64_t r = 0; r < logits.rows(); ++r) {
+    const float* in = logits.RowPtr(r);
+    float* o = out.RowPtr(r);
+    float maxv = in[0];
+    for (int64_t c = 1; c < logits.cols(); ++c) {
+      maxv = std::max(maxv, in[c]);
+    }
+    float sum = 0.0f;
+    for (int64_t c = 0; c < logits.cols(); ++c) {
+      o[c] = std::exp(in[c] - maxv);
+      sum += o[c];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t c = 0; c < logits.cols(); ++c) {
+      o[c] *= inv;
+    }
+  }
+  return out;
+}
+
+float SoftmaxCrossEntropy(const Tensor& logits, const std::vector<int64_t>& labels,
+                          Tensor* dlogits) {
+  MG_CHECK(logits.rows() == static_cast<int64_t>(labels.size()));
+  MG_CHECK(logits.rows() > 0);
+  Tensor probs = RowSoftmax(logits);
+  const float inv_n = 1.0f / static_cast<float>(logits.rows());
+  double loss = 0.0;
+  for (int64_t r = 0; r < logits.rows(); ++r) {
+    const int64_t y = labels[static_cast<size_t>(r)];
+    MG_DCHECK(y >= 0 && y < logits.cols());
+    loss -= std::log(std::max(probs(r, y), 1e-12f));
+  }
+  if (dlogits != nullptr) {
+    *dlogits = probs;
+    for (int64_t r = 0; r < logits.rows(); ++r) {
+      (*dlogits)(r, labels[static_cast<size_t>(r)]) -= 1.0f;
+    }
+    Scale(*dlogits, inv_n);
+  }
+  return static_cast<float>(loss * inv_n);
+}
+
+void RowL2NormalizeInPlace(Tensor& t) {
+  for (int64_t r = 0; r < t.rows(); ++r) {
+    float* row = t.RowPtr(r);
+    double s = 0.0;
+    for (int64_t c = 0; c < t.cols(); ++c) {
+      s += static_cast<double>(row[c]) * row[c];
+    }
+    if (s > 0.0) {
+      const float inv = static_cast<float>(1.0 / std::sqrt(s));
+      for (int64_t c = 0; c < t.cols(); ++c) {
+        row[c] *= inv;
+      }
+    }
+  }
+}
+
+}  // namespace mariusgnn

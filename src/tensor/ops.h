@@ -1,0 +1,92 @@
+// Dense kernels used by the GNN layers and the DENSE forward pass (Algorithm 3).
+//
+// Conventions:
+//  - All matrices are row-major Tensors.
+//  - "Segments" are contiguous row ranges described by an offsets array of length
+//    num_segments + 1 (offsets[s]..offsets[s+1] are the rows of segment s). The DENSE
+//    nbr_offsets array is converted to this closed form by DenseBatch.
+//  - Backward kernels accumulate into their output ("+=" semantics) so multiple paths
+//    through a layer can add gradients without extra temporaries.
+#ifndef SRC_TENSOR_OPS_H_
+#define SRC_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace mariusgnn {
+
+// C = A @ B. A: m x k, B: k x n.
+Tensor Matmul(const Tensor& a, const Tensor& b);
+
+// C = A^T @ B. A: k x m, B: k x n -> C: m x n. (Weight-gradient shape.)
+Tensor MatmulTransA(const Tensor& a, const Tensor& b);
+
+// C = A @ B^T. A: m x k, B: n x k -> C: m x n. (Input-gradient shape.)
+Tensor MatmulTransB(const Tensor& a, const Tensor& b);
+
+// out += in (same shape).
+void AddInPlace(Tensor& out, const Tensor& in);
+
+// out += alpha * in.
+void Axpy(Tensor& out, const Tensor& in, float alpha);
+
+// Elementwise product.
+Tensor Hadamard(const Tensor& a, const Tensor& b);
+
+// Scales every element in place.
+void Scale(Tensor& t, float alpha);
+
+// Adds a 1 x n bias row to every row of t (n == t.cols()).
+void AddBiasRows(Tensor& t, const Tensor& bias);
+
+// Column-sum of t as a 1 x n tensor (bias gradient).
+Tensor SumRows(const Tensor& t);
+
+// Gathers rows: out[i] = t[indices[i]].
+Tensor IndexSelect(const Tensor& t, const std::vector<int64_t>& indices);
+
+// Scatter-add rows: dst[indices[i]] += src[i].
+void ScatterAddRows(Tensor& dst, const std::vector<int64_t>& indices, const Tensor& src);
+
+// Segment reductions over contiguous rows. offsets.size() == num_segments + 1 and
+// offsets.back() == src.rows(). Empty segments produce zero rows.
+Tensor SegmentSum(const Tensor& src, const std::vector<int64_t>& offsets);
+Tensor SegmentMean(const Tensor& src, const std::vector<int64_t>& offsets);
+
+// Backward of SegmentSum: broadcast each segment's gradient row to its member rows.
+Tensor SegmentSumBackward(const Tensor& grad_out, const std::vector<int64_t>& offsets);
+// Backward of SegmentMean: broadcast divided by segment size.
+Tensor SegmentMeanBackward(const Tensor& grad_out, const std::vector<int64_t>& offsets);
+
+// In-place softmax over each segment of a column vector (n x 1). Used by GAT attention.
+void SegmentSoftmaxInPlace(Tensor& scores, const std::vector<int64_t>& offsets);
+
+// Backward of segment softmax: given softmax outputs p and upstream grad g (both n x 1),
+// returns dscore[i] = p_i * (g_i - sum_j in seg p_j g_j).
+Tensor SegmentSoftmaxBackward(const Tensor& probs, const Tensor& grad,
+                              const std::vector<int64_t>& offsets);
+
+// Activations (forward returns value; backward takes forward *output*).
+Tensor Relu(const Tensor& t);
+Tensor ReluBackward(const Tensor& out, const Tensor& grad_out);
+Tensor LeakyRelu(const Tensor& t, float slope);
+Tensor LeakyReluBackward(const Tensor& out, const Tensor& grad_out, float slope);
+Tensor Tanh(const Tensor& t);
+Tensor TanhBackward(const Tensor& out, const Tensor& grad_out);
+
+// Row-wise softmax.
+Tensor RowSoftmax(const Tensor& logits);
+
+// Mean softmax cross-entropy over rows; labels are class ids. Returns the loss and
+// writes dlogits (d loss / d logits, already divided by the number of rows).
+float SoftmaxCrossEntropy(const Tensor& logits, const std::vector<int64_t>& labels,
+                          Tensor* dlogits);
+
+// L2-normalises each row in place (zero rows left untouched).
+void RowL2NormalizeInPlace(Tensor& t);
+
+}  // namespace mariusgnn
+
+#endif  // SRC_TENSOR_OPS_H_

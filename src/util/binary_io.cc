@@ -1,0 +1,107 @@
+#include "src/util/binary_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <type_traits>
+
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+File::File(const std::string& path, bool truncate) : path_(path) {
+  int flags = O_RDWR | O_CREAT;
+  if (truncate) {
+    flags |= O_TRUNC;
+  }
+  fd_ = ::open(path.c_str(), flags, 0644);
+  MG_CHECK_MSG(fd_ >= 0, path.c_str());
+}
+
+File::~File() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void File::ReadAt(void* dst, size_t bytes, uint64_t offset) const {
+  char* p = static_cast<char*>(dst);
+  size_t remaining = bytes;
+  uint64_t off = offset;
+  while (remaining > 0) {
+    ssize_t n = ::pread(fd_, p, remaining, static_cast<off_t>(off));
+    MG_CHECK_MSG(n > 0, std::strerror(errno));
+    p += n;
+    off += static_cast<uint64_t>(n);
+    remaining -= static_cast<size_t>(n);
+  }
+}
+
+void File::WriteAt(const void* src, size_t bytes, uint64_t offset) {
+  const char* p = static_cast<const char*>(src);
+  size_t remaining = bytes;
+  uint64_t off = offset;
+  while (remaining > 0) {
+    ssize_t n = ::pwrite(fd_, p, remaining, static_cast<off_t>(off));
+    MG_CHECK_MSG(n > 0, std::strerror(errno));
+    p += n;
+    off += static_cast<uint64_t>(n);
+    remaining -= static_cast<size_t>(n);
+  }
+}
+
+void File::Resize(uint64_t bytes) {
+  MG_CHECK(::ftruncate(fd_, static_cast<off_t>(bytes)) == 0);
+}
+
+uint64_t File::Size() const {
+  struct stat st;
+  MG_CHECK(::fstat(fd_, &st) == 0);
+  return static_cast<uint64_t>(st.st_size);
+}
+
+template <typename T>
+void WriteVector(const std::string& path, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  File f(path, /*truncate=*/true);
+  uint64_t count = v.size();
+  f.WriteAt(&count, sizeof(count), 0);
+  if (count > 0) {
+    f.WriteAt(v.data(), count * sizeof(T), sizeof(count));
+  }
+}
+
+template <typename T>
+std::vector<T> ReadVector(const std::string& path) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  File f(path);
+  uint64_t count = 0;
+  f.ReadAt(&count, sizeof(count), 0);
+  std::vector<T> v(count);
+  if (count > 0) {
+    f.ReadAt(v.data(), count * sizeof(T), sizeof(count));
+  }
+  return v;
+}
+
+template void WriteVector<float>(const std::string&, const std::vector<float>&);
+template std::vector<float> ReadVector<float>(const std::string&);
+template void WriteVector<int32_t>(const std::string&, const std::vector<int32_t>&);
+template std::vector<int32_t> ReadVector<int32_t>(const std::string&);
+template void WriteVector<int64_t>(const std::string&, const std::vector<int64_t>&);
+template std::vector<int64_t> ReadVector<int64_t>(const std::string&);
+
+std::string TempPath(const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  const char* tmp = ::getenv("TMPDIR");
+  std::string dir = tmp != nullptr ? tmp : "/tmp";
+  return dir + "/" + prefix + "." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1));
+}
+
+}  // namespace mariusgnn

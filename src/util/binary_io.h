@@ -1,0 +1,53 @@
+// POD-vector binary (de)serialisation and positional file IO helpers.
+//
+// The storage layer keeps node partitions and edge buckets in flat binary files; these
+// helpers wrap POSIX pread/pwrite with full-transfer loops and error checking.
+#ifndef SRC_UTIL_BINARY_IO_H_
+#define SRC_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mariusgnn {
+
+// RAII file handle opened for read/write (created if missing).
+class File {
+ public:
+  explicit File(const std::string& path, bool truncate = false);
+  ~File();
+
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  // Reads exactly `bytes` at `offset`; aborts on short read or error.
+  void ReadAt(void* dst, size_t bytes, uint64_t offset) const;
+
+  // Writes exactly `bytes` at `offset`; aborts on error.
+  void WriteAt(const void* src, size_t bytes, uint64_t offset);
+
+  // Grows or shrinks the file to `bytes`.
+  void Resize(uint64_t bytes);
+
+  uint64_t Size() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+// Whole-vector helpers (little-endian host layout; used for dataset snapshots).
+template <typename T>
+void WriteVector(const std::string& path, const std::vector<T>& v);
+
+template <typename T>
+std::vector<T> ReadVector(const std::string& path);
+
+// Returns a unique path inside the system temp directory with the given prefix.
+std::string TempPath(const std::string& prefix);
+
+}  // namespace mariusgnn
+
+#endif  // SRC_UTIL_BINARY_IO_H_

@@ -1,0 +1,44 @@
+// Lightweight runtime-check macros used throughout the library.
+//
+// MG_CHECK aborts with a message on failure in all build types; MG_DCHECK compiles out in
+// NDEBUG builds. Both evaluate their condition exactly once.
+#ifndef SRC_UTIL_CHECK_H_
+#define SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mariusgnn {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const char* msg) {
+  std::fprintf(stderr, "MG_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace mariusgnn
+
+#define MG_CHECK(cond)                                            \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::mariusgnn::CheckFailed(__FILE__, __LINE__, #cond, "");    \
+    }                                                             \
+  } while (0)
+
+#define MG_CHECK_MSG(cond, msg)                                   \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::mariusgnn::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                             \
+  } while (0)
+
+#ifdef NDEBUG
+#define MG_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#else
+#define MG_DCHECK(cond) MG_CHECK(cond)
+#endif
+
+#endif  // SRC_UTIL_CHECK_H_

@@ -1,0 +1,49 @@
+#include "src/util/rng.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mariusgnn {
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t population, int64_t count) {
+  MG_CHECK(population >= 0 && count >= 0);
+  if (count >= population) {
+    std::vector<int64_t> all(static_cast<size_t>(population));
+    for (int64_t i = 0; i < population; ++i) {
+      all[static_cast<size_t>(i)] = i;
+    }
+    return all;
+  }
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(count));
+  if (count * 3 >= population) {
+    // Dense case: partial Fisher–Yates over an index vector.
+    std::vector<int64_t> idx(static_cast<size_t>(population));
+    for (int64_t i = 0; i < population; ++i) {
+      idx[static_cast<size_t>(i)] = i;
+    }
+    for (int64_t i = 0; i < count; ++i) {
+      int64_t j = UniformInt(i, population);
+      std::swap(idx[static_cast<size_t>(i)], idx[static_cast<size_t>(j)]);
+      out.push_back(idx[static_cast<size_t>(i)]);
+    }
+    return out;
+  }
+  // Sparse case: Floyd's algorithm.
+  std::unordered_set<int64_t> seen;
+  seen.reserve(static_cast<size_t>(count) * 2);
+  for (int64_t j = population - count; j < population; ++j) {
+    int64_t t = UniformInt(0, j + 1);
+    if (seen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      seen.insert(j);
+      out.push_back(j);
+    }
+  }
+  // Floyd's produces a biased order; shuffle for uniform order.
+  Shuffle(out);
+  return out;
+}
+
+}  // namespace mariusgnn

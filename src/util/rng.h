@@ -1,0 +1,110 @@
+// Fast deterministic random number generation.
+//
+// Rng wraps xoshiro256** — a small, fast, high-quality generator — and adds the sampling
+// helpers the samplers and policies need: bounded integers, floats, shuffles, and
+// fixed-size samples without replacement. Every component that needs randomness takes an
+// Rng (or a seed) explicitly so experiments are reproducible.
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  // Re-seeds the generator deterministically using splitmix64 expansion.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  // Raw 64 random bits (xoshiro256**).
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t UniformInt(uint64_t bound) {
+    MG_DCHECK(bound > 0);
+    // Lemire's multiply-shift rejection method.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t t = -bound % bound;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    MG_DCHECK(hi > lo);
+    return lo + static_cast<int64_t>(UniformInt(static_cast<uint64_t>(hi - lo)));
+  }
+
+  // Uniform float in [0, 1).
+  float UniformFloat() { return static_cast<float>(Next() >> 40) * 0x1.0p-24f; }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Standard normal via Box–Muller (one value per call; simple, adequate for init).
+  float Normal() {
+    float u1 = UniformFloat();
+    float u2 = UniformFloat();
+    if (u1 < 1e-12f) {
+      u1 = 1e-12f;
+    }
+    return std::sqrt(-2.0f * std::log(u1)) * std::cos(6.28318530718f * u2);
+  }
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Samples `count` distinct indices from [0, population) when count < population,
+  // otherwise returns all indices 0..population-1. Uses Floyd's algorithm for small
+  // counts relative to population; order of results is randomized.
+  std::vector<int64_t> SampleWithoutReplacement(int64_t population, int64_t count);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace mariusgnn
+
+#endif  // SRC_UTIL_RNG_H_

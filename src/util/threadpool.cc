@@ -1,0 +1,106 @@
+#include "src/util/threadpool.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MG_CHECK_MSG(!stop_, "Submit on stopped pool");
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+                             int64_t min_chunk) {
+  if (n <= 0) {
+    return;
+  }
+  const int64_t threads = static_cast<int64_t>(num_threads());
+  if (threads <= 1 || n <= min_chunk) {
+    fn(0, n);
+    return;
+  }
+  const int64_t chunks = std::min(threads, (n + min_chunk - 1) / min_chunk);
+  const int64_t step = (n + chunks - 1) / chunks;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int64_t remaining = 0;
+  for (int64_t begin = 0; begin < n; begin += step) {
+    ++remaining;
+  }
+  int64_t pending = remaining;
+  for (int64_t begin = 0; begin < n; begin += step) {
+    const int64_t end = std::min(begin + step, n);
+    Submit([&, begin, end] {
+      fn(begin, end);
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--pending == 0) {
+        done_cv.notify_one();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return pending == 0; });
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) {
+        return;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (tasks_.empty() && in_flight_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace mariusgnn

@@ -1,0 +1,58 @@
+// Fixed-size worker pool with a parallel-for helper.
+//
+// The samplers use ParallelFor to split one-hop sampling and delta computation across
+// CPU threads (Section 4.1 of the paper: "we can sample incoming and outgoing edges for
+// any set of nodes in parallel using all available CPU threads").
+#ifndef SRC_UTIL_THREADPOOL_H_
+#define SRC_UTIL_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mariusgnn {
+
+class ThreadPool {
+ public:
+  // num_threads == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues a task; fire-and-forget (use ParallelFor for joinable work).
+  void Submit(std::function<void()> task);
+
+  // Runs fn(begin, end) over contiguous chunks of [0, n) on the pool and blocks until
+  // all chunks complete. Runs inline when n is small or the pool has one thread.
+  void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+                   int64_t min_chunk = 1024);
+
+  // Blocks until the queue is empty and all in-flight tasks finished.
+  void Wait();
+
+  // Process-wide shared pool.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace mariusgnn
+
+#endif  // SRC_UTIL_THREADPOOL_H_

@@ -1,0 +1,46 @@
+// Wall-clock timing plus a virtual clock used by the simulated disk.
+//
+// WallTimer measures real elapsed time. VirtualClock is an accounting clock: the
+// SimulatedDisk charges IO time to it so out-of-core experiments report deterministic
+// epoch times (compute wall time + modeled IO stall) regardless of host disk speed.
+#ifndef SRC_UTIL_TIMER_H_
+#define SRC_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace mariusgnn {
+
+class WallTimer {
+ public:
+  WallTimer() { Reset(); }
+
+  void Reset() { start_ = Clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+class VirtualClock {
+ public:
+  // Advances the clock by `seconds` of modeled time.
+  void Advance(double seconds) { seconds_ += seconds; }
+
+  void Reset() { seconds_ = 0.0; }
+
+  double Seconds() const { return seconds_; }
+
+ private:
+  double seconds_ = 0.0;
+};
+
+}  // namespace mariusgnn
+
+#endif  // SRC_UTIL_TIMER_H_

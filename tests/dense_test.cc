@@ -1,0 +1,299 @@
+// Tests for the DENSE data structure (Algorithm 1), the per-layer update
+// (Algorithm 2), and their invariants, including a hand-checked example mirroring the
+// paper's Figure 3.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/data/datasets.h"
+#include "src/graph/neighbor_index.h"
+#include "src/sampler/dense.h"
+#include "src/util/threadpool.h"
+
+namespace mariusgnn {
+namespace {
+
+// A=0, B=1, C=2, D=3, E=4. Incoming neighborhoods: A:{C,D}, B:{C}, C:{E}, D:{C}.
+Graph FigureGraph() {
+  std::vector<Edge> edges = {
+      {2, 0, 0},  // C->A
+      {3, 0, 0},  // D->A
+      {2, 1, 0},  // C->B
+      {4, 2, 0},  // E->C
+      {2, 3, 0},  // C->D
+  };
+  return Graph(5, std::move(edges));
+}
+
+TEST(Dense, Figure3TwoHopExample) {
+  Graph g = FigureGraph();
+  NeighborIndex index(g);
+  DenseSampler sampler(&index, {10, 10}, EdgeDirection::kIncoming, 1);
+  DenseBatch b = sampler.Sample({0, 1});  // targets {A, B}
+
+  // Deltas: Δ0 = {E}, Δ1 = {C, D}, Δ2 = {A, B}.
+  ASSERT_EQ(b.node_id_offsets, (std::vector<int64_t>{0, 1, 3}));
+  ASSERT_EQ(b.node_ids, (std::vector<int64_t>{4, 2, 3, 0, 1}));
+  // nbrs: Δ1's one-hop samples first (C:{E}, D:{C}), then Δ2's (A:{C,D}, B:{C}).
+  ASSERT_EQ(b.nbrs, (std::vector<int64_t>{4, 2, 2, 3, 2}));
+  ASSERT_EQ(b.nbr_offsets, (std::vector<int64_t>{0, 1, 2, 4}));
+
+  b.FinalizeForDevice();
+  EXPECT_EQ(b.repr_map, (std::vector<int64_t>{0, 1, 1, 2, 1}));
+
+  EXPECT_EQ(b.num_targets(), 2);
+  EXPECT_EQ(b.num_output_nodes(), 4);
+  EXPECT_EQ(b.SegmentOffsets(), (std::vector<int64_t>{0, 1, 2, 4, 5}));
+
+  // Algorithm 2 after layer 1: drop Δ0 = {E} and the Δ1 neighbor block.
+  b.AdvanceLayer();
+  EXPECT_EQ(b.node_ids, (std::vector<int64_t>{2, 3, 0, 1}));
+  EXPECT_EQ(b.node_id_offsets, (std::vector<int64_t>{0, 2}));
+  EXPECT_EQ(b.nbrs, (std::vector<int64_t>{2, 3, 2}));
+  EXPECT_EQ(b.nbr_offsets, (std::vector<int64_t>{0, 2}));
+  EXPECT_EQ(b.repr_map, (std::vector<int64_t>{0, 1, 0}));
+  EXPECT_EQ(b.num_output_nodes(), 2);
+  EXPECT_EQ(b.SegmentOffsets(), (std::vector<int64_t>{0, 2, 3}));
+}
+
+TEST(Dense, OneHopReuseAcrossLayers) {
+  // The defining DENSE property: a node appearing at multiple hops has its one-hop
+  // neighborhood sampled exactly once — one contiguous segment per unique node.
+  Graph g = Fb15k237Like(0.05);
+  NeighborIndex index(g);
+  DenseSampler sampler(&index, {5, 5, 5}, EdgeDirection::kBoth, 3);
+  std::vector<int64_t> targets = {0, 1, 2, 3, 4, 5, 6, 7};
+  DenseBatch b = sampler.Sample(targets);
+
+  // node_ids are unique.
+  std::unordered_set<int64_t> uniq(b.node_ids.begin(), b.node_ids.end());
+  EXPECT_EQ(uniq.size(), b.node_ids.size());
+
+  // Exactly one neighbor segment per non-Δ0 node.
+  EXPECT_EQ(static_cast<int64_t>(b.nbr_offsets.size()), b.num_output_nodes());
+
+  // Every sampled neighbor id is present in node_ids (closure property).
+  for (int64_t n : b.nbrs) {
+    EXPECT_TRUE(uniq.count(n) == 1);
+  }
+}
+
+TEST(Dense, TargetsAreLastDelta) {
+  Graph g = Fb15k237Like(0.05);
+  NeighborIndex index(g);
+  DenseSampler sampler(&index, {3, 3}, EdgeDirection::kOutgoing, 7);
+  std::vector<int64_t> targets = {10, 20, 30};
+  DenseBatch b = sampler.Sample(targets);
+  ASSERT_EQ(b.num_targets(), 3);
+  const int64_t begin = b.DeltaBegin(b.num_deltas() - 1);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_EQ(b.node_ids[static_cast<size_t>(begin) + i], targets[i]);
+  }
+}
+
+TEST(Dense, FanoutCapRespected) {
+  Graph g = Fb15k237Like(0.05);
+  NeighborIndex index(g);
+  const int64_t fanout = 4;
+  DenseSampler sampler(&index, {fanout}, EdgeDirection::kOutgoing, 5);
+  std::vector<int64_t> targets;
+  for (int64_t v = 0; v < 50; ++v) {
+    targets.push_back(v);
+  }
+  DenseBatch b = sampler.Sample(targets);
+  auto seg = b.SegmentOffsets();
+  for (size_t s = 0; s + 1 < seg.size(); ++s) {
+    EXPECT_LE(seg[s + 1] - seg[s], fanout);
+  }
+}
+
+TEST(Dense, BothDirectionsDoublesCap) {
+  Graph g = Fb15k237Like(0.05);
+  NeighborIndex index(g);
+  const int64_t fanout = 3;
+  DenseSampler sampler(&index, {fanout}, EdgeDirection::kBoth, 5);
+  std::vector<int64_t> targets = {0, 1, 2, 3, 4};
+  DenseBatch b = sampler.Sample(targets);
+  auto seg = b.SegmentOffsets();
+  for (size_t s = 0; s + 1 < seg.size(); ++s) {
+    EXPECT_LE(seg[s + 1] - seg[s], 2 * fanout);
+  }
+}
+
+TEST(Dense, DeterministicGivenSeed) {
+  Graph g = Fb15k237Like(0.05);
+  NeighborIndex index(g);
+  DenseSampler s1(&index, {5, 5}, EdgeDirection::kBoth, 42);
+  DenseSampler s2(&index, {5, 5}, EdgeDirection::kBoth, 42);
+  DenseBatch a = s1.Sample({1, 2, 3});
+  DenseBatch b = s2.Sample({1, 2, 3});
+  EXPECT_EQ(a.node_ids, b.node_ids);
+  EXPECT_EQ(a.nbrs, b.nbrs);
+  EXPECT_EQ(a.nbr_offsets, b.nbr_offsets);
+}
+
+TEST(Dense, ParallelSamplingMatchesSerial) {
+  Graph g = Fb15k237Like(0.05);
+  NeighborIndex index(g);
+  ThreadPool pool(4);
+  DenseSampler serial(&index, {8, 8}, EdgeDirection::kBoth, 42, nullptr);
+  DenseSampler parallel(&index, {8, 8}, EdgeDirection::kBoth, 42, &pool);
+  std::vector<int64_t> targets;
+  for (int64_t v = 0; v < std::min<int64_t>(512, g.num_nodes()); ++v) {
+    targets.push_back(v);
+  }
+  DenseBatch a = serial.Sample(targets);
+  DenseBatch b = parallel.Sample(targets);
+  EXPECT_EQ(a.node_ids, b.node_ids);
+  EXPECT_EQ(a.nbrs, b.nbrs);
+}
+
+TEST(Dense, AdvanceLayerPreservesClosure) {
+  Graph g = Fb15k237Like(0.05);
+  NeighborIndex index(g);
+  DenseSampler sampler(&index, {4, 4, 4}, EdgeDirection::kBoth, 11);
+  std::vector<int64_t> targets = {0, 5, 9, 13};
+  DenseBatch b = sampler.Sample(targets);
+  b.FinalizeForDevice();
+  for (int layer = 0; layer < 2; ++layer) {
+    b.AdvanceLayer();
+    // repr_map stays in range and consistent with node_ids.
+    ASSERT_EQ(b.repr_map.size(), b.nbrs.size());
+    for (size_t i = 0; i < b.nbrs.size(); ++i) {
+      ASSERT_GE(b.repr_map[i], 0);
+      ASSERT_LT(b.repr_map[i], b.num_nodes());
+      EXPECT_EQ(b.node_ids[static_cast<size_t>(b.repr_map[i])], b.nbrs[i]);
+    }
+    EXPECT_EQ(static_cast<int64_t>(b.nbr_offsets.size()), b.num_output_nodes());
+  }
+  EXPECT_EQ(b.num_output_nodes(), static_cast<int64_t>(targets.size()));
+}
+
+TEST(Dense, EmptyNeighborhoodsHandled) {
+  // A graph where some nodes have no neighbors at all.
+  std::vector<Edge> edges = {{0, 1, 0}};
+  Graph g(4, std::move(edges));
+  NeighborIndex index(g);
+  DenseSampler sampler(&index, {3, 3}, EdgeDirection::kBoth, 2);
+  DenseBatch b = sampler.Sample({2, 3});  // both isolated
+  b.FinalizeForDevice();
+  EXPECT_EQ(b.num_targets(), 2);
+  EXPECT_EQ(b.num_sampled_edges(), 0);
+  EXPECT_EQ(b.num_nodes(), 2);
+  // Empty deltas still produce valid (empty) groups.
+  EXPECT_EQ(b.num_deltas(), 3);
+}
+
+TEST(Dense, DecreasingFanoutsGiveAtLeastRequested) {
+  // Section 4.1: with decreasing fanouts away from the targets, a reused sample
+  // provides at least as many neighbors as requested at deeper hops.
+  Graph g = Fb15k237Like(0.1);
+  NeighborIndex index(g);
+  DenseSampler sampler(&index, {10, 5}, EdgeDirection::kOutgoing, 13);
+  std::vector<int64_t> targets = {0, 1, 2, 3};
+  DenseBatch b = sampler.Sample(targets);
+  b.FinalizeForDevice();
+
+  // Targets' segments were sampled with fanout 10; if a target also appears in the
+  // deeper layer, its (single, reused) segment has up to 10 — >= the 5 requested.
+  auto seg = b.SegmentOffsets();
+  // Verify total sampled edges is bounded by sum of per-delta fanout caps.
+  int64_t total_cap = 0;
+  for (int64_t g2 = 1; g2 < b.num_deltas(); ++g2) {
+    const int64_t delta_size = b.DeltaEnd(g2) - b.DeltaBegin(g2);
+    // Delta g2 was sampled at hop (num_deltas-1 - g2) + 1.
+    total_cap += delta_size * 10;
+  }
+  EXPECT_LE(b.num_sampled_edges(), total_cap);
+  EXPECT_EQ(seg.back(), b.num_sampled_edges());
+}
+
+// Property sweep over layer counts: structural invariants hold at any depth.
+class DenseDepthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DenseDepthTest, StructuralInvariants) {
+  const int depth = GetParam();
+  Graph g = Fb15k237Like(0.05);
+  NeighborIndex index(g);
+  std::vector<int64_t> fanouts(static_cast<size_t>(depth), 4);
+  DenseSampler sampler(&index, fanouts, EdgeDirection::kBoth, 100 + depth);
+  std::vector<int64_t> targets = {0, 7, 14, 21, 28};
+  DenseBatch b = sampler.Sample(targets);
+
+  EXPECT_EQ(b.num_deltas(), depth + 1);
+  // Offsets are sorted and in range.
+  for (size_t i = 1; i < b.node_id_offsets.size(); ++i) {
+    EXPECT_LE(b.node_id_offsets[i - 1], b.node_id_offsets[i]);
+  }
+  // nbr_offsets monotone.
+  for (size_t i = 1; i < b.nbr_offsets.size(); ++i) {
+    EXPECT_LE(b.nbr_offsets[i - 1], b.nbr_offsets[i]);
+  }
+  // Unique node ids.
+  std::unordered_set<int64_t> uniq(b.node_ids.begin(), b.node_ids.end());
+  EXPECT_EQ(uniq.size(), b.node_ids.size());
+  // Finalize + walk all layers.
+  b.FinalizeForDevice();
+  for (int l = 0; l + 1 < depth; ++l) {
+    b.AdvanceLayer();
+  }
+  EXPECT_EQ(b.num_output_nodes(), static_cast<int64_t>(targets.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DenseDepthTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Dense, SelfLoopNeighborReferencesOwnRow) {
+  // A self-loop makes a target its own neighbor; repr_map must point at the target's
+  // own node_ids row and AdvanceLayer must keep it consistent.
+  std::vector<Edge> edges = {{0, 0, 0}, {1, 0, 0}};
+  Graph g(2, std::move(edges));
+  NeighborIndex index(g);
+  DenseSampler sampler(&index, {4, 4}, EdgeDirection::kIncoming, 3);
+  DenseBatch b = sampler.Sample({0});
+  b.FinalizeForDevice();
+  for (size_t i = 0; i < b.nbrs.size(); ++i) {
+    EXPECT_EQ(b.node_ids[static_cast<size_t>(b.repr_map[i])], b.nbrs[i]);
+  }
+  b.AdvanceLayer();
+  for (size_t i = 0; i < b.nbrs.size(); ++i) {
+    EXPECT_EQ(b.node_ids[static_cast<size_t>(b.repr_map[i])], b.nbrs[i]);
+  }
+}
+
+// Fanout sweep: every fanout respects the per-direction cap and determinism.
+class DenseFanoutTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(DenseFanoutTest, CapAndDeterminism) {
+  const int64_t fanout = GetParam();
+  Graph g = Fb15k237Like(0.05);
+  NeighborIndex index(g);
+  DenseSampler s1(&index, {fanout, fanout}, EdgeDirection::kBoth, 900);
+  DenseSampler s2(&index, {fanout, fanout}, EdgeDirection::kBoth, 900);
+  std::vector<int64_t> targets = {0, 3, 6, 9};
+  DenseBatch a = s1.Sample(targets);
+  DenseBatch b = s2.Sample(targets);
+  EXPECT_EQ(a.nbrs, b.nbrs);
+  auto seg = a.SegmentOffsets();
+  for (size_t s = 0; s + 1 < seg.size(); ++s) {
+    EXPECT_LE(seg[s + 1] - seg[s], 2 * fanout);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, DenseFanoutTest, ::testing::Values(1, 2, 3, 8, 32));
+
+TEST(Dense, RelationsParallelToNbrs) {
+  Graph g = Fb15k237Like(0.05);
+  NeighborIndex index(g);
+  DenseSampler sampler(&index, {6, 6}, EdgeDirection::kBoth, 19);
+  DenseBatch b = sampler.Sample({3, 6, 9});
+  EXPECT_EQ(b.nbr_rels.size(), b.nbrs.size());
+  b.FinalizeForDevice();
+  b.AdvanceLayer();
+  EXPECT_EQ(b.nbr_rels.size(), b.nbrs.size());
+}
+
+}  // namespace
+}  // namespace mariusgnn

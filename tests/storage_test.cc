@@ -1,0 +1,280 @@
+// Tests for the simulated disk, partition buffer, and embedding stores.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/data/datasets.h"
+#include "src/storage/disk.h"
+#include "src/storage/embedding_store.h"
+#include "src/storage/partition_buffer.h"
+#include "src/util/binary_io.h"
+
+namespace mariusgnn {
+namespace {
+
+TEST(DiskModel, SecondsCombineLatencyAndBandwidth) {
+  DiskModel model;
+  model.bandwidth_bytes_per_sec = 1e9;
+  model.iops = 10000;
+  // 1 op + 1 MB: 0.1 ms latency + ~1 ms transfer.
+  EXPECT_NEAR(model.SecondsFor(1 << 20, 1), 1e-4 + 1048576.0 / 1e9, 1e-9);
+}
+
+TEST(SimulatedDisk, ReadWriteRoundTripAndStats) {
+  const std::string path = TempPath("disk_test");
+  SimulatedDisk disk(path);
+  disk.Resize(4096);
+  std::vector<float> out = {1.5f, -2.5f, 3.5f};
+  disk.Write(out.data(), out.size() * sizeof(float), 128);
+  std::vector<float> in(3);
+  disk.Read(in.data(), in.size() * sizeof(float), 128);
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(disk.stats().bytes_written, out.size() * sizeof(float));
+  EXPECT_EQ(disk.stats().bytes_read, in.size() * sizeof(float));
+  EXPECT_GT(disk.stats().modeled_seconds, 0.0);
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().bytes_read, 0u);
+  ::remove(path.c_str());
+}
+
+TEST(SimulatedDisk, SmallReadsCostMoreOpsPerByte) {
+  const std::string path = TempPath("disk_test_ops");
+  DiskModel model;
+  SimulatedDisk disk(path, model);
+  disk.Resize(8 << 20);
+  std::vector<char> buf(1 << 20);
+  // One large read.
+  disk.Read(buf.data(), buf.size(), 0);
+  const double large = disk.stats().modeled_seconds;
+  disk.ResetStats();
+  // Same bytes as 4096 small reads.
+  for (int i = 0; i < 4096; ++i) {
+    disk.Read(buf.data(), 256, static_cast<uint64_t>(i) * 256);
+  }
+  const double small = disk.stats().modeled_seconds;
+  EXPECT_GT(small, large * 10);
+  ::remove(path.c_str());
+}
+
+class PartitionBufferTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = LiveJournalMini(0.01);
+    Rng rng(1);
+    partitioning_ = std::make_unique<Partitioning>(graph_, 8,
+                                                   PartitionAssignment::kRandom, rng);
+    Rng rng2(2);
+    init_ = Tensor::Uniform(graph_.num_nodes(), 4, 1.0f, rng2);
+    path_ = TempPath("pb_test");
+    buffer_ = std::make_unique<PartitionBuffer>(partitioning_.get(), 4, 3, path_,
+                                                DiskModel(), /*learnable=*/true, &init_);
+  }
+
+  void TearDown() override {
+    buffer_.reset();
+    ::remove(path_.c_str());
+  }
+
+  Graph graph_;
+  std::unique_ptr<Partitioning> partitioning_;
+  Tensor init_;
+  std::string path_;
+  std::unique_ptr<PartitionBuffer> buffer_;
+};
+
+TEST_F(PartitionBufferTest, LoadMakesPartitionsResident) {
+  buffer_->SetResident({0, 1, 2});
+  EXPECT_TRUE(buffer_->IsResident(0));
+  EXPECT_TRUE(buffer_->IsResident(2));
+  EXPECT_FALSE(buffer_->IsResident(3));
+  EXPECT_EQ(buffer_->ResidentPartitions().size(), 3u);
+}
+
+TEST_F(PartitionBufferTest, ValuesMatchInit) {
+  buffer_->SetResident({0, 5});
+  for (int64_t v : partitioning_->NodesIn(5)) {
+    const float* row = buffer_->ValueRow(v);
+    for (int64_t d = 0; d < 4; ++d) {
+      EXPECT_FLOAT_EQ(row[d], init_(v, d));
+    }
+  }
+}
+
+TEST_F(PartitionBufferTest, DirtyWriteBackPersists) {
+  buffer_->SetResident({0, 1});
+  const int64_t node = partitioning_->NodesIn(1).front();
+  buffer_->ValueRow(node)[0] = 123.0f;
+  buffer_->MarkDirty(node);
+  buffer_->SetResident({2, 3});  // evicts 1 (dirty -> write back)
+  buffer_->SetResident({1});
+  EXPECT_FLOAT_EQ(buffer_->ValueRow(node)[0], 123.0f);
+}
+
+TEST_F(PartitionBufferTest, CleanEvictionDoesNotWrite) {
+  buffer_->SetResident({0, 1, 2});
+  buffer_->ResetDiskStats();
+  buffer_->SetResident({3, 4, 5});
+  EXPECT_EQ(buffer_->disk_stats().bytes_written, 0u);
+  EXPECT_GT(buffer_->disk_stats().bytes_read, 0u);
+}
+
+TEST_F(PartitionBufferTest, SwapIoIsIncremental) {
+  buffer_->SetResident({0, 1, 2});
+  buffer_->ResetDiskStats();
+  // One-partition swap reads one partition only.
+  buffer_->SetResident({0, 1, 3});
+  const uint64_t expected =
+      static_cast<uint64_t>(partitioning_->PartitionSize(3)) * 4 * sizeof(float) * 2;
+  EXPECT_EQ(buffer_->disk_stats().bytes_read, expected);  // values + adagrad state
+}
+
+TEST_F(PartitionBufferTest, ResidentNodesMatchesPartitions) {
+  buffer_->SetResident({2, 4});
+  auto nodes = buffer_->ResidentNodes();
+  EXPECT_EQ(static_cast<int64_t>(nodes.size()),
+            partitioning_->PartitionSize(2) + partitioning_->PartitionSize(4));
+}
+
+TEST_F(PartitionBufferTest, ExportAllRoundTrips) {
+  buffer_->SetResident({0, 1});
+  const int64_t node = partitioning_->NodesIn(0).front();
+  buffer_->ValueRow(node)[2] = -77.0f;
+  buffer_->MarkDirty(node);
+  Tensor all = buffer_->ExportAll();
+  ASSERT_EQ(all.rows(), graph_.num_nodes());
+  EXPECT_FLOAT_EQ(all(node, 2), -77.0f);
+  // Untouched rows match init.
+  const int64_t other = partitioning_->NodesIn(7).back();
+  EXPECT_FLOAT_EQ(all(other, 0), init_(other, 0));
+}
+
+// Parameterized sweep: round-trips hold for any (partitions, capacity) geometry.
+class BufferGeometryTest
+    : public ::testing::TestWithParam<std::pair<int32_t, int32_t>> {};
+
+TEST_P(BufferGeometryTest, RoundTripAcrossFullRotation) {
+  const auto [p, c] = GetParam();
+  Graph graph = LiveJournalMini(0.01);
+  Rng rng(42);
+  Partitioning partitioning(graph, p, PartitionAssignment::kRandom, rng);
+  Rng rng2(43);
+  Tensor init = Tensor::Uniform(graph.num_nodes(), 3, 1.0f, rng2);
+  const std::string path = TempPath("pb_geom");
+  PartitionBuffer buffer(&partitioning, 3, c, path, DiskModel(), true, &init);
+
+  // Touch every partition once, mutating one node in each.
+  std::vector<int64_t> touched;
+  for (int32_t part = 0; part < p; ++part) {
+    buffer.SetResident({part});
+    const int64_t node = partitioning.NodesIn(part).front();
+    buffer.ValueRow(node)[0] += 1.0f;
+    buffer.MarkDirty(node);
+    touched.push_back(node);
+  }
+  Tensor all = buffer.ExportAll();
+  for (int64_t node : touched) {
+    EXPECT_NEAR(all(node, 0), init(node, 0) + 1.0f, 1e-6);
+  }
+  // Untouched values intact.
+  for (int32_t part = 0; part < p; ++part) {
+    const int64_t other = partitioning.NodesIn(part).back();
+    if (other != partitioning.NodesIn(part).front()) {
+      EXPECT_FLOAT_EQ(all(other, 1), init(other, 1));
+    }
+  }
+  ::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, BufferGeometryTest,
+                         ::testing::Values(std::make_pair(2, 1), std::make_pair(4, 2),
+                                           std::make_pair(8, 3), std::make_pair(8, 8),
+                                           std::make_pair(16, 5)));
+
+TEST(InMemoryEmbeddingStore, GatherAndUpdate) {
+  Rng rng(3);
+  InMemoryEmbeddingStore store(10, 4, 0.5f, rng);
+  std::vector<int64_t> nodes = {1, 3, 1};
+  Tensor out;
+  store.Gather(nodes, &out);
+  ASSERT_EQ(out.rows(), 3);
+  EXPECT_FLOAT_EQ(out(0, 0), out(2, 0));  // duplicate gather identical
+
+  Tensor before;
+  store.Gather({5}, &before);
+  Tensor grads(1, 4);
+  grads.Fill(1.0f);
+  store.ApplyGradients({5}, grads, 0.1f);
+  Tensor after;
+  store.Gather({5}, &after);
+  for (int64_t d = 0; d < 4; ++d) {
+    EXPECT_LT(after(0, d), before(0, d));  // moved against positive gradient
+  }
+}
+
+TEST(InMemoryEmbeddingStore, FixedFeaturesIgnoreGradients) {
+  Tensor features = Tensor::Full(4, 2, 3.0f);
+  InMemoryEmbeddingStore store(std::move(features), /*trainable=*/false);
+  Tensor grads = Tensor::Full(1, 2, 1.0f);
+  store.ApplyGradients({0}, grads, 0.5f);
+  Tensor out;
+  store.Gather({0}, &out);
+  EXPECT_FLOAT_EQ(out(0, 0), 3.0f);
+}
+
+TEST(BufferedEmbeddingStore, UpdateMarksDirtyAndPersists) {
+  Graph graph = LiveJournalMini(0.01);
+  Rng rng(4);
+  Partitioning partitioning(graph, 4, PartitionAssignment::kRandom, rng);
+  Tensor init(graph.num_nodes(), 2);
+  const std::string path = TempPath("bes_test");
+  PartitionBuffer buffer(&partitioning, 2, 2, path, DiskModel(), true, &init);
+  BufferedEmbeddingStore store(&buffer, true);
+
+  buffer.SetResident({0, 1});
+  const int64_t node = partitioning.NodesIn(0).front();
+  Tensor grads = Tensor::Full(1, 2, 1.0f);
+  store.ApplyGradients({node}, grads, 0.5f);
+  Tensor row;
+  store.Gather({node}, &row);
+  EXPECT_LT(row(0, 0), 0.0f);
+
+  buffer.SetResident({2, 3});
+  buffer.SetResident({0, 1});
+  Tensor back;
+  store.Gather({node}, &back);
+  EXPECT_FLOAT_EQ(back(0, 0), row(0, 0));
+  ::remove(path.c_str());
+}
+
+TEST(BufferedEmbeddingStore, AdagradStatePersistsAcrossEviction) {
+  // Two equal gradients: second effective step must be smaller even if an
+  // eviction+reload happens in between (state stream round-trips through disk).
+  Graph graph = LiveJournalMini(0.01);
+  Rng rng(5);
+  Partitioning partitioning(graph, 4, PartitionAssignment::kRandom, rng);
+  Tensor init(graph.num_nodes(), 2);
+  const std::string path = TempPath("bes_state_test");
+  PartitionBuffer buffer(&partitioning, 2, 2, path, DiskModel(), true, &init);
+  BufferedEmbeddingStore store(&buffer, true);
+
+  buffer.SetResident({0, 1});
+  const int64_t node = partitioning.NodesIn(0).front();
+  Tensor grads = Tensor::Full(1, 2, 1.0f);
+  store.ApplyGradients({node}, grads, 1.0f);
+  Tensor after1;
+  store.Gather({node}, &after1);
+  const float step1 = -after1(0, 0);
+
+  buffer.SetResident({2, 3});
+  buffer.SetResident({0, 1});
+  store.ApplyGradients({node}, grads, 1.0f);
+  Tensor after2;
+  store.Gather({node}, &after2);
+  const float step2 = -after2(0, 0) - step1;
+  EXPECT_GT(step1, 0.0f);
+  EXPECT_LT(step2, step1);
+  ::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mariusgnn

@@ -1,0 +1,355 @@
+// Tests for the tensor substrate: shapes, kernels, and analytic-vs-numeric gradients
+// for the segment and softmax operations the GNN layers depend on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+
+namespace mariusgnn {
+namespace {
+
+Tensor MakeTensor(int64_t rows, int64_t cols, std::vector<float> v) {
+  return Tensor(rows, cols, std::move(v));
+}
+
+TEST(Tensor, ZerosAndFill) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_DOUBLE_EQ(t.Sum(), 0.0);
+  t.Fill(2.0f);
+  EXPECT_DOUBLE_EQ(t.Sum(), 24.0);
+}
+
+TEST(Tensor, SliceCopiesRows) {
+  Tensor t = MakeTensor(3, 2, {1, 2, 3, 4, 5, 6});
+  Tensor s = t.Slice(1, 3);
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_FLOAT_EQ(s(0, 0), 3);
+  EXPECT_FLOAT_EQ(s(1, 1), 6);
+}
+
+TEST(Tensor, GlorotUniformBounds) {
+  Rng rng(1);
+  Tensor t = Tensor::GlorotUniform(100, 50, rng);
+  const float bound = std::sqrt(6.0f / 150.0f);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_LE(std::abs(t.data()[i]), bound);
+  }
+}
+
+TEST(Ops, MatmulMatchesManual) {
+  Tensor a = MakeTensor(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = MakeTensor(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = Matmul(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 58);
+  EXPECT_FLOAT_EQ(c(0, 1), 64);
+  EXPECT_FLOAT_EQ(c(1, 0), 139);
+  EXPECT_FLOAT_EQ(c(1, 1), 154);
+}
+
+TEST(Ops, MatmulTransAConsistent) {
+  Rng rng(2);
+  Tensor a = Tensor::Normal(5, 3, 1.0f, rng);
+  Tensor b = Tensor::Normal(5, 4, 1.0f, rng);
+  Tensor c = MatmulTransA(a, b);  // (3x5)*(5x4)
+  // Verify against explicit transpose + matmul.
+  Tensor at(3, 5);
+  for (int64_t i = 0; i < 5; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      at(j, i) = a(i, j);
+    }
+  }
+  Tensor ref = Matmul(at, b);
+  for (int64_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], ref.data()[i], 1e-4);
+  }
+}
+
+TEST(Ops, MatmulTransBConsistent) {
+  Rng rng(3);
+  Tensor a = Tensor::Normal(4, 3, 1.0f, rng);
+  Tensor b = Tensor::Normal(6, 3, 1.0f, rng);
+  Tensor c = MatmulTransB(a, b);  // (4x3)*(3x6)
+  Tensor bt(3, 6);
+  for (int64_t i = 0; i < 6; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      bt(j, i) = b(i, j);
+    }
+  }
+  Tensor ref = Matmul(a, bt);
+  for (int64_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], ref.data()[i], 1e-4);
+  }
+}
+
+TEST(Ops, IndexSelectAndScatterAddInverse) {
+  Tensor t = MakeTensor(4, 2, {1, 2, 3, 4, 5, 6, 7, 8});
+  std::vector<int64_t> idx = {2, 0, 2};
+  Tensor sel = IndexSelect(t, idx);
+  EXPECT_FLOAT_EQ(sel(0, 0), 5);
+  EXPECT_FLOAT_EQ(sel(1, 0), 1);
+  EXPECT_FLOAT_EQ(sel(2, 1), 6);
+
+  Tensor acc(4, 2);
+  ScatterAddRows(acc, idx, sel);
+  EXPECT_FLOAT_EQ(acc(2, 0), 10);  // row 2 hit twice
+  EXPECT_FLOAT_EQ(acc(0, 1), 2);
+  EXPECT_FLOAT_EQ(acc(1, 0), 0);
+}
+
+TEST(Ops, SegmentSumBasic) {
+  Tensor src = MakeTensor(5, 2, {1, 1, 2, 2, 3, 3, 4, 4, 5, 5});
+  std::vector<int64_t> offsets = {0, 2, 2, 5};
+  Tensor out = SegmentSum(src, offsets);
+  ASSERT_EQ(out.rows(), 3);
+  EXPECT_FLOAT_EQ(out(0, 0), 3);   // rows 0+1
+  EXPECT_FLOAT_EQ(out(1, 0), 0);   // empty segment
+  EXPECT_FLOAT_EQ(out(2, 1), 12);  // rows 2+3+4
+}
+
+TEST(Ops, SegmentMeanBasic) {
+  Tensor src = MakeTensor(4, 1, {2, 4, 9, 0});
+  std::vector<int64_t> offsets = {0, 2, 4};
+  Tensor out = SegmentMean(src, offsets);
+  EXPECT_FLOAT_EQ(out(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(out(1, 0), 4.5f);
+}
+
+TEST(Ops, SegmentSumBackwardBroadcasts) {
+  Tensor grad = MakeTensor(2, 2, {1, 2, 3, 4});
+  std::vector<int64_t> offsets = {0, 3, 4};
+  Tensor gin = SegmentSumBackward(grad, offsets);
+  ASSERT_EQ(gin.rows(), 4);
+  for (int64_t r = 0; r < 3; ++r) {
+    EXPECT_FLOAT_EQ(gin(r, 0), 1);
+    EXPECT_FLOAT_EQ(gin(r, 1), 2);
+  }
+  EXPECT_FLOAT_EQ(gin(3, 0), 3);
+}
+
+TEST(Ops, SegmentMeanBackwardDivides) {
+  Tensor grad = MakeTensor(1, 1, {6});
+  std::vector<int64_t> offsets = {0, 3};
+  Tensor gin = SegmentMeanBackward(grad, offsets);
+  for (int64_t r = 0; r < 3; ++r) {
+    EXPECT_FLOAT_EQ(gin(r, 0), 2.0f);
+  }
+}
+
+TEST(Ops, SegmentSoftmaxNormalizesPerSegment) {
+  Tensor s = MakeTensor(5, 1, {1, 2, 3, 10, 10});
+  std::vector<int64_t> offsets = {0, 3, 5};
+  SegmentSoftmaxInPlace(s, offsets);
+  EXPECT_NEAR(s(0, 0) + s(1, 0) + s(2, 0), 1.0f, 1e-5);
+  EXPECT_NEAR(s(3, 0) + s(4, 0), 1.0f, 1e-5);
+  EXPECT_NEAR(s(3, 0), 0.5f, 1e-5);
+  EXPECT_GT(s(2, 0), s(1, 0));
+}
+
+TEST(Ops, SegmentSoftmaxBackwardNumeric) {
+  // Numeric check of d(sum(w . softmax(x))) / dx per segment.
+  Rng rng(4);
+  Tensor x = Tensor::Normal(6, 1, 1.0f, rng);
+  Tensor w = Tensor::Normal(6, 1, 1.0f, rng);
+  std::vector<int64_t> offsets = {0, 2, 6};
+
+  auto value = [&](const Tensor& input) {
+    Tensor p = input;
+    SegmentSoftmaxInPlace(p, offsets);
+    double v = 0.0;
+    for (int64_t i = 0; i < 6; ++i) {
+      v += w.data()[i] * p.data()[i];
+    }
+    return v;
+  };
+
+  Tensor probs = x;
+  SegmentSoftmaxInPlace(probs, offsets);
+  Tensor analytic = SegmentSoftmaxBackward(probs, w, offsets);
+
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < 6; ++i) {
+    Tensor xp = x, xm = x;
+    xp.data()[i] += eps;
+    xm.data()[i] -= eps;
+    const double numeric = (value(xp) - value(xm)) / (2.0 * eps);
+    EXPECT_NEAR(analytic.data()[i], numeric, 2e-2);
+  }
+}
+
+TEST(Ops, ReluAndBackward) {
+  Tensor t = MakeTensor(1, 4, {-1, 0, 2, -3});
+  Tensor out = Relu(t);
+  EXPECT_FLOAT_EQ(out(0, 0), 0);
+  EXPECT_FLOAT_EQ(out(0, 2), 2);
+  Tensor grad = MakeTensor(1, 4, {1, 1, 1, 1});
+  Tensor gin = ReluBackward(out, grad);
+  EXPECT_FLOAT_EQ(gin(0, 0), 0);
+  EXPECT_FLOAT_EQ(gin(0, 2), 1);
+}
+
+TEST(Ops, LeakyReluSlope) {
+  Tensor t = MakeTensor(1, 2, {-10, 10});
+  Tensor out = LeakyRelu(t, 0.1f);
+  EXPECT_FLOAT_EQ(out(0, 0), -1.0f);
+  EXPECT_FLOAT_EQ(out(0, 1), 10.0f);
+  Tensor grad = MakeTensor(1, 2, {1, 1});
+  Tensor gin = LeakyReluBackward(out, grad, 0.1f);
+  EXPECT_FLOAT_EQ(gin(0, 0), 0.1f);
+  EXPECT_FLOAT_EQ(gin(0, 1), 1.0f);
+}
+
+TEST(Ops, RowSoftmaxRowsSumToOne) {
+  Rng rng(5);
+  Tensor logits = Tensor::Normal(7, 9, 3.0f, rng);
+  Tensor p = RowSoftmax(logits);
+  for (int64_t r = 0; r < p.rows(); ++r) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < p.cols(); ++c) {
+      EXPECT_GE(p(r, c), 0.0f);
+      sum += p(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Ops, SoftmaxCrossEntropyGradientNumeric) {
+  Rng rng(6);
+  Tensor logits = Tensor::Normal(4, 5, 1.0f, rng);
+  std::vector<int64_t> labels = {0, 3, 2, 4};
+  Tensor dlogits;
+  const float loss = SoftmaxCrossEntropy(logits, labels, &dlogits);
+  EXPECT_GT(loss, 0.0f);
+
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < logits.size(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp.data()[i] += eps;
+    lm.data()[i] -= eps;
+    const float fp = SoftmaxCrossEntropy(lp, labels, nullptr);
+    const float fm = SoftmaxCrossEntropy(lm, labels, nullptr);
+    EXPECT_NEAR(dlogits.data()[i], (fp - fm) / (2 * eps), 5e-3);
+  }
+}
+
+TEST(Ops, SoftmaxCrossEntropyPerfectPrediction) {
+  Tensor logits = MakeTensor(2, 3, {100, 0, 0, 0, 0, 100});
+  const float loss = SoftmaxCrossEntropy(logits, {0, 2}, nullptr);
+  EXPECT_NEAR(loss, 0.0f, 1e-4);
+}
+
+TEST(Ops, AddBiasAndSumRows) {
+  Tensor t(2, 3);
+  Tensor bias = MakeTensor(1, 3, {1, 2, 3});
+  AddBiasRows(t, bias);
+  EXPECT_FLOAT_EQ(t(1, 2), 3);
+  Tensor s = SumRows(t);
+  EXPECT_FLOAT_EQ(s(0, 0), 2);
+  EXPECT_FLOAT_EQ(s(0, 2), 6);
+}
+
+TEST(Ops, RowL2Normalize) {
+  Tensor t = MakeTensor(2, 2, {3, 4, 0, 0});
+  RowL2NormalizeInPlace(t);
+  EXPECT_NEAR(t(0, 0), 0.6f, 1e-5);
+  EXPECT_NEAR(t(0, 1), 0.8f, 1e-5);
+  EXPECT_FLOAT_EQ(t(1, 0), 0.0f);  // zero row untouched
+}
+
+TEST(Ops, HadamardAndAxpy) {
+  Tensor a = MakeTensor(1, 3, {1, 2, 3});
+  Tensor b = MakeTensor(1, 3, {4, 5, 6});
+  Tensor h = Hadamard(a, b);
+  EXPECT_FLOAT_EQ(h(0, 2), 18);
+  Axpy(a, b, 2.0f);
+  EXPECT_FLOAT_EQ(a(0, 0), 9);
+}
+
+// Property sweep: SegmentSum ∘ SegmentSumBackward conserves mass for random shapes.
+class SegmentParamTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SegmentParamTest, SumBackwardAdjoint) {
+  // <SegmentSum(x), g> == <x, SegmentSumBackward(g)> (adjoint identity).
+  const int64_t segs = GetParam();
+  Rng rng(100 + static_cast<uint64_t>(segs));
+  std::vector<int64_t> offsets = {0};
+  for (int64_t s = 0; s < segs; ++s) {
+    offsets.push_back(offsets.back() + static_cast<int64_t>(rng.UniformInt(4)));
+  }
+  const int64_t rows = offsets.back();
+  Tensor x = Tensor::Normal(rows, 3, 1.0f, rng);
+  Tensor g = Tensor::Normal(segs, 3, 1.0f, rng);
+  Tensor y = SegmentSum(x, offsets);
+  Tensor gx = SegmentSumBackward(g, offsets);
+  double lhs = 0.0, rhs = 0.0;
+  for (int64_t i = 0; i < y.size(); ++i) {
+    lhs += static_cast<double>(y.data()[i]) * g.data()[i];
+  }
+  for (int64_t i = 0; i < x.size(); ++i) {
+    rhs += static_cast<double>(x.data()[i]) * gx.data()[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3 * (1.0 + std::abs(lhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SegmentParamTest,
+                         ::testing::Values(1, 2, 5, 17, 64, 200));
+
+// Adjoint identity for the matmul trio: <A x, y> == <x, A^T y> over random shapes.
+class MatmulParamTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t>> {};
+
+TEST_P(MatmulParamTest, TransposeAdjointIdentity) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(7 + static_cast<uint64_t>(m * 100 + k * 10 + n));
+  Tensor a = Tensor::Normal(m, k, 1.0f, rng);
+  Tensor x = Tensor::Normal(k, n, 1.0f, rng);
+  Tensor y = Tensor::Normal(m, n, 1.0f, rng);
+  Tensor ax = Matmul(a, x);
+  Tensor aty = MatmulTransA(a, y);  // A^T y
+  double lhs = 0.0, rhs = 0.0;
+  for (int64_t i = 0; i < ax.size(); ++i) {
+    lhs += static_cast<double>(ax.data()[i]) * y.data()[i];
+  }
+  for (int64_t i = 0; i < aty.size(); ++i) {
+    rhs += static_cast<double>(aty.data()[i]) * x.data()[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-2 * (1.0 + std::abs(lhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatmulParamTest,
+                         ::testing::Values(std::make_tuple(1, 1, 1),
+                                           std::make_tuple(3, 5, 2),
+                                           std::make_tuple(16, 8, 4),
+                                           std::make_tuple(7, 31, 13),
+                                           std::make_tuple(64, 32, 16)));
+
+TEST(Ops, SegmentSoftmaxAllEmptySegments) {
+  Tensor s(0, 1);
+  std::vector<int64_t> offsets = {0, 0, 0};
+  SegmentSoftmaxInPlace(s, offsets);  // must not crash
+  EXPECT_EQ(s.rows(), 0);
+}
+
+TEST(Ops, IndexSelectEmpty) {
+  Tensor t = Tensor::Full(3, 2, 1.0f);
+  Tensor out = IndexSelect(t, {});
+  EXPECT_EQ(out.rows(), 0);
+  EXPECT_EQ(out.cols(), 2);
+}
+
+TEST(Ops, SegmentSumSingleRowSegments) {
+  // Identity when every segment has exactly one row.
+  Rng rng(9);
+  Tensor src = Tensor::Normal(6, 3, 1.0f, rng);
+  std::vector<int64_t> offsets = {0, 1, 2, 3, 4, 5, 6};
+  Tensor out = SegmentSum(src, offsets);
+  for (int64_t i = 0; i < src.size(); ++i) {
+    EXPECT_FLOAT_EQ(out.data()[i], src.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace mariusgnn

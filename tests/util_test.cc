@@ -1,0 +1,270 @@
+// Tests for src/util: RNG, thread pool, binary IO, queue, timers, check macros.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "src/pipeline/pipeline.h"
+#include "src/pipeline/queue.h"
+#include "src/util/binary_io.h"
+#include "src/util/rng.h"
+#include "src/util/threadpool.h"
+#include "src/util/timer.h"
+
+namespace mariusgnn {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(17);
+    EXPECT_LT(v, 17u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 13);
+    EXPECT_GE(v, -5);
+    EXPECT_LT(v, 13);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.UniformInt(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntBoundOne) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.UniformInt(1), 0u);
+  }
+}
+
+TEST(Rng, ShuffleDegenerateSizes) {
+  Rng rng(4);
+  std::vector<int> empty;
+  rng.Shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.Shuffle(one);
+  EXPECT_EQ(one[0], 42);
+}
+
+TEST(Rng, UniformFloatInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.UniformFloat();
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(Rng, NormalHasReasonableMoments) {
+  Rng rng(5);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(9);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be equal
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(13);
+  for (int64_t population : {10, 100, 10000}) {
+    for (int64_t count : {1, 5, 9}) {
+      auto s = rng.SampleWithoutReplacement(population, count);
+      ASSERT_EQ(static_cast<int64_t>(s.size()), count);
+      std::set<int64_t> uniq(s.begin(), s.end());
+      EXPECT_EQ(static_cast<int64_t>(uniq.size()), count);
+      for (int64_t v : s) {
+        EXPECT_GE(v, 0);
+        EXPECT_LT(v, population);
+      }
+    }
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementAllWhenCountExceeds) {
+  Rng rng(13);
+  auto s = rng.SampleWithoutReplacement(5, 10);
+  ASSERT_EQ(s.size(), 5u);
+  std::sort(s.begin(), s.end());
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(s[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementUniformish) {
+  // Each element of [0,20) should appear in roughly half of 10-element samples.
+  Rng rng(17);
+  std::vector<int> hits(20, 0);
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    for (int64_t v : rng.SampleWithoutReplacement(20, 10)) {
+      ++hits[static_cast<size_t>(v)];
+    }
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / trials, 0.5, 0.06);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.ParallelFor(1000, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      counts[static_cast<size_t>(i)].fetch_add(1);
+    }
+  }, /*min_chunk=*/10);
+  for (auto& c : counts) {
+    EXPECT_EQ(c.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyAndSmall) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(5, [&](int64_t b, int64_t e) { total.fetch_add(e - b); });
+  EXPECT_EQ(total.load(), 5);
+}
+
+TEST(ThreadPool, SubmitAndWait) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(File, ReadWriteRoundTrip) {
+  const std::string path = TempPath("util_test_file");
+  {
+    File f(path, /*truncate=*/true);
+    const char data[] = "hello mariusgnn";
+    f.WriteAt(data, sizeof(data), 100);
+    EXPECT_EQ(f.Size(), 100 + sizeof(data));
+    char back[sizeof(data)];
+    f.ReadAt(back, sizeof(data), 100);
+    EXPECT_STREQ(back, "hello mariusgnn");
+  }
+  ::remove(path.c_str());
+}
+
+TEST(File, VectorRoundTrip) {
+  const std::string path = TempPath("util_test_vec");
+  std::vector<int64_t> v = {1, -2, 3, 1LL << 40};
+  WriteVector(path, v);
+  EXPECT_EQ(ReadVector<int64_t>(path), v);
+  WriteVector(path, std::vector<int64_t>{});
+  EXPECT_TRUE(ReadVector<int64_t>(path).empty());
+  ::remove(path.c_str());
+}
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(q.Push(i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BoundedQueue, CloseUnblocksAndDrains) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.Push(1));
+  q.Close();
+  EXPECT_FALSE(q.Push(2));
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BoundedQueue, BlocksProducerWhenFull) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.Push(0));
+  std::atomic<bool> pushed{false};
+  std::thread t([&] {
+    q.Push(1);
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  q.Pop();
+  t.join();
+  EXPECT_TRUE(pushed.load());
+}
+
+TEST(Pipeline, ProcessesAllInOrder) {
+  std::vector<int64_t> consumed;
+  RunPipelined<int64_t>(
+      100, 4, [](int64_t i) { return i * 2; },
+      [&](int64_t& item, int64_t i) {
+        EXPECT_EQ(item, i * 2);
+        consumed.push_back(item);
+      });
+  EXPECT_EQ(consumed.size(), 100u);
+}
+
+TEST(VirtualClock, Accumulates) {
+  VirtualClock clock;
+  clock.Advance(1.5);
+  clock.Advance(0.25);
+  EXPECT_DOUBLE_EQ(clock.Seconds(), 1.75);
+  clock.Reset();
+  EXPECT_DOUBLE_EQ(clock.Seconds(), 0.0);
+}
+
+TEST(WallTimer, MeasuresElapsed) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(timer.Millis(), 5.0);
+}
+
+}  // namespace
+}  // namespace mariusgnn
