@@ -2,13 +2,16 @@
 #ifndef SRC_CORE_CONFIG_H_
 #define SRC_CORE_CONFIG_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/graph/neighbor_index.h"
 #include "src/nn/encoder.h"
+#include "src/pipeline/training_pipeline.h"
 #include "src/storage/disk.h"
+#include "src/util/check.h"
 
 namespace mariusgnn {
 
@@ -32,6 +35,10 @@ struct TrainingConfig {
   float embedding_lr = 0.1f;          // sparse Adagrad on base representations
   float weight_lr = 0.01f;            // Adagrad on GNN/decoder weights
   bool pipelined = true;              // overlap sampling with compute
+  // Batch-construction workers when pipelined (TrainingPipeline). Worker count never
+  // changes results: batches are derived from per-batch seeds and consumed in order.
+  int pipeline_workers = 2;
+  int64_t pipeline_queue_capacity = 4;  // prepared batches buffered ahead of compute
   uint64_t seed = 7;
 
   // Storage.
@@ -47,17 +54,50 @@ struct TrainingConfig {
   std::string storage_dir;  // defaults to a fresh temp path
 
   int64_t num_layers() const { return static_cast<int64_t>(fanouts.size()); }
+
+  // Pipeline settings for one epoch run, validated (both trainers drive their
+  // TrainingPipeline through this so the wiring cannot diverge).
+  PipelineOptions MakePipelineOptions() const {
+    MG_CHECK_MSG(pipeline_queue_capacity > 0, "pipeline_queue_capacity must be > 0");
+    MG_CHECK_MSG(pipeline_workers >= 0, "pipeline_workers must be >= 0");
+    PipelineOptions options;
+    options.workers = pipelined ? pipeline_workers : 0;
+    options.queue_capacity = static_cast<size_t>(pipeline_queue_capacity);
+    return options;
+  }
 };
 
 struct EpochStats {
   double loss = 0.0;
+  // Per-stage breakdown of the pipeline (Figure 2): sample = batch construction
+  // across workers, io = modeled partition IO, compute = the training stage's wall
+  // time, stalls = time a stage spent waiting on another.
   double wall_seconds = 0.0;      // compute + unhidden IO stalls
   double compute_seconds = 0.0;
+  double sample_seconds = 0.0;    // batch construction (overlaps compute when pipelined)
   double io_seconds = 0.0;        // total modeled IO
   double io_stall_seconds = 0.0;  // IO not hidden by prefetch overlap
+  double pipeline_stall_seconds = 0.0;  // compute blocked waiting for the next batch
   int64_t num_batches = 0;
   int64_t num_examples = 0;
   int64_t num_partition_sets = 0;
+
+  // Folds one pipeline run over `num_examples` examples into the epoch totals.
+  void AccumulatePipeline(const PipelineStats& ps, int64_t examples) {
+    num_batches += ps.num_items;
+    num_examples += examples;
+    sample_seconds += ps.sample_seconds;
+    pipeline_stall_seconds += ps.stall_seconds;
+  }
+
+  // Folds one partition swap into the epoch totals: synchronous IO (loads the
+  // prefetcher missed) stalls in full; background IO (prefetch reads + async
+  // write-backs) only by its excess over the compute it overlapped.
+  void AccumulateSwapIo(double sync_io, double background_io,
+                        double overlapped_compute) {
+    io_seconds += sync_io + background_io;
+    io_stall_seconds += sync_io + std::max(0.0, background_io - overlapped_compute);
+  }
 };
 
 }  // namespace mariusgnn

@@ -5,7 +5,7 @@
 #include <unordered_map>
 
 #include "src/eval/metrics.h"
-#include "src/pipeline/pipeline.h"
+#include "src/pipeline/training_pipeline.h"
 #include "src/policy/beta.h"
 #include "src/policy/comet.h"
 #include "src/tensor/ops.h"
@@ -86,7 +86,7 @@ LinkPredictionTrainer::LinkPredictionTrainer(const Graph* graph, TrainingConfig 
     buffer_ = std::make_unique<PartitionBuffer>(partitioning_.get(), emb_dim,
                                                 config_.buffer_capacity, path,
                                                 config_.disk_model, /*learnable=*/true,
-                                                &init);
+                                                &init, /*async_io=*/config_.prefetch);
     disk_store_ = std::make_unique<BufferedEmbeddingStore>(buffer_.get(), true);
     store_ = disk_store_.get();
     if (config_.policy == "beta") {
@@ -104,9 +104,12 @@ LinkPredictionTrainer::LinkPredictionTrainer(const Graph* graph, TrainingConfig 
 
 LinkPredictionTrainer::~LinkPredictionTrainer() = default;
 
+// Batch construction (pipeline stage 1). Runs on worker threads: everything is
+// derived from `batch_seed` and read-only state, so the batch is identical for any
+// worker count (samplers must already point at the right index — see RunBatches).
 LinkPredictionTrainer::PreparedBatch LinkPredictionTrainer::PrepareBatch(
-    const std::vector<int64_t>& edge_ids, const NeighborIndex& index,
-    UniformNegativeSampler& negatives) {
+    const std::vector<int64_t>& edge_ids, const UniformNegativeSampler& negatives,
+    uint64_t batch_seed) const {
   PreparedBatch batch;
   std::unordered_map<int64_t, int64_t> row_of;
   row_of.reserve(edge_ids.size() * 3);
@@ -127,18 +130,16 @@ LinkPredictionTrainer::PreparedBatch LinkPredictionTrainer::PrepareBatch(
     batch.dst_rows.push_back(row(edge.dst));
     batch.rels.push_back(edge.rel);
   }
-  for (int64_t n : negatives.Sample(config_.num_negatives)) {
+  for (int64_t n : negatives.SampleSeeded(config_.num_negatives, MixSeed(batch_seed, 1))) {
     batch.neg_rows.push_back(row(n));
   }
 
   if (dense_sampler_ != nullptr) {
-    dense_sampler_->set_index(&index);
-    batch.dense = dense_sampler_->Sample(batch.targets);
+    batch.dense = dense_sampler_->SampleSeeded(batch.targets, MixSeed(batch_seed, 2));
     batch.dense.FinalizeForDevice();
     batch.dense_nodes = batch.dense.node_ids;
   } else if (layerwise_sampler_ != nullptr) {
-    layerwise_sampler_->set_index(&index);
-    batch.layerwise = layerwise_sampler_->Sample(batch.targets);
+    batch.layerwise = layerwise_sampler_->SampleSeeded(batch.targets, MixSeed(batch_seed, 3));
   }
   return batch;
 }
@@ -176,42 +177,33 @@ float LinkPredictionTrainer::ConsumeBatch(PreparedBatch& batch) {
   return loss;
 }
 
-float LinkPredictionTrainer::TrainBatch(const std::vector<int64_t>& edge_ids,
-                                        const NeighborIndex& index,
-                                        UniformNegativeSampler& negatives) {
-  PreparedBatch batch = PrepareBatch(edge_ids, index, negatives);
-  return ConsumeBatch(batch);
-}
-
 void LinkPredictionTrainer::RunBatches(const std::vector<int64_t>& edge_ids,
                                        const NeighborIndex& index,
-                                       UniformNegativeSampler& negatives,
+                                       const UniformNegativeSampler& negatives,
                                        EpochStats* stats) {
   const int64_t total = static_cast<int64_t>(edge_ids.size());
   if (total == 0) {
     return;
   }
-  const int64_t bs = config_.batch_size;
-  const int64_t num_batches = (total + bs - 1) / bs;
-  auto slice = [&](int64_t b) {
-    const int64_t begin = b * bs;
-    const int64_t end = std::min(begin + bs, total);
-    return std::vector<int64_t>(edge_ids.begin() + begin, edge_ids.begin() + end);
-  };
-
-  if (config_.pipelined) {
-    RunPipelined<PreparedBatch>(
-        num_batches, /*queue_capacity=*/4,
-        [&](int64_t b) { return PrepareBatch(slice(b), index, negatives); },
-        [&](PreparedBatch& batch, int64_t) { stats->loss += ConsumeBatch(batch); });
-  } else {
-    for (int64_t b = 0; b < num_batches; ++b) {
-      const std::vector<int64_t> ids = slice(b);
-      stats->loss += TrainBatch(ids, index, negatives);
-    }
+  // Point the samplers at this run's index once, up front; workers then only call
+  // const, seed-driven sampling methods.
+  if (dense_sampler_ != nullptr) {
+    dense_sampler_->set_index(&index);
   }
-  stats->num_batches += num_batches;
-  stats->num_examples += total;
+  if (layerwise_sampler_ != nullptr) {
+    layerwise_sampler_->set_index(&index);
+  }
+  const uint64_t run_seed = rng_.Next();
+
+  TrainingPipeline pipeline(config_.MakePipelineOptions());
+  const PipelineStats ps = pipeline.RunBatches<PreparedBatch>(
+      total, config_.batch_size,
+      [&](int64_t begin, int64_t end, int64_t b) {
+        const std::vector<int64_t> ids(edge_ids.begin() + begin, edge_ids.begin() + end);
+        return PrepareBatch(ids, negatives, MixSeed(run_seed, static_cast<uint64_t>(b)));
+      },
+      [&](PreparedBatch& batch, int64_t) { stats->loss += ConsumeBatch(batch); });
+  stats->AccumulatePipeline(ps, total);
 }
 
 EpochStats LinkPredictionTrainer::TrainEpochInMemory() {
@@ -243,10 +235,15 @@ EpochStats LinkPredictionTrainer::TrainEpochDisk() {
 
   double prev_compute = 0.0;
   for (int64_t i = 0; i < plan.num_sets(); ++i) {
-    const double io = buffer_->SetResident(plan.sets[static_cast<size_t>(i)]);
-    stats.io_seconds += io;
-    const double stall = config_.prefetch ? std::max(0.0, io - prev_compute) : io;
-    stats.io_stall_seconds += stall;
+    const double sync_io = buffer_->SetResident(plan.sets[static_cast<size_t>(i)]);
+    stats.AccumulateSwapIo(sync_io, buffer_->ConsumeBackgroundIoSeconds(),
+                           prev_compute);
+
+    // Stage the next set's partitions while this set trains (Figure 2's partition
+    // prefetch); the policy knows the upcoming swap.
+    if (config_.prefetch && i + 1 < plan.num_sets()) {
+      buffer_->Prefetch(policy_->Lookahead(plan, i));
+    }
 
     WallTimer set_timer;
     // In-memory subgraph: all edges between resident partitions (Section 4.1).
@@ -272,14 +269,17 @@ EpochStats LinkPredictionTrainer::TrainEpochDisk() {
     }
     rng_.Shuffle(train_ids);
 
-    UniformNegativeSampler negatives(buffer_->ResidentNodes(), rng_.Next());
+    const UniformNegativeSampler negatives(buffer_->ResidentNodes(), rng_.Next());
     RunBatches(train_ids, index, negatives, &stats);
     prev_compute = set_timer.Seconds();
     stats.compute_seconds += prev_compute;
   }
+  // End-of-epoch flush: write-backs still in flight drained plus the final dirty
+  // evictions. Background leftovers are charged conservatively as full stalls.
   const double flush_io = buffer_->FlushAll();
-  stats.io_seconds += flush_io;
-  stats.io_stall_seconds += flush_io;
+  const double leftover_bg = buffer_->ConsumeBackgroundIoSeconds();
+  stats.io_seconds += flush_io + leftover_bg;
+  stats.io_stall_seconds += flush_io + leftover_bg;
   stats.wall_seconds = stats.compute_seconds + stats.io_stall_seconds;
   if (stats.num_batches > 0) {
     stats.loss /= static_cast<double>(stats.num_batches);

@@ -52,18 +52,20 @@ class LinkPredictionTrainer {
  private:
   struct PreparedBatch;
 
-  // Trains one mini batch of edge ids using `index` for sampling and `negatives` as
-  // the corruption universe; returns the batch loss.
-  float TrainBatch(const std::vector<int64_t>& edge_ids, const NeighborIndex& index,
-                   UniformNegativeSampler& negatives);
+  // Pipeline stage 1 (worker threads): builds one mini batch of edge ids. Pure in
+  // `batch_seed`: negatives and neighborhood samples come from seed-derived RNG
+  // streams, so the batch does not depend on worker scheduling. The samplers must
+  // already point at the active NeighborIndex (RunBatches sets this up).
   PreparedBatch PrepareBatch(const std::vector<int64_t>& edge_ids,
-                             const NeighborIndex& index,
-                             UniformNegativeSampler& negatives);
+                             const UniformNegativeSampler& negatives,
+                             uint64_t batch_seed) const;
+  // Pipeline stage 3 (calling thread, in batch order): forward/backward/update.
   float ConsumeBatch(PreparedBatch& batch);
 
-  // Runs all batches of `edge_ids` (already shuffled), pipelined when configured.
+  // Runs all batches of `edge_ids` (already shuffled) through the TrainingPipeline;
+  // config_.pipelined / pipeline_workers choose serial vs parallel construction.
   void RunBatches(const std::vector<int64_t>& edge_ids, const NeighborIndex& index,
-                  UniformNegativeSampler& negatives, EpochStats* stats);
+                  const UniformNegativeSampler& negatives, EpochStats* stats);
 
   EpochStats TrainEpochInMemory();
   EpochStats TrainEpochDisk();

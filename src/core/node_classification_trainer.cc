@@ -2,7 +2,8 @@
 
 #include <algorithm>
 
-#include "src/pipeline/pipeline.h"
+#include "src/pipeline/training_pipeline.h"
+#include "src/policy/policy.h"
 #include "src/tensor/ops.h"
 #include "src/util/binary_io.h"
 #include "src/util/check.h"
@@ -59,7 +60,8 @@ NodeClassificationTrainer::NodeClassificationTrainer(const Graph* graph,
                                  : config_.storage_dir + "/features.bin";
     buffer_ = std::make_unique<PartitionBuffer>(
         partitioning_.get(), graph_->features().cols(), config_.buffer_capacity, path,
-        config_.disk_model, /*learnable=*/false, &graph_->features());
+        config_.disk_model, /*learnable=*/false, &graph_->features(),
+        /*async_io=*/config_.prefetch);
   }
 }
 
@@ -78,8 +80,10 @@ Tensor NodeClassificationTrainer::GatherFeatures(const std::vector<int64_t>& nod
   return out;
 }
 
+// Batch construction (pipeline stage 1). Runs on worker threads: everything is
+// derived from `batch_seed` and read-only state (see training_pipeline.h).
 NodeClassificationTrainer::PreparedBatch NodeClassificationTrainer::PrepareBatch(
-    const std::vector<int64_t>& nodes, const NeighborIndex& index) {
+    const std::vector<int64_t>& nodes, uint64_t batch_seed) const {
   PreparedBatch batch;
   batch.nodes = nodes;
   batch.labels.reserve(nodes.size());
@@ -87,13 +91,11 @@ NodeClassificationTrainer::PreparedBatch NodeClassificationTrainer::PrepareBatch
     batch.labels.push_back(graph_->labels()[static_cast<size_t>(v)]);
   }
   if (dense_sampler_ != nullptr) {
-    dense_sampler_->set_index(&index);
-    batch.dense = dense_sampler_->Sample(nodes);
+    batch.dense = dense_sampler_->SampleSeeded(nodes, MixSeed(batch_seed, 2));
     batch.dense.FinalizeForDevice();
     batch.dense_nodes = batch.dense.node_ids;
   } else {
-    layerwise_sampler_->set_index(&index);
-    batch.layerwise = layerwise_sampler_->Sample(nodes);
+    batch.layerwise = layerwise_sampler_->SampleSeeded(nodes, MixSeed(batch_seed, 3));
   }
   return batch;
 }
@@ -126,26 +128,25 @@ void NodeClassificationTrainer::RunBatches(const std::vector<int64_t>& nodes,
   if (total == 0) {
     return;
   }
-  const int64_t bs = config_.batch_size;
-  const int64_t num_batches = (total + bs - 1) / bs;
-  auto slice = [&](int64_t b) {
-    const int64_t begin = b * bs;
-    const int64_t end = std::min(begin + bs, total);
-    return std::vector<int64_t>(nodes.begin() + begin, nodes.begin() + end);
-  };
-  if (config_.pipelined) {
-    RunPipelined<PreparedBatch>(
-        num_batches, /*queue_capacity=*/4,
-        [&](int64_t b) { return PrepareBatch(slice(b), index); },
-        [&](PreparedBatch& batch, int64_t) { stats->loss += ConsumeBatch(batch); });
-  } else {
-    for (int64_t b = 0; b < num_batches; ++b) {
-      PreparedBatch batch = PrepareBatch(slice(b), index);
-      stats->loss += ConsumeBatch(batch);
-    }
+  // Point the samplers at this run's index once, up front; workers then only call
+  // const, seed-driven sampling methods.
+  if (dense_sampler_ != nullptr) {
+    dense_sampler_->set_index(&index);
   }
-  stats->num_batches += num_batches;
-  stats->num_examples += total;
+  if (layerwise_sampler_ != nullptr) {
+    layerwise_sampler_->set_index(&index);
+  }
+  const uint64_t run_seed = rng_.Next();
+
+  TrainingPipeline pipeline(config_.MakePipelineOptions());
+  const PipelineStats ps = pipeline.RunBatches<PreparedBatch>(
+      total, config_.batch_size,
+      [&](int64_t begin, int64_t end, int64_t b) {
+        const std::vector<int64_t> ids(nodes.begin() + begin, nodes.begin() + end);
+        return PrepareBatch(ids, MixSeed(run_seed, static_cast<uint64_t>(b)));
+      },
+      [&](PreparedBatch& batch, int64_t) { stats->loss += ConsumeBatch(batch); });
+  stats->AccumulatePipeline(ps, total);
 }
 
 EpochStats NodeClassificationTrainer::TrainEpoch() {
@@ -168,9 +169,13 @@ EpochStats NodeClassificationTrainer::TrainEpoch() {
     // (in the cached regime all training partitions are resident in the single set).
     std::vector<char> partition_done(static_cast<size_t>(config_.num_physical), 0);
     for (size_t i = 0; i < sets.size(); ++i) {
-      const double io = buffer_->SetResident(sets[i]);
-      stats.io_seconds += io;
-      stats.io_stall_seconds += config_.prefetch ? std::max(0.0, io - prev_compute) : io;
+      const double sync_io = buffer_->SetResident(sets[i]);
+      stats.AccumulateSwapIo(sync_io, buffer_->ConsumeBackgroundIoSeconds(),
+                             prev_compute);
+
+      if (config_.prefetch && i + 1 < sets.size()) {
+        buffer_->Prefetch(PrefetchDelta(sets[i], sets[i + 1]));
+      }
 
       WallTimer set_timer;
       std::vector<Edge> resident_edges;

@@ -44,8 +44,12 @@ class NodeClassificationTrainer {
  private:
   struct PreparedBatch;
 
-  PreparedBatch PrepareBatch(const std::vector<int64_t>& nodes, const NeighborIndex& index);
+  // Pipeline stage 1 (worker threads): pure in `batch_seed`, read-only state; the
+  // samplers must already point at the active NeighborIndex (RunBatches does this).
+  PreparedBatch PrepareBatch(const std::vector<int64_t>& nodes, uint64_t batch_seed) const;
+  // Pipeline stage 3 (calling thread, in batch order).
   float ConsumeBatch(PreparedBatch& batch);
+  // Runs all batches through the TrainingPipeline (serial when !config_.pipelined).
   void RunBatches(const std::vector<int64_t>& nodes, const NeighborIndex& index,
                   EpochStats* stats);
   Tensor GatherFeatures(const std::vector<int64_t>& nodes, bool from_graph);

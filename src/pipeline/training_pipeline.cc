@@ -1,0 +1,130 @@
+#include "src/pipeline/training_pipeline.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+
+#include "src/pipeline/queue.h"
+#include "src/util/check.h"
+#include "src/util/timer.h"
+
+namespace mariusgnn {
+
+TrainingPipeline::TrainingPipeline(PipelineOptions options)
+    : options_(std::move(options)) {
+  MG_CHECK(options_.queue_capacity > 0);
+  MG_CHECK(options_.workers >= 0);
+}
+
+PipelineStats TrainingPipeline::RunSerial(int64_t n, const Producer& produce,
+                                          const Consumer& consume) {
+  PipelineStats stats;
+  for (int64_t i = 0; i < n; ++i) {
+    WallTimer sample_timer;
+    std::shared_ptr<void> item = produce(i);
+    stats.sample_seconds += sample_timer.Seconds();
+    WallTimer compute_timer;
+    consume(item.get(), i);
+    stats.compute_seconds += compute_timer.Seconds();
+  }
+  stats.num_items = n;
+  return stats;
+}
+
+PipelineStats TrainingPipeline::Run(int64_t n, const Producer& produce,
+                                    const Consumer& consume) {
+  if (n <= 0) {
+    return PipelineStats();
+  }
+  if (options_.workers <= 0) {
+    return RunSerial(n, produce, consume);
+  }
+  ThreadPool& pool = options_.pool != nullptr ? *options_.pool : ThreadPool::Global();
+  const int workers = options_.workers;
+
+  struct Produced {
+    int64_t index;
+    std::shared_ptr<void> item;
+  };
+  BoundedQueue<Produced> queue(options_.queue_capacity);
+
+  // Ticket counter: each worker claims the next unclaimed batch index. The window
+  // gate stops a worker from *starting* an index more than `window` ahead of the
+  // consumer, which bounds the reorder buffer at `window` entries.
+  std::atomic<int64_t> next_ticket{0};
+  const int64_t window =
+      static_cast<int64_t>(options_.queue_capacity) + static_cast<int64_t>(workers);
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  int64_t consumed = 0;  // guarded by gate_mu
+
+  std::atomic<int64_t> sample_nanos{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int workers_left = workers;  // guarded by done_mu
+
+  for (int w = 0; w < workers; ++w) {
+    pool.Submit([&] {
+      for (;;) {
+        const int64_t i = next_ticket.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) {
+          break;
+        }
+        {
+          std::unique_lock<std::mutex> lock(gate_mu);
+          gate_cv.wait(lock, [&] { return i < consumed + window; });
+        }
+        WallTimer timer;
+        std::shared_ptr<void> item = produce(i);
+        sample_nanos.fetch_add(static_cast<int64_t>(timer.Seconds() * 1e9),
+                               std::memory_order_relaxed);
+        MG_CHECK(queue.Push(Produced{i, std::move(item)}));
+      }
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--workers_left == 0) {
+        done_cv.notify_all();
+      }
+    });
+  }
+
+  // Reassembly + compute on the calling thread: drain the queue into a reorder
+  // buffer and consume strictly in index order.
+  PipelineStats stats;
+  std::map<int64_t, std::shared_ptr<void>> reorder;
+  int64_t next_consume = 0;
+  while (next_consume < n) {
+    auto it = reorder.find(next_consume);
+    if (it == reorder.end()) {
+      WallTimer wait_timer;
+      std::optional<Produced> got = queue.Pop();
+      stats.stall_seconds += wait_timer.Seconds();
+      MG_CHECK(got.has_value());
+      reorder.emplace(got->index, std::move(got->item));
+      continue;
+    }
+    std::shared_ptr<void> item = std::move(it->second);
+    reorder.erase(it);
+    WallTimer compute_timer;
+    consume(item.get(), next_consume);
+    stats.compute_seconds += compute_timer.Seconds();
+    ++next_consume;
+    {
+      std::lock_guard<std::mutex> lock(gate_mu);
+      consumed = next_consume;
+    }
+    gate_cv.notify_all();
+  }
+
+  // All n items were pushed and consumed, so every worker's ticket loop is past the
+  // end; wait for the loop bodies to finish before the stack state goes away.
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return workers_left == 0; });
+  }
+  stats.sample_seconds = static_cast<double>(sample_nanos.load()) * 1e-9;
+  stats.num_items = n;
+  return stats;
+}
+
+}  // namespace mariusgnn

@@ -1,0 +1,105 @@
+// Multi-stage asynchronous training pipeline (Section 3, Figure 2).
+//
+// MariusGNN keeps out-of-core training compute-bound by overlapping the CPU-heavy
+// stages of an epoch with model compute. This subsystem is the shared engine both
+// trainers drive their epochs through:
+//
+//   stage 1  batch construction — N workers on the shared ThreadPool each pull the
+//            next batch index from a ticket counter, build the batch (DENSE/layer-wise
+//            sampling + negative sampling), and push it into a BoundedQueue;
+//   stage 2  reassembly — the consumer drains the queue into a small reorder buffer
+//            and hands batches to the compute callback strictly in batch-index order,
+//            so training is bitwise-identical to a serial run for any worker count;
+//   stage 3  compute — forward/backward/update runs on the calling thread (the
+//            paper's GPU stage), while workers are already sampling future batches.
+//
+// Determinism contract: the producer callback must depend only on the batch index
+// (derive per-batch RNG streams from MixSeed(run_seed, index)), never on which worker
+// runs it or in which order batches finish. A window gate keeps workers at most
+// queue_capacity + workers batches ahead of the consumer, bounding memory.
+//
+// The partition-IO stage of Figure 2 lives in PartitionBuffer::Prefetch (storage
+// layer); OrderingPolicy::Lookahead tells the trainer which partitions to stage next.
+#ifndef SRC_PIPELINE_TRAINING_PIPELINE_H_
+#define SRC_PIPELINE_TRAINING_PIPELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/threadpool.h"
+
+namespace mariusgnn {
+
+struct PipelineOptions {
+  // Batch-construction workers. 0 runs everything serially on the calling thread
+  // (same batch stream, no threads) — the non-pipelined baseline.
+  int workers = 2;
+  // Prepared batches buffered between construction and compute (Figure 2's
+  // "Pipeline Queue" depth).
+  size_t queue_capacity = 4;
+  // Pool the workers run on; nullptr = ThreadPool::Global().
+  ThreadPool* pool = nullptr;
+};
+
+// Per-stage timing breakdown of one pipeline run.
+struct PipelineStats {
+  double sample_seconds = 0.0;   // total batch-construction time across workers
+  double compute_seconds = 0.0;  // total consumer-callback time
+  double stall_seconds = 0.0;    // consumer time blocked waiting for the next batch
+  int64_t num_items = 0;
+};
+
+class TrainingPipeline {
+ public:
+  explicit TrainingPipeline(PipelineOptions options = PipelineOptions());
+
+  // Type-erased item stream. Producer may run on any worker thread and must be
+  // thread-safe + index-deterministic; consumer runs on the calling thread, in order.
+  using Producer = std::function<std::shared_ptr<void>(int64_t index)>;
+  using Consumer = std::function<void(void* item, int64_t index)>;
+
+  // Runs producer(i) / consumer(item, i) for i in [0, n); returns stage timings.
+  // Exceptions are not expected (library code aborts via MG_CHECK).
+  PipelineStats Run(int64_t n, const Producer& produce, const Consumer& consume);
+
+  // Typed convenience wrapper.
+  template <typename T, typename P, typename C>
+  PipelineStats RunTyped(int64_t n, P&& produce, C&& consume) {
+    return Run(
+        n,
+        [&produce](int64_t i) -> std::shared_ptr<void> {
+          return std::make_shared<T>(produce(i));
+        },
+        [&consume](void* item, int64_t i) { consume(*static_cast<T*>(item), i); });
+  }
+
+  // Epoch helper shared by both trainers: slices [0, total) into contiguous batches
+  // of `batch_size` and pipelines them. produce receives (begin, end, batch_index).
+  template <typename T, typename P, typename C>
+  PipelineStats RunBatches(int64_t total, int64_t batch_size, P&& produce, C&& consume) {
+    MG_CHECK_MSG(batch_size > 0, "batch_size must be > 0");
+    const int64_t num_batches = (total + batch_size - 1) / batch_size;
+    return RunTyped<T>(
+        num_batches,
+        [&produce, total, batch_size](int64_t b) {
+          const int64_t begin = b * batch_size;
+          const int64_t end = begin + batch_size < total ? begin + batch_size : total;
+          return produce(begin, end, b);
+        },
+        std::forward<C>(consume));
+  }
+
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  PipelineStats RunSerial(int64_t n, const Producer& produce, const Consumer& consume);
+
+  PipelineOptions options_;
+};
+
+}  // namespace mariusgnn
+
+#endif  // SRC_PIPELINE_TRAINING_PIPELINE_H_

@@ -1,8 +1,16 @@
 #include "src/policy/beta.h"
 
 #include "src/policy/cover.h"
+#include "src/util/check.h"
 
 namespace mariusgnn {
+
+std::vector<int32_t> BetaPolicy::Lookahead(const EpochPlan& plan,
+                                           int64_t set_index) const {
+  std::vector<int32_t> delta = OrderingPolicy::Lookahead(plan, set_index);
+  MG_CHECK_MSG(delta.size() <= 1, "BETA plan violated the one-swap property");
+  return delta;
+}
 
 EpochPlan BetaPolicy::GenerateEpoch(const Partitioning& partitioning, int32_t capacity,
                                     Rng& rng) {

@@ -17,6 +17,11 @@ class BetaPolicy : public OrderingPolicy {
   EpochPlan GenerateEpoch(const Partitioning& partitioning, int32_t capacity,
                           Rng& rng) override;
 
+  // BETA swaps exactly one physical partition per set; the override asserts that
+  // invariant so a prefetcher can rely on single-partition staging.
+  std::vector<int32_t> Lookahead(const EpochPlan& plan,
+                                 int64_t set_index) const override;
+
   const char* name() const override { return "BETA"; }
 };
 

@@ -17,6 +17,8 @@ EpochPlan CometPolicy::GenerateEpoch(const Partitioning& partitioning, int32_t c
   const int32_t logical_capacity = capacity / group;
   MG_CHECK_MSG(logical_capacity >= 2 || l == 1, "COMET requires c_l >= 2");
 
+  last_group_size_ = group;
+
   // Mechanism 1: random physical -> logical grouping (dictionary only).
   std::vector<int32_t> perm(static_cast<size_t>(p));
   for (int32_t i = 0; i < p; ++i) {
@@ -78,6 +80,17 @@ EpochPlan CometPolicy::GenerateEpoch(const Partitioning& partitioning, int32_t c
     }
   }
   return plan;
+}
+
+std::vector<int32_t> CometPolicy::Lookahead(const EpochPlan& plan,
+                                            int64_t set_index) const {
+  std::vector<int32_t> delta = OrderingPolicy::Lookahead(plan, set_index);
+  if (last_group_size_ > 0) {
+    MG_CHECK_MSG(delta.empty() ||
+                     static_cast<int32_t>(delta.size()) == last_group_size_,
+                 "COMET swap is not a whole logical group");
+  }
+  return delta;
 }
 
 }  // namespace mariusgnn

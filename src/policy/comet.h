@@ -35,6 +35,11 @@ class CometPolicy : public OrderingPolicy {
   EpochPlan GenerateEpoch(const Partitioning& partitioning, int32_t capacity,
                           Rng& rng) override;
 
+  // COMET swaps one logical group (p / l physical partitions) per set; the override
+  // asserts that the delta is a whole group so a prefetcher can stage it as a unit.
+  std::vector<int32_t> Lookahead(const EpochPlan& plan,
+                                 int64_t set_index) const override;
+
   const char* name() const override { return "COMET"; }
 
   int32_t num_logical() const { return num_logical_; }
@@ -43,6 +48,7 @@ class CometPolicy : public OrderingPolicy {
   int32_t num_logical_;
   bool randomize_grouping_;
   bool deferred_assignment_;
+  int32_t last_group_size_ = 0;  // physical partitions per logical group, last plan
 };
 
 }  // namespace mariusgnn

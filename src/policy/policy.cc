@@ -23,6 +23,28 @@ int64_t EpochPlan::TotalPartitionLoads() const {
   return loads;
 }
 
+std::vector<int32_t> PrefetchDelta(const std::vector<int32_t>& current,
+                                   const std::vector<int32_t>& next) {
+  std::unordered_set<int32_t> resident(current.begin(), current.end());
+  std::vector<int32_t> delta;
+  for (int32_t part : next) {
+    if (resident.find(part) == resident.end()) {
+      delta.push_back(part);
+    }
+  }
+  return delta;
+}
+
+std::vector<int32_t> OrderingPolicy::Lookahead(const EpochPlan& plan,
+                                               int64_t set_index) const {
+  MG_CHECK(set_index >= 0 && set_index < plan.num_sets());
+  if (set_index + 1 >= plan.num_sets()) {
+    return {};
+  }
+  return PrefetchDelta(plan.sets[static_cast<size_t>(set_index)],
+                       plan.sets[static_cast<size_t>(set_index) + 1]);
+}
+
 void ValidatePlan(const EpochPlan& plan, const Partitioning& partitioning,
                   int32_t capacity) {
   MG_CHECK(plan.sets.size() == plan.buckets_per_set.size());

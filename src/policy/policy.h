@@ -30,6 +30,11 @@ struct EpochPlan {
   int64_t TotalPartitionLoads() const;
 };
 
+// Partitions of `next` not already in `current`: the minimal set a prefetcher must
+// stage before the swap from `current` to `next`.
+std::vector<int32_t> PrefetchDelta(const std::vector<int32_t>& current,
+                                   const std::vector<int32_t>& next);
+
 class OrderingPolicy {
  public:
   virtual ~OrderingPolicy() = default;
@@ -38,6 +43,14 @@ class OrderingPolicy {
   // `capacity` physical partitions.
   virtual EpochPlan GenerateEpoch(const Partitioning& partitioning, int32_t capacity,
                                   Rng& rng) = 0;
+
+  // Partitions that must be staged so plan.sets[set_index + 1] can become resident
+  // without synchronous IO (fed to PartitionBuffer::Prefetch while set_index is
+  // training). Returns empty at the end of the plan. The default is the set delta;
+  // policies override it to assert their swap shape (BETA: at most one physical
+  // partition per swap; COMET: exactly one logical group).
+  virtual std::vector<int32_t> Lookahead(const EpochPlan& plan,
+                                         int64_t set_index) const;
 
   virtual const char* name() const = 0;
 };

@@ -69,6 +69,11 @@ DenseSampler::DenseSampler(const NeighborIndex* index, std::vector<int64_t> fano
 }
 
 DenseBatch DenseSampler::Sample(const std::vector<int64_t>& target_nodes) {
+  return SampleSeeded(target_nodes, rng_.Next());
+}
+
+DenseBatch DenseSampler::SampleSeeded(const std::vector<int64_t>& target_nodes,
+                                      uint64_t batch_seed) const {
   MG_CHECK(index_ != nullptr);
   DenseBatch b;
   b.node_id_offsets = {0};
@@ -82,7 +87,6 @@ DenseBatch DenseSampler::Sample(const std::vector<int64_t>& target_nodes) {
   MG_CHECK_MSG(in_sample.size() == target_nodes.size(), "target_nodes must be unique");
 
   std::vector<int64_t> delta = target_nodes;  // Δk
-  const uint64_t batch_seed = rng_.Next();
 
   // Loop i = k..1: sample one-hop neighbors for Δi (Algorithm 1, line 3).
   for (size_t hop = 0; hop < fanouts_.size(); ++hop) {
@@ -110,8 +114,8 @@ DenseBatch DenseSampler::Sample(const std::vector<int64_t>& target_nodes) {
       std::vector<Neighbor> scratch;
       for (int64_t j = begin; j < end; ++j) {
         scratch.clear();
-        Rng node_rng(batch_seed ^ (0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(
-                                       hop * 0x100000001ULL + static_cast<uint64_t>(j) + 1)));
+        Rng node_rng(MixSeed(batch_seed, static_cast<uint64_t>(hop) * 0x100000001ULL +
+                                             static_cast<uint64_t>(j)));
         index_->SampleOneHop(delta[static_cast<size_t>(j)], fanout, dir_, node_rng, scratch);
         int64_t pos = starts[static_cast<size_t>(j)];
         for (const Neighbor& nb : scratch) {

@@ -78,8 +78,14 @@ class DenseSampler {
                ThreadPool* pool = nullptr);
 
   // Samples the k-hop neighborhood of unique `target_nodes` and returns the DENSE
-  // arrays (repr_map not yet finalized).
+  // arrays (repr_map not yet finalized). Advances the sampler's own RNG.
   DenseBatch Sample(const std::vector<int64_t>& target_nodes);
+
+  // Deterministic, thread-safe variant: the whole sample is derived from
+  // `batch_seed` alone, so pipeline workers can share one sampler and produce
+  // identical batches for any worker count (see training_pipeline.h).
+  DenseBatch SampleSeeded(const std::vector<int64_t>& target_nodes,
+                          uint64_t batch_seed) const;
 
   int64_t num_layers() const { return static_cast<int64_t>(fanouts_.size()); }
   void set_index(const NeighborIndex* index) { index_ = index; }

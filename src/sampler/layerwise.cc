@@ -21,6 +21,11 @@ LayerwiseSampler::LayerwiseSampler(const NeighborIndex* index, std::vector<int64
 }
 
 LayerwiseSample LayerwiseSampler::Sample(const std::vector<int64_t>& target_nodes) {
+  return SampleSeeded(target_nodes, rng_.Next());
+}
+
+LayerwiseSample LayerwiseSampler::SampleSeeded(const std::vector<int64_t>& target_nodes,
+                                               uint64_t batch_seed) const {
   MG_CHECK(index_ != nullptr);
   LayerwiseSample sample;
   sample.blocks.resize(fanouts_.size());
@@ -43,8 +48,12 @@ LayerwiseSample LayerwiseSampler::Sample(const std::vector<int64_t>& target_node
 
     for (size_t d = 0; d < frontier.size(); ++d) {
       scratch.clear();
+      // Per-(hop, position) RNG stream derived from the batch seed keeps the sample a
+      // pure function of the seed (matching DenseSampler's scheme).
+      Rng node_rng(MixSeed(batch_seed, static_cast<uint64_t>(h) * 0x100000001ULL +
+                                           static_cast<uint64_t>(d)));
       // Fresh sample per layer: this is the cross-layer resampling DENSE avoids.
-      index_->SampleOneHop(frontier[d], fanouts_[h], dir_, rng_, scratch);
+      index_->SampleOneHop(frontier[d], fanouts_[h], dir_, node_rng, scratch);
       for (const Neighbor& nb : scratch) {
         auto [it, inserted] =
             src_pos.emplace(nb.node, static_cast<int64_t>(block.src_nodes.size()));

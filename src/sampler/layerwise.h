@@ -52,6 +52,12 @@ class LayerwiseSampler {
 
   LayerwiseSample Sample(const std::vector<int64_t>& target_nodes);
 
+  // Deterministic, thread-safe variant: the whole sample is derived from
+  // `batch_seed` alone (per-node RNG streams), so pipeline workers can share one
+  // sampler and produce identical batches for any worker count.
+  LayerwiseSample SampleSeeded(const std::vector<int64_t>& target_nodes,
+                               uint64_t batch_seed) const;
+
   int64_t num_layers() const { return static_cast<int64_t>(fanouts_.size()); }
   void set_index(const NeighborIndex* index) { index_ = index; }
 

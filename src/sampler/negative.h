@@ -26,21 +26,31 @@ class UniformNegativeSampler {
       : universe_(std::move(universe)), rng_(seed) {}
 
   // Draws `count` negatives (with replacement — matching large-scale practice).
-  std::vector<int64_t> Sample(int64_t count) {
+  std::vector<int64_t> Sample(int64_t count) { return SampleWith(rng_, count); }
+
+  // Deterministic, thread-safe variant: draws from a fresh RNG stream seeded with
+  // `seed`, leaving the sampler's own RNG untouched. Pipeline workers use this with
+  // per-batch seeds so negatives are identical for any worker count.
+  std::vector<int64_t> SampleSeeded(int64_t count, uint64_t seed) const {
+    Rng rng(seed);
+    return SampleWith(rng, count);
+  }
+
+ private:
+  std::vector<int64_t> SampleWith(Rng& rng, int64_t count) const {
     std::vector<int64_t> out(static_cast<size_t>(count));
     if (!universe_.empty()) {
       for (auto& v : out) {
-        v = universe_[static_cast<size_t>(rng_.UniformInt(universe_.size()))];
+        v = universe_[static_cast<size_t>(rng.UniformInt(universe_.size()))];
       }
     } else {
       for (auto& v : out) {
-        v = static_cast<int64_t>(rng_.UniformInt(static_cast<uint64_t>(num_nodes_)));
+        v = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(num_nodes_)));
       }
     }
     return out;
   }
 
- private:
   int64_t num_nodes_ = 0;
   std::vector<int64_t> universe_;
   Rng rng_;

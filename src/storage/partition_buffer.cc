@@ -2,20 +2,20 @@
 
 #include <algorithm>
 #include <cstring>
-#include <unordered_set>
-
-#include "src/util/check.h"
+#include <utility>
 
 namespace mariusgnn {
 
 PartitionBuffer::PartitionBuffer(const Partitioning* partitioning, int64_t dim,
                                  int32_t capacity, const std::string& path,
-                                 DiskModel model, bool learnable, const Tensor* init)
+                                 DiskModel model, bool learnable, const Tensor* init,
+                                 bool async_io)
     : partitioning_(partitioning),
       dim_(dim),
       capacity_(capacity),
       learnable_(learnable),
-      disk_(std::make_unique<SimulatedDisk>(path, model)) {
+      disk_(std::make_unique<SimulatedDisk>(path, model)),
+      async_io_(async_io) {
   const int32_t p = partitioning_->num_partitions();
   MG_CHECK(capacity_ >= 1 && capacity_ <= p);
   for (int32_t i = 0; i < p; ++i) {
@@ -53,6 +53,16 @@ PartitionBuffer::PartitionBuffer(const Partitioning* partitioning, int64_t dim,
     // Adagrad state starts at zero; Resize already zero-filled it.
   }
   disk_->ResetStats();
+
+  if (async_io_) {
+    io_pool_ = std::make_unique<ThreadPool>(1);
+  }
+}
+
+PartitionBuffer::~PartitionBuffer() {
+  // Drain + join the IO thread (~ThreadPool) before the staging mutex/cv its
+  // pending tasks touch are destroyed.
+  io_pool_.reset();
 }
 
 uint64_t PartitionBuffer::PartitionFileOffset(int32_t partition) const {
@@ -61,81 +71,230 @@ uint64_t PartitionBuffer::PartitionFileOffset(int32_t partition) const {
   return static_cast<uint64_t>(partition) * per_partition;
 }
 
-double PartitionBuffer::LoadIntoSlot(int32_t partition, int32_t slot) {
-  const double before = disk_->stats().modeled_seconds;
+void PartitionBuffer::ReadPartitionFromDisk(int32_t partition, float* values,
+                                            float* state) {
   const size_t rows = static_cast<size_t>(partitioning_->PartitionSize(partition));
   const size_t bytes = rows * static_cast<size_t>(dim_) * sizeof(float);
-  float* vdst = &values_[static_cast<size_t>(slot) * max_partition_rows_ * dim_];
-  disk_->Read(vdst, bytes, PartitionFileOffset(partition));
+  disk_->Read(values, bytes, PartitionFileOffset(partition));
   if (learnable_) {
-    float* sdst = &state_[static_cast<size_t>(slot) * max_partition_rows_ * dim_];
-    disk_->Read(sdst, bytes,
+    disk_->Read(state, bytes,
                 PartitionFileOffset(partition) +
                     static_cast<uint64_t>(max_partition_rows_) * dim_ * sizeof(float));
+  }
+}
+
+void PartitionBuffer::WritePartitionToDisk(int32_t partition, const float* values,
+                                           const float* state) {
+  const size_t rows = static_cast<size_t>(partitioning_->PartitionSize(partition));
+  const size_t bytes = rows * static_cast<size_t>(dim_) * sizeof(float);
+  disk_->Write(values, bytes, PartitionFileOffset(partition));
+  if (learnable_) {
+    disk_->Write(state, bytes,
+                 PartitionFileOffset(partition) +
+                     static_cast<uint64_t>(max_partition_rows_) * dim_ * sizeof(float));
+  }
+}
+
+void PartitionBuffer::EnqueueIo(std::function<void()> fn) {
+  io_pool_->Submit(std::move(fn));
+}
+
+void PartitionBuffer::DrainIo() {
+  if (async_io_) {
+    io_pool_->Wait();
+  }
+}
+
+double PartitionBuffer::RunIo(const std::function<void()>& fn) {
+  if (!async_io_) {
+    const double before = disk_->stats().modeled_seconds;
+    fn();
+    return disk_->stats().modeled_seconds - before;
+  }
+  // FIFO behind any pending background tasks, so a queued write-back of the same
+  // partition lands before this op runs.
+  double modeled = 0.0;
+  bool done = false;
+  std::mutex mu;
+  std::condition_variable cv;
+  EnqueueIo([&] {
+    const double before = disk_->stats().modeled_seconds;
+    fn();
+    const double delta = disk_->stats().modeled_seconds - before;
+    std::lock_guard<std::mutex> lock(mu);
+    modeled = delta;
+    done = true;
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+  return modeled;
+}
+
+double PartitionBuffer::LoadIntoSlot(int32_t partition, int32_t slot) {
+  float* vdst = &values_[static_cast<size_t>(slot) * max_partition_rows_ * dim_];
+  float* sdst =
+      learnable_ ? &state_[static_cast<size_t>(slot) * max_partition_rows_ * dim_]
+                 : nullptr;
+  const double io =
+      RunIo([&] { ReadPartitionFromDisk(partition, vdst, sdst); });
+  partition_in_slot_[static_cast<size_t>(slot)] = partition;
+  slot_of_partition_[static_cast<size_t>(partition)] = slot;
+  dirty_[static_cast<size_t>(slot)] = false;
+  return io;
+}
+
+void PartitionBuffer::InstallIntoSlot(int32_t partition, int32_t slot,
+                                      const StagedPartition& data) {
+  const size_t count =
+      static_cast<size_t>(partitioning_->PartitionSize(partition)) * dim_;
+  std::memcpy(&values_[static_cast<size_t>(slot) * max_partition_rows_ * dim_],
+              data.values.data(), count * sizeof(float));
+  if (learnable_) {
+    std::memcpy(&state_[static_cast<size_t>(slot) * max_partition_rows_ * dim_],
+                data.state.data(), count * sizeof(float));
   }
   partition_in_slot_[static_cast<size_t>(slot)] = partition;
   slot_of_partition_[static_cast<size_t>(partition)] = slot;
   dirty_[static_cast<size_t>(slot)] = false;
-  return disk_->stats().modeled_seconds - before;
 }
 
-double PartitionBuffer::EvictSlot(int32_t slot) {
+double PartitionBuffer::EvictSlot(int32_t slot, bool synchronous) {
   const int32_t partition = partition_in_slot_[static_cast<size_t>(slot)];
   if (partition < 0) {
     return 0.0;
   }
-  const double before = disk_->stats().modeled_seconds;
+  double io = 0.0;
   if (dirty_[static_cast<size_t>(slot)]) {
-    const size_t rows = static_cast<size_t>(partitioning_->PartitionSize(partition));
-    const size_t bytes = rows * static_cast<size_t>(dim_) * sizeof(float);
     const float* vsrc = &values_[static_cast<size_t>(slot) * max_partition_rows_ * dim_];
-    disk_->Write(vsrc, bytes, PartitionFileOffset(partition));
-    if (learnable_) {
-      const float* ssrc = &state_[static_cast<size_t>(slot) * max_partition_rows_ * dim_];
-      disk_->Write(ssrc, bytes,
-                   PartitionFileOffset(partition) +
-                       static_cast<uint64_t>(max_partition_rows_) * dim_ * sizeof(float));
+    const float* ssrc =
+        learnable_ ? &state_[static_cast<size_t>(slot) * max_partition_rows_ * dim_]
+                   : nullptr;
+    if (async_io_ && !synchronous) {
+      // Write-back off the critical path: snapshot the slot so it can be reused
+      // immediately; the IO thread persists the copy (modeled seconds surface via
+      // ConsumeBackgroundIoSeconds).
+      const size_t count =
+          static_cast<size_t>(partitioning_->PartitionSize(partition)) * dim_;
+      auto data = std::make_shared<StagedPartition>();
+      data->values.assign(vsrc, vsrc + count);
+      if (learnable_) {
+        data->state.assign(ssrc, ssrc + count);
+      }
+      EnqueueIo([this, partition, data] {
+        const double before = disk_->stats().modeled_seconds;
+        WritePartitionToDisk(partition, data->values.data(),
+                             learnable_ ? data->state.data() : nullptr);
+        const double delta = disk_->stats().modeled_seconds - before;
+        std::lock_guard<std::mutex> lock(stage_mu_);
+        background_seconds_ += delta;
+      });
+    } else {
+      io = RunIo([&] { WritePartitionToDisk(partition, vsrc, ssrc); });
     }
   }
   slot_of_partition_[static_cast<size_t>(partition)] = -1;
   partition_in_slot_[static_cast<size_t>(slot)] = -1;
   dirty_[static_cast<size_t>(slot)] = false;
-  return disk_->stats().modeled_seconds - before;
+  return io;
+}
+
+int32_t PartitionBuffer::FindFreeSlot() const {
+  for (int32_t slot = 0; slot < capacity_; ++slot) {
+    if (partition_in_slot_[static_cast<size_t>(slot)] < 0) {
+      return slot;
+    }
+  }
+  return -1;
+}
+
+void PartitionBuffer::Prefetch(const std::vector<int32_t>& partitions) {
+  if (!async_io_) {
+    return;
+  }
+  for (int32_t part : partitions) {
+    if (IsResident(part)) {
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stage_mu_);
+      if (staged_.count(part) != 0 || staging_in_flight_.count(part) != 0) {
+        continue;
+      }
+      staging_in_flight_.insert(part);
+    }
+    EnqueueIo([this, part] {
+      const size_t count =
+          static_cast<size_t>(partitioning_->PartitionSize(part)) * dim_;
+      StagedPartition data;
+      data.values.resize(count);
+      if (learnable_) {
+        data.state.resize(count);
+      }
+      const double before = disk_->stats().modeled_seconds;
+      ReadPartitionFromDisk(part, data.values.data(),
+                            learnable_ ? data.state.data() : nullptr);
+      const double delta = disk_->stats().modeled_seconds - before;
+      {
+        std::lock_guard<std::mutex> lock(stage_mu_);
+        staged_.emplace(part, std::move(data));
+        staging_in_flight_.erase(part);
+        background_seconds_ += delta;
+      }
+      stage_cv_.notify_all();
+    });
+  }
+}
+
+double PartitionBuffer::ConsumeBackgroundIoSeconds() {
+  std::lock_guard<std::mutex> lock(stage_mu_);
+  return std::exchange(background_seconds_, 0.0);
 }
 
 double PartitionBuffer::SetResident(const std::vector<int32_t>& partitions) {
   MG_CHECK(static_cast<int32_t>(partitions.size()) <= capacity_);
   double io = 0.0;
   std::unordered_set<int32_t> wanted(partitions.begin(), partitions.end());
-  // Evict residents that are no longer wanted.
+  // Evict residents that are no longer wanted (write-back is async when enabled).
   for (int32_t slot = 0; slot < capacity_; ++slot) {
     const int32_t part = partition_in_slot_[static_cast<size_t>(slot)];
     if (part >= 0 && wanted.find(part) == wanted.end()) {
-      io += EvictSlot(slot);
+      io += EvictSlot(slot, /*synchronous=*/false);
     }
   }
-  // Load missing partitions into free slots.
+  // Fill free slots, preferring staged (prefetched) data over synchronous loads. The
+  // slot-assignment order is identical with and without async IO so the resident
+  // layout (and therefore ResidentNodes order) never depends on the IO mode.
   for (int32_t part : partitions) {
     if (IsResident(part)) {
       continue;
     }
-    int32_t free_slot = -1;
-    for (int32_t slot = 0; slot < capacity_; ++slot) {
-      if (partition_in_slot_[static_cast<size_t>(slot)] < 0) {
-        free_slot = slot;
-        break;
+    const int32_t free_slot = FindFreeSlot();
+    MG_CHECK(free_slot >= 0);
+    bool installed = false;
+    if (async_io_) {
+      std::unique_lock<std::mutex> lock(stage_mu_);
+      if (staged_.count(part) != 0 || staging_in_flight_.count(part) != 0) {
+        stage_cv_.wait(lock, [&] { return staged_.count(part) != 0; });
+        StagedPartition data = std::move(staged_[part]);
+        staged_.erase(part);
+        lock.unlock();
+        InstallIntoSlot(part, free_slot, data);
+        installed = true;
       }
     }
-    MG_CHECK(free_slot >= 0);
-    io += LoadIntoSlot(part, free_slot);
+    if (!installed) {
+      io += LoadIntoSlot(part, free_slot);
+    }
   }
   return io;
 }
 
 double PartitionBuffer::FlushAll() {
+  DrainIo();
   double io = 0.0;
   for (int32_t slot = 0; slot < capacity_; ++slot) {
-    io += EvictSlot(slot);
+    io += EvictSlot(slot, /*synchronous=*/true);
   }
   return io;
 }
@@ -171,8 +330,10 @@ Tensor PartitionBuffer::ExportAll() {
   std::vector<float> scratch(static_cast<size_t>(max_partition_rows_) * dim_);
   for (int32_t part = 0; part < p; ++part) {
     const auto& nodes = partitioning_->NodesIn(part);
-    disk_->Read(scratch.data(), nodes.size() * static_cast<size_t>(dim_) * sizeof(float),
-                PartitionFileOffset(part));
+    RunIo([&] {
+      disk_->Read(scratch.data(), nodes.size() * static_cast<size_t>(dim_) * sizeof(float),
+                  PartitionFileOffset(part));
+    });
     for (size_t k = 0; k < nodes.size(); ++k) {
       std::memcpy(out.RowPtr(nodes[k]), &scratch[k * static_cast<size_t>(dim_)],
                   static_cast<size_t>(dim_) * sizeof(float));

@@ -5,17 +5,35 @@
 // This is the storage-layer component of Figure 2: the replacement policy decides which
 // partitions are resident; the processing layer reads/writes rows of resident
 // partitions by global node id. Dirty partitions are written back on eviction.
+//
+// With async IO enabled, the buffer runs a background IO thread so partition IO
+// overlaps with compute (the paper's "hide the IO" pipeline stage):
+//  - Prefetch() stages upcoming partitions (OrderingPolicy::Lookahead tells the
+//    trainer which) into heap-side staging buffers while the current set trains;
+//  - SetResident() installs staged partitions with a memcpy instead of a blocking
+//    disk read, and pushes dirty-eviction write-backs off the critical path;
+//  - ConsumeBackgroundIoSeconds() reports the modeled seconds of that overlapped IO
+//    so trainers can account stalls as max(0, background_io - compute).
+// All disk access is funneled through the single IO thread (FIFO), so a prefetch read
+// queued after a write-back of the same partition always observes the written data.
 #ifndef SRC_STORAGE_PARTITION_BUFFER_H_
 #define SRC_STORAGE_PARTITION_BUFFER_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/graph/partition.h"
 #include "src/storage/disk.h"
 #include "src/tensor/tensor.h"
+#include "src/util/check.h"
+#include "src/util/threadpool.h"
 
 namespace mariusgnn {
 
@@ -23,23 +41,42 @@ class PartitionBuffer {
  public:
   // `learnable` adds a parallel Adagrad accumulator stream persisted next to the
   // values. `init` seeds the on-disk values (rows indexed by global node id); pass
-  // nullptr to zero-initialise.
+  // nullptr to zero-initialise. `async_io` starts the background IO thread that
+  // serves Prefetch() and asynchronous dirty write-back.
   PartitionBuffer(const Partitioning* partitioning, int64_t dim, int32_t capacity,
                   const std::string& path, DiskModel model, bool learnable,
-                  const Tensor* init);
+                  const Tensor* init, bool async_io = false);
+  ~PartitionBuffer();
+
+  PartitionBuffer(const PartitionBuffer&) = delete;
+  PartitionBuffer& operator=(const PartitionBuffer&) = delete;
 
   int32_t capacity() const { return capacity_; }
   int64_t dim() const { return dim_; }
+  bool async_io() const { return async_io_; }
 
   bool IsResident(int32_t partition) const {
     return slot_of_partition_[static_cast<size_t>(partition)] >= 0;
   }
 
   // Makes exactly `partitions` resident (evicting others, loading missing ones) and
-  // returns the modeled IO seconds spent. |partitions| must be <= capacity.
+  // returns the modeled IO seconds spent *synchronously* — staged partitions install
+  // without disk reads and dirty evictions write back in the background (their
+  // modeled seconds surface via ConsumeBackgroundIoSeconds). |partitions| must be
+  // <= capacity.
   double SetResident(const std::vector<int32_t>& partitions);
 
-  // Flushes all dirty partitions to disk; returns modeled IO seconds.
+  // Asynchronously stages `partitions` (skipping resident / already-staged ones) so
+  // a later SetResident installs them without blocking on disk. No-op when async IO
+  // is disabled. Returns immediately.
+  void Prefetch(const std::vector<int32_t>& partitions);
+
+  // Modeled seconds of background IO (prefetch reads + async write-backs) completed
+  // since the last call. Always 0 when async IO is disabled.
+  double ConsumeBackgroundIoSeconds();
+
+  // Flushes all dirty partitions to disk (draining pending background IO first);
+  // returns modeled IO seconds of the synchronous flush.
   double FlushAll();
 
   // Row access by global node id; the node's partition must be resident.
@@ -48,8 +85,10 @@ class PartitionBuffer {
   float* StateRow(int64_t node);  // Adagrad accumulator row (learnable only)
 
   void MarkDirty(int64_t node) {
-    dirty_[static_cast<size_t>(slot_of_partition_[static_cast<size_t>(
-        partitioning_->PartitionOf(node))])] = true;
+    const int32_t part = partitioning_->PartitionOf(node);
+    const int32_t slot = slot_of_partition_[static_cast<size_t>(part)];
+    MG_CHECK_MSG(slot >= 0, "MarkDirty: node's partition is not resident");
+    dirty_[static_cast<size_t>(slot)] = true;
   }
 
   // Nodes of all resident partitions (used to bound negative sampling to in-memory
@@ -57,6 +96,7 @@ class PartitionBuffer {
   std::vector<int64_t> ResidentNodes() const;
   std::vector<int32_t> ResidentPartitions() const;
 
+  // Not safe to call while background IO is in flight (drain with FlushAll first).
   const DiskStats& disk_stats() const { return disk_->stats(); }
   void ResetDiskStats() { disk_->ResetStats(); }
 
@@ -65,10 +105,31 @@ class PartitionBuffer {
   Tensor ExportAll();
 
  private:
+  // Prefetched partition data parked between the IO thread and installation.
+  struct StagedPartition {
+    std::vector<float> values;
+    std::vector<float> state;
+  };
+
   uint64_t PartitionFileOffset(int32_t partition) const;
   double LoadIntoSlot(int32_t partition, int32_t slot);
-  double EvictSlot(int32_t slot);
+  double EvictSlot(int32_t slot, bool synchronous);
   int64_t SlotRowOf(int64_t node) const;
+  int32_t FindFreeSlot() const;
+  void InstallIntoSlot(int32_t partition, int32_t slot, const StagedPartition& data);
+
+  // Raw disk transfer of one partition's rows (values + optional state). Runs on the
+  // IO thread when async IO is enabled.
+  void ReadPartitionFromDisk(int32_t partition, float* values, float* state);
+  void WritePartitionToDisk(int32_t partition, const float* values, const float* state);
+
+  // Async-IO plumbing. RunIo executes `fn` (which may touch disk_) inline when async
+  // IO is off, otherwise on the IO thread FIFO, blocking until done; returns the
+  // modeled seconds fn consumed. EnqueueIo is fire-and-forget; DrainIo blocks until
+  // the IO queue is empty.
+  double RunIo(const std::function<void()>& fn);
+  void EnqueueIo(std::function<void()> fn);
+  void DrainIo();
 
   const Partitioning* partitioning_;
   int64_t dim_;
@@ -83,6 +144,17 @@ class PartitionBuffer {
   std::vector<int32_t> partition_in_slot_;  // -1 = free
   std::vector<int32_t> slot_of_partition_;  // -1 = not resident
   std::vector<bool> dirty_;
+
+  // Async IO state (inert when async_io_ is false). The single-thread pool is the
+  // FIFO IO queue: Submit preserves order, Wait drains, destruction drains + joins.
+  bool async_io_ = false;
+  std::unique_ptr<ThreadPool> io_pool_;
+
+  std::mutex stage_mu_;
+  std::condition_variable stage_cv_;
+  std::unordered_map<int32_t, StagedPartition> staged_;  // ready; guarded by stage_mu_
+  std::unordered_set<int32_t> staging_in_flight_;        // guarded by stage_mu_
+  double background_seconds_ = 0.0;                      // guarded by stage_mu_
 };
 
 }  // namespace mariusgnn

@@ -16,6 +16,16 @@
 
 namespace mariusgnn {
 
+// Combines a stream seed with an index into an independent per-index seed
+// (splitmix64 finalizer). Pipeline workers use MixSeed(run_seed, batch_index) so a
+// batch's RNG stream depends only on its index, never on worker scheduling.
+inline uint64_t MixSeed(uint64_t seed, uint64_t index) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }

@@ -42,7 +42,7 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t, int64_
     return;
   }
   const int64_t threads = static_cast<int64_t>(num_threads());
-  if (threads <= 1 || n <= min_chunk) {
+  if (threads <= 1 || n <= min_chunk || OnWorkerThread()) {
     fn(0, n);
     return;
   }
@@ -72,6 +72,16 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t, int64_
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+bool ThreadPool::OnWorkerThread() const {
+  const std::thread::id self = std::this_thread::get_id();
+  for (const auto& w : workers_) {
+    if (w.get_id() == self) {
+      return true;
+    }
+  }
+  return false;
 }
 
 ThreadPool& ThreadPool::Global() {

@@ -31,9 +31,14 @@ class ThreadPool {
   void Submit(std::function<void()> task);
 
   // Runs fn(begin, end) over contiguous chunks of [0, n) on the pool and blocks until
-  // all chunks complete. Runs inline when n is small or the pool has one thread.
+  // all chunks complete. Runs inline when n is small, the pool has one thread, or the
+  // caller is itself one of this pool's workers (waiting on own-pool chunks from a
+  // worker deadlocks once all workers block — e.g. pipeline workers sampling).
   void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
                    int64_t min_chunk = 1024);
+
+  // True when the calling thread is one of this pool's workers.
+  bool OnWorkerThread() const;
 
   // Blocks until the queue is empty and all in-flight tasks finished.
   void Wait();

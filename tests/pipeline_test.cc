@@ -1,0 +1,253 @@
+// Tests for the pipeline layer: BoundedQueue under multi-producer/multi-consumer
+// load, and TrainingPipeline's order-preserving reassembly and determinism.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/pipeline/queue.h"
+#include "src/pipeline/training_pipeline.h"
+#include "src/util/rng.h"
+#include "src/util/threadpool.h"
+
+namespace mariusgnn {
+namespace {
+
+TEST(BoundedQueue, MultiProducerMultiConsumerDeliversEverything) {
+  BoundedQueue<int64_t> q(8);
+  const int kProducers = 4;
+  const int kConsumers = 3;
+  const int64_t kPerProducer = 500;
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int64_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(static_cast<int64_t>(p) * kPerProducer + i));
+      }
+    });
+  }
+  std::mutex mu;
+  std::vector<int64_t> received;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      for (;;) {
+        std::optional<int64_t> v = q.Pop();
+        if (!v.has_value()) {
+          return;
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        received.push_back(*v);
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  q.Close();
+  for (auto& t : consumers) {
+    t.join();
+  }
+  ASSERT_EQ(received.size(), static_cast<size_t>(kProducers) * kPerProducer);
+  std::set<int64_t> unique(received.begin(), received.end());
+  EXPECT_EQ(unique.size(), received.size());  // no duplicates, no losses
+}
+
+TEST(BoundedQueue, CloseUnblocksBlockedProducers) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(0));
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  for (int i = 0; i < 3; ++i) {
+    producers.emplace_back([&] {
+      if (!q.Push(1)) {  // blocks on the full queue until Close
+        rejected.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  for (auto& t : producers) {
+    t.join();
+  }
+  EXPECT_EQ(rejected.load(), 3);
+}
+
+TEST(BoundedQueue, CloseUnblocksBlockedConsumers) {
+  BoundedQueue<int> q(4);
+  std::atomic<int> empty_pops{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      if (!q.Pop().has_value()) {  // blocks on the empty queue until Close
+        empty_pops.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  for (auto& t : consumers) {
+    t.join();
+  }
+  EXPECT_EQ(empty_pops.load(), 3);
+}
+
+TEST(BoundedQueue, CapacityBackpressure) {
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.Push(0));
+  ASSERT_TRUE(q.Push(1));
+  EXPECT_EQ(q.Size(), 2u);
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    q.Push(2);
+    third_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_pushed.load());  // held back by capacity
+  EXPECT_EQ(q.Pop().value(), 0);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+}
+
+TEST(BoundedQueue, DrainAfterCloseKeepsFifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.Push(i));
+  }
+  q.Close();
+  EXPECT_FALSE(q.Push(99));  // rejected after close
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);  // buffered items drain in order
+  }
+  EXPECT_FALSE(q.Pop().has_value());  // then closed-and-empty
+}
+
+TEST(TrainingPipeline, OrderedDeliveryWithJitteredProducers) {
+  ThreadPool pool(4);
+  PipelineOptions options;
+  options.workers = 4;
+  options.queue_capacity = 3;
+  options.pool = &pool;
+  TrainingPipeline pipeline(options);
+
+  const int64_t n = 200;
+  std::vector<int64_t> consumed;
+  const PipelineStats stats = pipeline.RunTyped<int64_t>(
+      n,
+      [](int64_t i) {
+        // Uneven production times force out-of-order completion.
+        std::this_thread::sleep_for(std::chrono::microseconds((i * 7) % 300));
+        return i * 2;
+      },
+      [&](int64_t& item, int64_t i) {
+        EXPECT_EQ(item, i * 2);
+        consumed.push_back(item);
+      });
+  ASSERT_EQ(consumed.size(), static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(consumed[static_cast<size_t>(i)], i * 2);
+  }
+  EXPECT_EQ(stats.num_items, n);
+  EXPECT_GT(stats.sample_seconds, 0.0);
+}
+
+TEST(TrainingPipeline, WorkerCountNeverChangesConsumedSequence) {
+  ThreadPool pool(4);
+  // A producer that is a pure function of the index (the determinism contract).
+  auto produce = [](int64_t i) { return MixSeed(42, static_cast<uint64_t>(i)); };
+  std::vector<std::vector<uint64_t>> runs;
+  for (int workers : {0, 1, 2, 4}) {
+    PipelineOptions options;
+    options.workers = workers;
+    options.queue_capacity = 2;
+    options.pool = &pool;
+    TrainingPipeline pipeline(options);
+    std::vector<uint64_t> out;
+    pipeline.RunTyped<uint64_t>(
+        97, produce, [&](uint64_t& item, int64_t) { out.push_back(item); });
+    runs.push_back(std::move(out));
+  }
+  for (size_t r = 1; r < runs.size(); ++r) {
+    EXPECT_EQ(runs[r], runs[0]);
+  }
+}
+
+TEST(TrainingPipeline, SerialModeRunsInline) {
+  TrainingPipeline pipeline(PipelineOptions{0, 4, nullptr});
+  const std::thread::id caller = std::this_thread::get_id();
+  int64_t produced_on_caller = 0;
+  const PipelineStats stats = pipeline.RunTyped<int>(
+      10,
+      [&](int64_t i) {
+        if (std::this_thread::get_id() == caller) {
+          ++produced_on_caller;
+        }
+        return static_cast<int>(i);
+      },
+      [](int&, int64_t) {});
+  EXPECT_EQ(produced_on_caller, 10);
+  EXPECT_EQ(stats.num_items, 10);
+  EXPECT_DOUBLE_EQ(stats.stall_seconds, 0.0);
+}
+
+TEST(TrainingPipeline, EmptyRunIsNoop) {
+  TrainingPipeline pipeline;
+  int calls = 0;
+  const PipelineStats stats = pipeline.RunTyped<int>(
+      0, [&](int64_t) { return ++calls; }, [&](int&, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(stats.num_items, 0);
+}
+
+TEST(TrainingPipeline, RunBatchesSlicesTheFullRange) {
+  ThreadPool pool(2);
+  PipelineOptions options;
+  options.workers = 2;
+  options.pool = &pool;
+  TrainingPipeline pipeline(options);
+  struct Slice {
+    int64_t begin, end, batch;
+  };
+  std::vector<Slice> seen;
+  pipeline.RunBatches<Slice>(
+      103, 10,
+      [](int64_t begin, int64_t end, int64_t b) { return Slice{begin, end, b}; },
+      [&](Slice& s, int64_t i) {
+        EXPECT_EQ(s.batch, i);
+        seen.push_back(s);
+      });
+  ASSERT_EQ(seen.size(), 11u);  // ceil(103 / 10)
+  int64_t covered = 0;
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].begin, static_cast<int64_t>(i) * 10);
+    covered += seen[i].end - seen[i].begin;
+  }
+  EXPECT_EQ(covered, 103);
+  EXPECT_EQ(seen.back().end, 103);
+}
+
+TEST(TrainingPipeline, MoreWorkersThanPoolThreadsStillCompletes) {
+  ThreadPool pool(1);  // workers serialize on the single pool thread
+  PipelineOptions options;
+  options.workers = 4;
+  options.queue_capacity = 2;
+  options.pool = &pool;
+  TrainingPipeline pipeline(options);
+  std::vector<int64_t> consumed;
+  pipeline.RunTyped<int64_t>(
+      50, [](int64_t i) { return i; },
+      [&](int64_t& item, int64_t i) {
+        EXPECT_EQ(item, i);
+        consumed.push_back(item);
+      });
+  EXPECT_EQ(consumed.size(), 50u);
+}
+
+}  // namespace
+}  // namespace mariusgnn

@@ -388,5 +388,58 @@ TEST(EpochPlan, TotalPartitionLoadsCountsSwaps) {
   EXPECT_EQ(plan.TotalPartitionLoads(), 4);  // 2 initial + 2 swaps
 }
 
+TEST(PrefetchDelta, ReturnsOnlyMissingPartitions) {
+  EXPECT_EQ(PrefetchDelta({0, 1, 2}, {1, 2, 3}), (std::vector<int32_t>{3}));
+  EXPECT_EQ(PrefetchDelta({0, 1}, {0, 1}), (std::vector<int32_t>{}));
+  EXPECT_EQ(PrefetchDelta({}, {4, 5}), (std::vector<int32_t>{4, 5}));
+}
+
+TEST_F(PolicyFixture, BetaLookaheadIsAtMostOneSwap) {
+  BetaPolicy beta;
+  Rng rng(2);
+  EpochPlan plan = beta.GenerateEpoch(*partitioning_, 4, rng);
+  int64_t swaps = 0;
+  for (int64_t i = 0; i < plan.num_sets(); ++i) {
+    const auto delta = beta.Lookahead(plan, i);
+    EXPECT_LE(delta.size(), 1u);
+    swaps += static_cast<int64_t>(delta.size());
+    if (i + 1 == plan.num_sets()) {
+      EXPECT_TRUE(delta.empty());  // nothing to stage after the last set
+    }
+  }
+  // Every swap in the plan is visible to the prefetcher.
+  EXPECT_EQ(swaps + static_cast<int64_t>(plan.sets.front().size()),
+            plan.TotalPartitionLoads());
+}
+
+TEST_F(PolicyFixture, CometLookaheadIsWholeLogicalGroups) {
+  CometPolicy comet(4);
+  Rng rng(3);
+  EpochPlan plan = comet.GenerateEpoch(*partitioning_, 4, rng);
+  const int32_t group = 8 / 4;  // p / l physical partitions per logical group
+  for (int64_t i = 0; i < plan.num_sets(); ++i) {
+    const auto delta = comet.Lookahead(plan, i);
+    EXPECT_TRUE(delta.empty() || static_cast<int32_t>(delta.size()) == group);
+  }
+}
+
+TEST_F(PolicyFixture, LookaheadMatchesNextResidency) {
+  // Prefetching the lookahead then applying the next set must leave nothing to load
+  // synchronously: delta + current ⊇ next.
+  BetaPolicy beta;
+  Rng rng(4);
+  EpochPlan plan = beta.GenerateEpoch(*partitioning_, 4, rng);
+  for (int64_t i = 0; i + 1 < plan.num_sets(); ++i) {
+    std::unordered_set<int32_t> available(plan.sets[static_cast<size_t>(i)].begin(),
+                                          plan.sets[static_cast<size_t>(i)].end());
+    for (int32_t part : beta.Lookahead(plan, i)) {
+      available.insert(part);
+    }
+    for (int32_t part : plan.sets[static_cast<size_t>(i) + 1]) {
+      EXPECT_EQ(available.count(part), 1u);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mariusgnn

@@ -190,6 +190,113 @@ INSTANTIATE_TEST_SUITE_P(Geometries, BufferGeometryTest,
                                            std::make_pair(8, 3), std::make_pair(8, 8),
                                            std::make_pair(16, 5)));
 
+TEST_F(PartitionBufferTest, MarkDirtyOnNonResidentPartitionAborts) {
+  buffer_->SetResident({0, 1});
+  const int64_t node = partitioning_->NodesIn(5).front();  // partition 5 not resident
+  EXPECT_DEATH(buffer_->MarkDirty(node), "not resident");
+}
+
+class AsyncPartitionBufferTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = LiveJournalMini(0.01);
+    Rng rng(1);
+    partitioning_ = std::make_unique<Partitioning>(graph_, 8,
+                                                   PartitionAssignment::kRandom, rng);
+    Rng rng2(2);
+    init_ = Tensor::Uniform(graph_.num_nodes(), 4, 1.0f, rng2);
+    path_ = TempPath("pb_async_test");
+    buffer_ = std::make_unique<PartitionBuffer>(partitioning_.get(), 4, 3, path_,
+                                                DiskModel(), /*learnable=*/true, &init_,
+                                                /*async_io=*/true);
+  }
+
+  void TearDown() override {
+    buffer_.reset();
+    ::remove(path_.c_str());
+  }
+
+  Graph graph_;
+  std::unique_ptr<Partitioning> partitioning_;
+  Tensor init_;
+  std::string path_;
+  std::unique_ptr<PartitionBuffer> buffer_;
+};
+
+TEST_F(AsyncPartitionBufferTest, PrefetchedInstallMatchesInit) {
+  buffer_->SetResident({0, 1, 2});
+  buffer_->Prefetch({3, 4});
+  const double sync_io = buffer_->SetResident({3, 4});
+  // Both partitions were staged: installation needs no synchronous disk reads.
+  EXPECT_DOUBLE_EQ(sync_io, 0.0);
+  EXPECT_GT(buffer_->ConsumeBackgroundIoSeconds(), 0.0);
+  for (int32_t part : {3, 4}) {
+    for (int64_t v : partitioning_->NodesIn(part)) {
+      const float* row = buffer_->ValueRow(v);
+      for (int64_t d = 0; d < 4; ++d) {
+        EXPECT_FLOAT_EQ(row[d], init_(v, d));
+      }
+    }
+  }
+}
+
+TEST_F(AsyncPartitionBufferTest, PrefetchSkipsResidentPartitions) {
+  buffer_->SetResident({0, 1});
+  buffer_->ConsumeBackgroundIoSeconds();
+  buffer_->Prefetch({0, 1});  // already resident: nothing to stage
+  buffer_->FlushAll();        // drain so any staged reads would have landed
+  EXPECT_DOUBLE_EQ(buffer_->ConsumeBackgroundIoSeconds(), 0.0);
+}
+
+TEST_F(AsyncPartitionBufferTest, AsyncWriteBackPersistsDirtyEvictions) {
+  buffer_->SetResident({0, 1, 2});
+  const int64_t node = partitioning_->NodesIn(1).front();
+  buffer_->ValueRow(node)[0] = 321.0f;
+  buffer_->MarkDirty(node);
+  buffer_->SetResident({3, 4, 5});  // evicts 1 (write-back happens in the background)
+  buffer_->SetResident({1});        // reload queues behind the write (FIFO)
+  EXPECT_FLOAT_EQ(buffer_->ValueRow(node)[0], 321.0f);
+}
+
+TEST_F(AsyncPartitionBufferTest, EvictThenPrefetchSamePartitionSeesWrittenData) {
+  buffer_->SetResident({0, 1, 2});
+  const int64_t node = partitioning_->NodesIn(2).front();
+  buffer_->ValueRow(node)[3] = -9.0f;
+  buffer_->MarkDirty(node);
+  buffer_->SetResident({3, 4, 5});  // async write-back of 2
+  buffer_->Prefetch({2});           // read queued after the write
+  buffer_->SetResident({2});
+  EXPECT_FLOAT_EQ(buffer_->ValueRow(node)[3], -9.0f);
+}
+
+TEST_F(AsyncPartitionBufferTest, ExportAllSeesBackgroundWrites) {
+  buffer_->SetResident({0, 1});
+  const int64_t node = partitioning_->NodesIn(0).front();
+  buffer_->ValueRow(node)[1] = 55.0f;
+  buffer_->MarkDirty(node);
+  buffer_->SetResident({2, 3});  // async write-back of 0 and 1
+  Tensor all = buffer_->ExportAll();
+  EXPECT_FLOAT_EQ(all(node, 1), 55.0f);
+}
+
+TEST_F(AsyncPartitionBufferTest, ResidentLayoutMatchesSyncBuffer) {
+  // The slot-assignment order must not depend on the IO mode, or negative-sampling
+  // universes (ResidentNodes order) would diverge between prefetch on/off.
+  const std::string sync_path = TempPath("pb_sync_twin");
+  PartitionBuffer sync_buffer(partitioning_.get(), 4, 3, sync_path, DiskModel(),
+                              /*learnable=*/true, &init_, /*async_io=*/false);
+  const std::vector<std::vector<int32_t>> schedule = {
+      {0, 1, 2}, {1, 2, 3}, {3, 4, 5}, {0, 5, 6}};
+  for (const auto& set : schedule) {
+    buffer_->Prefetch(set);
+    buffer_->SetResident(set);
+    sync_buffer.SetResident(set);
+    EXPECT_EQ(buffer_->ResidentPartitions(), sync_buffer.ResidentPartitions());
+    EXPECT_EQ(buffer_->ResidentNodes(), sync_buffer.ResidentNodes());
+  }
+  ::remove(sync_path.c_str());
+}
+
 TEST(InMemoryEmbeddingStore, GatherAndUpdate) {
   Rng rng(3);
   InMemoryEmbeddingStore store(10, 4, 0.5f, rng);

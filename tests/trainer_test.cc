@@ -358,6 +358,88 @@ TEST(NodeClassification, GatEncoderLearns) {
   EXPECT_LT(last.loss, first.loss);
 }
 
+TEST(LinkPrediction, WorkerCountDoesNotChangeTrajectory) {
+  // Batches are derived from per-batch seeds and consumed in order, so serial,
+  // 1-worker, and N-worker pipelines must be bitwise identical.
+  Graph g = Fb15k237Like(0.03);
+  std::vector<double> losses;
+  std::vector<double> mrrs;
+  for (int workers : {0, 1, 3}) {
+    TrainingConfig config = SmallLpConfig();
+    config.pipelined = workers > 0;
+    config.pipeline_workers = workers;
+    LinkPredictionTrainer trainer(&g, config);
+    double loss = 0.0;
+    for (int e = 0; e < 2; ++e) {
+      loss += trainer.TrainEpoch().loss;
+    }
+    losses.push_back(loss);
+    mrrs.push_back(trainer.EvaluateMrr(50, 100));
+  }
+  EXPECT_DOUBLE_EQ(losses[1], losses[0]);
+  EXPECT_DOUBLE_EQ(losses[2], losses[0]);
+  EXPECT_DOUBLE_EQ(mrrs[1], mrrs[0]);
+  EXPECT_DOUBLE_EQ(mrrs[2], mrrs[0]);
+}
+
+TEST(LinkPrediction, DiskPipelineAndPrefetchDoNotChangeTrajectory) {
+  // The async path (partition prefetch + background write-back + pipeline workers)
+  // must reproduce the fully synchronous run exactly.
+  Graph g = Fb15k237Like(0.05);
+  auto run = [&](bool pipelined, bool prefetch) {
+    TrainingConfig config = SmallLpConfig();
+    config.use_disk = true;
+    config.num_physical = 8;
+    config.num_logical = 4;
+    config.buffer_capacity = 4;
+    config.pipelined = pipelined;
+    config.pipeline_workers = 2;
+    config.prefetch = prefetch;
+    LinkPredictionTrainer trainer(&g, config);
+    double loss = 0.0;
+    for (int e = 0; e < 2; ++e) {
+      loss += trainer.TrainEpoch().loss;
+    }
+    return std::make_pair(loss, trainer.EvaluateMrr(50, 100));
+  };
+  const auto base = run(false, false);
+  const auto prefetch_only = run(false, true);
+  const auto full_async = run(true, true);
+  EXPECT_DOUBLE_EQ(prefetch_only.first, base.first);
+  EXPECT_DOUBLE_EQ(full_async.first, base.first);
+  EXPECT_DOUBLE_EQ(prefetch_only.second, base.second);
+  EXPECT_DOUBLE_EQ(full_async.second, base.second);
+}
+
+TEST(NodeClassification, WorkerCountDoesNotChangeTrajectory) {
+  Graph g = PapersMini(0.05);
+  std::vector<double> losses;
+  for (int workers : {0, 2}) {
+    TrainingConfig config = SmallNcConfig();
+    config.pipelined = workers > 0;
+    config.pipeline_workers = workers;
+    NodeClassificationTrainer trainer(&g, config);
+    double loss = 0.0;
+    for (int e = 0; e < 2; ++e) {
+      loss += trainer.TrainEpoch().loss;
+    }
+    losses.push_back(loss);
+  }
+  EXPECT_DOUBLE_EQ(losses[1], losses[0]);
+}
+
+TEST(LinkPrediction, PipelinedEpochReportsStageBreakdown) {
+  Graph g = Fb15k237Like(0.03);
+  TrainingConfig config = SmallLpConfig();
+  config.pipelined = true;
+  config.pipeline_workers = 2;
+  LinkPredictionTrainer trainer(&g, config);
+  const EpochStats stats = trainer.TrainEpoch();
+  EXPECT_GT(stats.sample_seconds, 0.0);       // batch construction was timed
+  EXPECT_GE(stats.pipeline_stall_seconds, 0.0);
+  EXPECT_GT(stats.compute_seconds, 0.0);
+}
+
 TEST(Metrics, RankOfPositive) {
   EXPECT_EQ(RankOfPositive(1.0f, {0.5f, 0.2f}), 1);
   EXPECT_EQ(RankOfPositive(0.3f, {0.5f, 0.2f}), 2);

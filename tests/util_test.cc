@@ -6,7 +6,6 @@
 #include <set>
 #include <thread>
 
-#include "src/pipeline/pipeline.h"
 #include "src/pipeline/queue.h"
 #include "src/util/binary_io.h"
 #include "src/util/rng.h"
@@ -170,6 +169,26 @@ TEST(ThreadPool, ParallelForEmptyAndSmall) {
   EXPECT_EQ(total.load(), 5);
 }
 
+TEST(ThreadPool, ParallelForFromOwnWorkerRunsInline) {
+  // A worker waiting on its own pool's chunks deadlocks once every worker blocks
+  // (e.g. pipeline workers sampling); ParallelFor must detect this and run inline.
+  ThreadPool pool(2);
+  std::atomic<int64_t> total{0};
+  std::atomic<int> done{0};
+  for (int t = 0; t < 2; ++t) {  // saturate the pool
+    pool.Submit([&] {
+      EXPECT_TRUE(pool.OnWorkerThread());
+      pool.ParallelFor(5000, [&](int64_t b, int64_t e) { total.fetch_add(e - b); },
+                       /*min_chunk=*/1);
+      done.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 2);
+  EXPECT_EQ(total.load(), 10000);
+  EXPECT_FALSE(pool.OnWorkerThread());
+}
+
 TEST(ThreadPool, SubmitAndWait) {
   ThreadPool pool(3);
   std::atomic<int> done{0};
@@ -238,17 +257,6 @@ TEST(BoundedQueue, BlocksProducerWhenFull) {
   q.Pop();
   t.join();
   EXPECT_TRUE(pushed.load());
-}
-
-TEST(Pipeline, ProcessesAllInOrder) {
-  std::vector<int64_t> consumed;
-  RunPipelined<int64_t>(
-      100, 4, [](int64_t i) { return i * 2; },
-      [&](int64_t& item, int64_t i) {
-        EXPECT_EQ(item, i * 2);
-        consumed.push_back(item);
-      });
-  EXPECT_EQ(consumed.size(), 100u);
 }
 
 TEST(VirtualClock, Accumulates) {
