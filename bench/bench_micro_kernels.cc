@@ -2,12 +2,32 @@
 // claims: contiguous segment reductions (the DENSE dense-kernel path) vs per-edge
 // scatter aggregation (the sparse baseline path), gather, one-hop sampling, and
 // end-to-end DENSE construction.
+//
+// After the google-benchmark suites, a custom stage-3 section times every parallel
+// compute kernel (matmuls, neighbor aggregation, ranking loss, sharded Adagrad)
+// serially and on an 8-worker pool, verifies the results are BITWISE identical,
+// and prints per-kernel plus aggregate speedups. The exit code gates only on
+// determinism — speedup depends on host core count (CI boxes may have 2).
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "src/data/datasets.h"
 #include "src/graph/neighbor_index.h"
+#include "src/nn/decoder.h"
 #include "src/sampler/dense.h"
+#include "src/storage/embedding_store.h"
 #include "src/tensor/ops.h"
+#include "src/util/compute.h"
+#include "src/util/timer.h"
 
 namespace mariusgnn {
 namespace {
@@ -110,7 +130,155 @@ void BM_NeighborIndexBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_NeighborIndexBuild);
 
+// ---------------------------------------------------------------------------
+// Stage-3 parallel-kernel section (custom, after the google-benchmark suites).
+// ---------------------------------------------------------------------------
+
+struct Stage3Kernel {
+  std::string name;
+  // Runs the kernel once under `ctx` and returns a tensor capturing its full
+  // result (output + gradients flattened), used for the bitwise check.
+  std::function<Tensor(const ComputeContext*)> run;
+};
+
+// Representative in-memory-config shapes: ~4k-row batches at dim 64.
+std::vector<Stage3Kernel> MakeStage3Kernels() {
+  std::vector<Stage3Kernel> kernels;
+  Rng rng(11);
+  const int64_t rows = 4096, dim = 64;
+
+  auto a = std::make_shared<Tensor>(Tensor::Normal(rows, dim, 1.0f, rng));
+  auto w = std::make_shared<Tensor>(Tensor::Normal(dim, dim, 0.5f, rng));
+  auto g = std::make_shared<Tensor>(Tensor::Normal(rows, dim, 0.5f, rng));
+  kernels.push_back({"matmul_fwd", [a, w](const ComputeContext* ctx) {
+                       return Matmul(*a, *w, ctx);
+                     }});
+  kernels.push_back({"matmul_dW (A^T g)", [a, g](const ComputeContext* ctx) {
+                       return MatmulTransA(*a, *g, ctx);
+                     }});
+  kernels.push_back({"matmul_dX (g W^T)", [g, w](const ComputeContext* ctx) {
+                       return MatmulTransB(*g, *w, ctx);
+                     }});
+
+  const int64_t segs = 4096, per_seg = 10;
+  auto seg_src = std::make_shared<Tensor>(Tensor::Normal(segs * per_seg, dim, 1.0f, rng));
+  auto offsets = std::make_shared<std::vector<int64_t>>();
+  for (int64_t s = 0; s <= segs; ++s) {
+    offsets->push_back(s * per_seg);
+  }
+  auto seg_grad = std::make_shared<Tensor>(Tensor::Normal(segs, dim, 1.0f, rng));
+  kernels.push_back({"neighbor_agg_fwd", [seg_src, offsets](const ComputeContext* ctx) {
+                       return SegmentMean(*seg_src, *offsets, ctx);
+                     }});
+  kernels.push_back({"neighbor_agg_bwd", [seg_grad, offsets](const ComputeContext* ctx) {
+                       return SegmentMeanBackward(*seg_grad, *offsets, ctx);
+                     }});
+
+  // Ranking loss: 2048 positive edges vs 128 shared negatives at dim 64.
+  {
+    Rng drng(13);
+    auto reprs = std::make_shared<Tensor>(Tensor::Normal(3000, dim, 0.5f, drng));
+    auto src = std::make_shared<std::vector<int64_t>>(2048);
+    auto dst = std::make_shared<std::vector<int64_t>>(2048);
+    auto rels = std::make_shared<std::vector<int32_t>>(2048, 0);
+    auto negs = std::make_shared<std::vector<int64_t>>(128);
+    for (auto& v : *src) v = static_cast<int64_t>(drng.UniformInt(3000));
+    for (auto& v : *dst) v = static_cast<int64_t>(drng.UniformInt(3000));
+    for (auto& v : *negs) v = static_cast<int64_t>(drng.UniformInt(3000));
+    kernels.push_back(
+        {"ranking_loss+grad", [reprs, src, dst, rels, negs](const ComputeContext* ctx) {
+           Rng wrng(17);
+           DistMultDecoder decoder(1, 64, wrng);
+           decoder.set_compute(ctx);
+           Tensor d_reprs(reprs->rows(), reprs->cols());
+           const float loss =
+               decoder.LossAndGrad(*reprs, *src, *dst, *rels, *negs, &d_reprs);
+           d_reprs.data()[0] += loss;  // fold the scalar into the bitwise check
+           return d_reprs;
+         }});
+  }
+
+  // Sharded sparse Adagrad over 4096 distinct rows.
+  {
+    auto grads = std::make_shared<Tensor>(Tensor::Normal(rows, dim, 0.3f, rng));
+    kernels.push_back({"sparse_adagrad", [grads, rows, dim](const ComputeContext* ctx) {
+                         Rng srng(19);
+                         InMemoryEmbeddingStore store(rows, dim, 0.5f, srng);
+                         store.set_compute(ctx);
+                         std::vector<int64_t> nodes(static_cast<size_t>(rows));
+                         std::iota(nodes.begin(), nodes.end(), 0);
+                         store.ApplyGradients(nodes, *grads, 0.1f);
+                         Tensor out;
+                         store.Gather(nodes, &out);
+                         return out;
+                       }});
+  }
+  return kernels;
+}
+
+double BestOfSeconds(const std::function<void()>& fn, int reps) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    fn();
+    best = std::min(best, timer.Seconds());
+  }
+  return best;
+}
+
+// Times each stage-3 kernel serial vs 8-worker pool, checks bitwise equality, and
+// prints per-kernel + aggregate speedup. Returns false on any determinism break.
+bool RunStage3Section() {
+  constexpr int kWorkers = 8;
+  constexpr int kReps = 5;
+  std::printf("\n=== stage-3 parallel kernels: serial vs %d-worker pool ===\n", kWorkers);
+  std::printf("(speedup is host-dependent — this box has %u hardware threads)\n",
+              std::thread::hardware_concurrency());
+  std::printf("%-20s %12s %12s %9s  %s\n", "kernel", "serial_ms", "parallel_ms",
+              "speedup", "bitwise");
+
+  ThreadPool pool(kWorkers);
+  ComputeContext ctx;
+  ctx.pool = &pool;
+
+  bool all_identical = true;
+  double serial_total = 0.0, parallel_total = 0.0;
+  for (const Stage3Kernel& kernel : MakeStage3Kernels()) {
+    const Tensor serial_out = kernel.run(nullptr);
+    const Tensor parallel_out = kernel.run(&ctx);
+    const bool identical =
+        serial_out.rows() == parallel_out.rows() &&
+        serial_out.cols() == parallel_out.cols() &&
+        std::memcmp(serial_out.data(), parallel_out.data(),
+                    static_cast<size_t>(serial_out.size()) * sizeof(float)) == 0;
+    all_identical = all_identical && identical;
+
+    const double serial_s = BestOfSeconds([&] { kernel.run(nullptr); }, kReps);
+    const double parallel_s = BestOfSeconds([&] { kernel.run(&ctx); }, kReps);
+    serial_total += serial_s;
+    parallel_total += parallel_s;
+    std::printf("%-20s %12.3f %12.3f %8.2fx  %s\n", kernel.name.c_str(), serial_s * 1e3,
+                parallel_s * 1e3, serial_s / parallel_s,
+                identical ? "IDENTICAL" : "DIVERGED (BUG)");
+  }
+  std::printf("%-20s %12.3f %12.3f %8.2fx  aggregate\n", "TOTAL", serial_total * 1e3,
+              parallel_total * 1e3, serial_total / parallel_total);
+  if (!all_identical) {
+    std::printf("FAIL: a parallel kernel diverged from the serial bits\n");
+  }
+  return all_identical;
+}
+
 }  // namespace
 }  // namespace mariusgnn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // Exit code gates on kernel determinism only (speedups are host-dependent).
+  return mariusgnn::RunStage3Section() ? 0 : 1;
+}

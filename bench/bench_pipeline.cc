@@ -37,16 +37,24 @@ struct PipelineRun {
   double epoch_seconds = 0.0;
   double sample_seconds = 0.0;
   double io_stall_seconds = 0.0;
+  double compute_efficiency = 1.0;
   double loss = 0.0;  // last-epoch mean loss
   double mrr = 0.0;
 };
 
-PipelineRun Run(const Graph& graph, bool disk, int workers) {
+// `shared_pool` != nullptr enables the stage-3 parallel kernels AND routes the
+// pipeline workers onto the same pool — the production default's contention path
+// (compute helpers only enlist threads the sampling workers leave idle).
+PipelineRun Run(const Graph& graph, bool disk, int workers,
+                ThreadPool* shared_pool = nullptr) {
   TrainingConfig config = BaseConfig();
   // workers == 0 is the fully synchronous baseline: no pipeline, no prefetch.
   config.pipelined = workers > 0;
   config.pipeline_workers = workers;
   config.prefetch = workers > 0;
+  config.parallel_compute = shared_pool != nullptr;
+  config.compute_pool = shared_pool;
+  config.pipeline_pool = shared_pool;
   if (disk) {
     config.use_disk = true;
     config.num_physical = 8;
@@ -66,6 +74,7 @@ PipelineRun Run(const Graph& graph, bool disk, int workers) {
     result.epoch_seconds += stats.wall_seconds;
     result.sample_seconds += stats.sample_seconds;
     result.io_stall_seconds += stats.io_stall_seconds;
+    result.compute_efficiency = stats.compute_parallel_efficiency;
     result.loss = stats.loss;
   }
   result.epoch_seconds /= kEpochs;
@@ -77,25 +86,40 @@ PipelineRun Run(const Graph& graph, bool disk, int workers) {
 
 // Returns true when every pipelined configuration reproduced the serial trajectory.
 bool RunMode(const Graph& graph, bool disk) {
-  std::printf("\n%-14s %12s %12s %12s %10s %8s\n",
+  std::printf("\n%-18s %12s %12s %12s %8s %10s %8s\n",
               disk ? "disk" : "in-memory", "epoch_sec", "sample_sec", "io_stall_sec",
-              "loss", "mrr");
+              "par_eff", "loss", "mrr");
   const PipelineRun serial = Run(graph, disk, /*workers=*/0);
-  std::printf("%-14s %12.4f %12.4f %12.4f %10.5f %8.4f\n", "serial",
+  std::printf("%-18s %12.4f %12.4f %12.4f %8s %10.5f %8.4f\n", "serial",
               serial.epoch_seconds, serial.sample_seconds, serial.io_stall_seconds,
-              serial.loss, serial.mrr);
+              "-", serial.loss, serial.mrr);
   bool all_identical = true;
-  for (int workers : {1, 4}) {
-    const PipelineRun run = Run(graph, disk, workers);
-    std::printf("pipelined(w=%d) %12.4f %12.4f %12.4f %10.5f %8.4f\n", workers,
-                run.epoch_seconds, run.sample_seconds, run.io_stall_seconds, run.loss,
-                run.mrr);
+  auto check = [&](const char* name, const PipelineRun& run) {
     const bool identical = run.loss == serial.loss && run.mrr == serial.mrr;
     all_identical = all_identical && identical;
-    std::printf("  vs serial: %+6.1f%% epoch time, trajectories %s\n",
+    std::printf("  %s vs serial: %+6.1f%% epoch time, trajectories %s\n", name,
                 100.0 * (run.epoch_seconds - serial.epoch_seconds) /
                     serial.epoch_seconds,
                 identical ? "IDENTICAL" : "DIVERGED (BUG)");
+  };
+  for (int workers : {1, 4}) {
+    const PipelineRun run = Run(graph, disk, workers);
+    std::printf("pipelined(w=%d)     %12.4f %12.4f %12.4f %8s %10.5f %8.4f\n", workers,
+                run.epoch_seconds, run.sample_seconds, run.io_stall_seconds, "-",
+                run.loss, run.mrr);
+    check("pipelined", run);
+  }
+  // Stage-3 parallel compute on top of the w=4 pipeline, with ONE 8-worker pool
+  // genuinely shared by sampling workers and compute chunks (the production
+  // default's contention path). Trajectories must still be bitwise-identical;
+  // par_eff reports how well the compute chunks scaled on this host.
+  {
+    ThreadPool shared_pool(8);
+    const PipelineRun run = Run(graph, disk, /*workers=*/4, &shared_pool);
+    std::printf("pipelined+par(t=8) %12.4f %12.4f %12.4f %8.2f %10.5f %8.4f\n",
+                run.epoch_seconds, run.sample_seconds, run.io_stall_seconds,
+                run.compute_efficiency, run.loss, run.mrr);
+    check("pipelined+par", run);
   }
   return all_identical;
 }

@@ -12,6 +12,7 @@
 #include "src/pipeline/training_pipeline.h"
 #include "src/storage/disk.h"
 #include "src/util/check.h"
+#include "src/util/compute.h"
 
 namespace mariusgnn {
 
@@ -39,6 +40,17 @@ struct TrainingConfig {
   // changes results: batches are derived from per-batch seeds and consumed in order.
   int pipeline_workers = 2;
   int64_t pipeline_queue_capacity = 4;  // prepared batches buffered ahead of compute
+  // Stage-3 compute parallelism: run the hot kernels (matmuls, neighbor
+  // aggregation, ranking loss, sparse Adagrad) in fixed chunks on the shared
+  // ThreadPool. Like the pipeline, this never changes results — chunk boundaries
+  // and reduction order depend only on tensor shapes (src/util/compute.h), so
+  // serial and N-thread runs are bitwise-identical.
+  bool parallel_compute = true;
+  // Pool overrides for tests/benches; nullptr = ThreadPool::Global(). Pointing both
+  // at one pool exercises the production default of sampling workers and compute
+  // chunks sharing the global pool.
+  ThreadPool* compute_pool = nullptr;
+  ThreadPool* pipeline_pool = nullptr;
   uint64_t seed = 7;
 
   // Storage.
@@ -63,7 +75,19 @@ struct TrainingConfig {
     PipelineOptions options;
     options.workers = pipelined ? pipeline_workers : 0;
     options.queue_capacity = static_cast<size_t>(pipeline_queue_capacity);
+    options.pool = pipeline_pool;
     return options;
+  }
+
+  // Stage-3 compute handle for one trainer, recording into `stats` (both trainers
+  // build theirs through this so the wiring cannot diverge).
+  ComputeContext MakeComputeContext(ComputeStats* stats) const {
+    ComputeContext ctx;
+    if (parallel_compute) {
+      ctx.pool = compute_pool != nullptr ? compute_pool : &ThreadPool::Global();
+    }
+    ctx.stats = stats;
+    return ctx;
   }
 };
 
@@ -74,6 +98,10 @@ struct EpochStats {
   // time, stalls = time a stage spent waiting on another.
   double wall_seconds = 0.0;      // compute + unhidden IO stalls
   double compute_seconds = 0.0;
+  // Scaling quality of the stage-3 parallel kernels: per-chunk busy time divided by
+  // the capacity actually enlisted (sum of region wall x executors). 1.0 = every
+  // region fully used its threads; serial runs report 1.0.
+  double compute_parallel_efficiency = 1.0;
   double sample_seconds = 0.0;    // batch construction (overlaps compute when pipelined)
   double io_seconds = 0.0;        // total modeled IO
   double io_stall_seconds = 0.0;  // IO not hidden by prefetch overlap

@@ -28,7 +28,10 @@ struct LinkPredictionTrainer::PreparedBatch {
 };
 
 LinkPredictionTrainer::LinkPredictionTrainer(const Graph* graph, TrainingConfig config)
-    : graph_(graph), config_(std::move(config)), rng_(config_.seed) {
+    : graph_(graph),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      compute_(config_.MakeComputeContext(&compute_stats_)) {
   MG_CHECK(!config_.dims.empty());
   MG_CHECK(static_cast<int64_t>(config_.dims.size()) == config_.num_layers() + 1);
   const int64_t emb_dim = config_.dims.front();
@@ -48,7 +51,17 @@ LinkPredictionTrainer::LinkPredictionTrainer(const Graph* graph, TrainingConfig 
   }
   decoder_ = MakeDecoder(config_.decoder, graph_->num_relations(), config_.dims.back(), rng_);
 
+  // Thread the stage-3 compute handle through every component that runs kernels.
+  if (encoder_ != nullptr) {
+    encoder_->set_compute(&compute_);
+  }
+  if (block_encoder_ != nullptr) {
+    block_encoder_->set_compute(&compute_);
+  }
+  decoder_->set_compute(&compute_);
+
   weight_opt_ = std::make_unique<Adagrad>(config_.weight_lr);
+  weight_opt_->set_compute(&compute_);
   if (encoder_ != nullptr) {
     weight_params_ = encoder_->Parameters();
   } else if (block_encoder_ != nullptr) {
@@ -73,6 +86,7 @@ LinkPredictionTrainer::LinkPredictionTrainer(const Graph* graph, TrainingConfig 
   if (!config_.use_disk) {
     mem_store_ = std::make_unique<InMemoryEmbeddingStore>(graph_->num_nodes(), emb_dim,
                                                           init_scale, rng_);
+    mem_store_->set_compute(&compute_);
     full_index_ = std::make_unique<NeighborIndex>(*graph_);
     store_ = mem_store_.get();
   } else {
@@ -88,6 +102,7 @@ LinkPredictionTrainer::LinkPredictionTrainer(const Graph* graph, TrainingConfig 
                                                 config_.disk_model, /*learnable=*/true,
                                                 &init, /*async_io=*/config_.prefetch);
     disk_store_ = std::make_unique<BufferedEmbeddingStore>(buffer_.get(), true);
+    disk_store_->set_compute(&compute_);
     store_ = disk_store_.get();
     if (config_.policy == "beta") {
       policy_ = std::make_unique<BetaPolicy>();
@@ -208,6 +223,7 @@ void LinkPredictionTrainer::RunBatches(const std::vector<int64_t>& edge_ids,
 
 EpochStats LinkPredictionTrainer::TrainEpochInMemory() {
   EpochStats stats;
+  compute_stats_.Reset();
   WallTimer timer;
   std::vector<int64_t> edge_ids = graph_->train_edges();
   if (edge_ids.empty()) {
@@ -221,6 +237,7 @@ EpochStats LinkPredictionTrainer::TrainEpochInMemory() {
   RunBatches(edge_ids, *full_index_, negatives, &stats);
   stats.compute_seconds = timer.Seconds();
   stats.wall_seconds = stats.compute_seconds;
+  stats.compute_parallel_efficiency = compute_stats_.ParallelEfficiency();
   stats.num_partition_sets = 1;
   if (stats.num_batches > 0) {
     stats.loss /= static_cast<double>(stats.num_batches);
@@ -230,6 +247,7 @@ EpochStats LinkPredictionTrainer::TrainEpochInMemory() {
 
 EpochStats LinkPredictionTrainer::TrainEpochDisk() {
   EpochStats stats;
+  compute_stats_.Reset();
   EpochPlan plan = policy_->GenerateEpoch(*partitioning_, config_.buffer_capacity, rng_);
   stats.num_partition_sets = plan.num_sets();
 
@@ -281,6 +299,7 @@ EpochStats LinkPredictionTrainer::TrainEpochDisk() {
   stats.io_seconds += flush_io + leftover_bg;
   stats.io_stall_seconds += flush_io + leftover_bg;
   stats.wall_seconds = stats.compute_seconds + stats.io_stall_seconds;
+  stats.compute_parallel_efficiency = compute_stats_.ParallelEfficiency();
   if (stats.num_batches > 0) {
     stats.loss /= static_cast<double>(stats.num_batches);
   }
@@ -298,16 +317,16 @@ Tensor LinkPredictionTrainer::InferReprs(const std::vector<int64_t>& nodes,
     dense_sampler_->set_index(&index);
     DenseBatch batch = dense_sampler_->Sample(nodes);
     batch.FinalizeForDevice();
-    Tensor h0 = IndexSelect(values, batch.node_ids);
+    Tensor h0 = IndexSelect(values, batch.node_ids, &compute_);
     return encoder_->Forward(batch, h0);
   }
   if (block_encoder_ != nullptr) {
     layerwise_sampler_->set_index(&index);
     LayerwiseSample sample = layerwise_sampler_->Sample(nodes);
-    Tensor h0 = IndexSelect(values, sample.input_nodes());
+    Tensor h0 = IndexSelect(values, sample.input_nodes(), &compute_);
     return block_encoder_->Forward(sample, h0);
   }
-  return IndexSelect(values, nodes);
+  return IndexSelect(values, nodes, &compute_);
 }
 
 namespace {

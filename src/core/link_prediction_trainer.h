@@ -79,6 +79,11 @@ class LinkPredictionTrainer {
   TrainingConfig config_;
   Rng rng_;
 
+  // Stage-3 parallel compute: handle threaded into encoder/decoder/optimizer/store,
+  // plus the per-epoch scaling counters behind EpochStats.compute_parallel_efficiency.
+  ComputeStats compute_stats_;
+  ComputeContext compute_;
+
   std::unique_ptr<GnnEncoder> encoder_;        // DENSE path (may be null: decoder-only)
   std::unique_ptr<BlockEncoder> block_encoder_;  // baseline path
   std::unique_ptr<Decoder> decoder_;

@@ -21,7 +21,10 @@ struct NodeClassificationTrainer::PreparedBatch {
 
 NodeClassificationTrainer::NodeClassificationTrainer(const Graph* graph,
                                                      TrainingConfig config)
-    : graph_(graph), config_(std::move(config)), rng_(config_.seed) {
+    : graph_(graph),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      compute_(config_.MakeComputeContext(&compute_stats_)) {
   MG_CHECK(graph_->has_features());
   MG_CHECK(!graph_->labels().empty() && graph_->num_classes() > 0);
   MG_CHECK(config_.num_layers() >= 1);
@@ -47,6 +50,16 @@ NodeClassificationTrainer::NodeClassificationTrainer(const Graph* graph,
   }
   weight_opt_ = std::make_unique<Adagrad>(config_.weight_lr);
 
+  // Thread the stage-3 compute handle through every component that runs kernels.
+  if (encoder_ != nullptr) {
+    encoder_->set_compute(&compute_);
+  }
+  if (block_encoder_ != nullptr) {
+    block_encoder_->set_compute(&compute_);
+  }
+  head_->set_compute(&compute_);
+  weight_opt_->set_compute(&compute_);
+
   if (!config_.use_disk) {
     full_index_ = std::make_unique<NeighborIndex>(*graph_);
   } else {
@@ -62,6 +75,9 @@ NodeClassificationTrainer::NodeClassificationTrainer(const Graph* graph,
         partitioning_.get(), graph_->features().cols(), config_.buffer_capacity, path,
         config_.disk_model, /*learnable=*/false, &graph_->features(),
         /*async_io=*/config_.prefetch);
+    buffer_store_ = std::make_unique<BufferedEmbeddingStore>(buffer_.get(),
+                                                             /*trainable=*/false);
+    buffer_store_->set_compute(&compute_);
   }
 }
 
@@ -70,13 +86,10 @@ NodeClassificationTrainer::~NodeClassificationTrainer() = default;
 Tensor NodeClassificationTrainer::GatherFeatures(const std::vector<int64_t>& nodes,
                                                  bool from_graph) {
   if (from_graph || !use_buffer_features_) {
-    return IndexSelect(graph_->features(), nodes);
+    return IndexSelect(graph_->features(), nodes, &compute_);
   }
-  Tensor out(static_cast<int64_t>(nodes.size()), buffer_->dim());
-  for (size_t i = 0; i < nodes.size(); ++i) {
-    const float* row = buffer_->ValueRow(nodes[i]);
-    std::copy(row, row + buffer_->dim(), out.RowPtr(static_cast<int64_t>(i)));
-  }
+  Tensor out;
+  buffer_store_->Gather(nodes, &out);
   return out;
 }
 
@@ -111,7 +124,7 @@ float NodeClassificationTrainer::ConsumeBatch(PreparedBatch& batch) {
   }
   Tensor logits = head_->Forward(reprs);
   Tensor dlogits;
-  const float loss = SoftmaxCrossEntropy(logits, batch.labels, &dlogits);
+  const float loss = SoftmaxCrossEntropy(logits, batch.labels, &dlogits, &compute_);
   Tensor dreprs = head_->Backward(dlogits);
   if (encoder_ != nullptr) {
     encoder_->Backward(dreprs);  // features are fixed; d(h0) is discarded
@@ -151,6 +164,7 @@ void NodeClassificationTrainer::RunBatches(const std::vector<int64_t>& nodes,
 
 EpochStats NodeClassificationTrainer::TrainEpoch() {
   EpochStats stats;
+  compute_stats_.Reset();
   std::vector<int64_t> train = graph_->train_nodes();
   rng_.Shuffle(train);
 
@@ -209,6 +223,7 @@ EpochStats NodeClassificationTrainer::TrainEpoch() {
     }
     stats.wall_seconds = stats.compute_seconds + stats.io_stall_seconds;
   }
+  stats.compute_parallel_efficiency = compute_stats_.ParallelEfficiency();
   if (stats.num_batches > 0) {
     stats.loss /= static_cast<double>(stats.num_batches);
   }

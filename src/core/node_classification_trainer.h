@@ -59,6 +59,10 @@ class NodeClassificationTrainer {
   TrainingConfig config_;
   Rng rng_;
 
+  // Stage-3 parallel compute (see src/util/compute.h).
+  ComputeStats compute_stats_;
+  ComputeContext compute_;
+
   std::unique_ptr<GnnEncoder> encoder_;
   std::unique_ptr<BlockEncoder> block_encoder_;
   std::unique_ptr<LinearLayer> head_;
@@ -73,6 +77,7 @@ class NodeClassificationTrainer {
   // Disk state (features are read-only: no write-back).
   std::unique_ptr<Partitioning> partitioning_;
   std::unique_ptr<PartitionBuffer> buffer_;
+  std::unique_ptr<BufferedEmbeddingStore> buffer_store_;  // chunked Gather over buffer_
   NodeCachingPolicy caching_policy_;
   bool use_buffer_features_ = false;  // true while training from resident partitions
 };

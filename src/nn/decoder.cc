@@ -3,24 +3,37 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/tensor/ops.h"
 #include "src/util/check.h"
 
 namespace mariusgnn {
 
-float Decoder::SideLossAndGrad(const Tensor& reprs, const std::vector<int64_t>& src_rows,
-                               const std::vector<int64_t>& dst_rows,
-                               const std::vector<int32_t>& rels,
-                               const std::vector<int64_t>& neg_rows, bool corrupt_src,
-                               float scale, Tensor* d_reprs) {
-  const int64_t batch = static_cast<int64_t>(src_rows.size());
-  const int64_t m = static_cast<int64_t>(neg_rows.size());
-  MG_CHECK(batch > 0 && m > 0);
-  const float inv_b = scale / static_cast<float>(batch);
+namespace {
 
+// Gradient row for `row`: direct, or through the chunk's compact-slot remap.
+inline float* GradRow(Tensor* t, const int32_t* slot_of, int64_t row) {
+  return t->RowPtr(slot_of == nullptr ? row : slot_of[static_cast<size_t>(row)]);
+}
+
+}  // namespace
+
+// One chunk of positive edges: scores each edge against the shared negatives and
+// accumulates d loss / d reprs into `d_out` and relation gradients into `rel_grad`.
+// `d_out`/`rel_grad` are either the real accumulators (single chunk, slot_of ==
+// rel_slot_of == nullptr) or per-chunk compact partials indexed through the slot
+// remaps (parallel), so the per-edge arithmetic is identical either way.
+double Decoder::SideLossChunk(const Tensor& reprs, const std::vector<int64_t>& src_rows,
+                              const std::vector<int64_t>& dst_rows,
+                              const std::vector<int32_t>& rels,
+                              const std::vector<int64_t>& neg_rows, bool corrupt_src,
+                              float inv_b, int64_t begin, int64_t end, Tensor* d_out,
+                              Tensor* rel_grad, const int32_t* slot_of,
+                              const int32_t* rel_slot_of) const {
+  const int64_t m = static_cast<int64_t>(neg_rows.size());
   std::vector<float> logits(static_cast<size_t>(m) + 1);
   std::vector<float> probs(static_cast<size_t>(m) + 1);
   double loss = 0.0;
-  for (int64_t i = 0; i < batch; ++i) {
+  for (int64_t i = begin; i < end; ++i) {
     const float* s = reprs.RowPtr(src_rows[static_cast<size_t>(i)]);
     const float* o = reprs.RowPtr(dst_rows[static_cast<size_t>(i)]);
     const int32_t rel = rels[static_cast<size_t>(i)];
@@ -49,14 +62,14 @@ float Decoder::SideLossAndGrad(const Tensor& reprs, const std::vector<int64_t>& 
     loss -= std::log(std::max(probs[0], 1e-12f));
 
     // dlogit_0 = (p0 - 1)/B, dlogit_j = p_j/B.
-    float* ds = d_reprs->RowPtr(src_rows[static_cast<size_t>(i)]);
-    float* do_ = d_reprs->RowPtr(dst_rows[static_cast<size_t>(i)]);
-    float* dr = rel_.grad.RowPtr(rel);
+    float* ds = GradRow(d_out, slot_of, src_rows[static_cast<size_t>(i)]);
+    float* do_ = GradRow(d_out, slot_of, dst_rows[static_cast<size_t>(i)]);
+    float* dr = GradRow(rel_grad, rel_slot_of, rel);
     ScoreBackward(s, r, o, (probs[0] - 1.0f) * inv_b, ds, dr, do_);
     for (int64_t j = 0; j < m; ++j) {
       const int64_t nrow = neg_rows[static_cast<size_t>(j)];
       const float* n = reprs.RowPtr(nrow);
-      float* dn = d_reprs->RowPtr(nrow);
+      float* dn = GradRow(d_out, slot_of, nrow);
       const float coeff = probs[static_cast<size_t>(j) + 1] * inv_b;
       if (coeff == 0.0f) {
         continue;
@@ -68,6 +81,96 @@ float Decoder::SideLossAndGrad(const Tensor& reprs, const std::vector<int64_t>& 
       }
     }
   }
+  return loss;
+}
+
+float Decoder::SideLossAndGrad(const Tensor& reprs, const std::vector<int64_t>& src_rows,
+                               const std::vector<int64_t>& dst_rows,
+                               const std::vector<int32_t>& rels,
+                               const std::vector<int64_t>& neg_rows, bool corrupt_src,
+                               float scale, Tensor* d_reprs) {
+  const int64_t batch = static_cast<int64_t>(src_rows.size());
+  const int64_t m = static_cast<int64_t>(neg_rows.size());
+  MG_CHECK(batch > 0 && m > 0);
+  const float inv_b = scale / static_cast<float>(batch);
+
+  const int64_t chunks = ComputeChunkCount(batch, kComputeGrainEdges);
+  if (chunks <= 1) {
+    const double loss =
+        SideLossChunk(reprs, src_rows, dst_rows, rels, neg_rows, corrupt_src, inv_b, 0,
+                      batch, d_reprs, &rel_.grad, /*slot_of=*/nullptr,
+                      /*rel_slot_of=*/nullptr);
+    return static_cast<float>(loss * inv_b);
+  }
+
+  // Every edge writes the shared negative rows (and possibly shared src/dst/relation
+  // rows), so chunks accumulate into private partials that are folded into the real
+  // accumulators in ascending chunk order — deterministic for any pool size. The
+  // partials are compact: a chunk only touches the shared negatives plus its own
+  // src/dst rows, so its buffer holds just those rows (slot order: negatives first,
+  // then first occurrence — a fixed function of the chunk layout, never the pool).
+  std::vector<Tensor> d_partials(static_cast<size_t>(chunks));
+  std::vector<std::vector<int64_t>> touched_rows(static_cast<size_t>(chunks));
+  std::vector<Tensor> rel_partials(static_cast<size_t>(chunks));
+  std::vector<std::vector<int64_t>> touched_rels(static_cast<size_t>(chunks));
+  std::vector<double> loss_partials(static_cast<size_t>(chunks), 0.0);
+  double loss = 0.0;
+  ForEachChunkOrdered(
+      compute_, batch, kComputeGrainEdges,
+      [&](int64_t chunk, int64_t begin, int64_t end) {
+        std::vector<int32_t> slot_of(static_cast<size_t>(d_reprs->rows()), -1);
+        std::vector<int64_t> touched;
+        auto claim = [&](int64_t row) {
+          if (slot_of[static_cast<size_t>(row)] < 0) {
+            slot_of[static_cast<size_t>(row)] = static_cast<int32_t>(touched.size());
+            touched.push_back(row);
+          }
+        };
+        for (int64_t row : neg_rows) {
+          claim(row);
+        }
+        std::vector<int32_t> rel_slot_of(static_cast<size_t>(rel_.grad.rows()), -1);
+        std::vector<int64_t> rels_touched;
+        for (int64_t i = begin; i < end; ++i) {
+          claim(src_rows[static_cast<size_t>(i)]);
+          claim(dst_rows[static_cast<size_t>(i)]);
+          const int32_t rel = rels[static_cast<size_t>(i)];
+          if (rel_slot_of[static_cast<size_t>(rel)] < 0) {
+            rel_slot_of[static_cast<size_t>(rel)] =
+                static_cast<int32_t>(rels_touched.size());
+            rels_touched.push_back(rel);
+          }
+        }
+        Tensor d_partial(static_cast<int64_t>(touched.size()), d_reprs->cols());
+        Tensor rel_partial(static_cast<int64_t>(rels_touched.size()), rel_.grad.cols());
+        loss_partials[static_cast<size_t>(chunk)] = SideLossChunk(
+            reprs, src_rows, dst_rows, rels, neg_rows, corrupt_src, inv_b, begin, end,
+            &d_partial, &rel_partial, slot_of.data(), rel_slot_of.data());
+        d_partials[static_cast<size_t>(chunk)] = std::move(d_partial);
+        touched_rows[static_cast<size_t>(chunk)] = std::move(touched);
+        rel_partials[static_cast<size_t>(chunk)] = std::move(rel_partial);
+        touched_rels[static_cast<size_t>(chunk)] = std::move(rels_touched);
+      },
+      [&](int64_t chunk) {
+        auto fold = [](Tensor& acc, const Tensor& partial,
+                       const std::vector<int64_t>& rows) {
+          for (size_t s = 0; s < rows.size(); ++s) {
+            float* dst = acc.RowPtr(rows[s]);
+            const float* src = partial.RowPtr(static_cast<int64_t>(s));
+            for (int64_t c = 0; c < acc.cols(); ++c) {
+              dst[c] += src[c];
+            }
+          }
+        };
+        fold(*d_reprs, d_partials[static_cast<size_t>(chunk)],
+             touched_rows[static_cast<size_t>(chunk)]);
+        fold(rel_.grad, rel_partials[static_cast<size_t>(chunk)],
+             touched_rels[static_cast<size_t>(chunk)]);
+        loss += loss_partials[static_cast<size_t>(chunk)];
+        // Free the folded partials eagerly.
+        d_partials[static_cast<size_t>(chunk)] = Tensor();
+        rel_partials[static_cast<size_t>(chunk)] = Tensor();
+      });
   return static_cast<float>(loss * inv_b);
 }
 
@@ -91,10 +194,14 @@ void Decoder::ScoreCandidates(const Tensor& reprs, int64_t fixed_row, int32_t re
   const float* fixed = reprs.RowPtr(fixed_row);
   const float* r = rel_.value.RowPtr(rel);
   out->resize(cand_rows.size());
-  for (size_t j = 0; j < cand_rows.size(); ++j) {
-    const float* c = reprs.RowPtr(cand_rows[j]);
-    (*out)[j] = corrupt_src ? Score(c, r, fixed) : Score(fixed, r, c);
-  }
+  ForEachChunk(compute_, static_cast<int64_t>(cand_rows.size()), kComputeGrainCandidates,
+               [&](int64_t, int64_t begin, int64_t end) {
+                 for (int64_t j = begin; j < end; ++j) {
+                   const float* c = reprs.RowPtr(cand_rows[static_cast<size_t>(j)]);
+                   (*out)[static_cast<size_t>(j)] =
+                       corrupt_src ? Score(c, r, fixed) : Score(fixed, r, c);
+                 }
+               });
 }
 
 float DistMultDecoder::Score(const float* s, const float* r, const float* o) const {

@@ -16,6 +16,7 @@
 
 #include "src/nn/parameter.h"
 #include "src/tensor/tensor.h"
+#include "src/util/compute.h"
 #include "src/util/rng.h"
 
 namespace mariusgnn {
@@ -23,6 +24,12 @@ namespace mariusgnn {
 class Decoder {
  public:
   virtual ~Decoder() = default;
+
+  // Stage-3 parallel-compute handle. LossAndGrad splits the positive edges into
+  // fixed chunks; each chunk scores and back-propagates into private gradient
+  // partials that are folded in ascending chunk order, so the result is
+  // bitwise-identical for any pool size (null = serial over the same chunks).
+  void set_compute(const ComputeContext* compute) { compute_ = compute; }
 
   // Computes the mean softmax-CE ranking loss for `src_rows/dst_rows/rels` (parallel
   // arrays of edges; rows index into `reprs`) against shared negatives `neg_rows`.
@@ -54,6 +61,7 @@ class Decoder {
 
   int64_t dim_;
   Parameter rel_;  // num_relations x dim
+  const ComputeContext* compute_ = nullptr;
 
  private:
   // One corruption side of the loss; gradients and the returned loss are multiplied by
@@ -62,6 +70,15 @@ class Decoder {
                         const std::vector<int64_t>& dst_rows, const std::vector<int32_t>& rels,
                         const std::vector<int64_t>& neg_rows, bool corrupt_src, float scale,
                         Tensor* d_reprs);
+
+  // Edges [begin, end) of one side: accumulates gradients into d_out/rel_grad (the
+  // real accumulators with null remaps, or per-chunk compact partials indexed via
+  // slot_of[global row] / rel_slot_of[relation]) and returns the unscaled loss sum.
+  double SideLossChunk(const Tensor& reprs, const std::vector<int64_t>& src_rows,
+                       const std::vector<int64_t>& dst_rows, const std::vector<int32_t>& rels,
+                       const std::vector<int64_t>& neg_rows, bool corrupt_src, float inv_b,
+                       int64_t begin, int64_t end, Tensor* d_out, Tensor* rel_grad,
+                       const int32_t* slot_of, const int32_t* rel_slot_of) const;
 };
 
 // score(s, r, o) = sum_d s_d * r_d * o_d.

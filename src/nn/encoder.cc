@@ -42,6 +42,7 @@ Tensor GnnEncoder::Forward(DenseBatch& batch, const Tensor& h0) {
   for (size_t j = 0; j < layers_.size(); ++j) {
     LayerView view;
     view.h = &h;
+    view.compute = compute_;
     const int64_t out_begin = batch.node_id_offsets[1];
     view.self_rows.resize(static_cast<size_t>(batch.num_nodes() - out_begin));
     std::iota(view.self_rows.begin(), view.self_rows.end(), out_begin);
@@ -118,6 +119,7 @@ Tensor BlockEncoder::Forward(const LayerwiseSample& sample, const Tensor& h0) {
   Tensor h = h0;
   for (size_t j = 0; j < layers_.size(); ++j) {
     LayerView view = BlockToView(sample.blocks[j], h);
+    view.compute = compute_;
     Tensor out = layers_[j]->Forward(view, &contexts_[j]);
     h = std::move(out);
   }

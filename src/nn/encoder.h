@@ -37,6 +37,10 @@ class GnnEncoder {
              Rng& rng)
       : layers_(BuildGnnLayers(type, dims, hidden_act, rng)) {}
 
+  // Stage-3 parallel-compute handle threaded into every layer view (null = serial;
+  // results are bitwise-identical either way — see src/util/compute.h).
+  void set_compute(const ComputeContext* compute) { compute_ = compute; }
+
   // `batch` must be finalized (repr_map built); it is consumed (advanced) in place.
   // h0 rows align with batch.node_ids. Returns representations of the target nodes.
   Tensor Forward(DenseBatch& batch, const Tensor& h0);
@@ -52,6 +56,7 @@ class GnnEncoder {
  private:
   std::vector<std::unique_ptr<GnnLayer>> layers_;
   std::vector<std::unique_ptr<LayerContext>> contexts_;
+  const ComputeContext* compute_ = nullptr;
 };
 
 class BlockEncoder {
@@ -59,6 +64,9 @@ class BlockEncoder {
   BlockEncoder(GnnLayerType type, const std::vector<int64_t>& dims, Activation hidden_act,
                Rng& rng)
       : layers_(BuildGnnLayers(type, dims, hidden_act, rng)) {}
+
+  // Stage-3 parallel-compute handle (null = serial; results identical either way).
+  void set_compute(const ComputeContext* compute) { compute_ = compute; }
 
   // h0 rows align with sample.input_nodes(). Returns target-node representations.
   Tensor Forward(const LayerwiseSample& sample, const Tensor& h0);
@@ -74,6 +82,7 @@ class BlockEncoder {
  private:
   std::vector<std::unique_ptr<GnnLayer>> layers_;
   std::vector<std::unique_ptr<LayerContext>> contexts_;
+  const ComputeContext* compute_ = nullptr;
 };
 
 }  // namespace mariusgnn

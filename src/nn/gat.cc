@@ -37,7 +37,9 @@ GatLayer::GatLayer(int64_t in_dim, int64_t out_dim, Activation act, Rng& rng,
 
 Tensor GatLayer::Forward(const LayerView& view, std::unique_ptr<LayerContext>* ctx) {
   MG_CHECK(view.h != nullptr && view.h->cols() == in_dim_);
+  const ComputeContext* cc = view.compute;
   auto c = std::make_unique<GatContext>();
+  c->compute = cc;
   c->self_rows = view.self_rows;
   c->nbr_rows = view.nbr_rows;
   c->seg_offsets = view.seg_offsets;
@@ -46,47 +48,57 @@ Tensor GatLayer::Forward(const LayerView& view, std::unique_ptr<LayerContext>* c
   const int64_t num_out = view.num_outputs();
   const int64_t num_edges = static_cast<int64_t>(view.nbr_rows.size());
   c->owner.resize(static_cast<size_t>(num_edges));
-  for (int64_t s = 0; s < num_out; ++s) {
-    for (int64_t e = view.seg_offsets[static_cast<size_t>(s)];
-         e < view.seg_offsets[static_cast<size_t>(s) + 1]; ++e) {
-      c->owner[static_cast<size_t>(e)] = s;
-    }
-  }
+  // Chunked over segments: each segment owns its contiguous edge range.
+  ForEachChunk(cc, num_out, kComputeGrainRows,
+               [&](int64_t, int64_t seg_begin, int64_t seg_end) {
+                 for (int64_t s = seg_begin; s < seg_end; ++s) {
+                   for (int64_t e = view.seg_offsets[static_cast<size_t>(s)];
+                        e < view.seg_offsets[static_cast<size_t>(s) + 1]; ++e) {
+                     c->owner[static_cast<size_t>(e)] = s;
+                   }
+                 }
+               });
 
-  Tensor z = Matmul(*view.h, w_.value);
-  c->self_in = IndexSelect(*view.h, view.self_rows);
-  c->z_self = IndexSelect(z, view.self_rows);
-  c->z_nbr = IndexSelect(z, view.nbr_rows);
+  Tensor z = Matmul(*view.h, w_.value, cc);
+  c->self_in = IndexSelect(*view.h, view.self_rows, cc);
+  c->z_self = IndexSelect(z, view.self_rows, cc);
+  c->z_nbr = IndexSelect(z, view.nbr_rows, cc);
 
-  // Raw attention scores.
+  // Raw attention scores: per-edge, disjoint writes.
   Tensor scores(num_edges, 1);
-  for (int64_t e = 0; e < num_edges; ++e) {
-    const float* zs = c->z_self.RowPtr(c->owner[static_cast<size_t>(e)]);
-    const float* zn = c->z_nbr.RowPtr(e);
-    float s = 0.0f;
-    for (int64_t d = 0; d < out_dim_; ++d) {
-      s += attn_l_.value.data()[d] * zs[d] + attn_r_.value.data()[d] * zn[d];
-    }
-    scores.data()[e] = s;
-  }
-  c->e_act = LeakyRelu(scores, leaky_slope_);
+  ForEachChunk(cc, num_edges, kComputeGrainEdges,
+               [&](int64_t, int64_t edge_begin, int64_t edge_end) {
+                 for (int64_t e = edge_begin; e < edge_end; ++e) {
+                   const float* zs = c->z_self.RowPtr(c->owner[static_cast<size_t>(e)]);
+                   const float* zn = c->z_nbr.RowPtr(e);
+                   float s = 0.0f;
+                   for (int64_t d = 0; d < out_dim_; ++d) {
+                     s += attn_l_.value.data()[d] * zs[d] + attn_r_.value.data()[d] * zn[d];
+                   }
+                   scores.data()[e] = s;
+                 }
+               });
+  c->e_act = LeakyRelu(scores, leaky_slope_, cc);
   c->alpha = c->e_act;
-  SegmentSoftmaxInPlace(c->alpha, view.seg_offsets);
+  SegmentSoftmaxInPlace(c->alpha, view.seg_offsets, cc);
 
-  // Weighted aggregation.
+  // Weighted aggregation: per-edge, disjoint rows.
   Tensor weighted(num_edges, out_dim_);
-  for (int64_t e = 0; e < num_edges; ++e) {
-    const float a = c->alpha.data()[e];
-    const float* zn = c->z_nbr.RowPtr(e);
-    float* wrow = weighted.RowPtr(e);
-    for (int64_t d = 0; d < out_dim_; ++d) {
-      wrow[d] = a * zn[d];
-    }
-  }
-  Tensor pre = SegmentSum(weighted, view.seg_offsets);
-  AddInPlace(pre, Matmul(c->self_in, w_root_.value));
-  AddBiasRows(pre, bias_.value);
-  c->out = ApplyActivation(act_, pre);
+  ForEachChunk(cc, num_edges, kComputeGrainEdges,
+               [&](int64_t, int64_t edge_begin, int64_t edge_end) {
+                 for (int64_t e = edge_begin; e < edge_end; ++e) {
+                   const float a = c->alpha.data()[e];
+                   const float* zn = c->z_nbr.RowPtr(e);
+                   float* wrow = weighted.RowPtr(e);
+                   for (int64_t d = 0; d < out_dim_; ++d) {
+                     wrow[d] = a * zn[d];
+                   }
+                 }
+               });
+  Tensor pre = SegmentSum(weighted, view.seg_offsets, cc);
+  AddInPlace(pre, Matmul(c->self_in, w_root_.value, cc), cc);
+  AddBiasRows(pre, bias_.value, cc);
+  c->out = ApplyActivation(act_, pre, cc);
   Tensor out = c->out;
   if (ctx != nullptr) {
     *ctx = std::move(c);
@@ -96,57 +108,83 @@ Tensor GatLayer::Forward(const LayerView& view, std::unique_ptr<LayerContext>* c
 
 Tensor GatLayer::Backward(LayerContext& ctx, const Tensor& grad_out) {
   auto& c = static_cast<GatContext&>(ctx);
+  const ComputeContext* cc = c.compute;
   const int64_t num_edges = static_cast<int64_t>(c.nbr_rows.size());
-  Tensor dpre = ActivationBackward(act_, c.out, grad_out);
+  const int64_t num_segs = static_cast<int64_t>(c.seg_offsets.size()) - 1;
+  Tensor dpre = ActivationBackward(act_, c.out, grad_out, cc);
 
   // Root path.
-  AddInPlace(w_root_.grad, MatmulTransA(c.self_in, dpre));
-  AddInPlace(bias_.grad, SumRows(dpre));
-  Tensor dself_in = MatmulTransB(dpre, w_root_.value);
+  AddInPlace(w_root_.grad, MatmulTransA(c.self_in, dpre, cc), cc);
+  AddInPlace(bias_.grad, SumRows(dpre, cc), cc);
+  Tensor dself_in = MatmulTransB(dpre, w_root_.value, cc);
 
-  // Aggregation path: dweighted[e] = dpre[owner[e]].
+  // Aggregation path: dweighted[e] = dpre[owner[e]]. Per-edge, disjoint writes.
   Tensor dz_nbr(num_edges, out_dim_);
   Tensor dalpha(num_edges, 1);
-  for (int64_t e = 0; e < num_edges; ++e) {
-    const float* dp = dpre.RowPtr(c.owner[static_cast<size_t>(e)]);
-    const float* zn = c.z_nbr.RowPtr(e);
-    float* dzn = dz_nbr.RowPtr(e);
-    const float a = c.alpha.data()[e];
-    float da = 0.0f;
-    for (int64_t d = 0; d < out_dim_; ++d) {
-      dzn[d] = a * dp[d];
-      da += dp[d] * zn[d];
-    }
-    dalpha.data()[e] = da;
-  }
+  ForEachChunk(cc, num_edges, kComputeGrainEdges,
+               [&](int64_t, int64_t edge_begin, int64_t edge_end) {
+                 for (int64_t e = edge_begin; e < edge_end; ++e) {
+                   const float* dp = dpre.RowPtr(c.owner[static_cast<size_t>(e)]);
+                   const float* zn = c.z_nbr.RowPtr(e);
+                   float* dzn = dz_nbr.RowPtr(e);
+                   const float a = c.alpha.data()[e];
+                   float da = 0.0f;
+                   for (int64_t d = 0; d < out_dim_; ++d) {
+                     dzn[d] = a * dp[d];
+                     da += dp[d] * zn[d];
+                   }
+                   dalpha.data()[e] = da;
+                 }
+               });
 
   // Attention path.
-  Tensor de_act = SegmentSoftmaxBackward(c.alpha, dalpha, c.seg_offsets);
-  Tensor de_raw = LeakyReluBackward(c.e_act, de_act, leaky_slope_);
+  Tensor de_act = SegmentSoftmaxBackward(c.alpha, dalpha, c.seg_offsets, cc);
+  Tensor de_raw = LeakyReluBackward(c.e_act, de_act, leaky_slope_, cc);
 
+  // Chunked over segments: dz_self row s and the edges of segment s are owned by one
+  // chunk. The shared attn_l/attn_r gradients are cross-chunk accumulators, so each
+  // chunk writes a private partial and the partials are folded in ascending chunk
+  // order (no atomics on floats, identical bits for any pool size).
   Tensor dz_self(c.z_self.rows(), out_dim_);
-  for (int64_t e = 0; e < num_edges; ++e) {
-    const float de = de_raw.data()[e];
-    const int64_t s = c.owner[static_cast<size_t>(e)];
-    const float* zs = c.z_self.RowPtr(s);
-    const float* zn = c.z_nbr.RowPtr(e);
-    float* dzs = dz_self.RowPtr(s);
-    float* dzn = dz_nbr.RowPtr(e);
-    for (int64_t d = 0; d < out_dim_; ++d) {
-      attn_l_.grad.data()[d] += de * zs[d];
-      attn_r_.grad.data()[d] += de * zn[d];
-      dzs[d] += de * attn_l_.value.data()[d];
-      dzn[d] += de * attn_r_.value.data()[d];
-    }
-  }
+  const int64_t seg_chunks = ComputeChunkCount(num_segs, kComputeGrainRows);
+  std::vector<Tensor> attn_l_partials(static_cast<size_t>(seg_chunks));
+  std::vector<Tensor> attn_r_partials(static_cast<size_t>(seg_chunks));
+  ForEachChunkOrdered(
+      cc, num_segs, kComputeGrainRows,
+      [&](int64_t chunk, int64_t seg_begin, int64_t seg_end) {
+        Tensor dattn_l(1, out_dim_);
+        Tensor dattn_r(1, out_dim_);
+        for (int64_t s = seg_begin; s < seg_end; ++s) {
+          const float* zs = c.z_self.RowPtr(s);
+          float* dzs = dz_self.RowPtr(s);
+          for (int64_t e = c.seg_offsets[static_cast<size_t>(s)];
+               e < c.seg_offsets[static_cast<size_t>(s) + 1]; ++e) {
+            const float de = de_raw.data()[e];
+            const float* zn = c.z_nbr.RowPtr(e);
+            float* dzn = dz_nbr.RowPtr(e);
+            for (int64_t d = 0; d < out_dim_; ++d) {
+              dattn_l.data()[d] += de * zs[d];
+              dattn_r.data()[d] += de * zn[d];
+              dzs[d] += de * attn_l_.value.data()[d];
+              dzn[d] += de * attn_r_.value.data()[d];
+            }
+          }
+        }
+        attn_l_partials[static_cast<size_t>(chunk)] = std::move(dattn_l);
+        attn_r_partials[static_cast<size_t>(chunk)] = std::move(dattn_r);
+      },
+      [&](int64_t chunk) {
+        AddInPlace(attn_l_.grad, attn_l_partials[static_cast<size_t>(chunk)]);
+        AddInPlace(attn_r_.grad, attn_r_partials[static_cast<size_t>(chunk)]);
+      });
 
   // Collect dz over all input rows, then push through W.
   Tensor dz(c.h.rows(), out_dim_);
   ScatterAddRows(dz, c.self_rows, dz_self);
   ScatterAddRows(dz, c.nbr_rows, dz_nbr);
 
-  AddInPlace(w_.grad, MatmulTransA(c.h, dz));
-  Tensor dh = MatmulTransB(dz, w_.value);
+  AddInPlace(w_.grad, MatmulTransA(c.h, dz, cc), cc);
+  Tensor dh = MatmulTransB(dz, w_.value, cc);
   ScatterAddRows(dh, c.self_rows, dself_in);
   return dh;
 }

@@ -16,6 +16,24 @@ struct GcnContext : public LayerContext {
   Tensor out;
 };
 
+// Scales row s of t by 1 / (1 + |segment s|), chunked over segments (each chunk
+// owns a disjoint row range, so any pool size produces the same bits).
+void ScaleByClosedNeighborhood(Tensor& t, const std::vector<int64_t>& seg_offsets,
+                               const ComputeContext* cc) {
+  ForEachChunk(cc, t.rows(), kComputeGrainRows,
+               [&](int64_t, int64_t seg_begin, int64_t seg_end) {
+                 for (int64_t s = seg_begin; s < seg_end; ++s) {
+                   const float inv =
+                       1.0f / static_cast<float>(1 + seg_offsets[static_cast<size_t>(s) + 1] -
+                                                 seg_offsets[static_cast<size_t>(s)]);
+                   float* row = t.RowPtr(s);
+                   for (int64_t d = 0; d < t.cols(); ++d) {
+                     row[d] *= inv;
+                   }
+                 }
+               });
+}
+
 }  // namespace
 
 GcnLayer::GcnLayer(int64_t in_dim, int64_t out_dim, Activation act, Rng& rng)
@@ -27,30 +45,24 @@ GcnLayer::GcnLayer(int64_t in_dim, int64_t out_dim, Activation act, Rng& rng)
 
 Tensor GcnLayer::Forward(const LayerView& view, std::unique_ptr<LayerContext>* ctx) {
   MG_CHECK(view.h != nullptr && view.h->cols() == in_dim_);
+  const ComputeContext* cc = view.compute;
   auto c = std::make_unique<GcnContext>();
+  c->compute = cc;
   c->self_rows = view.self_rows;
   c->nbr_rows = view.nbr_rows;
   c->seg_offsets = view.seg_offsets;
   c->num_inputs = view.num_inputs();
 
-  Tensor self_in = IndexSelect(*view.h, view.self_rows);
-  Tensor nbr_in = IndexSelect(*view.h, view.nbr_rows);
-  Tensor agg = SegmentSum(nbr_in, view.seg_offsets);
-  AddInPlace(agg, self_in);
-  for (int64_t s = 0; s < agg.rows(); ++s) {
-    const float inv =
-        1.0f / static_cast<float>(1 + view.seg_offsets[static_cast<size_t>(s) + 1] -
-                                  view.seg_offsets[static_cast<size_t>(s)]);
-    float* row = agg.RowPtr(s);
-    for (int64_t d = 0; d < in_dim_; ++d) {
-      row[d] *= inv;
-    }
-  }
+  Tensor self_in = IndexSelect(*view.h, view.self_rows, cc);
+  Tensor nbr_in = IndexSelect(*view.h, view.nbr_rows, cc);
+  Tensor agg = SegmentSum(nbr_in, view.seg_offsets, cc);
+  AddInPlace(agg, self_in, cc);
+  ScaleByClosedNeighborhood(agg, view.seg_offsets, cc);
   c->agg = agg;
 
-  Tensor pre = Matmul(agg, w_.value);
-  AddBiasRows(pre, bias_.value);
-  c->out = ApplyActivation(act_, pre);
+  Tensor pre = Matmul(agg, w_.value, cc);
+  AddBiasRows(pre, bias_.value, cc);
+  c->out = ApplyActivation(act_, pre, cc);
   Tensor out = c->out;
   if (ctx != nullptr) {
     *ctx = std::move(c);
@@ -60,23 +72,16 @@ Tensor GcnLayer::Forward(const LayerView& view, std::unique_ptr<LayerContext>* c
 
 Tensor GcnLayer::Backward(LayerContext& ctx, const Tensor& grad_out) {
   auto& c = static_cast<GcnContext&>(ctx);
-  Tensor dpre = ActivationBackward(act_, c.out, grad_out);
+  const ComputeContext* cc = c.compute;
+  Tensor dpre = ActivationBackward(act_, c.out, grad_out, cc);
 
-  AddInPlace(w_.grad, MatmulTransA(c.agg, dpre));
-  AddInPlace(bias_.grad, SumRows(dpre));
+  AddInPlace(w_.grad, MatmulTransA(c.agg, dpre, cc), cc);
+  AddInPlace(bias_.grad, SumRows(dpre, cc), cc);
 
-  Tensor dagg = MatmulTransB(dpre, w_.value);  // num_outputs x in_dim
+  Tensor dagg = MatmulTransB(dpre, w_.value, cc);  // num_outputs x in_dim
   // Undo the closed-neighborhood mean scaling per segment.
-  for (int64_t s = 0; s < dagg.rows(); ++s) {
-    const float inv =
-        1.0f / static_cast<float>(1 + c.seg_offsets[static_cast<size_t>(s) + 1] -
-                                  c.seg_offsets[static_cast<size_t>(s)]);
-    float* row = dagg.RowPtr(s);
-    for (int64_t d = 0; d < in_dim_; ++d) {
-      row[d] *= inv;
-    }
-  }
-  Tensor dnbr_in = SegmentSumBackward(dagg, c.seg_offsets);
+  ScaleByClosedNeighborhood(dagg, c.seg_offsets, cc);
+  Tensor dnbr_in = SegmentSumBackward(dagg, c.seg_offsets, cc);
 
   Tensor dh(c.num_inputs, in_dim_);
   ScatterAddRows(dh, c.self_rows, dagg);

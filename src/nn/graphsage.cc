@@ -29,20 +29,22 @@ GraphSageLayer::GraphSageLayer(int64_t in_dim, int64_t out_dim, Activation act, 
 
 Tensor GraphSageLayer::Forward(const LayerView& view, std::unique_ptr<LayerContext>* ctx) {
   MG_CHECK(view.h != nullptr && view.h->cols() == in_dim_);
+  const ComputeContext* cc = view.compute;
   auto c = std::make_unique<SageContext>();
+  c->compute = cc;
   c->self_rows = view.self_rows;
   c->nbr_rows = view.nbr_rows;
   c->seg_offsets = view.seg_offsets;
   c->num_inputs = view.num_inputs();
 
-  c->self_in = IndexSelect(*view.h, view.self_rows);
-  Tensor nbr_in = IndexSelect(*view.h, view.nbr_rows);
-  c->nbr_mean = SegmentMean(nbr_in, view.seg_offsets);
+  c->self_in = IndexSelect(*view.h, view.self_rows, cc);
+  Tensor nbr_in = IndexSelect(*view.h, view.nbr_rows, cc);
+  c->nbr_mean = SegmentMean(nbr_in, view.seg_offsets, cc);
 
-  Tensor pre = Matmul(c->self_in, w_self_.value);
-  AddInPlace(pre, Matmul(c->nbr_mean, w_nbr_.value));
-  AddBiasRows(pre, bias_.value);
-  c->out = ApplyActivation(act_, pre);
+  Tensor pre = Matmul(c->self_in, w_self_.value, cc);
+  AddInPlace(pre, Matmul(c->nbr_mean, w_nbr_.value, cc), cc);
+  AddBiasRows(pre, bias_.value, cc);
+  c->out = ApplyActivation(act_, pre, cc);
   Tensor out = c->out;
   if (ctx != nullptr) {
     *ctx = std::move(c);
@@ -52,15 +54,16 @@ Tensor GraphSageLayer::Forward(const LayerView& view, std::unique_ptr<LayerConte
 
 Tensor GraphSageLayer::Backward(LayerContext& ctx, const Tensor& grad_out) {
   auto& c = static_cast<SageContext&>(ctx);
-  Tensor dpre = ActivationBackward(act_, c.out, grad_out);
+  const ComputeContext* cc = c.compute;
+  Tensor dpre = ActivationBackward(act_, c.out, grad_out, cc);
 
-  AddInPlace(w_self_.grad, MatmulTransA(c.self_in, dpre));
-  AddInPlace(w_nbr_.grad, MatmulTransA(c.nbr_mean, dpre));
-  AddInPlace(bias_.grad, SumRows(dpre));
+  AddInPlace(w_self_.grad, MatmulTransA(c.self_in, dpre, cc), cc);
+  AddInPlace(w_nbr_.grad, MatmulTransA(c.nbr_mean, dpre, cc), cc);
+  AddInPlace(bias_.grad, SumRows(dpre, cc), cc);
 
-  Tensor dself = MatmulTransB(dpre, w_self_.value);       // num_outputs x in_dim
-  Tensor dnbr_mean = MatmulTransB(dpre, w_nbr_.value);    // num_outputs x in_dim
-  Tensor dnbr_in = SegmentMeanBackward(dnbr_mean, c.seg_offsets);
+  Tensor dself = MatmulTransB(dpre, w_self_.value, cc);     // num_outputs x in_dim
+  Tensor dnbr_mean = MatmulTransB(dpre, w_nbr_.value, cc);  // num_outputs x in_dim
+  Tensor dnbr_in = SegmentMeanBackward(dnbr_mean, c.seg_offsets, cc);
 
   Tensor dh(c.num_inputs, in_dim_);
   ScatterAddRows(dh, c.self_rows, dself);

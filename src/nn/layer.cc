@@ -5,27 +5,28 @@
 
 namespace mariusgnn {
 
-Tensor ApplyActivation(Activation act, const Tensor& pre) {
+Tensor ApplyActivation(Activation act, const Tensor& pre, const ComputeContext* ctx) {
   switch (act) {
     case Activation::kNone:
       return pre;
     case Activation::kRelu:
-      return Relu(pre);
+      return Relu(pre, ctx);
     case Activation::kTanh:
-      return Tanh(pre);
+      return Tanh(pre, ctx);
   }
   MG_CHECK_MSG(false, "unknown activation");
   return pre;
 }
 
-Tensor ActivationBackward(Activation act, const Tensor& out, const Tensor& grad_out) {
+Tensor ActivationBackward(Activation act, const Tensor& out, const Tensor& grad_out,
+                          const ComputeContext* ctx) {
   switch (act) {
     case Activation::kNone:
       return grad_out;
     case Activation::kRelu:
-      return ReluBackward(out, grad_out);
+      return ReluBackward(out, grad_out, ctx);
     case Activation::kTanh:
-      return TanhBackward(out, grad_out);
+      return TanhBackward(out, grad_out, ctx);
   }
   MG_CHECK_MSG(false, "unknown activation");
   return grad_out;

@@ -21,6 +21,7 @@
 
 #include "src/nn/parameter.h"
 #include "src/tensor/tensor.h"
+#include "src/util/compute.h"
 
 namespace mariusgnn {
 
@@ -30,20 +31,27 @@ struct LayerView {
   std::vector<int64_t> nbr_rows;
   std::vector<int64_t> seg_offsets;
   std::vector<int32_t> nbr_rels;  // optional, parallel to nbr_rows
+  // Stage-3 parallel-compute handle (may be null = serial). Layers save it in their
+  // LayerContext so the backward pass runs with the same parallelism.
+  const ComputeContext* compute = nullptr;
 
   int64_t num_outputs() const { return static_cast<int64_t>(self_rows.size()); }
   int64_t num_inputs() const { return h->rows(); }
 };
 
-// Opaque per-invocation saved state; each layer derives its own.
+// Opaque per-invocation saved state; each layer derives its own. Forward copies the
+// view's compute handle here so Backward parallelizes identically.
 struct LayerContext {
   virtual ~LayerContext() = default;
+  const ComputeContext* compute = nullptr;
 };
 
 enum class Activation { kNone, kRelu, kTanh };
 
-Tensor ApplyActivation(Activation act, const Tensor& pre);
-Tensor ActivationBackward(Activation act, const Tensor& out, const Tensor& grad_out);
+Tensor ApplyActivation(Activation act, const Tensor& pre,
+                       const ComputeContext* ctx = nullptr);
+Tensor ActivationBackward(Activation act, const Tensor& out, const Tensor& grad_out,
+                          const ComputeContext* ctx = nullptr);
 
 class GnnLayer {
  public:

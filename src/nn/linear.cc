@@ -6,15 +6,15 @@ namespace mariusgnn {
 
 Tensor LinearLayer::Forward(const Tensor& input) {
   saved_input_ = input;
-  Tensor out = Matmul(input, w_.value);
-  AddBiasRows(out, bias_.value);
+  Tensor out = Matmul(input, w_.value, compute_);
+  AddBiasRows(out, bias_.value, compute_);
   return out;
 }
 
 Tensor LinearLayer::Backward(const Tensor& grad_out) {
-  AddInPlace(w_.grad, MatmulTransA(saved_input_, grad_out));
-  AddInPlace(bias_.grad, SumRows(grad_out));
-  return MatmulTransB(grad_out, w_.value);
+  AddInPlace(w_.grad, MatmulTransA(saved_input_, grad_out, compute_), compute_);
+  AddInPlace(bias_.grad, SumRows(grad_out, compute_), compute_);
+  return MatmulTransB(grad_out, w_.value, compute_);
 }
 
 }  // namespace mariusgnn

@@ -7,6 +7,7 @@
 
 #include "src/nn/parameter.h"
 #include "src/tensor/tensor.h"
+#include "src/util/compute.h"
 #include "src/util/rng.h"
 
 namespace mariusgnn {
@@ -15,6 +16,9 @@ class LinearLayer {
  public:
   LinearLayer(int64_t in_dim, int64_t out_dim, Rng& rng)
       : w_(Tensor::GlorotUniform(in_dim, out_dim, rng)), bias_(Tensor(1, out_dim)) {}
+
+  // Stage-3 parallel-compute handle (null = serial; results identical either way).
+  void set_compute(const ComputeContext* compute) { compute_ = compute; }
 
   Tensor Forward(const Tensor& input);
 
@@ -30,6 +34,7 @@ class LinearLayer {
   Parameter w_;
   Parameter bias_;
   Tensor saved_input_;
+  const ComputeContext* compute_ = nullptr;
 };
 
 }  // namespace mariusgnn

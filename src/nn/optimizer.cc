@@ -5,20 +5,26 @@
 namespace mariusgnn {
 
 void Sgd::Step(Parameter& p) {
-  for (int64_t i = 0; i < p.value.size(); ++i) {
-    p.value.data()[i] -= lr_ * p.grad.data()[i];
-  }
+  ForEachChunk(compute_, p.value.size(), kComputeGrainElems,
+               [&](int64_t, int64_t begin, int64_t end) {
+                 for (int64_t i = begin; i < end; ++i) {
+                   p.value.data()[i] -= lr_ * p.grad.data()[i];
+                 }
+               });
 }
 
 void Adagrad::Step(Parameter& p) {
   if (p.state.size() != p.value.size()) {
     p.state = Tensor(p.value.rows(), p.value.cols());
   }
-  for (int64_t i = 0; i < p.value.size(); ++i) {
-    const float g = p.grad.data()[i];
-    p.state.data()[i] += g * g;
-    p.value.data()[i] -= lr_ * g / (std::sqrt(p.state.data()[i]) + eps_);
-  }
+  ForEachChunk(compute_, p.value.size(), kComputeGrainElems,
+               [&](int64_t, int64_t begin, int64_t end) {
+                 for (int64_t i = begin; i < end; ++i) {
+                   const float g = p.grad.data()[i];
+                   p.state.data()[i] += g * g;
+                   p.value.data()[i] -= lr_ * g / (std::sqrt(p.state.data()[i]) + eps_);
+                 }
+               });
 }
 
 }  // namespace mariusgnn

@@ -7,12 +7,17 @@
 #include <vector>
 
 #include "src/nn/parameter.h"
+#include "src/util/compute.h"
 
 namespace mariusgnn {
 
 class Optimizer {
  public:
   virtual ~Optimizer() = default;
+
+  // Stage-3 parallel-compute handle. Steps are elementwise over disjoint chunks,
+  // so any pool size produces identical parameter bits (null = serial).
+  void set_compute(const ComputeContext* compute) { compute_ = compute; }
 
   // Applies one update from p.grad to p.value. Does not zero the gradient.
   virtual void Step(Parameter& p) = 0;
@@ -23,6 +28,9 @@ class Optimizer {
       p->ZeroGrad();
     }
   }
+
+ protected:
+  const ComputeContext* compute_ = nullptr;
 };
 
 class Sgd : public Optimizer {

@@ -13,10 +13,13 @@ constexpr float kAdagradEps = 1e-10f;
 
 void InMemoryEmbeddingStore::Gather(const std::vector<int64_t>& nodes, Tensor* out) const {
   *out = Tensor(static_cast<int64_t>(nodes.size()), values_.cols());
-  for (size_t i = 0; i < nodes.size(); ++i) {
-    std::memcpy(out->RowPtr(static_cast<int64_t>(i)), values_.RowPtr(nodes[i]),
-                static_cast<size_t>(values_.cols()) * sizeof(float));
-  }
+  ForEachChunk(compute_, static_cast<int64_t>(nodes.size()), kComputeGrainRows,
+               [&](int64_t, int64_t begin, int64_t end) {
+                 for (int64_t i = begin; i < end; ++i) {
+                   std::memcpy(out->RowPtr(i), values_.RowPtr(nodes[static_cast<size_t>(i)]),
+                               static_cast<size_t>(values_.cols()) * sizeof(float));
+                 }
+               });
 }
 
 void InMemoryEmbeddingStore::ApplyGradients(const std::vector<int64_t>& nodes,
@@ -26,24 +29,32 @@ void InMemoryEmbeddingStore::ApplyGradients(const std::vector<int64_t>& nodes,
   }
   MG_CHECK(static_cast<int64_t>(nodes.size()) == grads.rows());
   const int64_t d = values_.cols();
-  for (size_t i = 0; i < nodes.size(); ++i) {
-    float* row = values_.RowPtr(nodes[i]);
-    float* acc = state_.RowPtr(nodes[i]);
-    const float* g = grads.RowPtr(static_cast<int64_t>(i));
-    for (int64_t k = 0; k < d; ++k) {
-      acc[k] += g[k] * g[k];
-      row[k] -= lr * g[k] / (std::sqrt(acc[k]) + kAdagradEps);
-    }
-  }
+  // Sharded sparse Adagrad: fixed node chunks, each row belongs to exactly one
+  // chunk (nodes are distinct), so the update is deterministic for any pool size.
+  ForEachChunk(compute_, static_cast<int64_t>(nodes.size()), kComputeGrainRows,
+               [&](int64_t, int64_t begin, int64_t end) {
+                 for (int64_t i = begin; i < end; ++i) {
+                   float* row = values_.RowPtr(nodes[static_cast<size_t>(i)]);
+                   float* acc = state_.RowPtr(nodes[static_cast<size_t>(i)]);
+                   const float* g = grads.RowPtr(i);
+                   for (int64_t k = 0; k < d; ++k) {
+                     acc[k] += g[k] * g[k];
+                     row[k] -= lr * g[k] / (std::sqrt(acc[k]) + kAdagradEps);
+                   }
+                 }
+               });
 }
 
 void BufferedEmbeddingStore::Gather(const std::vector<int64_t>& nodes, Tensor* out) const {
   const int64_t d = buffer_->dim();
   *out = Tensor(static_cast<int64_t>(nodes.size()), d);
-  for (size_t i = 0; i < nodes.size(); ++i) {
-    std::memcpy(out->RowPtr(static_cast<int64_t>(i)), buffer_->ValueRow(nodes[i]),
-                static_cast<size_t>(d) * sizeof(float));
-  }
+  ForEachChunk(compute_, static_cast<int64_t>(nodes.size()), kComputeGrainRows,
+               [&](int64_t, int64_t begin, int64_t end) {
+                 for (int64_t i = begin; i < end; ++i) {
+                   std::memcpy(out->RowPtr(i), buffer_->ValueRow(nodes[static_cast<size_t>(i)]),
+                               static_cast<size_t>(d) * sizeof(float));
+                 }
+               });
 }
 
 void BufferedEmbeddingStore::ApplyGradients(const std::vector<int64_t>& nodes,
@@ -53,15 +64,22 @@ void BufferedEmbeddingStore::ApplyGradients(const std::vector<int64_t>& nodes,
   }
   MG_CHECK(static_cast<int64_t>(nodes.size()) == grads.rows());
   const int64_t d = buffer_->dim();
-  for (size_t i = 0; i < nodes.size(); ++i) {
-    float* row = buffer_->ValueRow(nodes[i]);
-    float* acc = buffer_->StateRow(nodes[i]);
-    const float* g = grads.RowPtr(static_cast<int64_t>(i));
-    for (int64_t k = 0; k < d; ++k) {
-      acc[k] += g[k] * g[k];
-      row[k] -= lr * g[k] / (std::sqrt(acc[k]) + kAdagradEps);
-    }
-    buffer_->MarkDirty(nodes[i]);
+  ForEachChunk(compute_, static_cast<int64_t>(nodes.size()), kComputeGrainRows,
+               [&](int64_t, int64_t begin, int64_t end) {
+                 for (int64_t i = begin; i < end; ++i) {
+                   float* row = buffer_->ValueRow(nodes[static_cast<size_t>(i)]);
+                   float* acc = buffer_->StateRow(nodes[static_cast<size_t>(i)]);
+                   const float* g = grads.RowPtr(i);
+                   for (int64_t k = 0; k < d; ++k) {
+                     acc[k] += g[k] * g[k];
+                     row[k] -= lr * g[k] / (std::sqrt(acc[k]) + kAdagradEps);
+                   }
+                 }
+               });
+  // Dirty flags live in a bit-packed vector<bool>; mark them from the calling
+  // thread only, after the parallel row updates.
+  for (int64_t node : nodes) {
+    buffer_->MarkDirty(node);
   }
 }
 

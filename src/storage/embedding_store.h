@@ -16,6 +16,7 @@
 
 #include "src/storage/partition_buffer.h"
 #include "src/tensor/tensor.h"
+#include "src/util/compute.h"
 #include "src/util/rng.h"
 
 namespace mariusgnn {
@@ -24,15 +25,24 @@ class EmbeddingStore {
  public:
   virtual ~EmbeddingStore() = default;
 
+  // Stage-3 parallel-compute handle. Gather and ApplyGradients shard the node list
+  // into fixed chunks; `nodes` must not contain duplicates (guaranteed by the batch
+  // builders, which dedup targets), so chunks touch disjoint rows and any pool size
+  // produces identical bits (null = serial).
+  void set_compute(const ComputeContext* compute) { compute_ = compute; }
+
   virtual int64_t dim() const = 0;
 
   // out[i] = row(nodes[i]); out is resized to |nodes| x dim.
   virtual void Gather(const std::vector<int64_t>& nodes, Tensor* out) const = 0;
 
   // Sparse Adagrad: for each i, row(nodes[i]) -= lr * g / sqrt(acc + eps) with
-  // acc += g^2 elementwise. `grads` rows parallel `nodes`.
+  // acc += g^2 elementwise. `grads` rows parallel `nodes` (distinct rows).
   virtual void ApplyGradients(const std::vector<int64_t>& nodes, const Tensor& grads,
                               float lr) = 0;
+
+ protected:
+  const ComputeContext* compute_ = nullptr;
 };
 
 class InMemoryEmbeddingStore : public EmbeddingStore {

@@ -5,125 +5,191 @@
 
 namespace mariusgnn {
 
-Tensor Matmul(const Tensor& a, const Tensor& b) {
+namespace {
+
+// Chunked elementwise map over [0, size): disjoint writes, trivially deterministic.
+template <typename Fn>
+void ForEachElemChunk(const ComputeContext* ctx, int64_t size, const Fn& fn) {
+  ForEachChunk(ctx, size, kComputeGrainElems,
+               [&](int64_t, int64_t begin, int64_t end) { fn(begin, end); });
+}
+
+// Chunked map over [0, rows) at the row grain; also used for segment chunking
+// (segment s owns destination row s plus its offsets[s]..offsets[s+1) source rows,
+// so chunks write disjoint memory either way).
+template <typename Fn>
+void ForEachRowChunk(const ComputeContext* ctx, int64_t rows, const Fn& fn) {
+  ForEachChunk(ctx, rows, kComputeGrainRows,
+               [&](int64_t, int64_t begin, int64_t end) { fn(begin, end); });
+}
+
+}  // namespace
+
+Tensor Matmul(const Tensor& a, const Tensor& b, const ComputeContext* ctx) {
   MG_CHECK(a.cols() == b.rows());
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
   Tensor c(m, n);
-  // ikj loop order keeps the inner loop contiguous over b and c.
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.RowPtr(i);
-    float* crow = c.RowPtr(i);
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) {
-        continue;
-      }
-      const float* brow = b.RowPtr(kk);
-      for (int64_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
+  // Row-chunked over m; ikj loop order keeps the inner loop contiguous over b and c.
+  ForEachRowChunk(ctx, m, [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const float* arow = a.RowPtr(i);
+      float* crow = c.RowPtr(i);
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) {
+          continue;
+        }
+        const float* brow = b.RowPtr(kk);
+        for (int64_t j = 0; j < n; ++j) {
+          crow[j] += av * brow[j];
+        }
       }
     }
-  }
+  });
   return c;
 }
 
-Tensor MatmulTransA(const Tensor& a, const Tensor& b) {
+Tensor MatmulTransA(const Tensor& a, const Tensor& b, const ComputeContext* ctx) {
   MG_CHECK(a.rows() == b.rows());
   const int64_t k = a.rows(), m = a.cols(), n = b.cols();
   Tensor c(m, n);
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = a.RowPtr(kk);
-    const float* brow = b.RowPtr(kk);
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) {
-        continue;
-      }
-      float* crow = c.RowPtr(i);
-      for (int64_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
+  // Chunked over the m output rows (columns of A); each C row accumulates over k in
+  // ascending order, so the sum order matches a serial kk-outer pass bit-for-bit.
+  ForEachRowChunk(ctx, m, [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float* arow = a.RowPtr(kk);
+      const float* brow = b.RowPtr(kk);
+      for (int64_t i = row_begin; i < row_end; ++i) {
+        const float av = arow[i];
+        if (av == 0.0f) {
+          continue;
+        }
+        float* crow = c.RowPtr(i);
+        for (int64_t j = 0; j < n; ++j) {
+          crow[j] += av * brow[j];
+        }
       }
     }
-  }
+  });
   return c;
 }
 
-Tensor MatmulTransB(const Tensor& a, const Tensor& b) {
+Tensor MatmulTransB(const Tensor& a, const Tensor& b, const ComputeContext* ctx) {
   MG_CHECK(a.cols() == b.cols());
   const int64_t m = a.rows(), k = a.cols(), n = b.rows();
   Tensor c(m, n);
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.RowPtr(i);
-    float* crow = c.RowPtr(i);
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = b.RowPtr(j);
-      float s = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        s += arow[kk] * brow[kk];
+  ForEachRowChunk(ctx, m, [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const float* arow = a.RowPtr(i);
+      float* crow = c.RowPtr(i);
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b.RowPtr(j);
+        float s = 0.0f;
+        for (int64_t kk = 0; kk < k; ++kk) {
+          s += arow[kk] * brow[kk];
+        }
+        crow[j] = s;
       }
-      crow[j] = s;
     }
-  }
+  });
   return c;
 }
 
-void AddInPlace(Tensor& out, const Tensor& in) {
+void AddInPlace(Tensor& out, const Tensor& in, const ComputeContext* ctx) {
   MG_CHECK(out.rows() == in.rows() && out.cols() == in.cols());
-  for (int64_t i = 0; i < out.size(); ++i) {
-    out.data()[i] += in.data()[i];
-  }
+  ForEachElemChunk(ctx, out.size(), [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      out.data()[i] += in.data()[i];
+    }
+  });
 }
 
-void Axpy(Tensor& out, const Tensor& in, float alpha) {
+void Axpy(Tensor& out, const Tensor& in, float alpha, const ComputeContext* ctx) {
   MG_CHECK(out.rows() == in.rows() && out.cols() == in.cols());
-  for (int64_t i = 0; i < out.size(); ++i) {
-    out.data()[i] += alpha * in.data()[i];
-  }
+  ForEachElemChunk(ctx, out.size(), [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      out.data()[i] += alpha * in.data()[i];
+    }
+  });
 }
 
-Tensor Hadamard(const Tensor& a, const Tensor& b) {
+Tensor Hadamard(const Tensor& a, const Tensor& b, const ComputeContext* ctx) {
   MG_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
   Tensor c(a.rows(), a.cols());
-  for (int64_t i = 0; i < a.size(); ++i) {
-    c.data()[i] = a.data()[i] * b.data()[i];
-  }
+  ForEachElemChunk(ctx, a.size(), [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      c.data()[i] = a.data()[i] * b.data()[i];
+    }
+  });
   return c;
 }
 
-void Scale(Tensor& t, float alpha) {
-  for (int64_t i = 0; i < t.size(); ++i) {
-    t.data()[i] *= alpha;
-  }
+void Scale(Tensor& t, float alpha, const ComputeContext* ctx) {
+  ForEachElemChunk(ctx, t.size(), [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      t.data()[i] *= alpha;
+    }
+  });
 }
 
-void AddBiasRows(Tensor& t, const Tensor& bias) {
+void AddBiasRows(Tensor& t, const Tensor& bias, const ComputeContext* ctx) {
   MG_CHECK(bias.rows() == 1 && bias.cols() == t.cols());
-  for (int64_t r = 0; r < t.rows(); ++r) {
-    float* row = t.RowPtr(r);
-    for (int64_t c = 0; c < t.cols(); ++c) {
-      row[c] += bias.data()[c];
+  ForEachRowChunk(ctx, t.rows(), [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t r = row_begin; r < row_end; ++r) {
+      float* row = t.RowPtr(r);
+      for (int64_t c = 0; c < t.cols(); ++c) {
+        row[c] += bias.data()[c];
+      }
     }
-  }
+  });
 }
 
-Tensor SumRows(const Tensor& t) {
+Tensor SumRows(const Tensor& t, const ComputeContext* ctx) {
   Tensor out(1, t.cols());
-  for (int64_t r = 0; r < t.rows(); ++r) {
-    const float* row = t.RowPtr(r);
-    for (int64_t c = 0; c < t.cols(); ++c) {
-      out.data()[c] += row[c];
+  const int64_t chunks = ComputeChunkCount(t.rows(), kComputeGrainRows);
+  if (chunks <= 1) {
+    for (int64_t r = 0; r < t.rows(); ++r) {
+      const float* row = t.RowPtr(r);
+      for (int64_t c = 0; c < t.cols(); ++c) {
+        out.data()[c] += row[c];
+      }
     }
+    return out;
   }
+  // Cross-chunk accumulator: per-chunk partial rows folded in ascending order.
+  std::vector<Tensor> partials(static_cast<size_t>(chunks));
+  ForEachChunkOrdered(
+      ctx, t.rows(), kComputeGrainRows,
+      [&](int64_t chunk, int64_t begin, int64_t end) {
+        Tensor partial(1, t.cols());
+        for (int64_t r = begin; r < end; ++r) {
+          const float* row = t.RowPtr(r);
+          for (int64_t c = 0; c < t.cols(); ++c) {
+            partial.data()[c] += row[c];
+          }
+        }
+        partials[static_cast<size_t>(chunk)] = std::move(partial);
+      },
+      [&](int64_t chunk) {
+        const Tensor& partial = partials[static_cast<size_t>(chunk)];
+        for (int64_t c = 0; c < t.cols(); ++c) {
+          out.data()[c] += partial.data()[c];
+        }
+      });
   return out;
 }
 
-Tensor IndexSelect(const Tensor& t, const std::vector<int64_t>& indices) {
+Tensor IndexSelect(const Tensor& t, const std::vector<int64_t>& indices,
+                   const ComputeContext* ctx) {
   Tensor out(static_cast<int64_t>(indices.size()), t.cols());
-  for (size_t i = 0; i < indices.size(); ++i) {
-    MG_DCHECK(indices[i] >= 0 && indices[i] < t.rows());
-    std::copy(t.RowPtr(indices[i]), t.RowPtr(indices[i]) + t.cols(),
-              out.RowPtr(static_cast<int64_t>(i)));
-  }
+  ForEachRowChunk(ctx, static_cast<int64_t>(indices.size()),
+                  [&](int64_t row_begin, int64_t row_end) {
+                    for (int64_t i = row_begin; i < row_end; ++i) {
+                      const int64_t src = indices[static_cast<size_t>(i)];
+                      MG_DCHECK(src >= 0 && src < t.rows());
+                      std::copy(t.RowPtr(src), t.RowPtr(src) + t.cols(), out.RowPtr(i));
+                    }
+                  });
   return out;
 }
 
@@ -150,214 +216,274 @@ void CheckOffsets(const Tensor& src, const std::vector<int64_t>& offsets) {
 
 }  // namespace
 
-Tensor SegmentSum(const Tensor& src, const std::vector<int64_t>& offsets) {
+Tensor SegmentSum(const Tensor& src, const std::vector<int64_t>& offsets,
+                  const ComputeContext* ctx) {
   CheckOffsets(src, offsets);
   const int64_t segs = static_cast<int64_t>(offsets.size()) - 1;
   Tensor out(segs, src.cols());
-  for (int64_t s = 0; s < segs; ++s) {
-    float* orow = out.RowPtr(s);
-    for (int64_t r = offsets[s]; r < offsets[s + 1]; ++r) {
-      const float* srow = src.RowPtr(r);
-      for (int64_t c = 0; c < src.cols(); ++c) {
-        orow[c] += srow[c];
-      }
-    }
-  }
-  return out;
-}
-
-Tensor SegmentMean(const Tensor& src, const std::vector<int64_t>& offsets) {
-  Tensor out = SegmentSum(src, offsets);
-  for (int64_t s = 0; s < out.rows(); ++s) {
-    const int64_t count = offsets[s + 1] - offsets[s];
-    if (count > 1) {
-      const float inv = 1.0f / static_cast<float>(count);
+  ForEachRowChunk(ctx, segs, [&](int64_t seg_begin, int64_t seg_end) {
+    for (int64_t s = seg_begin; s < seg_end; ++s) {
       float* orow = out.RowPtr(s);
-      for (int64_t c = 0; c < out.cols(); ++c) {
-        orow[c] *= inv;
-      }
-    }
-  }
-  return out;
-}
-
-Tensor SegmentSumBackward(const Tensor& grad_out, const std::vector<int64_t>& offsets) {
-  MG_CHECK(grad_out.rows() == static_cast<int64_t>(offsets.size()) - 1);
-  Tensor grad_in(offsets.back(), grad_out.cols());
-  for (int64_t s = 0; s < grad_out.rows(); ++s) {
-    const float* grow = grad_out.RowPtr(s);
-    for (int64_t r = offsets[s]; r < offsets[s + 1]; ++r) {
-      std::copy(grow, grow + grad_out.cols(), grad_in.RowPtr(r));
-    }
-  }
-  return grad_in;
-}
-
-Tensor SegmentMeanBackward(const Tensor& grad_out, const std::vector<int64_t>& offsets) {
-  Tensor grad_in = SegmentSumBackward(grad_out, offsets);
-  for (int64_t s = 0; s < grad_out.rows(); ++s) {
-    const int64_t count = offsets[s + 1] - offsets[s];
-    if (count > 1) {
-      const float inv = 1.0f / static_cast<float>(count);
-      for (int64_t r = offsets[s]; r < offsets[s + 1]; ++r) {
-        float* row = grad_in.RowPtr(r);
-        for (int64_t c = 0; c < grad_in.cols(); ++c) {
-          row[c] *= inv;
+      for (int64_t r = offsets[static_cast<size_t>(s)];
+           r < offsets[static_cast<size_t>(s) + 1]; ++r) {
+        const float* srow = src.RowPtr(r);
+        for (int64_t c = 0; c < src.cols(); ++c) {
+          orow[c] += srow[c];
         }
       }
     }
-  }
+  });
+  return out;
+}
+
+Tensor SegmentMean(const Tensor& src, const std::vector<int64_t>& offsets,
+                   const ComputeContext* ctx) {
+  Tensor out = SegmentSum(src, offsets, ctx);
+  ForEachRowChunk(ctx, out.rows(), [&](int64_t seg_begin, int64_t seg_end) {
+    for (int64_t s = seg_begin; s < seg_end; ++s) {
+      const int64_t count =
+          offsets[static_cast<size_t>(s) + 1] - offsets[static_cast<size_t>(s)];
+      if (count > 1) {
+        const float inv = 1.0f / static_cast<float>(count);
+        float* orow = out.RowPtr(s);
+        for (int64_t c = 0; c < out.cols(); ++c) {
+          orow[c] *= inv;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor SegmentSumBackward(const Tensor& grad_out, const std::vector<int64_t>& offsets,
+                          const ComputeContext* ctx) {
+  MG_CHECK(grad_out.rows() == static_cast<int64_t>(offsets.size()) - 1);
+  Tensor grad_in(offsets.back(), grad_out.cols());
+  ForEachRowChunk(ctx, grad_out.rows(), [&](int64_t seg_begin, int64_t seg_end) {
+    for (int64_t s = seg_begin; s < seg_end; ++s) {
+      const float* grow = grad_out.RowPtr(s);
+      for (int64_t r = offsets[static_cast<size_t>(s)];
+           r < offsets[static_cast<size_t>(s) + 1]; ++r) {
+        std::copy(grow, grow + grad_out.cols(), grad_in.RowPtr(r));
+      }
+    }
+  });
   return grad_in;
 }
 
-void SegmentSoftmaxInPlace(Tensor& scores, const std::vector<int64_t>& offsets) {
+Tensor SegmentMeanBackward(const Tensor& grad_out, const std::vector<int64_t>& offsets,
+                           const ComputeContext* ctx) {
+  Tensor grad_in = SegmentSumBackward(grad_out, offsets, ctx);
+  ForEachRowChunk(ctx, grad_out.rows(), [&](int64_t seg_begin, int64_t seg_end) {
+    for (int64_t s = seg_begin; s < seg_end; ++s) {
+      const int64_t count =
+          offsets[static_cast<size_t>(s) + 1] - offsets[static_cast<size_t>(s)];
+      if (count > 1) {
+        const float inv = 1.0f / static_cast<float>(count);
+        for (int64_t r = offsets[static_cast<size_t>(s)];
+             r < offsets[static_cast<size_t>(s) + 1]; ++r) {
+          float* row = grad_in.RowPtr(r);
+          for (int64_t c = 0; c < grad_in.cols(); ++c) {
+            row[c] *= inv;
+          }
+        }
+      }
+    }
+  });
+  return grad_in;
+}
+
+void SegmentSoftmaxInPlace(Tensor& scores, const std::vector<int64_t>& offsets,
+                           const ComputeContext* ctx) {
   MG_CHECK(scores.cols() == 1);
   CheckOffsets(scores, offsets);
-  for (size_t s = 0; s + 1 < offsets.size(); ++s) {
-    const int64_t begin = offsets[s], end = offsets[s + 1];
-    if (begin == end) {
-      continue;
+  const int64_t segs = static_cast<int64_t>(offsets.size()) - 1;
+  ForEachRowChunk(ctx, segs, [&](int64_t seg_begin, int64_t seg_end) {
+    for (int64_t s = seg_begin; s < seg_end; ++s) {
+      const int64_t begin = offsets[static_cast<size_t>(s)];
+      const int64_t end = offsets[static_cast<size_t>(s) + 1];
+      if (begin == end) {
+        continue;
+      }
+      float maxv = scores.data()[begin];
+      for (int64_t r = begin + 1; r < end; ++r) {
+        maxv = std::max(maxv, scores.data()[r]);
+      }
+      float sum = 0.0f;
+      for (int64_t r = begin; r < end; ++r) {
+        scores.data()[r] = std::exp(scores.data()[r] - maxv);
+        sum += scores.data()[r];
+      }
+      const float inv = 1.0f / sum;
+      for (int64_t r = begin; r < end; ++r) {
+        scores.data()[r] *= inv;
+      }
     }
-    float maxv = scores.data()[begin];
-    for (int64_t r = begin + 1; r < end; ++r) {
-      maxv = std::max(maxv, scores.data()[r]);
-    }
-    float sum = 0.0f;
-    for (int64_t r = begin; r < end; ++r) {
-      scores.data()[r] = std::exp(scores.data()[r] - maxv);
-      sum += scores.data()[r];
-    }
-    const float inv = 1.0f / sum;
-    for (int64_t r = begin; r < end; ++r) {
-      scores.data()[r] *= inv;
-    }
-  }
+  });
 }
 
 Tensor SegmentSoftmaxBackward(const Tensor& probs, const Tensor& grad,
-                              const std::vector<int64_t>& offsets) {
+                              const std::vector<int64_t>& offsets,
+                              const ComputeContext* ctx) {
   MG_CHECK(probs.cols() == 1 && grad.cols() == 1 && probs.rows() == grad.rows());
   Tensor out(probs.rows(), 1);
-  for (size_t s = 0; s + 1 < offsets.size(); ++s) {
-    const int64_t begin = offsets[s], end = offsets[s + 1];
-    float dot = 0.0f;
-    for (int64_t r = begin; r < end; ++r) {
-      dot += probs.data()[r] * grad.data()[r];
+  const int64_t segs = static_cast<int64_t>(offsets.size()) - 1;
+  ForEachRowChunk(ctx, segs, [&](int64_t seg_begin, int64_t seg_end) {
+    for (int64_t s = seg_begin; s < seg_end; ++s) {
+      const int64_t begin = offsets[static_cast<size_t>(s)];
+      const int64_t end = offsets[static_cast<size_t>(s) + 1];
+      float dot = 0.0f;
+      for (int64_t r = begin; r < end; ++r) {
+        dot += probs.data()[r] * grad.data()[r];
+      }
+      for (int64_t r = begin; r < end; ++r) {
+        out.data()[r] = probs.data()[r] * (grad.data()[r] - dot);
+      }
     }
-    for (int64_t r = begin; r < end; ++r) {
-      out.data()[r] = probs.data()[r] * (grad.data()[r] - dot);
+  });
+  return out;
+}
+
+Tensor Relu(const Tensor& t, const ComputeContext* ctx) {
+  Tensor out(t.rows(), t.cols());
+  ForEachElemChunk(ctx, t.size(), [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      out.data()[i] = t.data()[i] > 0.0f ? t.data()[i] : 0.0f;
     }
-  }
+  });
   return out;
 }
 
-Tensor Relu(const Tensor& t) {
-  Tensor out(t.rows(), t.cols());
-  for (int64_t i = 0; i < t.size(); ++i) {
-    out.data()[i] = t.data()[i] > 0.0f ? t.data()[i] : 0.0f;
-  }
-  return out;
-}
-
-Tensor ReluBackward(const Tensor& out, const Tensor& grad_out) {
+Tensor ReluBackward(const Tensor& out, const Tensor& grad_out, const ComputeContext* ctx) {
   Tensor g(out.rows(), out.cols());
-  for (int64_t i = 0; i < out.size(); ++i) {
-    g.data()[i] = out.data()[i] > 0.0f ? grad_out.data()[i] : 0.0f;
-  }
+  ForEachElemChunk(ctx, out.size(), [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      g.data()[i] = out.data()[i] > 0.0f ? grad_out.data()[i] : 0.0f;
+    }
+  });
   return g;
 }
 
-Tensor LeakyRelu(const Tensor& t, float slope) {
+Tensor LeakyRelu(const Tensor& t, float slope, const ComputeContext* ctx) {
   Tensor out(t.rows(), t.cols());
-  for (int64_t i = 0; i < t.size(); ++i) {
-    const float v = t.data()[i];
-    out.data()[i] = v > 0.0f ? v : slope * v;
-  }
+  ForEachElemChunk(ctx, t.size(), [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const float v = t.data()[i];
+      out.data()[i] = v > 0.0f ? v : slope * v;
+    }
+  });
   return out;
 }
 
-Tensor LeakyReluBackward(const Tensor& out, const Tensor& grad_out, float slope) {
+Tensor LeakyReluBackward(const Tensor& out, const Tensor& grad_out, float slope,
+                         const ComputeContext* ctx) {
   Tensor g(out.rows(), out.cols());
-  for (int64_t i = 0; i < out.size(); ++i) {
-    g.data()[i] = out.data()[i] > 0.0f ? grad_out.data()[i] : slope * grad_out.data()[i];
-  }
+  ForEachElemChunk(ctx, out.size(), [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      g.data()[i] = out.data()[i] > 0.0f ? grad_out.data()[i] : slope * grad_out.data()[i];
+    }
+  });
   return g;
 }
 
-Tensor Tanh(const Tensor& t) {
+Tensor Tanh(const Tensor& t, const ComputeContext* ctx) {
   Tensor out(t.rows(), t.cols());
-  for (int64_t i = 0; i < t.size(); ++i) {
-    out.data()[i] = std::tanh(t.data()[i]);
-  }
+  ForEachElemChunk(ctx, t.size(), [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      out.data()[i] = std::tanh(t.data()[i]);
+    }
+  });
   return out;
 }
 
-Tensor TanhBackward(const Tensor& out, const Tensor& grad_out) {
+Tensor TanhBackward(const Tensor& out, const Tensor& grad_out, const ComputeContext* ctx) {
   Tensor g(out.rows(), out.cols());
-  for (int64_t i = 0; i < out.size(); ++i) {
-    g.data()[i] = (1.0f - out.data()[i] * out.data()[i]) * grad_out.data()[i];
-  }
+  ForEachElemChunk(ctx, out.size(), [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      g.data()[i] = (1.0f - out.data()[i] * out.data()[i]) * grad_out.data()[i];
+    }
+  });
   return g;
 }
 
-Tensor RowSoftmax(const Tensor& logits) {
+Tensor RowSoftmax(const Tensor& logits, const ComputeContext* ctx) {
   Tensor out(logits.rows(), logits.cols());
-  for (int64_t r = 0; r < logits.rows(); ++r) {
-    const float* in = logits.RowPtr(r);
-    float* o = out.RowPtr(r);
-    float maxv = in[0];
-    for (int64_t c = 1; c < logits.cols(); ++c) {
-      maxv = std::max(maxv, in[c]);
+  ForEachRowChunk(ctx, logits.rows(), [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t r = row_begin; r < row_end; ++r) {
+      const float* in = logits.RowPtr(r);
+      float* o = out.RowPtr(r);
+      float maxv = in[0];
+      for (int64_t c = 1; c < logits.cols(); ++c) {
+        maxv = std::max(maxv, in[c]);
+      }
+      float sum = 0.0f;
+      for (int64_t c = 0; c < logits.cols(); ++c) {
+        o[c] = std::exp(in[c] - maxv);
+        sum += o[c];
+      }
+      const float inv = 1.0f / sum;
+      for (int64_t c = 0; c < logits.cols(); ++c) {
+        o[c] *= inv;
+      }
     }
-    float sum = 0.0f;
-    for (int64_t c = 0; c < logits.cols(); ++c) {
-      o[c] = std::exp(in[c] - maxv);
-      sum += o[c];
-    }
-    const float inv = 1.0f / sum;
-    for (int64_t c = 0; c < logits.cols(); ++c) {
-      o[c] *= inv;
-    }
-  }
+  });
   return out;
 }
 
 float SoftmaxCrossEntropy(const Tensor& logits, const std::vector<int64_t>& labels,
-                          Tensor* dlogits) {
+                          Tensor* dlogits, const ComputeContext* ctx) {
   MG_CHECK(logits.rows() == static_cast<int64_t>(labels.size()));
   MG_CHECK(logits.rows() > 0);
-  Tensor probs = RowSoftmax(logits);
+  Tensor probs = RowSoftmax(logits, ctx);
   const float inv_n = 1.0f / static_cast<float>(logits.rows());
+  // Loss is a cross-chunk sum: per-chunk double partials folded in chunk order.
+  const int64_t chunks = ComputeChunkCount(logits.rows(), kComputeGrainRows);
+  std::vector<double> loss_partials(static_cast<size_t>(chunks), 0.0);
+  ForEachChunk(ctx, logits.rows(), kComputeGrainRows,
+               [&](int64_t chunk, int64_t begin, int64_t end) {
+                 double partial = 0.0;
+                 for (int64_t r = begin; r < end; ++r) {
+                   const int64_t y = labels[static_cast<size_t>(r)];
+                   MG_DCHECK(y >= 0 && y < logits.cols());
+                   partial -= std::log(std::max(probs(r, y), 1e-12f));
+                 }
+                 loss_partials[static_cast<size_t>(chunk)] = partial;
+               });
   double loss = 0.0;
-  for (int64_t r = 0; r < logits.rows(); ++r) {
-    const int64_t y = labels[static_cast<size_t>(r)];
-    MG_DCHECK(y >= 0 && y < logits.cols());
-    loss -= std::log(std::max(probs(r, y), 1e-12f));
+  for (double partial : loss_partials) {
+    loss += partial;
   }
   if (dlogits != nullptr) {
     *dlogits = probs;
-    for (int64_t r = 0; r < logits.rows(); ++r) {
-      (*dlogits)(r, labels[static_cast<size_t>(r)]) -= 1.0f;
-    }
-    Scale(*dlogits, inv_n);
+    ForEachRowChunk(ctx, logits.rows(), [&](int64_t row_begin, int64_t row_end) {
+      for (int64_t r = row_begin; r < row_end; ++r) {
+        (*dlogits)(r, labels[static_cast<size_t>(r)]) -= 1.0f;
+        float* row = dlogits->RowPtr(r);
+        for (int64_t c = 0; c < dlogits->cols(); ++c) {
+          row[c] *= inv_n;
+        }
+      }
+    });
   }
   return static_cast<float>(loss * inv_n);
 }
 
-void RowL2NormalizeInPlace(Tensor& t) {
-  for (int64_t r = 0; r < t.rows(); ++r) {
-    float* row = t.RowPtr(r);
-    double s = 0.0;
-    for (int64_t c = 0; c < t.cols(); ++c) {
-      s += static_cast<double>(row[c]) * row[c];
-    }
-    if (s > 0.0) {
-      const float inv = static_cast<float>(1.0 / std::sqrt(s));
+void RowL2NormalizeInPlace(Tensor& t, const ComputeContext* ctx) {
+  ForEachRowChunk(ctx, t.rows(), [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t r = row_begin; r < row_end; ++r) {
+      float* row = t.RowPtr(r);
+      double s = 0.0;
       for (int64_t c = 0; c < t.cols(); ++c) {
-        row[c] *= inv;
+        s += static_cast<double>(row[c]) * row[c];
+      }
+      if (s > 0.0) {
+        const float inv = static_cast<float>(1.0 / std::sqrt(s));
+        for (int64_t c = 0; c < t.cols(); ++c) {
+          row[c] *= inv;
+        }
       }
     }
-  }
+  });
 }
 
 }  // namespace mariusgnn

@@ -7,6 +7,14 @@
 //    nbr_offsets array is converted to this closed form by DenseBatch.
 //  - Backward kernels accumulate into their output ("+=" semantics) so multiple paths
 //    through a layer can add gradients without extra temporaries.
+//  - Every kernel takes an optional ComputeContext and runs its work in fixed chunks
+//    (see src/util/compute.h): output rows for the matmuls, segments for the segment
+//    reductions, flat elements for the elementwise ops. Chunk boundaries and any
+//    cross-chunk reduction order depend only on the input shape, so results are
+//    bitwise-identical for a null context and for pools of any size.
+//  - ScatterAddRows is the one deliberately serial kernel: duplicate indices make it
+//    a scatter-reduce whose write set is data-dependent, so it stays a single
+//    in-order pass (see ROADMAP open items).
 #ifndef SRC_TENSOR_OPS_H_
 #define SRC_TENSOR_OPS_H_
 
@@ -14,78 +22,93 @@
 #include <vector>
 
 #include "src/tensor/tensor.h"
+#include "src/util/compute.h"
 
 namespace mariusgnn {
 
-// C = A @ B. A: m x k, B: k x n.
-Tensor Matmul(const Tensor& a, const Tensor& b);
+// C = A @ B. A: m x k, B: k x n. Row-chunked over m.
+Tensor Matmul(const Tensor& a, const Tensor& b, const ComputeContext* ctx = nullptr);
 
 // C = A^T @ B. A: k x m, B: k x n -> C: m x n. (Weight-gradient shape.)
-Tensor MatmulTransA(const Tensor& a, const Tensor& b);
+// Row-chunked over the m output rows; each accumulates over k in ascending order.
+Tensor MatmulTransA(const Tensor& a, const Tensor& b, const ComputeContext* ctx = nullptr);
 
 // C = A @ B^T. A: m x k, B: n x k -> C: m x n. (Input-gradient shape.)
-Tensor MatmulTransB(const Tensor& a, const Tensor& b);
+Tensor MatmulTransB(const Tensor& a, const Tensor& b, const ComputeContext* ctx = nullptr);
 
 // out += in (same shape).
-void AddInPlace(Tensor& out, const Tensor& in);
+void AddInPlace(Tensor& out, const Tensor& in, const ComputeContext* ctx = nullptr);
 
 // out += alpha * in.
-void Axpy(Tensor& out, const Tensor& in, float alpha);
+void Axpy(Tensor& out, const Tensor& in, float alpha, const ComputeContext* ctx = nullptr);
 
 // Elementwise product.
-Tensor Hadamard(const Tensor& a, const Tensor& b);
+Tensor Hadamard(const Tensor& a, const Tensor& b, const ComputeContext* ctx = nullptr);
 
 // Scales every element in place.
-void Scale(Tensor& t, float alpha);
+void Scale(Tensor& t, float alpha, const ComputeContext* ctx = nullptr);
 
 // Adds a 1 x n bias row to every row of t (n == t.cols()).
-void AddBiasRows(Tensor& t, const Tensor& bias);
+void AddBiasRows(Tensor& t, const Tensor& bias, const ComputeContext* ctx = nullptr);
 
-// Column-sum of t as a 1 x n tensor (bias gradient).
-Tensor SumRows(const Tensor& t);
+// Column-sum of t as a 1 x n tensor (bias gradient). Ordered per-chunk reduction:
+// chunk partial sums are folded in ascending chunk order.
+Tensor SumRows(const Tensor& t, const ComputeContext* ctx = nullptr);
 
 // Gathers rows: out[i] = t[indices[i]].
-Tensor IndexSelect(const Tensor& t, const std::vector<int64_t>& indices);
+Tensor IndexSelect(const Tensor& t, const std::vector<int64_t>& indices,
+                   const ComputeContext* ctx = nullptr);
 
-// Scatter-add rows: dst[indices[i]] += src[i].
+// Scatter-add rows: dst[indices[i]] += src[i]. Serial by design (see header note).
 void ScatterAddRows(Tensor& dst, const std::vector<int64_t>& indices, const Tensor& src);
 
 // Segment reductions over contiguous rows. offsets.size() == num_segments + 1 and
-// offsets.back() == src.rows(). Empty segments produce zero rows.
-Tensor SegmentSum(const Tensor& src, const std::vector<int64_t>& offsets);
-Tensor SegmentMean(const Tensor& src, const std::vector<int64_t>& offsets);
+// offsets.back() == src.rows(). Empty segments produce zero rows. Chunked over
+// segments: each destination row is owned by exactly one chunk.
+Tensor SegmentSum(const Tensor& src, const std::vector<int64_t>& offsets,
+                  const ComputeContext* ctx = nullptr);
+Tensor SegmentMean(const Tensor& src, const std::vector<int64_t>& offsets,
+                   const ComputeContext* ctx = nullptr);
 
 // Backward of SegmentSum: broadcast each segment's gradient row to its member rows.
-Tensor SegmentSumBackward(const Tensor& grad_out, const std::vector<int64_t>& offsets);
+Tensor SegmentSumBackward(const Tensor& grad_out, const std::vector<int64_t>& offsets,
+                          const ComputeContext* ctx = nullptr);
 // Backward of SegmentMean: broadcast divided by segment size.
-Tensor SegmentMeanBackward(const Tensor& grad_out, const std::vector<int64_t>& offsets);
+Tensor SegmentMeanBackward(const Tensor& grad_out, const std::vector<int64_t>& offsets,
+                           const ComputeContext* ctx = nullptr);
 
 // In-place softmax over each segment of a column vector (n x 1). Used by GAT attention.
-void SegmentSoftmaxInPlace(Tensor& scores, const std::vector<int64_t>& offsets);
+void SegmentSoftmaxInPlace(Tensor& scores, const std::vector<int64_t>& offsets,
+                           const ComputeContext* ctx = nullptr);
 
 // Backward of segment softmax: given softmax outputs p and upstream grad g (both n x 1),
 // returns dscore[i] = p_i * (g_i - sum_j in seg p_j g_j).
 Tensor SegmentSoftmaxBackward(const Tensor& probs, const Tensor& grad,
-                              const std::vector<int64_t>& offsets);
+                              const std::vector<int64_t>& offsets,
+                              const ComputeContext* ctx = nullptr);
 
 // Activations (forward returns value; backward takes forward *output*).
-Tensor Relu(const Tensor& t);
-Tensor ReluBackward(const Tensor& out, const Tensor& grad_out);
-Tensor LeakyRelu(const Tensor& t, float slope);
-Tensor LeakyReluBackward(const Tensor& out, const Tensor& grad_out, float slope);
-Tensor Tanh(const Tensor& t);
-Tensor TanhBackward(const Tensor& out, const Tensor& grad_out);
+Tensor Relu(const Tensor& t, const ComputeContext* ctx = nullptr);
+Tensor ReluBackward(const Tensor& out, const Tensor& grad_out,
+                    const ComputeContext* ctx = nullptr);
+Tensor LeakyRelu(const Tensor& t, float slope, const ComputeContext* ctx = nullptr);
+Tensor LeakyReluBackward(const Tensor& out, const Tensor& grad_out, float slope,
+                         const ComputeContext* ctx = nullptr);
+Tensor Tanh(const Tensor& t, const ComputeContext* ctx = nullptr);
+Tensor TanhBackward(const Tensor& out, const Tensor& grad_out,
+                    const ComputeContext* ctx = nullptr);
 
 // Row-wise softmax.
-Tensor RowSoftmax(const Tensor& logits);
+Tensor RowSoftmax(const Tensor& logits, const ComputeContext* ctx = nullptr);
 
 // Mean softmax cross-entropy over rows; labels are class ids. Returns the loss and
-// writes dlogits (d loss / d logits, already divided by the number of rows).
+// writes dlogits (d loss / d logits, already divided by the number of rows). The
+// loss is an ordered per-chunk reduction over row chunks.
 float SoftmaxCrossEntropy(const Tensor& logits, const std::vector<int64_t>& labels,
-                          Tensor* dlogits);
+                          Tensor* dlogits, const ComputeContext* ctx = nullptr);
 
 // L2-normalises each row in place (zero rows left untouched).
-void RowL2NormalizeInPlace(Tensor& t);
+void RowL2NormalizeInPlace(Tensor& t, const ComputeContext* ctx = nullptr);
 
 }  // namespace mariusgnn
 

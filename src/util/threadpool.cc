@@ -41,20 +41,24 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t, int64_
   if (n <= 0) {
     return;
   }
+  // Fixed chunk size: boundaries are a function of (n, min_chunk) only, never the
+  // worker count, so callers layering deterministic reductions on top of the chunk
+  // grid get identical results for any pool size (see src/util/compute.h). The cap
+  // bounds Submit overhead for huge n; it too depends only on n.
+  constexpr int64_t kMaxTasks = 256;
+  const int64_t step = std::max(min_chunk, (n + kMaxTasks - 1) / kMaxTasks);
   const int64_t threads = static_cast<int64_t>(num_threads());
   if (threads <= 1 || n <= min_chunk || OnWorkerThread()) {
-    fn(0, n);
+    // Inline execution walks the same grid so the callback sees identical chunk
+    // boundaries no matter how (or whether) the work was parallelized.
+    for (int64_t begin = 0; begin < n; begin += step) {
+      fn(begin, std::min(begin + step, n));
+    }
     return;
   }
-  const int64_t chunks = std::min(threads, (n + min_chunk - 1) / min_chunk);
-  const int64_t step = (n + chunks - 1) / chunks;
   std::mutex done_mu;
   std::condition_variable done_cv;
-  int64_t remaining = 0;
-  for (int64_t begin = 0; begin < n; begin += step) {
-    ++remaining;
-  }
-  int64_t pending = remaining;
+  int64_t pending = (n + step - 1) / step;
   for (int64_t begin = 0; begin < n; begin += step) {
     const int64_t end = std::min(begin + step, n);
     Submit([&, begin, end] {
@@ -72,6 +76,12 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t, int64_
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+size_t ThreadPool::IdleThreads() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t busy = in_flight_ + tasks_.size();
+  return workers_.size() > busy ? workers_.size() - busy : 0;
 }
 
 bool ThreadPool::OnWorkerThread() const {

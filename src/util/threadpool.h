@@ -31,14 +31,23 @@ class ThreadPool {
   void Submit(std::function<void()> task);
 
   // Runs fn(begin, end) over contiguous chunks of [0, n) on the pool and blocks until
-  // all chunks complete. Runs inline when n is small, the pool has one thread, or the
-  // caller is itself one of this pool's workers (waiting on own-pool chunks from a
-  // worker deadlocks once all workers block — e.g. pipeline workers sampling).
+  // all chunks complete. Chunks have fixed size max(min_chunk, ceil(n/256)) (the
+  // last may be short): the chunk grid depends only on n and min_chunk, never the
+  // pool size, so chunk-deterministic callers produce identical results on any pool.
+  // Runs inline — walking the same grid — when n is small, the pool has one
+  // thread, or the caller is itself one of this pool's workers (waiting on
+  // own-pool chunks from a worker deadlocks once all workers block — e.g.
+  // pipeline workers sampling).
   void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
                    int64_t min_chunk = 1024);
 
   // True when the calling thread is one of this pool's workers.
   bool OnWorkerThread() const;
+
+  // Workers neither running nor already promised a queued task. Advisory (the value
+  // is stale the moment the lock drops): callers use it to avoid queueing helper
+  // tasks behind epoch-long occupants (e.g. pipeline batch-construction workers).
+  size_t IdleThreads();
 
   // Blocks until the queue is empty and all in-flight tasks finished.
   void Wait();

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <functional>
 #include <memory>
+#include <numeric>
 
 #include "src/data/datasets.h"
 #include "src/nn/decoder.h"
@@ -15,7 +17,9 @@
 #include "src/nn/graphsage.h"
 #include "src/nn/linear.h"
 #include "src/nn/optimizer.h"
+#include "src/storage/embedding_store.h"
 #include "src/tensor/ops.h"
+#include "src/util/threadpool.h"
 
 namespace mariusgnn {
 namespace {
@@ -465,6 +469,190 @@ TEST(Encoder, ParameterCounts) {
   EXPECT_EQ(gat.Parameters().size(), 5u);
   GnnEncoder gcn(GnnLayerType::kGcn, {8, 8}, Activation::kRelu, rng);
   EXPECT_EQ(gcn.Parameters().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Bitwise determinism of the parallel compute path through the nn layer: every
+// forward output, input gradient, weight gradient, decoder gradient, and sharded
+// Adagrad update must be byte-identical for a null context and 1/2/8-worker
+// pools (the tensor-level version of this sweep lives in tensor_test.cc).
+// ---------------------------------------------------------------------------
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+// A view large enough that every chunk grain is exceeded: 250 output segments
+// (several row chunks) over ~900 neighbor entries (several edge chunks).
+LayerView MakeBigView(const Tensor* h, Rng& rng) {
+  LayerView view;
+  view.h = h;
+  const int64_t num_out = 250;
+  const int64_t num_in = h->rows();
+  view.self_rows.resize(static_cast<size_t>(num_out));
+  for (int64_t s = 0; s < num_out; ++s) {
+    view.self_rows[static_cast<size_t>(s)] = static_cast<int64_t>(rng.UniformInt(
+        static_cast<uint64_t>(num_in)));
+  }
+  view.seg_offsets = {0};
+  for (int64_t s = 0; s < num_out; ++s) {
+    view.seg_offsets.push_back(view.seg_offsets.back() +
+                               static_cast<int64_t>(rng.UniformInt(8)));
+  }
+  view.nbr_rows.resize(static_cast<size_t>(view.seg_offsets.back()));
+  for (auto& r : view.nbr_rows) {
+    r = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(num_in)));
+  }
+  view.nbr_rels.assign(view.nbr_rows.size(), 0);
+  return view;
+}
+
+// Builds a fresh layer (same seed => same weights), runs forward + backward under
+// `ctx`, and returns (out, dh, each parameter grad) for bitwise comparison.
+std::vector<Tensor> RunLayerOnce(GnnLayerType type, const ComputeContext* ctx) {
+  Rng rng(7777);
+  const int64_t in_dim = 24, out_dim = 16;
+  std::unique_ptr<GnnLayer> layer;
+  switch (type) {
+    case GnnLayerType::kGraphSage:
+      layer = std::make_unique<GraphSageLayer>(in_dim, out_dim, Activation::kRelu, rng);
+      break;
+    case GnnLayerType::kGcn:
+      layer = std::make_unique<GcnLayer>(in_dim, out_dim, Activation::kRelu, rng);
+      break;
+    case GnnLayerType::kGat:
+      layer = std::make_unique<GatLayer>(in_dim, out_dim, Activation::kRelu, rng);
+      break;
+  }
+  Tensor h = Tensor::Normal(400, in_dim, 0.8f, rng);
+  LayerView view = MakeBigView(&h, rng);
+  view.compute = ctx;
+  std::unique_ptr<LayerContext> saved;
+  Tensor out = layer->Forward(view, &saved);
+  Tensor grad_out = Tensor::Normal(out.rows(), out.cols(), 0.5f, rng);
+  Tensor dh = layer->Backward(*saved, grad_out);
+
+  std::vector<Tensor> results = {std::move(out), std::move(dh)};
+  for (Parameter* p : layer->Parameters()) {
+    results.push_back(p->grad);
+  }
+  return results;
+}
+
+void CheckLayerDeterministicAcrossPools(GnnLayerType type) {
+  const std::vector<Tensor> serial = RunLayerOnce(type, nullptr);
+  for (size_t workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    ComputeContext ctx;
+    ctx.pool = &pool;
+    const std::vector<Tensor> parallel = RunLayerOnce(type, &ctx);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_TRUE(BitwiseEqual(parallel[i], serial[i]))
+          << "tensor " << i << " diverged with " << workers << " workers";
+    }
+  }
+}
+
+TEST(ParallelDeterminism, GraphSageForwardBackward) {
+  CheckLayerDeterministicAcrossPools(GnnLayerType::kGraphSage);
+}
+
+TEST(ParallelDeterminism, GcnForwardBackward) {
+  CheckLayerDeterministicAcrossPools(GnnLayerType::kGcn);
+}
+
+TEST(ParallelDeterminism, GatForwardBackward) {
+  CheckLayerDeterministicAcrossPools(GnnLayerType::kGat);
+}
+
+TEST(ParallelDeterminism, DecoderLossAndGrad) {
+  // 400 positive edges (> kComputeGrainEdges) against 50 shared negatives; the
+  // per-chunk gradient partials must fold to identical bits for any pool size.
+  auto run = [&](const ComputeContext* ctx) {
+    Rng rng(4242);
+    DistMultDecoder decoder(5, 24, rng);
+    decoder.set_compute(ctx);
+    Tensor reprs = Tensor::Normal(300, 24, 0.7f, rng);
+    std::vector<int64_t> src(400), dst(400), negs(50);
+    std::vector<int32_t> rels(400);
+    for (auto& v : src) v = static_cast<int64_t>(rng.UniformInt(300));
+    for (auto& v : dst) v = static_cast<int64_t>(rng.UniformInt(300));
+    for (auto& v : rels) v = static_cast<int32_t>(rng.UniformInt(5));
+    for (auto& v : negs) v = static_cast<int64_t>(rng.UniformInt(300));
+    Tensor d_reprs(reprs.rows(), reprs.cols());
+    const float loss = decoder.LossAndGrad(reprs, src, dst, rels, negs, &d_reprs);
+    std::vector<Tensor> results = {std::move(d_reprs)};
+    for (Parameter* p : decoder.Parameters()) {
+      results.push_back(p->grad);
+    }
+    results.push_back(Tensor(1, 1, {loss}));
+    return results;
+  };
+  const std::vector<Tensor> serial = run(nullptr);
+  for (size_t workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    ComputeContext ctx;
+    ctx.pool = &pool;
+    const std::vector<Tensor> parallel = run(&ctx);
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_TRUE(BitwiseEqual(parallel[i], serial[i]))
+          << "decoder tensor " << i << " diverged with " << workers << " workers";
+    }
+  }
+}
+
+TEST(ParallelDeterminism, ShardedSparseAdagrad) {
+  // 300 distinct rows (> kComputeGrainRows => several shards); every shard owns its
+  // rows, so the Adagrad apply must be bitwise-stable across pool sizes.
+  auto run = [&](const ComputeContext* ctx) {
+    Rng rng(999);
+    InMemoryEmbeddingStore store(400, 16, 0.5f, rng);
+    store.set_compute(ctx);
+    std::vector<int64_t> nodes(400);
+    std::iota(nodes.begin(), nodes.end(), 0);
+    rng.Shuffle(nodes);
+    nodes.resize(300);
+    Tensor grads = Tensor::Normal(300, 16, 0.3f, rng);
+    store.ApplyGradients(nodes, grads, 0.1f);
+    store.ApplyGradients(nodes, grads, 0.1f);  // second step exercises the state
+    Tensor out;
+    std::vector<int64_t> all(400);
+    std::iota(all.begin(), all.end(), 0);
+    store.Gather(all, &out);
+    return out;
+  };
+  const Tensor serial = run(nullptr);
+  for (size_t workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    ComputeContext ctx;
+    ctx.pool = &pool;
+    EXPECT_TRUE(BitwiseEqual(run(&ctx), serial))
+        << "sparse Adagrad diverged with " << workers << " workers";
+  }
+}
+
+TEST(ParallelDeterminism, DenseAdagradStep) {
+  auto run = [&](const ComputeContext* ctx) {
+    Rng rng(31);
+    Parameter p(Tensor::Normal(150, 130, 0.5f, rng));  // 19500 elems -> 3 chunks
+    p.grad = Tensor::Normal(150, 130, 0.2f, rng);
+    Adagrad opt(0.05f);
+    opt.set_compute(ctx);
+    opt.Step(p);
+    opt.Step(p);
+    return p.value;
+  };
+  const Tensor serial = run(nullptr);
+  for (size_t workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    ComputeContext ctx;
+    ctx.pool = &pool;
+    EXPECT_TRUE(BitwiseEqual(run(&ctx), serial))
+        << "dense Adagrad diverged with " << workers << " workers";
+  }
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 
 #include "src/pipeline/queue.h"
 #include "src/pipeline/training_pipeline.h"
+#include "src/util/compute.h"
 #include "src/util/rng.h"
 #include "src/util/threadpool.h"
 
@@ -247,6 +248,45 @@ TEST(TrainingPipeline, MoreWorkersThanPoolThreadsStillCompletes) {
         consumed.push_back(item);
       });
   EXPECT_EQ(consumed.size(), 50u);
+}
+
+TEST(TrainingPipeline, ComputeChunksOnSaturatedPipelinePoolCannotDeadlock) {
+  // The stage-3 deadlock hazard: every pool thread is a pipeline worker that can
+  // block on the batch-window gate or the bounded queue during compute, so compute
+  // helper tasks submitted to the same pool may never run. ForEachChunk must make
+  // progress through the calling thread alone — and still produce the same bits.
+  ThreadPool pool(2);
+  PipelineOptions options;
+  options.workers = 2;  // saturate the pool
+  options.queue_capacity = 1;
+  options.pool = &pool;
+  TrainingPipeline pipeline(options);
+  ComputeContext ctx;
+  ctx.pool = &pool;
+
+  const int64_t n = 20000;  // several chunks at every grain
+  std::vector<float> expected(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    expected[static_cast<size_t>(i)] = static_cast<float>(i) * 0.5f;
+  }
+  int64_t batches_ok = 0;
+  pipeline.RunTyped<int64_t>(
+      30, [](int64_t i) { return i; },
+      [&](int64_t& item, int64_t i) {
+        EXPECT_EQ(item, i);
+        // Consumer-side parallel compute on the saturated pool.
+        std::vector<float> out(static_cast<size_t>(n));
+        ForEachChunk(&ctx, n, kComputeGrainElems,
+                     [&](int64_t, int64_t begin, int64_t end) {
+                       for (int64_t k = begin; k < end; ++k) {
+                         out[static_cast<size_t>(k)] = static_cast<float>(k) * 0.5f;
+                       }
+                     });
+        if (out == expected) {
+          ++batches_ok;
+        }
+      });
+  EXPECT_EQ(batches_ok, 30);
 }
 
 }  // namespace

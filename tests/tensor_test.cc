@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <functional>
 
 #include "src/tensor/ops.h"
 #include "src/tensor/tensor.h"
+#include "src/util/threadpool.h"
 
 namespace mariusgnn {
 namespace {
@@ -349,6 +352,168 @@ TEST(Ops, SegmentSumSingleRowSegments) {
   for (int64_t i = 0; i < src.size(); ++i) {
     EXPECT_FLOAT_EQ(out.data()[i], src.data()[i]);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Bitwise determinism of the parallel kernels: chunk boundaries and reduction
+// order depend only on tensor shapes, so a null context and pools of 1, 2, and
+// 8 workers must produce identical bits (not just close values).
+// ---------------------------------------------------------------------------
+
+// Runs `kernel(ctx)` serially and on 1/2/8-worker pools; every result must be
+// byte-identical to the serial one.
+void ExpectBitwiseIdenticalAcrossPools(
+    const std::function<Tensor(const ComputeContext*)>& kernel) {
+  const Tensor serial = kernel(nullptr);
+  for (size_t workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    ComputeContext ctx;
+    ctx.pool = &pool;
+    const Tensor parallel = kernel(&ctx);
+    ASSERT_EQ(parallel.rows(), serial.rows());
+    ASSERT_EQ(parallel.cols(), serial.cols());
+    ASSERT_EQ(std::memcmp(parallel.data(), serial.data(),
+                          static_cast<size_t>(serial.size()) * sizeof(float)),
+              0)
+        << "kernel diverged with " << workers << " workers";
+  }
+}
+
+TEST(OpsDeterminism, MatmulAcrossPools) {
+  // > kComputeGrainRows rows so several chunks are in play.
+  Rng rng(21);
+  Tensor a = Tensor::Normal(300, 40, 1.0f, rng);
+  Tensor b = Tensor::Normal(40, 30, 1.0f, rng);
+  ExpectBitwiseIdenticalAcrossPools([&](const ComputeContext* ctx) {
+    return Matmul(a, b, ctx);
+  });
+}
+
+TEST(OpsDeterminism, MatmulTransAAcrossPools) {
+  Rng rng(22);
+  Tensor a = Tensor::Normal(150, 200, 1.0f, rng);  // 200 output rows -> 4 chunks
+  Tensor b = Tensor::Normal(150, 20, 1.0f, rng);
+  ExpectBitwiseIdenticalAcrossPools([&](const ComputeContext* ctx) {
+    return MatmulTransA(a, b, ctx);
+  });
+}
+
+TEST(OpsDeterminism, MatmulTransBAcrossPools) {
+  Rng rng(23);
+  Tensor a = Tensor::Normal(300, 40, 1.0f, rng);
+  Tensor b = Tensor::Normal(25, 40, 1.0f, rng);
+  ExpectBitwiseIdenticalAcrossPools([&](const ComputeContext* ctx) {
+    return MatmulTransB(a, b, ctx);
+  });
+}
+
+TEST(OpsDeterminism, SumRowsOrderedReductionAcrossPools) {
+  // SumRows folds per-chunk partials in ascending chunk order; with 5 chunks the
+  // float sum order is fixed, so every pool size must reproduce the same bits.
+  Rng rng(24);
+  Tensor t = Tensor::Normal(300, 17, 1.0f, rng);
+  ExpectBitwiseIdenticalAcrossPools([&](const ComputeContext* ctx) {
+    return SumRows(t, ctx);
+  });
+}
+
+TEST(OpsDeterminism, ElementwiseAcrossPools) {
+  Rng rng(25);
+  Tensor a = Tensor::Normal(123, 97, 1.0f, rng);  // 11931 elems -> 2 elem chunks
+  Tensor b = Tensor::Normal(123, 97, 1.0f, rng);
+  ExpectBitwiseIdenticalAcrossPools([&](const ComputeContext* ctx) {
+    Tensor out = Hadamard(a, b, ctx);
+    AddInPlace(out, a, ctx);
+    Axpy(out, b, 0.25f, ctx);
+    Scale(out, 1.75f, ctx);
+    Tensor r = Relu(out, ctx);
+    Tensor g = ReluBackward(r, out, ctx);
+    Tensor th = Tanh(out, ctx);
+    AddInPlace(g, TanhBackward(th, out, ctx), ctx);
+    return g;
+  });
+}
+
+TEST(OpsDeterminism, SegmentOpsAcrossPools) {
+  Rng rng(26);
+  std::vector<int64_t> offsets = {0};
+  for (int64_t s = 0; s < 200; ++s) {  // 200 segments -> 4 segment chunks
+    offsets.push_back(offsets.back() + static_cast<int64_t>(rng.UniformInt(5)));
+  }
+  Tensor src = Tensor::Normal(offsets.back(), 13, 1.0f, rng);
+  Tensor grad = Tensor::Normal(200, 13, 1.0f, rng);
+  ExpectBitwiseIdenticalAcrossPools([&](const ComputeContext* ctx) {
+    Tensor out = SegmentSum(src, offsets, ctx);
+    AddInPlace(out, SegmentMean(src, offsets, ctx), ctx);
+    Tensor back = SegmentSumBackward(grad, offsets, ctx);
+    AddInPlace(back, SegmentMeanBackward(grad, offsets, ctx), ctx);
+    Tensor flat_out(1, out.size(), std::vector<float>(out.data(), out.data() + out.size()));
+    Tensor flat_back(1, back.size(),
+                     std::vector<float>(back.data(), back.data() + back.size()));
+    Tensor joined(2, std::max(out.size(), back.size()));
+    for (int64_t i = 0; i < out.size(); ++i) {
+      joined(0, i % joined.cols()) += flat_out.data()[i];
+    }
+    for (int64_t i = 0; i < back.size(); ++i) {
+      joined(1, i % joined.cols()) += flat_back.data()[i];
+    }
+    return joined;
+  });
+}
+
+TEST(OpsDeterminism, SegmentSoftmaxAcrossPools) {
+  Rng rng(27);
+  std::vector<int64_t> offsets = {0};
+  for (int64_t s = 0; s < 150; ++s) {
+    offsets.push_back(offsets.back() + 1 + static_cast<int64_t>(rng.UniformInt(4)));
+  }
+  Tensor scores = Tensor::Normal(offsets.back(), 1, 2.0f, rng);
+  Tensor grad = Tensor::Normal(offsets.back(), 1, 1.0f, rng);
+  ExpectBitwiseIdenticalAcrossPools([&](const ComputeContext* ctx) {
+    Tensor probs = scores;
+    SegmentSoftmaxInPlace(probs, offsets, ctx);
+    Tensor back = SegmentSoftmaxBackward(probs, grad, offsets, ctx);
+    AddInPlace(back, probs, ctx);
+    return back;
+  });
+}
+
+TEST(OpsDeterminism, SoftmaxCrossEntropyAcrossPools) {
+  Rng rng(28);
+  Tensor logits = Tensor::Normal(200, 11, 1.0f, rng);  // 4 row chunks
+  std::vector<int64_t> labels(200);
+  for (auto& y : labels) {
+    y = static_cast<int64_t>(rng.UniformInt(11));
+  }
+  float serial_loss = 0.0f;
+  ExpectBitwiseIdenticalAcrossPools([&](const ComputeContext* ctx) {
+    Tensor dlogits;
+    const float loss = SoftmaxCrossEntropy(logits, labels, &dlogits, ctx);
+    if (ctx == nullptr) {
+      serial_loss = loss;
+    } else {
+      EXPECT_EQ(loss, serial_loss);  // loss scalar must match bitwise too
+    }
+    return dlogits;
+  });
+}
+
+TEST(OpsDeterminism, GatherNormalizeAcrossPools) {
+  Rng rng(29);
+  Tensor table = Tensor::Normal(500, 19, 1.0f, rng);
+  std::vector<int64_t> idx(300);
+  for (auto& v : idx) {
+    v = static_cast<int64_t>(rng.UniformInt(500));
+  }
+  Tensor bias = Tensor::Normal(1, 19, 1.0f, rng);
+  ExpectBitwiseIdenticalAcrossPools([&](const ComputeContext* ctx) {
+    Tensor out = IndexSelect(table, idx, ctx);
+    AddBiasRows(out, bias, ctx);
+    RowL2NormalizeInPlace(out, ctx);
+    Tensor sm = RowSoftmax(out, ctx);
+    AddInPlace(out, sm, ctx);
+    return out;
+  });
 }
 
 }  // namespace

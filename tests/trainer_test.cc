@@ -438,6 +438,109 @@ TEST(LinkPrediction, PipelinedEpochReportsStageBreakdown) {
   EXPECT_GT(stats.sample_seconds, 0.0);       // batch construction was timed
   EXPECT_GE(stats.pipeline_stall_seconds, 0.0);
   EXPECT_GT(stats.compute_seconds, 0.0);
+  EXPECT_GT(stats.compute_parallel_efficiency, 0.0);
+}
+
+TEST(LinkPrediction, ParallelComputeDoesNotChangeTrajectory) {
+  // Stage-3 kernels run in fixed chunks with ordered reductions, so serial compute
+  // and an 8-worker pool must produce bitwise-identical loss/MRR trajectories —
+  // with and without the sampling pipeline running on top.
+  Graph g = Fb15k237Like(0.05);
+  ThreadPool pool(8);
+  auto run = [&](bool parallel, bool pipelined) {
+    TrainingConfig config = SmallLpConfig();
+    config.parallel_compute = parallel;
+    config.compute_pool = parallel ? &pool : nullptr;
+    // Sampling workers and compute chunks share ONE pool (production default).
+    config.pipeline_pool = (parallel && pipelined) ? &pool : nullptr;
+    config.pipelined = pipelined;
+    config.pipeline_workers = 2;
+    LinkPredictionTrainer trainer(&g, config);
+    std::vector<double> losses;
+    for (int e = 0; e < 3; ++e) {
+      losses.push_back(trainer.TrainEpoch().loss);
+    }
+    losses.push_back(trainer.EvaluateMrr(50, 100));
+    return losses;
+  };
+  const auto serial = run(false, false);
+  const auto parallel = run(true, false);
+  const auto parallel_pipelined = run(true, true);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i], serial[i]) << "epoch " << i;
+    EXPECT_EQ(parallel_pipelined[i], serial[i]) << "epoch " << i;
+  }
+}
+
+TEST(LinkPrediction, ParallelComputeDiskTrajectoryIdentical) {
+  // Disk mode adds the sharded sparse Adagrad through the partition buffer; the
+  // parallel apply must still reproduce the serial run exactly.
+  Graph g = Fb15k237Like(0.05);
+  ThreadPool pool(8);
+  auto run = [&](bool parallel) {
+    TrainingConfig config = SmallLpConfig();
+    config.use_disk = true;
+    config.num_physical = 8;
+    config.num_logical = 4;
+    config.buffer_capacity = 4;
+    config.pipelined = true;
+    config.pipeline_workers = 2;
+    config.parallel_compute = parallel;
+    config.compute_pool = parallel ? &pool : nullptr;
+    LinkPredictionTrainer trainer(&g, config);
+    double loss = 0.0;
+    for (int e = 0; e < 2; ++e) {
+      loss += trainer.TrainEpoch().loss;
+    }
+    return std::make_pair(loss, trainer.EvaluateMrr(50, 100));
+  };
+  const auto serial = run(false);
+  const auto parallel = run(true);
+  EXPECT_EQ(parallel.first, serial.first);
+  EXPECT_EQ(parallel.second, serial.second);
+}
+
+TEST(NodeClassification, ParallelComputeDoesNotChangeTrajectory) {
+  Graph g = PapersMini(0.05);
+  ThreadPool pool(8);
+  auto run = [&](bool parallel) {
+    TrainingConfig config = SmallNcConfig();
+    config.parallel_compute = parallel;
+    config.compute_pool = parallel ? &pool : nullptr;
+    config.pipelined = true;
+    config.pipeline_workers = 2;
+    NodeClassificationTrainer trainer(&g, config);
+    std::vector<double> out;
+    for (int e = 0; e < 2; ++e) {
+      out.push_back(trainer.TrainEpoch().loss);
+    }
+    out.push_back(trainer.EvaluateTestAccuracy());
+    return out;
+  };
+  const auto serial = run(false);
+  const auto parallel = run(true);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i], serial[i]) << "epoch " << i;
+  }
+}
+
+TEST(LinkPrediction, GatParallelComputeTrajectoryIdentical) {
+  // GAT has the most intricate backward (per-chunk attention-gradient partials).
+  Graph g = Fb15k237Like(0.04);
+  ThreadPool pool(8);
+  auto run = [&](bool parallel) {
+    TrainingConfig config = SmallLpConfig();
+    config.layer_type = GnnLayerType::kGat;
+    config.parallel_compute = parallel;
+    config.compute_pool = parallel ? &pool : nullptr;
+    LinkPredictionTrainer trainer(&g, config);
+    double loss = 0.0;
+    for (int e = 0; e < 2; ++e) {
+      loss += trainer.TrainEpoch().loss;
+    }
+    return loss;
+  };
+  EXPECT_EQ(run(true), run(false));
 }
 
 TEST(Metrics, RankOfPositive) {

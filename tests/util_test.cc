@@ -2,12 +2,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <set>
 #include <thread>
+#include <utility>
 
 #include "src/pipeline/queue.h"
 #include "src/util/binary_io.h"
+#include "src/util/compute.h"
 #include "src/util/rng.h"
 #include "src/util/threadpool.h"
 #include "src/util/timer.h"
@@ -187,6 +190,62 @@ TEST(ThreadPool, ParallelForFromOwnWorkerRunsInline) {
   EXPECT_EQ(done.load(), 2);
   EXPECT_EQ(total.load(), 10000);
   EXPECT_FALSE(pool.OnWorkerThread());
+}
+
+TEST(ThreadPool, ParallelForChunkGridStableAcrossPoolSizes) {
+  // Chunk boundaries must be a function of (n, min_chunk) only — never the worker
+  // count — so deterministic reductions layered on the grid are pool-size-proof.
+  auto grid_for = [](size_t workers) {
+    ThreadPool pool(workers);
+    std::mutex mu;
+    std::set<std::pair<int64_t, int64_t>> chunks;
+    pool.ParallelFor(1000, [&](int64_t b, int64_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace(b, e);
+    }, /*min_chunk=*/64);
+    return chunks;
+  };
+  const auto one = grid_for(1);  // inline path must walk the same grid
+  const auto two = grid_for(2);
+  const auto eight = grid_for(8);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(two, eight);
+  ASSERT_EQ(two.size(), 16u);  // ceil(1000 / 64)
+  int64_t covered = 0;
+  for (const auto& [b, e] : two) {
+    EXPECT_TRUE(e - b == 64 || e == 1000);  // fixed grain, short tail
+    covered += e - b;
+  }
+  EXPECT_EQ(covered, 1000);
+}
+
+TEST(ComputeContext, ForEachChunkOrderedFoldsInAscendingOrder) {
+  // The combine callback must observe chunks 0,1,2,... regardless of the order the
+  // bodies finished in — the determinism contract of every ordered reduction.
+  for (size_t workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    ComputeContext ctx;
+    ctx.pool = &pool;
+    const int64_t n = 1000, grain = 64;
+    const int64_t chunks = ComputeChunkCount(n, grain);
+    std::vector<int64_t> sums(static_cast<size_t>(chunks), 0);
+    std::vector<int64_t> combine_order;
+    ForEachChunkOrdered(
+        &ctx, n, grain,
+        [&](int64_t chunk, int64_t begin, int64_t end) {
+          int64_t s = 0;
+          for (int64_t i = begin; i < end; ++i) {
+            s += i;
+          }
+          sums[static_cast<size_t>(chunk)] = s;
+        },
+        [&](int64_t chunk) { combine_order.push_back(chunk); });
+    ASSERT_EQ(static_cast<int64_t>(combine_order.size()), chunks);
+    for (int64_t c = 0; c < chunks; ++c) {
+      EXPECT_EQ(combine_order[static_cast<size_t>(c)], c);
+    }
+    EXPECT_EQ(std::accumulate(sums.begin(), sums.end(), int64_t{0}), 999 * 1000 / 2);
+  }
 }
 
 TEST(ThreadPool, SubmitAndWait) {
