@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Warn-only bench-regression gate.
+
+Compares the current bench_pipeline.json against the one from the previous
+successful main-branch run and emits GitHub warning annotations for any
+configuration whose epoch time regressed by more than the threshold. Never
+fails the build: epoch times on shared CI runners are noisy, so a red X would
+cry wolf — the annotation puts the number in front of a human instead.
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def load_runs(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {(r["mode"], r["name"]): r for r in data.get("runs", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--previous", required=True, help="previous main-branch bench_pipeline.json")
+    parser.add_argument("--current", required=True, help="bench_pipeline.json from this run")
+    parser.add_argument("--threshold-pct", type=float, default=15.0)
+    args = parser.parse_args()
+
+    if not os.path.exists(args.previous):
+        print(f"::notice::No previous main-branch bench artifact at {args.previous}; skipping regression check")
+        return 0
+    if not os.path.exists(args.current):
+        print(f"::warning::Current bench output {args.current} missing; bench step likely failed")
+        return 0
+
+    try:
+        prev = load_runs(args.previous)
+        cur = load_runs(args.current)
+    except (json.JSONDecodeError, KeyError, TypeError, AttributeError) as e:
+        print(f"::warning::Could not parse bench JSON ({e}); skipping regression check")
+        return 0
+
+    regressions = 0
+    for key in sorted(set(prev) & set(cur)):
+        p, c = prev[key].get("epoch_sec"), cur[key].get("epoch_sec")
+        if not isinstance(p, (int, float)) or not isinstance(c, (int, float)) or p <= 0:
+            label = f"{key[0]}/{key[1]}"
+            print(f"::notice::{label} has no comparable epoch_sec; skipping")
+            continue
+        delta_pct = 100.0 * (c - p) / p
+        label = f"{key[0]}/{key[1]}"
+        print(f"{label}: {p:.4f}s -> {c:.4f}s ({delta_pct:+.1f}%)")
+        if delta_pct > args.threshold_pct:
+            regressions += 1
+            print(
+                f"::warning title=Bench regression::{label} epoch time regressed "
+                f"{delta_pct:+.1f}% ({p:.4f}s -> {c:.4f}s, threshold {args.threshold_pct:.0f}%)"
+            )
+    if regressions == 0:
+        print(f"No epoch-time regression beyond {args.threshold_pct:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

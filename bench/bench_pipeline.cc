@@ -11,6 +11,7 @@
 // pipelining changes only where time goes, never what is computed.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 
@@ -42,6 +43,47 @@ struct PipelineRun {
   double mrr = 0.0;
 };
 
+// One (mode, configuration) row for the machine-readable output the CI
+// bench-regression gate diffs against the previous main-branch artifact.
+struct JsonRow {
+  std::string mode;  // "memory" or "disk"
+  std::string name;  // "serial", "pipelined_w1", ...
+  PipelineRun run;
+  bool identical = true;  // trajectory matches the serial baseline
+};
+
+std::vector<JsonRow>& JsonRows() {
+  static std::vector<JsonRow> rows;
+  return rows;
+}
+
+void WriteJson(const std::string& path, bool all_identical) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("WARN: could not open %s for writing\n", path.c_str());
+    return;
+  }
+  const std::vector<JsonRow>& rows = JsonRows();
+  std::fprintf(f, "{\n  \"bench\": \"pipeline\",\n  \"epochs\": %d,\n", kEpochs);
+  std::fprintf(f, "  \"all_trajectories_identical\": %s,\n",
+               all_identical ? "true" : "false");
+  std::fprintf(f, "  \"runs\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const JsonRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"name\": \"%s\", \"epoch_sec\": %.6f, "
+                 "\"sample_sec\": %.6f, \"io_stall_sec\": %.6f, \"par_eff\": %.4f, "
+                 "\"loss\": %.8f, \"mrr\": %.8f, \"identical\": %s}%s\n",
+                 r.mode.c_str(), r.name.c_str(), r.run.epoch_seconds,
+                 r.run.sample_seconds, r.run.io_stall_seconds, r.run.compute_efficiency,
+                 r.run.loss, r.run.mrr, r.identical ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 // `shared_pool` != nullptr enables the stage-3 parallel kernels AND routes the
 // pipeline workers onto the same pool — the production default's contention path
 // (compute helpers only enlist threads the sampling workers leave idle).
@@ -55,6 +97,10 @@ PipelineRun Run(const Graph& graph, bool disk, int workers,
   config.parallel_compute = shared_pool != nullptr;
   config.compute_pool = shared_pool;
   config.pipeline_pool = shared_pool;
+  // Pin the worker count: the adaptive split reacts to host timing, and this
+  // bench's epoch times feed the CI regression gate, which needs every row to
+  // measure the same fixed configuration on every host.
+  config.adaptive_pipeline_workers = false;
   if (disk) {
     config.use_disk = true;
     config.num_physical = 8;
@@ -86,6 +132,7 @@ PipelineRun Run(const Graph& graph, bool disk, int workers,
 
 // Returns true when every pipelined configuration reproduced the serial trajectory.
 bool RunMode(const Graph& graph, bool disk) {
+  const char* mode = disk ? "disk" : "memory";
   std::printf("\n%-18s %12s %12s %12s %8s %10s %8s\n",
               disk ? "disk" : "in-memory", "epoch_sec", "sample_sec", "io_stall_sec",
               "par_eff", "loss", "mrr");
@@ -93,6 +140,7 @@ bool RunMode(const Graph& graph, bool disk) {
   std::printf("%-18s %12.4f %12.4f %12.4f %8s %10.5f %8.4f\n", "serial",
               serial.epoch_seconds, serial.sample_seconds, serial.io_stall_seconds,
               "-", serial.loss, serial.mrr);
+  JsonRows().push_back({mode, "serial", serial, true});
   bool all_identical = true;
   auto check = [&](const char* name, const PipelineRun& run) {
     const bool identical = run.loss == serial.loss && run.mrr == serial.mrr;
@@ -101,13 +149,16 @@ bool RunMode(const Graph& graph, bool disk) {
                 100.0 * (run.epoch_seconds - serial.epoch_seconds) /
                     serial.epoch_seconds,
                 identical ? "IDENTICAL" : "DIVERGED (BUG)");
+    return identical;
   };
   for (int workers : {1, 4}) {
     const PipelineRun run = Run(graph, disk, workers);
     std::printf("pipelined(w=%d)     %12.4f %12.4f %12.4f %8s %10.5f %8.4f\n", workers,
                 run.epoch_seconds, run.sample_seconds, run.io_stall_seconds, "-",
                 run.loss, run.mrr);
-    check("pipelined", run);
+    const bool identical = check("pipelined", run);
+    JsonRows().push_back(
+        {mode, "pipelined_w" + std::to_string(workers), run, identical});
   }
   // Stage-3 parallel compute on top of the w=4 pipeline, with ONE 8-worker pool
   // genuinely shared by sampling workers and compute chunks (the production
@@ -119,14 +170,22 @@ bool RunMode(const Graph& graph, bool disk) {
     std::printf("pipelined+par(t=8) %12.4f %12.4f %12.4f %8.2f %10.5f %8.4f\n",
                 run.epoch_seconds, run.sample_seconds, run.io_stall_seconds,
                 run.compute_efficiency, run.loss, run.mrr);
-    check("pipelined+par", run);
+    const bool identical = check("pipelined+par", run);
+    JsonRows().push_back({mode, "pipelined_par_t8", run, identical});
   }
   return all_identical;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    }
+  }
   PrintHeader("Pipeline: serial vs pipelined batch construction + partition prefetch");
   Graph graph = Fb15k237Like(0.3);
   std::printf("FB15k-237-like scale=0.3: %lld nodes, %lld edges, %d epochs\n",
@@ -134,6 +193,9 @@ int main() {
               static_cast<long long>(graph.num_edges()), kEpochs);
   bool ok = RunMode(graph, /*disk=*/false);
   ok = RunMode(graph, /*disk=*/true) && ok;
+  if (!json_path.empty()) {
+    WriteJson(json_path, ok);
+  }
   if (!ok) {
     std::printf("\nFAIL: a pipelined configuration diverged from the serial run\n");
   }

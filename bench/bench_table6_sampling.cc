@@ -24,7 +24,7 @@ struct Measurement {
   bool oom = false;
 };
 
-Measurement MeasureDense(const Graph& graph, const NeighborIndex& index, int depth,
+Measurement MeasureDense(const Graph& /*graph*/, const NeighborIndex& index, int depth,
                          const std::vector<int64_t>& targets) {
   std::vector<int64_t> fanouts(static_cast<size_t>(depth), 10);
   DenseSampler sampler(&index, fanouts, EdgeDirection::kBoth, 3);
@@ -53,7 +53,7 @@ Measurement MeasureDense(const Graph& graph, const NeighborIndex& index, int dep
   return m;
 }
 
-Measurement MeasureLayerwise(const Graph& graph, const NeighborIndex& index, int depth,
+Measurement MeasureLayerwise(const Graph& /*graph*/, const NeighborIndex& index, int depth,
                              const std::vector<int64_t>& targets) {
   std::vector<int64_t> fanouts(static_cast<size_t>(depth), 10);
   LayerwiseSampler sampler(&index, fanouts, EdgeDirection::kBoth, 3);

@@ -46,6 +46,17 @@ struct TrainingConfig {
   // and reduction order depend only on tensor shapes (src/util/compute.h), so
   // serial and N-thread runs are bitwise-identical.
   bool parallel_compute = true;
+  // Adaptive stage-1/stage-3 pool split: while an epoch's
+  // compute_parallel_efficiency sits below adaptive_par_eff_low (compute chunks
+  // starved of pool threads by epoch-long sampling workers), the next epoch runs
+  // one fewer sampling worker, down to adaptive_min_workers; while it sits above
+  // adaptive_par_eff_high, workers grow back toward pipeline_workers. Worker count
+  // never affects results (per-batch seeds + in-order consumption), so the
+  // rebalance preserves bitwise-identical trajectories.
+  bool adaptive_pipeline_workers = true;
+  double adaptive_par_eff_low = 0.40;
+  double adaptive_par_eff_high = 0.85;
+  int adaptive_min_workers = 1;
   // Pool overrides for tests/benches; nullptr = ThreadPool::Global(). Pointing both
   // at one pool exercises the production default of sampling workers and compute
   // chunks sharing the global pool.
@@ -68,15 +79,30 @@ struct TrainingConfig {
   int64_t num_layers() const { return static_cast<int64_t>(fanouts.size()); }
 
   // Pipeline settings for one epoch run, validated (both trainers drive their
-  // TrainingPipeline through this so the wiring cannot diverge).
-  PipelineOptions MakePipelineOptions() const {
+  // TrainingPipeline through this so the wiring cannot diverge). `worker_override`
+  // (>= 0) substitutes the adaptive split's current worker count when pipelined.
+  PipelineOptions MakePipelineOptions(int worker_override = -1) const {
     MG_CHECK_MSG(pipeline_queue_capacity > 0, "pipeline_queue_capacity must be > 0");
     MG_CHECK_MSG(pipeline_workers >= 0, "pipeline_workers must be >= 0");
     PipelineOptions options;
     options.workers = pipelined ? pipeline_workers : 0;
+    if (pipelined && worker_override >= 0) {
+      options.workers = worker_override;
+    }
     options.queue_capacity = static_cast<size_t>(pipeline_queue_capacity);
     options.pool = pipeline_pool;
     return options;
+  }
+
+  // Adaptive worker controller for one trainer (both trainers build theirs through
+  // this so the thresholds and gating cannot diverge). Adapting is pointless
+  // without the shared-pool contention it rebalances, so it requires both the
+  // pipeline and stage-3 parallel compute to be on.
+  AdaptiveWorkerSplit MakeWorkerSplit() const {
+    return AdaptiveWorkerSplit(
+        adaptive_pipeline_workers && pipelined && parallel_compute,
+        pipelined ? pipeline_workers : 0, adaptive_min_workers, adaptive_par_eff_low,
+        adaptive_par_eff_high);
   }
 
   // Stage-3 compute handle for one trainer, recording into `stats` (both trainers
@@ -106,6 +132,9 @@ struct EpochStats {
   double io_seconds = 0.0;        // total modeled IO
   double io_stall_seconds = 0.0;  // IO not hidden by prefetch overlap
   double pipeline_stall_seconds = 0.0;  // compute blocked waiting for the next batch
+  // Stage-1 sampling workers this epoch actually ran with (after the adaptive
+  // stage-1/stage-3 split; equals the configured count when adapting is off).
+  int pipeline_workers = 0;
   int64_t num_batches = 0;
   int64_t num_examples = 0;
   int64_t num_partition_sets = 0;

@@ -31,7 +31,8 @@ LinkPredictionTrainer::LinkPredictionTrainer(const Graph* graph, TrainingConfig 
     : graph_(graph),
       config_(std::move(config)),
       rng_(config_.seed),
-      compute_(config_.MakeComputeContext(&compute_stats_)) {
+      compute_(config_.MakeComputeContext(&compute_stats_)),
+      worker_split_(config_.MakeWorkerSplit()) {
   MG_CHECK(!config_.dims.empty());
   MG_CHECK(static_cast<int64_t>(config_.dims.size()) == config_.num_layers() + 1);
   const int64_t emb_dim = config_.dims.front();
@@ -210,7 +211,9 @@ void LinkPredictionTrainer::RunBatches(const std::vector<int64_t>& edge_ids,
   }
   const uint64_t run_seed = rng_.Next();
 
-  TrainingPipeline pipeline(config_.MakePipelineOptions());
+  // The adaptive split's current worker count (== pipeline_workers when adapting
+  // is off) — worker count never affects the batch stream, only where time goes.
+  TrainingPipeline pipeline(config_.MakePipelineOptions(worker_split_.workers()));
   const PipelineStats ps = pipeline.RunBatches<PreparedBatch>(
       total, config_.batch_size,
       [&](int64_t begin, int64_t end, int64_t b) {
@@ -238,6 +241,8 @@ EpochStats LinkPredictionTrainer::TrainEpochInMemory() {
   stats.compute_seconds = timer.Seconds();
   stats.wall_seconds = stats.compute_seconds;
   stats.compute_parallel_efficiency = compute_stats_.ParallelEfficiency();
+  stats.pipeline_workers = worker_split_.workers();
+  worker_split_.Observe(stats.compute_parallel_efficiency);
   stats.num_partition_sets = 1;
   if (stats.num_batches > 0) {
     stats.loss /= static_cast<double>(stats.num_batches);
@@ -300,6 +305,8 @@ EpochStats LinkPredictionTrainer::TrainEpochDisk() {
   stats.io_stall_seconds += flush_io + leftover_bg;
   stats.wall_seconds = stats.compute_seconds + stats.io_stall_seconds;
   stats.compute_parallel_efficiency = compute_stats_.ParallelEfficiency();
+  stats.pipeline_workers = worker_split_.workers();
+  worker_split_.Observe(stats.compute_parallel_efficiency);
   if (stats.num_batches > 0) {
     stats.loss /= static_cast<double>(stats.num_batches);
   }

@@ -83,6 +83,9 @@ class LinkPredictionTrainer {
   // plus the per-epoch scaling counters behind EpochStats.compute_parallel_efficiency.
   ComputeStats compute_stats_;
   ComputeContext compute_;
+  // Adaptive stage-1/stage-3 pool split: observes each epoch's parallel efficiency
+  // and rebalances sampling workers vs compute chunks (see training_pipeline.h).
+  AdaptiveWorkerSplit worker_split_;
 
   std::unique_ptr<GnnEncoder> encoder_;        // DENSE path (may be null: decoder-only)
   std::unique_ptr<BlockEncoder> block_encoder_;  // baseline path

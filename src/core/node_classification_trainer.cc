@@ -24,7 +24,8 @@ NodeClassificationTrainer::NodeClassificationTrainer(const Graph* graph,
     : graph_(graph),
       config_(std::move(config)),
       rng_(config_.seed),
-      compute_(config_.MakeComputeContext(&compute_stats_)) {
+      compute_(config_.MakeComputeContext(&compute_stats_)),
+      worker_split_(config_.MakeWorkerSplit()) {
   MG_CHECK(graph_->has_features());
   MG_CHECK(!graph_->labels().empty() && graph_->num_classes() > 0);
   MG_CHECK(config_.num_layers() >= 1);
@@ -151,7 +152,9 @@ void NodeClassificationTrainer::RunBatches(const std::vector<int64_t>& nodes,
   }
   const uint64_t run_seed = rng_.Next();
 
-  TrainingPipeline pipeline(config_.MakePipelineOptions());
+  // The adaptive split's current worker count (== pipeline_workers when adapting
+  // is off) — worker count never affects the batch stream, only where time goes.
+  TrainingPipeline pipeline(config_.MakePipelineOptions(worker_split_.workers()));
   const PipelineStats ps = pipeline.RunBatches<PreparedBatch>(
       total, config_.batch_size,
       [&](int64_t begin, int64_t end, int64_t b) {
@@ -224,6 +227,8 @@ EpochStats NodeClassificationTrainer::TrainEpoch() {
     stats.wall_seconds = stats.compute_seconds + stats.io_stall_seconds;
   }
   stats.compute_parallel_efficiency = compute_stats_.ParallelEfficiency();
+  stats.pipeline_workers = worker_split_.workers();
+  worker_split_.Observe(stats.compute_parallel_efficiency);
   if (stats.num_batches > 0) {
     stats.loss /= static_cast<double>(stats.num_batches);
   }

@@ -62,6 +62,8 @@ class NodeClassificationTrainer {
   // Stage-3 parallel compute (see src/util/compute.h).
   ComputeStats compute_stats_;
   ComputeContext compute_;
+  // Adaptive stage-1/stage-3 pool split (see training_pipeline.h).
+  AdaptiveWorkerSplit worker_split_;
 
   std::unique_ptr<GnnEncoder> encoder_;
   std::unique_ptr<BlockEncoder> block_encoder_;

@@ -5,6 +5,7 @@
 
 #include "src/tensor/ops.h"
 #include "src/util/check.h"
+#include "src/util/slot_remap.h"
 
 namespace mariusgnn {
 
@@ -14,6 +15,13 @@ namespace {
 inline float* GradRow(Tensor* t, const int32_t* slot_of, int64_t row) {
   return t->RowPtr(slot_of == nullptr ? row : slot_of[static_cast<size_t>(row)]);
 }
+
+// Per-thread repr-row and relation remaps for the chunked loss kernel (see
+// slot_remap.h): bumping a generation replaces the O(num_rows) sentinel fill a
+// fresh remap would pay in every 128-edge chunk. SideLossChunk only dereferences
+// rows the claim pass touched, so stale entries are never read.
+thread_local SlotRemap decoder_row_remap;
+thread_local SlotRemap decoder_rel_remap;
 
 }  // namespace
 
@@ -118,34 +126,26 @@ float Decoder::SideLossAndGrad(const Tensor& reprs, const std::vector<int64_t>& 
   ForEachChunkOrdered(
       compute_, batch, kComputeGrainEdges,
       [&](int64_t chunk, int64_t begin, int64_t end) {
-        std::vector<int32_t> slot_of(static_cast<size_t>(d_reprs->rows()), -1);
+        SlotRemap& row_remap = decoder_row_remap;
+        row_remap.NextGeneration(d_reprs->rows());
         std::vector<int64_t> touched;
-        auto claim = [&](int64_t row) {
-          if (slot_of[static_cast<size_t>(row)] < 0) {
-            slot_of[static_cast<size_t>(row)] = static_cast<int32_t>(touched.size());
-            touched.push_back(row);
-          }
-        };
         for (int64_t row : neg_rows) {
-          claim(row);
+          row_remap.Claim(row, &touched);
         }
-        std::vector<int32_t> rel_slot_of(static_cast<size_t>(rel_.grad.rows()), -1);
+        SlotRemap& rel_remap = decoder_rel_remap;
+        rel_remap.NextGeneration(rel_.grad.rows());
         std::vector<int64_t> rels_touched;
         for (int64_t i = begin; i < end; ++i) {
-          claim(src_rows[static_cast<size_t>(i)]);
-          claim(dst_rows[static_cast<size_t>(i)]);
-          const int32_t rel = rels[static_cast<size_t>(i)];
-          if (rel_slot_of[static_cast<size_t>(rel)] < 0) {
-            rel_slot_of[static_cast<size_t>(rel)] =
-                static_cast<int32_t>(rels_touched.size());
-            rels_touched.push_back(rel);
-          }
+          row_remap.Claim(src_rows[static_cast<size_t>(i)], &touched);
+          row_remap.Claim(dst_rows[static_cast<size_t>(i)], &touched);
+          rel_remap.Claim(rels[static_cast<size_t>(i)], &rels_touched);
         }
         Tensor d_partial(static_cast<int64_t>(touched.size()), d_reprs->cols());
         Tensor rel_partial(static_cast<int64_t>(rels_touched.size()), rel_.grad.cols());
         loss_partials[static_cast<size_t>(chunk)] = SideLossChunk(
             reprs, src_rows, dst_rows, rels, neg_rows, corrupt_src, inv_b, begin, end,
-            &d_partial, &rel_partial, slot_of.data(), rel_slot_of.data());
+            &d_partial, &rel_partial, row_remap.slot_of.data(),
+            rel_remap.slot_of.data());
         d_partials[static_cast<size_t>(chunk)] = std::move(d_partial);
         touched_rows[static_cast<size_t>(chunk)] = std::move(touched);
         rel_partials[static_cast<size_t>(chunk)] = std::move(rel_partial);

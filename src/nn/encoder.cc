@@ -6,6 +6,7 @@
 #include "src/nn/gcn.h"
 #include "src/nn/graphsage.h"
 #include "src/util/check.h"
+#include "src/util/slot_remap.h"
 
 namespace mariusgnn {
 
@@ -79,32 +80,118 @@ std::vector<Parameter*> GnnEncoder::Parameters() {
 
 namespace {
 
+// Per-thread dst -> sparse-histogram-slot remap for the BlockToView counting sort
+// (see slot_remap.h); rebuilt identically in both passes because claims follow the
+// same edge order.
+thread_local SlotRemap block_sort_remap;
+
 // Converts a bipartite block to segment (CSR-by-dst) form: the per-layer format
-// conversion baseline systems perform before aggregation.
-LayerView BlockToView(const LayerBlock& block, const Tensor& h) {
+// conversion baseline systems perform before aggregation. The counting sort runs
+// as a two-pass parallel sort over fixed edge chunks: pass 1 builds per-chunk
+// histograms, a serial prefix turns them into per-chunk cursors, and pass 2 places
+// edges through those cursors. Placement positions are exact integers — chunk c's
+// cursor for dst d starts where chunks < c left off — so the output is identical
+// to the serial single-pass sort for a null context and any pool size.
+LayerView BlockToView(const LayerBlock& block, const Tensor& h,
+                      const ComputeContext* cc) {
   LayerView view;
   view.h = &h;
   const int64_t num_dst = static_cast<int64_t>(block.dst_nodes.size());
   view.self_rows.resize(static_cast<size_t>(num_dst));
   std::iota(view.self_rows.begin(), view.self_rows.end(), 0);
 
-  // Counting sort of edges by dst.
+  const int64_t num_edges = static_cast<int64_t>(block.edge_dst.size());
   std::vector<int64_t> counts(static_cast<size_t>(num_dst) + 1, 0);
-  for (int64_t d : block.edge_dst) {
-    ++counts[static_cast<size_t>(d) + 1];
+  view.nbr_rows.resize(static_cast<size_t>(num_edges));
+  view.nbr_rels.resize(static_cast<size_t>(num_edges));
+  const int64_t chunks = ComputeChunkCount(num_edges, kComputeGrainSortEdges);
+  // Placement positions are exact integers, so the single-pass and two-pass sorts
+  // are bitwise identical by construction — unlike the float kernels, branching on
+  // the context here cannot break the determinism contract. Take the cheaper
+  // single-pass sort whenever there is no pool to fan the two passes out to.
+  if (cc == nullptr || cc->pool == nullptr || chunks <= 1) {
+    for (int64_t d : block.edge_dst) {
+      ++counts[static_cast<size_t>(d) + 1];
+    }
+    for (size_t i = 1; i < counts.size(); ++i) {
+      counts[i] += counts[i - 1];
+    }
+    view.seg_offsets = counts;
+    std::vector<int64_t> cursor(counts.begin(), counts.end() - 1);
+    for (int64_t e = 0; e < num_edges; ++e) {
+      const int64_t pos = cursor[static_cast<size_t>(block.edge_dst[static_cast<size_t>(e)])]++;
+      view.nbr_rows[static_cast<size_t>(pos)] = block.edge_src[static_cast<size_t>(e)];
+      view.nbr_rels[static_cast<size_t>(pos)] = block.edge_rel[static_cast<size_t>(e)];
+    }
+    return view;
+  }
+
+  // Pass 1: per-chunk SPARSE dst histograms — touched dsts in first-occurrence
+  // order plus parallel counts (disjoint writes — each chunk owns its vectors).
+  // Sparse rather than num_dst-wide so the serial combine below costs
+  // O(num_dst + total touched) instead of O(chunks x num_dst), which would exceed
+  // the old serial sort once blocks have more destinations than one chunk's edges.
+  std::vector<std::vector<int64_t>> chunk_dsts(static_cast<size_t>(chunks));
+  std::vector<std::vector<int64_t>> chunk_counts(static_cast<size_t>(chunks));
+  ForEachChunk(cc, num_edges, kComputeGrainSortEdges,
+               [&](int64_t chunk, int64_t begin, int64_t end) {
+                 SlotRemap& remap = block_sort_remap;
+                 remap.NextGeneration(num_dst);
+                 std::vector<int64_t>& dsts = chunk_dsts[static_cast<size_t>(chunk)];
+                 std::vector<int64_t>& local = chunk_counts[static_cast<size_t>(chunk)];
+                 for (int64_t e = begin; e < end; ++e) {
+                   const int32_t slot =
+                       remap.Claim(block.edge_dst[static_cast<size_t>(e)], &dsts);
+                   if (static_cast<size_t>(slot) == local.size()) {
+                     local.push_back(0);
+                   }
+                   ++local[static_cast<size_t>(slot)];
+                 }
+               });
+  // Serial combine: segment offsets, then per-chunk starting cursors — for dst d,
+  // chunk c starts at offsets[d] plus everything chunks < c placed there.
+  for (int64_t c = 0; c < chunks; ++c) {
+    const std::vector<int64_t>& dsts = chunk_dsts[static_cast<size_t>(c)];
+    const std::vector<int64_t>& local = chunk_counts[static_cast<size_t>(c)];
+    for (size_t k = 0; k < dsts.size(); ++k) {
+      counts[static_cast<size_t>(dsts[k]) + 1] += local[k];
+    }
   }
   for (size_t i = 1; i < counts.size(); ++i) {
     counts[i] += counts[i - 1];
   }
   view.seg_offsets = counts;
-  view.nbr_rows.resize(block.edge_dst.size());
-  view.nbr_rels.resize(block.edge_dst.size());
-  std::vector<int64_t> cursor(counts.begin(), counts.end() - 1);
-  for (size_t e = 0; e < block.edge_dst.size(); ++e) {
-    const int64_t pos = cursor[static_cast<size_t>(block.edge_dst[e])]++;
-    view.nbr_rows[static_cast<size_t>(pos)] = block.edge_src[e];
-    view.nbr_rels[static_cast<size_t>(pos)] = block.edge_rel[e];
+  // Rewrite the sparse counts into per-chunk start cursors via one running
+  // position array (ascending chunk order = serial placement order).
+  std::vector<int64_t> pos(counts.begin(), counts.end() - 1);
+  for (int64_t c = 0; c < chunks; ++c) {
+    const std::vector<int64_t>& dsts = chunk_dsts[static_cast<size_t>(c)];
+    std::vector<int64_t>& local = chunk_counts[static_cast<size_t>(c)];
+    for (size_t k = 0; k < dsts.size(); ++k) {
+      const int64_t count = local[k];
+      local[k] = pos[static_cast<size_t>(dsts[k])];
+      pos[static_cast<size_t>(dsts[k])] += count;
+    }
   }
+  // Pass 2: placement. Re-claiming in the same edge order reproduces pass 1's
+  // slot assignment exactly, so each chunk advances its private sparse cursors
+  // over disjoint output ranges.
+  ForEachChunk(cc, num_edges, kComputeGrainSortEdges,
+               [&](int64_t chunk, int64_t begin, int64_t end) {
+                 SlotRemap& remap = block_sort_remap;
+                 remap.NextGeneration(num_dst);
+                 std::vector<int64_t> dsts;
+                 std::vector<int64_t>& cursor = chunk_counts[static_cast<size_t>(chunk)];
+                 for (int64_t e = begin; e < end; ++e) {
+                   const int32_t slot =
+                       remap.Claim(block.edge_dst[static_cast<size_t>(e)], &dsts);
+                   const int64_t pos_e = cursor[static_cast<size_t>(slot)]++;
+                   view.nbr_rows[static_cast<size_t>(pos_e)] =
+                       block.edge_src[static_cast<size_t>(e)];
+                   view.nbr_rels[static_cast<size_t>(pos_e)] =
+                       block.edge_rel[static_cast<size_t>(e)];
+                 }
+               });
   return view;
 }
 
@@ -118,7 +205,7 @@ Tensor BlockEncoder::Forward(const LayerwiseSample& sample, const Tensor& h0) {
 
   Tensor h = h0;
   for (size_t j = 0; j < layers_.size(); ++j) {
-    LayerView view = BlockToView(sample.blocks[j], h);
+    LayerView view = BlockToView(sample.blocks[j], h, compute_);
     view.compute = compute_;
     Tensor out = layers_[j]->Forward(view, &contexts_[j]);
     h = std::move(out);

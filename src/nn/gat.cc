@@ -180,12 +180,12 @@ Tensor GatLayer::Backward(LayerContext& ctx, const Tensor& grad_out) {
 
   // Collect dz over all input rows, then push through W.
   Tensor dz(c.h.rows(), out_dim_);
-  ScatterAddRows(dz, c.self_rows, dz_self);
-  ScatterAddRows(dz, c.nbr_rows, dz_nbr);
+  ScatterAddRows(dz, c.self_rows, dz_self, cc);
+  ScatterAddRows(dz, c.nbr_rows, dz_nbr, cc);
 
   AddInPlace(w_.grad, MatmulTransA(c.h, dz, cc), cc);
   Tensor dh = MatmulTransB(dz, w_.value, cc);
-  ScatterAddRows(dh, c.self_rows, dself_in);
+  ScatterAddRows(dh, c.self_rows, dself_in, cc);
   return dh;
 }
 

@@ -84,8 +84,8 @@ Tensor GcnLayer::Backward(LayerContext& ctx, const Tensor& grad_out) {
   Tensor dnbr_in = SegmentSumBackward(dagg, c.seg_offsets, cc);
 
   Tensor dh(c.num_inputs, in_dim_);
-  ScatterAddRows(dh, c.self_rows, dagg);
-  ScatterAddRows(dh, c.nbr_rows, dnbr_in);
+  ScatterAddRows(dh, c.self_rows, dagg, cc);
+  ScatterAddRows(dh, c.nbr_rows, dnbr_in, cc);
   return dh;
 }
 

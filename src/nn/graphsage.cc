@@ -66,8 +66,8 @@ Tensor GraphSageLayer::Backward(LayerContext& ctx, const Tensor& grad_out) {
   Tensor dnbr_in = SegmentMeanBackward(dnbr_mean, c.seg_offsets, cc);
 
   Tensor dh(c.num_inputs, in_dim_);
-  ScatterAddRows(dh, c.self_rows, dself);
-  ScatterAddRows(dh, c.nbr_rows, dnbr_in);
+  ScatterAddRows(dh, c.self_rows, dself, cc);
+  ScatterAddRows(dh, c.nbr_rows, dnbr_in, cc);
   return dh;
 }
 

@@ -1,5 +1,6 @@
 #include "src/pipeline/training_pipeline.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <map>
@@ -10,6 +11,30 @@
 #include "src/util/timer.h"
 
 namespace mariusgnn {
+
+AdaptiveWorkerSplit::AdaptiveWorkerSplit(bool enabled, int max_workers,
+                                         int min_workers, double low_threshold,
+                                         double high_threshold)
+    : enabled_(enabled && max_workers > 0),
+      max_workers_(std::max(0, max_workers)),
+      min_workers_(std::min(std::max(1, min_workers), std::max(1, max_workers_))),
+      low_threshold_(low_threshold),
+      high_threshold_(high_threshold),
+      workers_(max_workers_) {
+  MG_CHECK(low_threshold_ <= high_threshold_);
+}
+
+int AdaptiveWorkerSplit::Observe(double compute_parallel_efficiency) {
+  if (!enabled_) {
+    return workers_;
+  }
+  if (compute_parallel_efficiency < low_threshold_ && workers_ > min_workers_) {
+    --workers_;
+  } else if (compute_parallel_efficiency > high_threshold_ && workers_ < max_workers_) {
+    ++workers_;
+  }
+  return workers_;
+}
 
 TrainingPipeline::TrainingPipeline(PipelineOptions options)
     : options_(std::move(options)) {

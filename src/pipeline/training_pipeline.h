@@ -52,6 +52,43 @@ struct PipelineStats {
   int64_t num_items = 0;
 };
 
+// Adaptive stage-1/stage-3 pool split (the ROADMAP's "pipeline-vs-compute pool
+// contention" item). Sampling workers and compute chunks share one ThreadPool;
+// when the stage-3 kernels report low parallel efficiency it is usually because
+// epoch-long sampling workers occupy the pool and the compute helpers cannot find
+// idle threads. Shrinking the sampling-worker count hands that capacity back to
+// compute — the right trade whenever compute (not sampling) is the bottleneck,
+// because the queue is full and extra producers only wait on the window gate.
+//
+// The controller moves one worker per observation with hysteresis: shrink while
+// efficiency < low_threshold, grow back while > high_threshold, hold in between.
+// It only ever changes the *worker count*, which the pipeline's determinism
+// contract guarantees can never change results (per-batch seeds + in-order
+// consumption), so the adaptive split preserves bitwise-identical loss/MRR
+// trajectories by construction even though its decisions are timing-driven.
+class AdaptiveWorkerSplit {
+ public:
+  // Workers stay in [min_workers, max_workers] and start at max_workers. Disabled
+  // (or max_workers == 0, the non-pipelined mode) pins workers at max_workers.
+  AdaptiveWorkerSplit(bool enabled, int max_workers, int min_workers,
+                      double low_threshold, double high_threshold);
+
+  // Sampling workers to use for the next pipeline run.
+  int workers() const { return workers_; }
+
+  // Feeds one epoch's ComputeStats::ParallelEfficiency() and returns the updated
+  // worker count.
+  int Observe(double compute_parallel_efficiency);
+
+ private:
+  bool enabled_;
+  int max_workers_;
+  int min_workers_;
+  double low_threshold_;
+  double high_threshold_;
+  int workers_;
+};
+
 class TrainingPipeline {
  public:
   explicit TrainingPipeline(PipelineOptions options = PipelineOptions());

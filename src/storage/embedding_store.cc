@@ -64,6 +64,9 @@ void BufferedEmbeddingStore::ApplyGradients(const std::vector<int64_t>& nodes,
   }
   MG_CHECK(static_cast<int64_t>(nodes.size()) == grads.rows());
   const int64_t d = buffer_->dim();
+  // Dirty marking rides inside the parallel chunks: the flags are per-slot relaxed
+  // atomic bytes (see PartitionBuffer::MarkDirty), so worker threads can mark
+  // while they update rows instead of a second serial pass over the node list.
   ForEachChunk(compute_, static_cast<int64_t>(nodes.size()), kComputeGrainRows,
                [&](int64_t, int64_t begin, int64_t end) {
                  for (int64_t i = begin; i < end; ++i) {
@@ -74,13 +77,9 @@ void BufferedEmbeddingStore::ApplyGradients(const std::vector<int64_t>& nodes,
                      acc[k] += g[k] * g[k];
                      row[k] -= lr * g[k] / (std::sqrt(acc[k]) + kAdagradEps);
                    }
+                   buffer_->MarkDirty(nodes[static_cast<size_t>(i)]);
                  }
                });
-  // Dirty flags live in a bit-packed vector<bool>; mark them from the calling
-  // thread only, after the parallel row updates.
-  for (int64_t node : nodes) {
-    buffer_->MarkDirty(node);
-  }
 }
 
 }  // namespace mariusgnn

@@ -28,7 +28,9 @@ class EmbeddingStore {
   // Stage-3 parallel-compute handle. Gather and ApplyGradients shard the node list
   // into fixed chunks; `nodes` must not contain duplicates (guaranteed by the batch
   // builders, which dedup targets), so chunks touch disjoint rows and any pool size
-  // produces identical bits (null = serial).
+  // produces identical bits (null = serial). The buffered store also marks dirty
+  // from inside the chunks — PartitionBuffer's per-slot atomic byte flags make that
+  // safe from worker threads.
   void set_compute(const ComputeContext* compute) { compute_ = compute; }
 
   virtual int64_t dim() const = 0;

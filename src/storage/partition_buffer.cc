@@ -27,7 +27,10 @@ PartitionBuffer::PartitionBuffer(const Partitioning* partitioning, int64_t dim,
   }
   partition_in_slot_.assign(static_cast<size_t>(capacity_), -1);
   slot_of_partition_.assign(static_cast<size_t>(p), -1);
-  dirty_.assign(static_cast<size_t>(capacity_), false);
+  dirty_ = std::make_unique<std::atomic<uint8_t>[]>(static_cast<size_t>(capacity_));
+  for (int32_t slot = 0; slot < capacity_; ++slot) {
+    dirty_[static_cast<size_t>(slot)].store(0, std::memory_order_relaxed);
+  }
 
   // Seed the on-disk layout: for each partition, value rows then (optional) state rows.
   const uint64_t streams = learnable_ ? 2 : 1;
@@ -140,7 +143,7 @@ double PartitionBuffer::LoadIntoSlot(int32_t partition, int32_t slot) {
       RunIo([&] { ReadPartitionFromDisk(partition, vdst, sdst); });
   partition_in_slot_[static_cast<size_t>(slot)] = partition;
   slot_of_partition_[static_cast<size_t>(partition)] = slot;
-  dirty_[static_cast<size_t>(slot)] = false;
+  dirty_[static_cast<size_t>(slot)].store(0, std::memory_order_relaxed);
   return io;
 }
 
@@ -156,7 +159,7 @@ void PartitionBuffer::InstallIntoSlot(int32_t partition, int32_t slot,
   }
   partition_in_slot_[static_cast<size_t>(slot)] = partition;
   slot_of_partition_[static_cast<size_t>(partition)] = slot;
-  dirty_[static_cast<size_t>(slot)] = false;
+  dirty_[static_cast<size_t>(slot)].store(0, std::memory_order_relaxed);
 }
 
 double PartitionBuffer::EvictSlot(int32_t slot, bool synchronous) {
@@ -165,7 +168,7 @@ double PartitionBuffer::EvictSlot(int32_t slot, bool synchronous) {
     return 0.0;
   }
   double io = 0.0;
-  if (dirty_[static_cast<size_t>(slot)]) {
+  if (dirty_[static_cast<size_t>(slot)].load(std::memory_order_relaxed) != 0) {
     const float* vsrc = &values_[static_cast<size_t>(slot) * max_partition_rows_ * dim_];
     const float* ssrc =
         learnable_ ? &state_[static_cast<size_t>(slot) * max_partition_rows_ * dim_]
@@ -195,7 +198,7 @@ double PartitionBuffer::EvictSlot(int32_t slot, bool synchronous) {
   }
   slot_of_partition_[static_cast<size_t>(partition)] = -1;
   partition_in_slot_[static_cast<size_t>(slot)] = -1;
-  dirty_[static_cast<size_t>(slot)] = false;
+  dirty_[static_cast<size_t>(slot)].store(0, std::memory_order_relaxed);
   return io;
 }
 

@@ -19,6 +19,7 @@
 #ifndef SRC_STORAGE_PARTITION_BUFFER_H_
 #define SRC_STORAGE_PARTITION_BUFFER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -84,11 +85,17 @@ class PartitionBuffer {
   const float* ValueRow(int64_t node) const;
   float* StateRow(int64_t node);  // Adagrad accumulator row (learnable only)
 
+  // Safe to call concurrently from compute worker threads (the sharded sparse
+  // Adagrad marks dirty inside its parallel chunks): the per-slot flags are whole
+  // bytes written with relaxed atomic stores — unlike the bit-packed vector<bool>
+  // this replaces, two threads marking different slots never touch the same byte,
+  // and marking the same slot twice is an idempotent store. The parallel region's
+  // join (ForEachChunk) publishes the flags before any eviction reads them.
   void MarkDirty(int64_t node) {
     const int32_t part = partitioning_->PartitionOf(node);
     const int32_t slot = slot_of_partition_[static_cast<size_t>(part)];
     MG_CHECK_MSG(slot >= 0, "MarkDirty: node's partition is not resident");
-    dirty_[static_cast<size_t>(slot)] = true;
+    dirty_[static_cast<size_t>(slot)].store(1, std::memory_order_relaxed);
   }
 
   // Nodes of all resident partitions (used to bound negative sampling to in-memory
@@ -143,7 +150,10 @@ class PartitionBuffer {
   std::vector<float> state_;
   std::vector<int32_t> partition_in_slot_;  // -1 = free
   std::vector<int32_t> slot_of_partition_;  // -1 = not resident
-  std::vector<bool> dirty_;
+  // Per-slot dirty flags, one byte per slot so worker threads can mark without
+  // data races (see MarkDirty). Owned array rather than vector<atomic> because
+  // atomics are neither copyable nor movable element-wise.
+  std::unique_ptr<std::atomic<uint8_t>[]> dirty_;
 
   // Async IO state (inert when async_io_ is false). The single-thread pool is the
   // FIFO IO queue: Submit preserves order, Wait drains, destruction drains + joins.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/util/slot_remap.h"
+
 namespace mariusgnn {
 
 namespace {
@@ -22,6 +24,10 @@ void ForEachRowChunk(const ComputeContext* ctx, int64_t rows, const Fn& fn) {
   ForEachChunk(ctx, rows, kComputeGrainRows,
                [&](int64_t, int64_t begin, int64_t end) { fn(begin, end); });
 }
+
+// Per-thread dst-row -> compact-slot remap for ScatterAddRows (see slot_remap.h
+// for the generation-stamp scheme and why thread_local reuse is sound).
+thread_local SlotRemap scatter_remap;
 
 }  // namespace
 
@@ -193,17 +199,97 @@ Tensor IndexSelect(const Tensor& t, const std::vector<int64_t>& indices,
   return out;
 }
 
-void ScatterAddRows(Tensor& dst, const std::vector<int64_t>& indices, const Tensor& src) {
+void ScatterAddRows(Tensor& dst, const std::vector<int64_t>& indices, const Tensor& src,
+                    const ComputeContext* ctx) {
   MG_CHECK(static_cast<int64_t>(indices.size()) == src.rows());
   MG_CHECK(dst.cols() == src.cols());
-  for (size_t i = 0; i < indices.size(); ++i) {
-    MG_DCHECK(indices[i] >= 0 && indices[i] < dst.rows());
-    float* drow = dst.RowPtr(indices[i]);
-    const float* srow = src.RowPtr(static_cast<int64_t>(i));
-    for (int64_t c = 0; c < src.cols(); ++c) {
-      drow[c] += srow[c];
+  const int64_t n = static_cast<int64_t>(indices.size());
+  const int64_t cols = src.cols();
+  const int64_t chunks = ComputeChunkCount(n, kComputeGrainScatterRows);
+  if (chunks <= 1) {
+    for (int64_t i = 0; i < n; ++i) {
+      MG_DCHECK(indices[static_cast<size_t>(i)] >= 0 &&
+                indices[static_cast<size_t>(i)] < dst.rows());
+      float* drow = dst.RowPtr(indices[static_cast<size_t>(i)]);
+      const float* srow = src.RowPtr(i);
+      for (int64_t c = 0; c < cols; ++c) {
+        drow[c] += srow[c];
+      }
     }
+    return;
   }
+  // Strictly increasing indices (the iota self_rows every layer backward passes)
+  // have no duplicates, so chunks write disjoint dst rows directly — no remap, no
+  // partials. Each dst row receives exactly one add either way, so the bits match
+  // the fold path below exactly; path selection depends only on the indices, never
+  // the pool, so determinism across pool sizes is preserved.
+  bool strictly_increasing = true;
+  for (int64_t i = 1; i < n && strictly_increasing; ++i) {
+    strictly_increasing = indices[static_cast<size_t>(i)] > indices[static_cast<size_t>(i) - 1];
+  }
+  if (strictly_increasing) {
+    ForEachChunk(ctx, n, kComputeGrainScatterRows,
+                 [&](int64_t, int64_t begin, int64_t end) {
+                   for (int64_t i = begin; i < end; ++i) {
+                     MG_DCHECK(indices[static_cast<size_t>(i)] >= 0 &&
+                               indices[static_cast<size_t>(i)] < dst.rows());
+                     float* drow = dst.RowPtr(indices[static_cast<size_t>(i)]);
+                     const float* srow = src.RowPtr(i);
+                     for (int64_t c = 0; c < cols; ++c) {
+                       drow[c] += srow[c];
+                     }
+                   }
+                 });
+    return;
+  }
+
+  // Duplicate indices make this a scatter-reduce with a data-dependent write set,
+  // so each chunk accumulates into a compact partial holding only the dst rows it
+  // touches (slot order = first occurrence within the chunk, a fixed function of
+  // the chunk layout), and the partials fold into dst in ascending chunk order.
+  // Same bits for a null context and any pool size. The dst-row -> slot remap is a
+  // generation-stamped thread_local scratch: a fresh O(dst_rows) fill per chunk
+  // would rival the useful scatter work, while bumping the stamp invalidates the
+  // whole scratch in O(1), so each chunk pays only O(touched) — and the remap's
+  // contents stay a pure function of the chunk, never of which thread ran before.
+  std::vector<Tensor> partials(static_cast<size_t>(chunks));
+  std::vector<std::vector<int64_t>> touched_rows(static_cast<size_t>(chunks));
+  ForEachChunkOrdered(
+      ctx, n, kComputeGrainScatterRows,
+      [&](int64_t chunk, int64_t begin, int64_t end) {
+        SlotRemap& remap = scatter_remap;
+        remap.NextGeneration(dst.rows());
+        std::vector<int64_t> touched;
+        for (int64_t i = begin; i < end; ++i) {
+          const int64_t row = indices[static_cast<size_t>(i)];
+          MG_DCHECK(row >= 0 && row < dst.rows());
+          remap.Claim(row, &touched);
+        }
+        Tensor partial(static_cast<int64_t>(touched.size()), cols);
+        for (int64_t i = begin; i < end; ++i) {
+          float* drow = partial.RowPtr(
+              remap.slot_of[static_cast<size_t>(indices[static_cast<size_t>(i)])]);
+          const float* srow = src.RowPtr(i);
+          for (int64_t c = 0; c < cols; ++c) {
+            drow[c] += srow[c];
+          }
+        }
+        partials[static_cast<size_t>(chunk)] = std::move(partial);
+        touched_rows[static_cast<size_t>(chunk)] = std::move(touched);
+      },
+      [&](int64_t chunk) {
+        const std::vector<int64_t>& rows = touched_rows[static_cast<size_t>(chunk)];
+        const Tensor& partial = partials[static_cast<size_t>(chunk)];
+        for (size_t s = 0; s < rows.size(); ++s) {
+          float* drow = dst.RowPtr(rows[s]);
+          const float* srow = partial.RowPtr(static_cast<int64_t>(s));
+          for (int64_t c = 0; c < cols; ++c) {
+            drow[c] += srow[c];
+          }
+        }
+        // Free the folded partial eagerly.
+        partials[static_cast<size_t>(chunk)] = Tensor();
+      });
 }
 
 namespace {

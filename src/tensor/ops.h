@@ -12,9 +12,10 @@
 //    reductions, flat elements for the elementwise ops. Chunk boundaries and any
 //    cross-chunk reduction order depend only on the input shape, so results are
 //    bitwise-identical for a null context and for pools of any size.
-//  - ScatterAddRows is the one deliberately serial kernel: duplicate indices make it
-//    a scatter-reduce whose write set is data-dependent, so it stays a single
-//    in-order pass (see ROADMAP open items).
+//  - ScatterAddRows has a data-dependent write set (duplicate indices make it a
+//    scatter-reduce), so its chunks accumulate into compact touched-row partials
+//    that are folded into dst in ascending chunk order — the same pattern as the
+//    decoder's shared-negative gradients (src/nn/decoder.cc).
 #ifndef SRC_TENSOR_OPS_H_
 #define SRC_TENSOR_OPS_H_
 
@@ -59,8 +60,14 @@ Tensor SumRows(const Tensor& t, const ComputeContext* ctx = nullptr);
 Tensor IndexSelect(const Tensor& t, const std::vector<int64_t>& indices,
                    const ComputeContext* ctx = nullptr);
 
-// Scatter-add rows: dst[indices[i]] += src[i]. Serial by design (see header note).
-void ScatterAddRows(Tensor& dst, const std::vector<int64_t>& indices, const Tensor& src);
+// Scatter-add rows: dst[indices[i]] += src[i]. Duplicate indices are allowed; each
+// chunk accumulates into a compact partial over the rows it touches and the partials
+// fold into dst in ascending chunk order (see header note), so any pool size — or a
+// null context — produces identical bits. Strictly increasing index vectors (iota
+// self_rows) take a direct disjoint-write path with the same bits, since every dst
+// row then receives exactly one addend.
+void ScatterAddRows(Tensor& dst, const std::vector<int64_t>& indices, const Tensor& src,
+                    const ComputeContext* ctx = nullptr);
 
 // Segment reductions over contiguous rows. offsets.size() == num_segments + 1 and
 // offsets.back() == src.rows(). Empty segments produce zero rows. Chunked over

@@ -289,5 +289,36 @@ TEST(TrainingPipeline, ComputeChunksOnSaturatedPipelinePoolCannotDeadlock) {
   EXPECT_EQ(batches_ok, 30);
 }
 
+TEST(AdaptiveWorkerSplit, ShrinksGrowsWithHysteresis) {
+  AdaptiveWorkerSplit split(/*enabled=*/true, /*max_workers=*/4, /*min_workers=*/1,
+                            /*low_threshold=*/0.4, /*high_threshold=*/0.85);
+  EXPECT_EQ(split.workers(), 4);           // starts at max
+  EXPECT_EQ(split.Observe(0.20), 3);       // below low -> shrink one step
+  EXPECT_EQ(split.Observe(0.39), 2);
+  EXPECT_EQ(split.Observe(0.60), 2);       // dead band -> hold
+  EXPECT_EQ(split.Observe(0.40), 2);       // thresholds are exclusive
+  EXPECT_EQ(split.Observe(0.90), 3);       // above high -> grow one step
+  EXPECT_EQ(split.Observe(0.95), 4);
+  EXPECT_EQ(split.Observe(0.99), 4);       // clamped at max
+}
+
+TEST(AdaptiveWorkerSplit, NeverShrinksBelowMinWorkers) {
+  AdaptiveWorkerSplit split(true, 3, 2, 0.5, 0.8);
+  EXPECT_EQ(split.Observe(0.0), 2);
+  EXPECT_EQ(split.Observe(0.0), 2);
+}
+
+TEST(AdaptiveWorkerSplit, DisabledPinsAtConfiguredWorkers) {
+  AdaptiveWorkerSplit split(/*enabled=*/false, 3, 1, 0.5, 0.8);
+  EXPECT_EQ(split.Observe(0.0), 3);
+  EXPECT_EQ(split.Observe(1.0), 3);
+}
+
+TEST(AdaptiveWorkerSplit, NonPipelinedStaysAtZeroWorkers) {
+  AdaptiveWorkerSplit split(true, /*max_workers=*/0, 1, 0.5, 0.8);
+  EXPECT_EQ(split.workers(), 0);
+  EXPECT_EQ(split.Observe(0.0), 0);
+}
+
 }  // namespace
 }  // namespace mariusgnn

@@ -498,6 +498,68 @@ TEST(OpsDeterminism, SoftmaxCrossEntropyAcrossPools) {
   });
 }
 
+// ScatterAddRows is a scatter-reduce: duplicate indices are the adversarial case
+// because every duplicate is a read-modify-write collision a naive parallel scatter
+// would race on. The chunked kernel accumulates compact per-chunk partials and folds
+// them in ascending chunk order, so every pool size must reproduce the null-context
+// bits exactly.
+void ExpectScatterBitwiseAcrossPools(const std::vector<int64_t>& indices,
+                                     int64_t dst_rows) {
+  Rng rng(31);
+  Tensor src = Tensor::Normal(static_cast<int64_t>(indices.size()), 9, 1.0f, rng);
+  Tensor base = Tensor::Normal(dst_rows, 9, 0.5f, rng);
+  ExpectBitwiseIdenticalAcrossPools([&](const ComputeContext* ctx) {
+    Tensor dst = base;
+    ScatterAddRows(dst, indices, src, ctx);
+    return dst;
+  });
+}
+
+TEST(OpsDeterminism, ScatterAddRowsAllSameIndexAcrossPools) {
+  // Worst case: every row collides on one destination (2000 rows -> 4 chunks at
+  // the scatter grain, all feeding dst row 3).
+  std::vector<int64_t> indices(2000, 3);
+  ExpectScatterBitwiseAcrossPools(indices, 8);
+}
+
+TEST(OpsDeterminism, ScatterAddRowsInterleavedAcrossPools) {
+  // Round-robin duplicates: every destination row is touched by every chunk.
+  std::vector<int64_t> indices(2000);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = static_cast<int64_t>(i % 7);
+  }
+  ExpectScatterBitwiseAcrossPools(indices, 7);
+}
+
+TEST(OpsDeterminism, ScatterAddRowsRandomDuplicatesAcrossPools) {
+  Rng rng(32);
+  std::vector<int64_t> indices(3000);
+  for (auto& v : indices) {
+    v = static_cast<int64_t>(rng.UniformInt(40));
+  }
+  ExpectScatterBitwiseAcrossPools(indices, 40);
+}
+
+TEST(OpsDeterminism, ScatterAddRowsEmptyAcrossPools) {
+  ExpectScatterBitwiseAcrossPools({}, 5);
+}
+
+TEST(Ops, ScatterAddRowsAllSameIndexExactSum) {
+  // 2000 ones into one row sums exactly in float: the chunked partial fold must
+  // lose nothing even when every row collides.
+  std::vector<int64_t> indices(2000, 1);
+  Tensor src = Tensor::Full(2000, 3, 1.0f);
+  Tensor dst(4, 3);
+  ThreadPool pool(8);
+  ComputeContext ctx;
+  ctx.pool = &pool;
+  ScatterAddRows(dst, indices, src, &ctx);
+  for (int64_t c = 0; c < 3; ++c) {
+    EXPECT_FLOAT_EQ(dst(1, c), 2000.0f);
+    EXPECT_FLOAT_EQ(dst(0, c), 0.0f);
+  }
+}
+
 TEST(OpsDeterminism, GatherNormalizeAcrossPools) {
   Rng rng(29);
   Tensor table = Tensor::Normal(500, 19, 1.0f, rng);

@@ -543,6 +543,91 @@ TEST(LinkPrediction, GatParallelComputeTrajectoryIdentical) {
   EXPECT_EQ(run(true), run(false));
 }
 
+TEST(LinkPrediction, BaselineSamplerParallelComputeTrajectoryIdentical) {
+  // Drives the BlockEncoder path: the BlockToView two-pass parallel counting sort
+  // runs multi-chunk here (512-edge batches x fanout 5 > one sort chunk) and must
+  // leave the trajectory bitwise-equal to the serial-compute run.
+  Graph g = Fb15k237Like(0.05);
+  ThreadPool pool(8);
+  auto run = [&](bool parallel) {
+    TrainingConfig config = SmallLpConfig();
+    config.sampler = SamplerKind::kLayerwise;
+    config.parallel_compute = parallel;
+    config.compute_pool = parallel ? &pool : nullptr;
+    LinkPredictionTrainer trainer(&g, config);
+    double loss = 0.0;
+    for (int e = 0; e < 2; ++e) {
+      loss += trainer.TrainEpoch().loss;
+    }
+    return std::make_pair(loss, trainer.EvaluateMrr(50, 100));
+  };
+  const auto serial = run(false);
+  const auto parallel = run(true);
+  EXPECT_DOUBLE_EQ(parallel.first, serial.first);
+  EXPECT_DOUBLE_EQ(parallel.second, serial.second);
+}
+
+TEST(LinkPrediction, AdaptiveWorkerSplitDoesNotChangeTrajectory) {
+  // Thresholds above any real efficiency force a shrink every epoch, so the
+  // adaptive run demonstrably rebalances (3 -> 2 -> 1 sampling workers) while the
+  // loss/MRR trajectory stays bitwise identical to the fixed-worker run: the split
+  // only ever changes worker count, which never changes the batch stream.
+  Graph g = Fb15k237Like(0.03);
+  ThreadPool pool(4);
+  auto run = [&](bool adaptive) {
+    TrainingConfig config = SmallLpConfig();
+    config.pipelined = true;
+    config.pipeline_workers = 3;
+    config.parallel_compute = true;
+    config.compute_pool = &pool;
+    config.pipeline_pool = &pool;  // sampling + compute share one pool
+    config.adaptive_pipeline_workers = adaptive;
+    config.adaptive_par_eff_low = 2.0;
+    config.adaptive_par_eff_high = 3.0;
+    LinkPredictionTrainer trainer(&g, config);
+    std::vector<double> history;
+    std::vector<int> workers;
+    for (int e = 0; e < 3; ++e) {
+      const EpochStats stats = trainer.TrainEpoch();
+      history.push_back(stats.loss);
+      workers.push_back(stats.pipeline_workers);
+    }
+    history.push_back(trainer.EvaluateMrr(50, 100));
+    return std::make_pair(history, workers);
+  };
+  const auto fixed = run(false);
+  const auto adaptive = run(true);
+  ASSERT_EQ(adaptive.first.size(), fixed.first.size());
+  for (size_t i = 0; i < fixed.first.size(); ++i) {
+    EXPECT_EQ(adaptive.first[i], fixed.first[i]) << "epoch " << i;
+  }
+  EXPECT_EQ(fixed.second, (std::vector<int>{3, 3, 3}));
+  EXPECT_EQ(adaptive.second, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(NodeClassification, AdaptiveWorkerSplitDoesNotChangeTrajectory) {
+  Graph g = PapersMini(0.05);
+  ThreadPool pool(4);
+  auto run = [&](bool adaptive) {
+    TrainingConfig config = SmallNcConfig();
+    config.pipelined = true;
+    config.pipeline_workers = 2;
+    config.parallel_compute = true;
+    config.compute_pool = &pool;
+    config.pipeline_pool = &pool;
+    config.adaptive_pipeline_workers = adaptive;
+    config.adaptive_par_eff_low = 2.0;
+    config.adaptive_par_eff_high = 3.0;
+    NodeClassificationTrainer trainer(&g, config);
+    double loss = 0.0;
+    for (int e = 0; e < 2; ++e) {
+      loss += trainer.TrainEpoch().loss;
+    }
+    return loss;
+  };
+  EXPECT_DOUBLE_EQ(run(true), run(false));
+}
+
 TEST(Metrics, RankOfPositive) {
   EXPECT_EQ(RankOfPositive(1.0f, {0.5f, 0.2f}), 1);
   EXPECT_EQ(RankOfPositive(0.3f, {0.5f, 0.2f}), 2);
