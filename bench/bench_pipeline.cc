@@ -39,6 +39,9 @@ struct PipelineRun {
   double sample_seconds = 0.0;
   double io_stall_seconds = 0.0;
   double compute_efficiency = 1.0;
+  double queue_occupancy_mean = 0.0;   // last epoch, fraction of queue capacity
+  std::vector<int> workers_per_set;    // last epoch's per-set worker decisions
+  int resize_count = 0;                // mid-epoch resizes across all epochs
   double loss = 0.0;  // last-epoch mean loss
   double mrr = 0.0;
 };
@@ -70,12 +73,20 @@ void WriteJson(const std::string& path, bool all_identical) {
   std::fprintf(f, "  \"runs\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const JsonRow& r = rows[i];
+    std::string workers = "[";
+    for (size_t w = 0; w < r.run.workers_per_set.size(); ++w) {
+      workers += (w == 0 ? "" : ",") + std::to_string(r.run.workers_per_set[w]);
+    }
+    workers += "]";
     std::fprintf(f,
                  "    {\"mode\": \"%s\", \"name\": \"%s\", \"epoch_sec\": %.6f, "
                  "\"sample_sec\": %.6f, \"io_stall_sec\": %.6f, \"par_eff\": %.4f, "
+                 "\"queue_occ\": %.4f, \"workers_per_set\": %s, "
+                 "\"resize_count\": %d, "
                  "\"loss\": %.8f, \"mrr\": %.8f, \"identical\": %s}%s\n",
                  r.mode.c_str(), r.name.c_str(), r.run.epoch_seconds,
                  r.run.sample_seconds, r.run.io_stall_seconds, r.run.compute_efficiency,
+                 r.run.queue_occupancy_mean, workers.c_str(), r.run.resize_count,
                  r.run.loss, r.run.mrr, r.identical ? "true" : "false",
                  i + 1 < rows.size() ? "," : "");
   }
@@ -87,8 +98,11 @@ void WriteJson(const std::string& path, bool all_identical) {
 // `shared_pool` != nullptr enables the stage-3 parallel kernels AND routes the
 // pipeline workers onto the same pool — the production default's contention path
 // (compute helpers only enlist threads the sampling workers leave idle).
+// `controller` turns the in-epoch PipelineController on (per-partition-set
+// windows, mid-epoch resizes); every other row pins the worker count so the CI
+// regression gate measures the same fixed configuration on every host.
 PipelineRun Run(const Graph& graph, bool disk, int workers,
-                ThreadPool* shared_pool = nullptr) {
+                ThreadPool* shared_pool = nullptr, bool controller = false) {
   TrainingConfig config = BaseConfig();
   // workers == 0 is the fully synchronous baseline: no pipeline, no prefetch.
   config.pipelined = workers > 0;
@@ -97,10 +111,8 @@ PipelineRun Run(const Graph& graph, bool disk, int workers,
   config.parallel_compute = shared_pool != nullptr;
   config.compute_pool = shared_pool;
   config.pipeline_pool = shared_pool;
-  // Pin the worker count: the adaptive split reacts to host timing, and this
-  // bench's epoch times feed the CI regression gate, which needs every row to
-  // measure the same fixed configuration on every host.
-  config.adaptive_pipeline_workers = false;
+  config.adaptive_pipeline_workers = controller;
+  config.adaptive_within_epoch = true;
   if (disk) {
     config.use_disk = true;
     config.num_physical = 8;
@@ -121,6 +133,9 @@ PipelineRun Run(const Graph& graph, bool disk, int workers,
     result.sample_seconds += stats.sample_seconds;
     result.io_stall_seconds += stats.io_stall_seconds;
     result.compute_efficiency = stats.compute_parallel_efficiency;
+    result.queue_occupancy_mean = stats.queue_occupancy_mean;
+    result.workers_per_set = stats.workers_per_set;
+    result.resize_count += stats.resize_count;
     result.loss = stats.loss;
   }
   result.epoch_seconds /= kEpochs;
@@ -164,14 +179,42 @@ bool RunMode(const Graph& graph, bool disk) {
   // genuinely shared by sampling workers and compute chunks (the production
   // default's contention path). Trajectories must still be bitwise-identical;
   // par_eff reports how well the compute chunks scaled on this host.
+  PipelineRun fixed_split;
   {
     ThreadPool shared_pool(8);
-    const PipelineRun run = Run(graph, disk, /*workers=*/4, &shared_pool);
+    fixed_split = Run(graph, disk, /*workers=*/4, &shared_pool);
     std::printf("pipelined+par(t=8) %12.4f %12.4f %12.4f %8.2f %10.5f %8.4f\n",
+                fixed_split.epoch_seconds, fixed_split.sample_seconds,
+                fixed_split.io_stall_seconds, fixed_split.compute_efficiency,
+                fixed_split.loss, fixed_split.mrr);
+    const bool identical = check("pipelined+par", fixed_split);
+    JsonRows().push_back({mode, "pipelined_par_t8", fixed_split, identical});
+  }
+  // Same shared-pool configuration with the in-epoch PipelineController on: the
+  // stage-1 worker count now follows the queue-depth + efficiency signals at
+  // partition-set boundaries (mid-epoch in disk mode). The trajectory must stay
+  // bitwise-identical — the controller only ever moves the worker split — and the
+  // epoch time should be no worse than the fixed split it replaces.
+  {
+    ThreadPool shared_pool(8);
+    const PipelineRun run =
+        Run(graph, disk, /*workers=*/4, &shared_pool, /*controller=*/true);
+    std::string workers = "[";
+    for (size_t w = 0; w < run.workers_per_set.size(); ++w) {
+      workers += (w == 0 ? "" : " ") + std::to_string(run.workers_per_set[w]);
+    }
+    workers += "]";
+    std::printf("controller(t=8)    %12.4f %12.4f %12.4f %8.2f %10.5f %8.4f\n",
                 run.epoch_seconds, run.sample_seconds, run.io_stall_seconds,
                 run.compute_efficiency, run.loss, run.mrr);
-    const bool identical = check("pipelined+par", run);
-    JsonRows().push_back({mode, "pipelined_par_t8", run, identical});
+    std::printf(
+        "  controller decisions: workers_per_set=%s resizes=%d queue_occ=%.2f\n",
+        workers.c_str(), run.resize_count, run.queue_occupancy_mean);
+    const bool identical = check("controller", run);
+    std::printf("  controller vs fixed split: %+6.1f%% epoch time\n",
+                100.0 * (run.epoch_seconds - fixed_split.epoch_seconds) /
+                    fixed_split.epoch_seconds);
+    JsonRows().push_back({mode, "controller_t8", run, identical});
   }
   return all_identical;
 }

@@ -35,6 +35,14 @@ int main() {
         "epoch %d: loss=%.4f  compute=%.2fs  io=%.3fs (stall %.3fs)  sets=%lld\n",
         epoch, stats.loss, stats.compute_seconds, stats.io_seconds,
         stats.io_stall_seconds, static_cast<long long>(stats.num_partition_sets));
+    // The in-epoch controller's per-set worker decisions (mid-epoch resizes at
+    // partition-set boundaries, driven by queue occupancy + compute efficiency).
+    std::printf("         workers/set=[");
+    for (size_t s = 0; s < stats.workers_per_set.size(); ++s) {
+      std::printf("%s%d", s == 0 ? "" : " ", stats.workers_per_set[s]);
+    }
+    std::printf("]  resizes=%d  queue_occ=%.2f\n", stats.resize_count,
+                stats.queue_occupancy_mean);
   }
   std::printf("MRR: %.4f\n", trainer.EvaluateMrr(200, 500));
   return 0;

@@ -9,6 +9,7 @@
 
 #include "src/graph/neighbor_index.h"
 #include "src/nn/encoder.h"
+#include "src/pipeline/pipeline_controller.h"
 #include "src/pipeline/training_pipeline.h"
 #include "src/storage/disk.h"
 #include "src/util/check.h"
@@ -46,16 +47,27 @@ struct TrainingConfig {
   // and reduction order depend only on tensor shapes (src/util/compute.h), so
   // serial and N-thread runs are bitwise-identical.
   bool parallel_compute = true;
-  // Adaptive stage-1/stage-3 pool split: while an epoch's
+  // Adaptive stage-1/stage-3 pool split (PipelineController): while a window's
   // compute_parallel_efficiency sits below adaptive_par_eff_low (compute chunks
-  // starved of pool threads by epoch-long sampling workers), the next epoch runs
+  // starved of pool threads by epoch-long sampling workers), the next window runs
   // one fewer sampling worker, down to adaptive_min_workers; while it sits above
-  // adaptive_par_eff_high, workers grow back toward pipeline_workers. Worker count
-  // never affects results (per-batch seeds + in-order consumption), so the
-  // rebalance preserves bitwise-identical trajectories.
+  // adaptive_par_eff_high, workers grow back toward pipeline_workers. In the dead
+  // band the controller refines with queue back-pressure: time-weighted queue
+  // occupancy above adaptive_queue_high (fraction of capacity) shrinks, occupancy
+  // below adaptive_queue_low with real consumer stalls grows, and IO-bound windows
+  // hold. Worker count never affects results (per-batch seeds + in-order
+  // consumption), so the rebalance preserves bitwise-identical trajectories.
   bool adaptive_pipeline_workers = true;
+  // Observation granularity: true = one window per partition set, with worker
+  // resizes applied mid-epoch at set boundaries (PipelineSession::Resize); false =
+  // the legacy epoch-boundary fallback (also disables the queue-depth signal).
+  bool adaptive_within_epoch = true;
   double adaptive_par_eff_low = 0.40;
   double adaptive_par_eff_high = 0.85;
+  double adaptive_queue_low = 0.25;
+  double adaptive_queue_high = 0.75;
+  double adaptive_io_stall_hold_fraction = 0.50;
+  double adaptive_stall_grow_fraction = 0.05;
   int adaptive_min_workers = 1;
   // Pool overrides for tests/benches; nullptr = ThreadPool::Global(). Pointing both
   // at one pool exercises the production default of sampling workers and compute
@@ -94,15 +106,26 @@ struct TrainingConfig {
     return options;
   }
 
-  // Adaptive worker controller for one trainer (both trainers build theirs through
-  // this so the thresholds and gating cannot diverge). Adapting is pointless
-  // without the shared-pool contention it rebalances, so it requires both the
-  // pipeline and stage-3 parallel compute to be on.
-  AdaptiveWorkerSplit MakeWorkerSplit() const {
-    return AdaptiveWorkerSplit(
-        adaptive_pipeline_workers && pipelined && parallel_compute,
-        pipelined ? pipeline_workers : 0, adaptive_min_workers, adaptive_par_eff_low,
-        adaptive_par_eff_high);
+  // In-epoch pipeline controller for one trainer (both trainers build theirs
+  // through this so the thresholds and gating cannot diverge). Adapting is
+  // pointless without the shared-pool contention it rebalances, so it requires
+  // both the pipeline and stage-3 parallel compute to be on;
+  // adaptive_within_epoch selects per-partition-set windows (with mid-epoch
+  // resizes) vs the legacy epoch-boundary fallback.
+  PipelineController MakePipelineController() const {
+    PipelineControllerOptions options;
+    options.enabled = adaptive_pipeline_workers && pipelined && parallel_compute;
+    options.max_workers = pipelined ? pipeline_workers : 0;
+    options.min_workers = adaptive_min_workers;
+    options.par_eff_low = adaptive_par_eff_low;
+    options.par_eff_high = adaptive_par_eff_high;
+    options.queue_low = adaptive_queue_low;
+    options.queue_high = adaptive_queue_high;
+    options.io_stall_hold_fraction = adaptive_io_stall_hold_fraction;
+    options.stall_grow_fraction = adaptive_stall_grow_fraction;
+    options.granularity = adaptive_within_epoch ? ControllerGranularity::kPartitionSet
+                                                : ControllerGranularity::kEpoch;
+    return PipelineController(options);
   }
 
   // Stage-3 compute handle for one trainer, recording into `stats` (both trainers
@@ -132,15 +155,29 @@ struct EpochStats {
   double io_seconds = 0.0;        // total modeled IO
   double io_stall_seconds = 0.0;  // IO not hidden by prefetch overlap
   double pipeline_stall_seconds = 0.0;  // compute blocked waiting for the next batch
-  // Stage-1 sampling workers this epoch actually ran with (after the adaptive
+  // Stage-1 sampling workers the epoch started with (after the adaptive
   // stage-1/stage-3 split; equals the configured count when adapting is off).
   int pipeline_workers = 0;
+  // Per-set decision record of the in-epoch controller: the worker count each
+  // partition set ran with, how many mid-epoch resizes it performed, and the
+  // time-weighted mean pipeline-queue occupancy (fraction of capacity) across the
+  // epoch's pipelined segments.
+  std::vector<int> workers_per_set;
+  int resize_count = 0;
+  double queue_occupancy_mean = 0.0;
   int64_t num_batches = 0;
   int64_t num_examples = 0;
   int64_t num_partition_sets = 0;
 
   // Folds one pipeline run over `num_examples` examples into the epoch totals.
+  // The epoch-level queue occupancy mean weights each segment by its batch count.
   void AccumulatePipeline(const PipelineStats& ps, int64_t examples) {
+    if (num_batches + ps.num_items > 0) {
+      queue_occupancy_mean =
+          (queue_occupancy_mean * static_cast<double>(num_batches) +
+           ps.queue_occupancy_mean * static_cast<double>(ps.num_items)) /
+          static_cast<double>(num_batches + ps.num_items);
+    }
     num_batches += ps.num_items;
     num_examples += examples;
     sample_seconds += ps.sample_seconds;

@@ -32,7 +32,7 @@ LinkPredictionTrainer::LinkPredictionTrainer(const Graph* graph, TrainingConfig 
       config_(std::move(config)),
       rng_(config_.seed),
       compute_(config_.MakeComputeContext(&compute_stats_)),
-      worker_split_(config_.MakeWorkerSplit()) {
+      controller_(config_.MakePipelineController()) {
   MG_CHECK(!config_.dims.empty());
   MG_CHECK(static_cast<int64_t>(config_.dims.size()) == config_.num_layers() + 1);
   const int64_t emb_dim = config_.dims.front();
@@ -193,35 +193,70 @@ float LinkPredictionTrainer::ConsumeBatch(PreparedBatch& batch) {
   return loss;
 }
 
-void LinkPredictionTrainer::RunBatches(const std::vector<int64_t>& edge_ids,
-                                       const NeighborIndex& index,
-                                       const UniformNegativeSampler& negatives,
-                                       EpochStats* stats) {
+// One PipelineSession spans the whole epoch: the producer maps the session's
+// global index onto the current set's local batch number (run_batch_base_), so the
+// per-batch seed derivation — MixSeed(per-set run_seed, local batch) — is
+// unchanged from the per-set pipelines this replaces, and the batch stream is
+// bit-identical. The controller's worker count at epoch start (== pipeline_workers
+// when adapting is off) sizes the session; worker count never affects the batch
+// stream, only where time goes.
+std::unique_ptr<PipelineSession> LinkPredictionTrainer::MakeSession(
+    EpochStats* stats) {
+  return std::make_unique<PipelineSession>(
+      config_.MakePipelineOptions(controller_.workers()),
+      [this](int64_t index) -> std::shared_ptr<void> {
+        const int64_t b = index - run_batch_base_;
+        const int64_t begin = b * config_.batch_size;
+        const int64_t end = begin + config_.batch_size < run_total_
+                                ? begin + config_.batch_size
+                                : run_total_;
+        const std::vector<int64_t> ids(run_ids_->begin() + begin,
+                                       run_ids_->begin() + end);
+        return std::make_shared<PreparedBatch>(PrepareBatch(
+            ids, *run_negatives_, MixSeed(run_seed_, static_cast<uint64_t>(b))));
+      },
+      [this, stats](void* item, int64_t) {
+        stats->loss += ConsumeBatch(*static_cast<PreparedBatch*>(item));
+      });
+}
+
+PipelineStats LinkPredictionTrainer::RunBatches(
+    const std::vector<int64_t>& edge_ids, const NeighborIndex& index,
+    const UniformNegativeSampler& negatives, PipelineSession* session,
+    EpochStats* stats) {
   const int64_t total = static_cast<int64_t>(edge_ids.size());
   if (total == 0) {
-    return;
+    return PipelineStats();
   }
   // Point the samplers at this run's index once, up front; workers then only call
-  // const, seed-driven sampling methods.
+  // const, seed-driven sampling methods. Swapping this (and the run_* members) is
+  // safe here: no producer can run between segments — workers never claim an
+  // index beyond the announced limit.
   if (dense_sampler_ != nullptr) {
     dense_sampler_->set_index(&index);
   }
   if (layerwise_sampler_ != nullptr) {
     layerwise_sampler_->set_index(&index);
   }
-  const uint64_t run_seed = rng_.Next();
-
-  // The adaptive split's current worker count (== pipeline_workers when adapting
-  // is off) — worker count never affects the batch stream, only where time goes.
-  TrainingPipeline pipeline(config_.MakePipelineOptions(worker_split_.workers()));
-  const PipelineStats ps = pipeline.RunBatches<PreparedBatch>(
-      total, config_.batch_size,
-      [&](int64_t begin, int64_t end, int64_t b) {
-        const std::vector<int64_t> ids(edge_ids.begin() + begin, edge_ids.begin() + end);
-        return PrepareBatch(ids, negatives, MixSeed(run_seed, static_cast<uint64_t>(b)));
-      },
-      [&](PreparedBatch& batch, int64_t) { stats->loss += ConsumeBatch(batch); });
+  run_ids_ = &edge_ids;
+  run_negatives_ = &negatives;
+  run_seed_ = rng_.Next();
+  run_batch_base_ = session->announced();
+  run_total_ = total;
+  const int64_t num_batches =
+      (total + config_.batch_size - 1) / config_.batch_size;
+  const PipelineStats ps = session->RunSegment(num_batches);
   stats->AccumulatePipeline(ps, total);
+  return ps;
+}
+
+void LinkPredictionTrainer::ReportSetBoundary(
+    PipelineSession* session, const PipelineStats& ps,
+    const ComputeStats& compute_before, double io_stall_delta,
+    double window_seconds, bool more_sets, EpochStats* stats) {
+  controller_.ReportSetBoundary(ps, compute_stats_, compute_before, io_stall_delta,
+                                window_seconds, more_sets, session,
+                                &stats->workers_per_set, &stats->resize_count);
 }
 
 EpochStats LinkPredictionTrainer::TrainEpochInMemory() {
@@ -236,13 +271,18 @@ EpochStats LinkPredictionTrainer::TrainEpochInMemory() {
     }
   }
   rng_.Shuffle(edge_ids);
+  stats.pipeline_workers = controller_.workers();
+  std::unique_ptr<PipelineSession> session = MakeSession(&stats);
   UniformNegativeSampler negatives(graph_->num_nodes(), rng_.Next());
-  RunBatches(edge_ids, *full_index_, negatives, &stats);
+  const ComputeStats compute_before = compute_stats_;
+  const PipelineStats ps =
+      RunBatches(edge_ids, *full_index_, negatives, session.get(), &stats);
   stats.compute_seconds = timer.Seconds();
   stats.wall_seconds = stats.compute_seconds;
+  ReportSetBoundary(session.get(), ps, compute_before, /*io_stall_delta=*/0.0,
+                    timer.Seconds(), /*more_sets=*/false, &stats);
   stats.compute_parallel_efficiency = compute_stats_.ParallelEfficiency();
-  stats.pipeline_workers = worker_split_.workers();
-  worker_split_.Observe(stats.compute_parallel_efficiency);
+  controller_.ObserveEpoch(stats.compute_parallel_efficiency);
   stats.num_partition_sets = 1;
   if (stats.num_batches > 0) {
     stats.loss /= static_cast<double>(stats.num_batches);
@@ -255,9 +295,17 @@ EpochStats LinkPredictionTrainer::TrainEpochDisk() {
   compute_stats_.Reset();
   EpochPlan plan = policy_->GenerateEpoch(*partitioning_, config_.buffer_capacity, rng_);
   stats.num_partition_sets = plan.num_sets();
+  stats.pipeline_workers = controller_.workers();
+  std::unique_ptr<PipelineSession> session = MakeSession(&stats);
 
   double prev_compute = 0.0;
   for (int64_t i = 0; i < plan.num_sets(); ++i) {
+    // Controller window for this set: everything from the swap-in to the end of
+    // its training segment.
+    const ComputeStats compute_before = compute_stats_;
+    const double io_stall_before = stats.io_stall_seconds;
+    WallTimer window_timer;
+
     const double sync_io = buffer_->SetResident(plan.sets[static_cast<size_t>(i)]);
     stats.AccumulateSwapIo(sync_io, buffer_->ConsumeBackgroundIoSeconds(),
                            prev_compute);
@@ -293,9 +341,13 @@ EpochStats LinkPredictionTrainer::TrainEpochDisk() {
     rng_.Shuffle(train_ids);
 
     const UniformNegativeSampler negatives(buffer_->ResidentNodes(), rng_.Next());
-    RunBatches(train_ids, index, negatives, &stats);
+    const PipelineStats ps =
+        RunBatches(train_ids, index, negatives, session.get(), &stats);
     prev_compute = set_timer.Seconds();
     stats.compute_seconds += prev_compute;
+    ReportSetBoundary(session.get(), ps, compute_before,
+                      stats.io_stall_seconds - io_stall_before,
+                      window_timer.Seconds(), i + 1 < plan.num_sets(), &stats);
   }
   // End-of-epoch flush: write-backs still in flight drained plus the final dirty
   // evictions. Background leftovers are charged conservatively as full stalls.
@@ -305,8 +357,7 @@ EpochStats LinkPredictionTrainer::TrainEpochDisk() {
   stats.io_stall_seconds += flush_io + leftover_bg;
   stats.wall_seconds = stats.compute_seconds + stats.io_stall_seconds;
   stats.compute_parallel_efficiency = compute_stats_.ParallelEfficiency();
-  stats.pipeline_workers = worker_split_.workers();
-  worker_split_.Observe(stats.compute_parallel_efficiency);
+  controller_.ObserveEpoch(stats.compute_parallel_efficiency);
   if (stats.num_batches > 0) {
     stats.loss /= static_cast<double>(stats.num_batches);
   }

@@ -62,10 +62,28 @@ class LinkPredictionTrainer {
   // Pipeline stage 3 (calling thread, in batch order): forward/backward/update.
   float ConsumeBatch(PreparedBatch& batch);
 
-  // Runs all batches of `edge_ids` (already shuffled) through the TrainingPipeline;
-  // config_.pipelined / pipeline_workers choose serial vs parallel construction.
-  void RunBatches(const std::vector<int64_t>& edge_ids, const NeighborIndex& index,
-                  const UniformNegativeSampler& negatives, EpochStats* stats);
+  // Builds the epoch's PipelineSession: one session spans all partition sets, so
+  // the PipelineController can resize the stage-1 worker count at set boundaries
+  // mid-epoch without flushing pipeline state. The producer closure reads the
+  // run_* members below, which RunBatches swaps between segments.
+  std::unique_ptr<PipelineSession> MakeSession(EpochStats* stats);
+
+  // Runs one partition set's batches of `edge_ids` (already shuffled) as a session
+  // segment; config_.pipelined / pipeline_workers chose serial vs parallel
+  // construction when the session was built. Returns the segment's stage timings
+  // (also folded into `stats`).
+  PipelineStats RunBatches(const std::vector<int64_t>& edge_ids,
+                           const NeighborIndex& index,
+                           const UniformNegativeSampler& negatives,
+                           PipelineSession* session, EpochStats* stats);
+
+  // Reports a partition-set boundary into the pipeline layer: records the set's
+  // worker decision and feeds the controller its signal window (compute
+  // efficiency delta, queue occupancy, stalls); the controller may resize the
+  // session's workers for the next set.
+  void ReportSetBoundary(PipelineSession* session, const PipelineStats& ps,
+                         const ComputeStats& compute_before, double io_stall_delta,
+                         double window_seconds, bool more_sets, EpochStats* stats);
 
   EpochStats TrainEpochInMemory();
   EpochStats TrainEpochDisk();
@@ -83,9 +101,19 @@ class LinkPredictionTrainer {
   // plus the per-epoch scaling counters behind EpochStats.compute_parallel_efficiency.
   ComputeStats compute_stats_;
   ComputeContext compute_;
-  // Adaptive stage-1/stage-3 pool split: observes each epoch's parallel efficiency
-  // and rebalances sampling workers vs compute chunks (see training_pipeline.h).
-  AdaptiveWorkerSplit worker_split_;
+  // In-epoch pipeline controller: observes one window per partition set (queue
+  // occupancy + compute efficiency + IO stalls) and rebalances sampling workers vs
+  // compute chunks, mid-epoch (see pipeline_controller.h).
+  PipelineController controller_;
+
+  // Current segment's producer state, swapped by RunBatches between partition
+  // sets. Safe without locks: workers never claim an index beyond the announced
+  // limit, so no producer runs while these change (ordered by the session's gate).
+  const std::vector<int64_t>* run_ids_ = nullptr;
+  const UniformNegativeSampler* run_negatives_ = nullptr;
+  uint64_t run_seed_ = 0;
+  int64_t run_batch_base_ = 0;
+  int64_t run_total_ = 0;
 
   std::unique_ptr<GnnEncoder> encoder_;        // DENSE path (may be null: decoder-only)
   std::unique_ptr<BlockEncoder> block_encoder_;  // baseline path

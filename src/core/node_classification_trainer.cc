@@ -25,7 +25,7 @@ NodeClassificationTrainer::NodeClassificationTrainer(const Graph* graph,
       config_(std::move(config)),
       rng_(config_.seed),
       compute_(config_.MakeComputeContext(&compute_stats_)),
-      worker_split_(config_.MakeWorkerSplit()) {
+      controller_(config_.MakePipelineController()) {
   MG_CHECK(graph_->has_features());
   MG_CHECK(!graph_->labels().empty() && graph_->num_classes() > 0);
   MG_CHECK(config_.num_layers() >= 1);
@@ -136,33 +136,64 @@ float NodeClassificationTrainer::ConsumeBatch(PreparedBatch& batch) {
   return loss;
 }
 
-void NodeClassificationTrainer::RunBatches(const std::vector<int64_t>& nodes,
-                                           const NeighborIndex& index, EpochStats* stats) {
+// One PipelineSession spans the whole epoch (see the link-prediction trainer): the
+// producer maps the session's global index onto the current set's local batch
+// number, keeping the per-batch seed derivation — and therefore the batch stream —
+// bit-identical to the per-set pipelines this replaces.
+std::unique_ptr<PipelineSession> NodeClassificationTrainer::MakeSession(
+    EpochStats* stats) {
+  return std::make_unique<PipelineSession>(
+      config_.MakePipelineOptions(controller_.workers()),
+      [this](int64_t index) -> std::shared_ptr<void> {
+        const int64_t b = index - run_batch_base_;
+        const int64_t begin = b * config_.batch_size;
+        const int64_t end = begin + config_.batch_size < run_total_
+                                ? begin + config_.batch_size
+                                : run_total_;
+        const std::vector<int64_t> ids(run_nodes_->begin() + begin,
+                                       run_nodes_->begin() + end);
+        return std::make_shared<PreparedBatch>(
+            PrepareBatch(ids, MixSeed(run_seed_, static_cast<uint64_t>(b))));
+      },
+      [this, stats](void* item, int64_t) {
+        stats->loss += ConsumeBatch(*static_cast<PreparedBatch*>(item));
+      });
+}
+
+PipelineStats NodeClassificationTrainer::RunBatches(
+    const std::vector<int64_t>& nodes, const NeighborIndex& index,
+    PipelineSession* session, EpochStats* stats) {
   const int64_t total = static_cast<int64_t>(nodes.size());
   if (total == 0) {
-    return;
+    return PipelineStats();
   }
   // Point the samplers at this run's index once, up front; workers then only call
-  // const, seed-driven sampling methods.
+  // const, seed-driven sampling methods. Safe between segments: workers never
+  // claim an index beyond the announced limit.
   if (dense_sampler_ != nullptr) {
     dense_sampler_->set_index(&index);
   }
   if (layerwise_sampler_ != nullptr) {
     layerwise_sampler_->set_index(&index);
   }
-  const uint64_t run_seed = rng_.Next();
-
-  // The adaptive split's current worker count (== pipeline_workers when adapting
-  // is off) — worker count never affects the batch stream, only where time goes.
-  TrainingPipeline pipeline(config_.MakePipelineOptions(worker_split_.workers()));
-  const PipelineStats ps = pipeline.RunBatches<PreparedBatch>(
-      total, config_.batch_size,
-      [&](int64_t begin, int64_t end, int64_t b) {
-        const std::vector<int64_t> ids(nodes.begin() + begin, nodes.begin() + end);
-        return PrepareBatch(ids, MixSeed(run_seed, static_cast<uint64_t>(b)));
-      },
-      [&](PreparedBatch& batch, int64_t) { stats->loss += ConsumeBatch(batch); });
+  run_nodes_ = &nodes;
+  run_seed_ = rng_.Next();
+  run_batch_base_ = session->announced();
+  run_total_ = total;
+  const int64_t num_batches =
+      (total + config_.batch_size - 1) / config_.batch_size;
+  const PipelineStats ps = session->RunSegment(num_batches);
   stats->AccumulatePipeline(ps, total);
+  return ps;
+}
+
+void NodeClassificationTrainer::ReportSetBoundary(
+    PipelineSession* session, const PipelineStats& ps,
+    const ComputeStats& compute_before, double io_stall_delta,
+    double window_seconds, bool more_sets, EpochStats* stats) {
+  controller_.ReportSetBoundary(ps, compute_stats_, compute_before, io_stall_delta,
+                                window_seconds, more_sets, session,
+                                &stats->workers_per_set, &stats->resize_count);
 }
 
 EpochStats NodeClassificationTrainer::TrainEpoch() {
@@ -170,12 +201,17 @@ EpochStats NodeClassificationTrainer::TrainEpoch() {
   compute_stats_.Reset();
   std::vector<int64_t> train = graph_->train_nodes();
   rng_.Shuffle(train);
+  stats.pipeline_workers = controller_.workers();
+  std::unique_ptr<PipelineSession> session = MakeSession(&stats);
 
   if (!config_.use_disk) {
     WallTimer timer;
-    RunBatches(train, *full_index_, &stats);
+    const ComputeStats compute_before = compute_stats_;
+    const PipelineStats ps = RunBatches(train, *full_index_, session.get(), &stats);
     stats.compute_seconds = timer.Seconds();
     stats.wall_seconds = stats.compute_seconds;
+    ReportSetBoundary(session.get(), ps, compute_before, /*io_stall_delta=*/0.0,
+                      timer.Seconds(), /*more_sets=*/false, &stats);
     stats.num_partition_sets = 1;
   } else {
     const auto sets =
@@ -186,6 +222,9 @@ EpochStats NodeClassificationTrainer::TrainEpoch() {
     // (in the cached regime all training partitions are resident in the single set).
     std::vector<char> partition_done(static_cast<size_t>(config_.num_physical), 0);
     for (size_t i = 0; i < sets.size(); ++i) {
+      const ComputeStats compute_before = compute_stats_;
+      const double io_stall_before = stats.io_stall_seconds;
+      WallTimer window_timer;
       const double sync_io = buffer_->SetResident(sets[i]);
       stats.AccumulateSwapIo(sync_io, buffer_->ConsumeBackgroundIoSeconds(),
                              prev_compute);
@@ -216,19 +255,22 @@ EpochStats NodeClassificationTrainer::TrainEpoch() {
           subset.push_back(v);
         }
       }
+      PipelineStats ps;
       if (!subset.empty()) {
         use_buffer_features_ = true;
-        RunBatches(subset, index, &stats);
+        ps = RunBatches(subset, index, session.get(), &stats);
         use_buffer_features_ = false;
       }
       prev_compute = set_timer.Seconds();
       stats.compute_seconds += prev_compute;
+      ReportSetBoundary(session.get(), ps, compute_before,
+                        stats.io_stall_seconds - io_stall_before,
+                        window_timer.Seconds(), i + 1 < sets.size(), &stats);
     }
     stats.wall_seconds = stats.compute_seconds + stats.io_stall_seconds;
   }
   stats.compute_parallel_efficiency = compute_stats_.ParallelEfficiency();
-  stats.pipeline_workers = worker_split_.workers();
-  worker_split_.Observe(stats.compute_parallel_efficiency);
+  controller_.ObserveEpoch(stats.compute_parallel_efficiency);
   if (stats.num_batches > 0) {
     stats.loss /= static_cast<double>(stats.num_batches);
   }

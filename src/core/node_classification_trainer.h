@@ -49,9 +49,20 @@ class NodeClassificationTrainer {
   PreparedBatch PrepareBatch(const std::vector<int64_t>& nodes, uint64_t batch_seed) const;
   // Pipeline stage 3 (calling thread, in batch order).
   float ConsumeBatch(PreparedBatch& batch);
-  // Runs all batches through the TrainingPipeline (serial when !config_.pipelined).
-  void RunBatches(const std::vector<int64_t>& nodes, const NeighborIndex& index,
-                  EpochStats* stats);
+  // Builds the epoch's PipelineSession (one session spans all partition sets; the
+  // producer closure reads the run_* members RunBatches swaps between segments).
+  std::unique_ptr<PipelineSession> MakeSession(EpochStats* stats);
+  // Runs one partition set's batches as a session segment (serial when
+  // !config_.pipelined) and folds its timings into `stats`.
+  PipelineStats RunBatches(const std::vector<int64_t>& nodes,
+                           const NeighborIndex& index, PipelineSession* session,
+                           EpochStats* stats);
+  // Reports a partition-set boundary into the pipeline layer: records the set's
+  // worker decision and feeds the controller its signal window; the controller may
+  // resize the session's workers for the next set.
+  void ReportSetBoundary(PipelineSession* session, const PipelineStats& ps,
+                         const ComputeStats& compute_before, double io_stall_delta,
+                         double window_seconds, bool more_sets, EpochStats* stats);
   Tensor GatherFeatures(const std::vector<int64_t>& nodes, bool from_graph);
   Tensor InferLogits(const std::vector<int64_t>& nodes, const NeighborIndex& index);
 
@@ -62,8 +73,15 @@ class NodeClassificationTrainer {
   // Stage-3 parallel compute (see src/util/compute.h).
   ComputeStats compute_stats_;
   ComputeContext compute_;
-  // Adaptive stage-1/stage-3 pool split (see training_pipeline.h).
-  AdaptiveWorkerSplit worker_split_;
+  // In-epoch pipeline controller (see pipeline_controller.h).
+  PipelineController controller_;
+
+  // Current segment's producer state, swapped by RunBatches between partition
+  // sets (safe: workers never claim an index beyond the announced limit).
+  const std::vector<int64_t>* run_nodes_ = nullptr;
+  uint64_t run_seed_ = 0;
+  int64_t run_batch_base_ = 0;
+  int64_t run_total_ = 0;
 
   std::unique_ptr<GnnEncoder> encoder_;
   std::unique_ptr<BlockEncoder> block_encoder_;

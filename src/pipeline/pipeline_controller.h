@@ -1,0 +1,127 @@
+// In-epoch pipeline controller: decides the stage-1 sampling-worker count from a
+// per-window signal vector instead of a single end-of-epoch efficiency number.
+//
+// The pipeline's three stages share one ThreadPool, so the split between stage-1
+// sampling workers and stage-3 compute chunks is a zero-sum allocation. The
+// controller observes one window per partition set (or per epoch in fallback
+// mode) and moves the split one worker at a time with hysteresis:
+//
+//   1. compute_parallel_efficiency below the low threshold — compute chunks are
+//      starved of pool threads — shrinks the sampling side (the legacy
+//      AdaptiveWorkerSplit rule, highest priority);
+//   2. efficiency above the high threshold grows it back;
+//   3. in the dead band the queue-depth signal refines the decision (the same
+//      back-pressure reading credit-based pull schedulers use): a window whose
+//      time-weighted queue occupancy sits near capacity means producers are ahead
+//      of compute and extra samplers are wasted — shrink; a near-empty queue
+//      combined with real consumer stall time means batch construction is the
+//      bottleneck — grow;
+//   4. windows dominated by unhidden partition-IO stalls hold: no worker split
+//      can hide IO the prefetcher missed.
+//
+// Because the decision only ever changes the worker count — which the pipeline's
+// determinism contract guarantees can never change the batch stream — mid-epoch
+// resizes preserve bitwise-identical loss/MRR trajectories by construction, even
+// though every input to the decision is host-timing noise.
+#ifndef SRC_PIPELINE_PIPELINE_CONTROLLER_H_
+#define SRC_PIPELINE_PIPELINE_CONTROLLER_H_
+
+#include <vector>
+
+#include "src/pipeline/training_pipeline.h"
+#include "src/util/compute.h"
+
+namespace mariusgnn {
+
+// When the controller is allowed to act: at every partition-set boundary
+// (mid-epoch), or only between epochs (the legacy AdaptiveWorkerSplit behavior,
+// kept as a fallback mode; it also ignores the queue-depth signal so the two
+// modes are decision-for-decision comparable).
+enum class ControllerGranularity {
+  kPartitionSet,
+  kEpoch,
+};
+
+struct PipelineControllerOptions {
+  bool enabled = true;
+  // Workers stay in [min_workers, max_workers] and start at max_workers;
+  // max_workers == 0 (non-pipelined) pins the count at 0.
+  int max_workers = 0;
+  int min_workers = 1;
+  // Stage-3 efficiency hysteresis band (rules 1-2).
+  double par_eff_low = 0.40;
+  double par_eff_high = 0.85;
+  // Queue-occupancy band as fractions of queue capacity (rule 3).
+  double queue_low = 0.25;
+  double queue_high = 0.75;
+  // A window whose io_stall exceeds this fraction of its wall time is IO-bound:
+  // hold (rule 4).
+  double io_stall_hold_fraction = 0.50;
+  // Growing on a near-empty queue additionally requires the consumer to have
+  // stalled for at least this fraction of the window (otherwise compute simply
+  // kept up and the split is fine).
+  double stall_grow_fraction = 0.05;
+  ControllerGranularity granularity = ControllerGranularity::kPartitionSet;
+};
+
+// One observation window: a partition set in kPartitionSet mode, a whole epoch in
+// kEpoch mode. Values are deltas over the window, not epoch cumulatives.
+struct ControllerSignals {
+  double compute_parallel_efficiency = 1.0;
+  // Time-weighted mean queue occupancy as a fraction of capacity, [0, 1]
+  // (PipelineStats::queue_occupancy_mean). Ignored unless has_queue_signal.
+  double queue_occupancy_mean = 0.0;
+  bool has_queue_signal = false;
+  double pipeline_stall_seconds = 0.0;  // consumer blocked waiting for a batch
+  double io_stall_seconds = 0.0;        // unhidden partition-IO stalls
+  double window_seconds = 0.0;          // wall time of the window
+};
+
+class PipelineController {
+ public:
+  explicit PipelineController(PipelineControllerOptions options);
+
+  // Sampling workers the next window should run with.
+  int workers() const { return workers_; }
+
+  // Feeds one window's signals and returns the updated worker count. In kEpoch
+  // mode (or without a queue signal) this is exactly AdaptiveWorkerSplit::Observe
+  // on the efficiency alone.
+  int ObserveWindow(const ControllerSignals& signals);
+
+  // Partition-set boundary hook (both trainers report their boundaries through
+  // this so the wiring cannot diverge): observes the set's window and, when more
+  // sets remain in the epoch, applies a changed decision to the live session via
+  // PipelineSession::Resize, counting it in *resize_count. No-op in kEpoch mode.
+  void ObserveSetWindow(const ControllerSignals& signals, PipelineSession* session,
+                        bool more_sets, int* resize_count);
+
+  // Full set-boundary report: records the set's worker decision into
+  // *workers_per_set, assembles the signal window from the segment's stats and
+  // the compute/IO deltas, and feeds ObserveSetWindow. Both trainers report
+  // through this single entry point so the signal assembly cannot diverge.
+  // Sets that trained nothing (ps.num_items == 0) are recorded but not observed.
+  void ReportSetBoundary(const PipelineStats& ps, const ComputeStats& compute_now,
+                         const ComputeStats& compute_before, double io_stall_delta,
+                         double window_seconds, bool more_sets,
+                         PipelineSession* session, std::vector<int>* workers_per_set,
+                         int* resize_count);
+
+  // Epoch-boundary hook for the kEpoch fallback: one efficiency-only observation
+  // per epoch, exactly the legacy AdaptiveWorkerSplit cadence. No-op in
+  // kPartitionSet mode (the last set's window already covered the epoch tail).
+  void ObserveEpoch(double compute_parallel_efficiency);
+
+  const PipelineControllerOptions& options() const { return options_; }
+
+ private:
+  int Shrink();
+  int Grow();
+
+  PipelineControllerOptions options_;
+  int workers_;
+};
+
+}  // namespace mariusgnn
+
+#endif  // SRC_PIPELINE_PIPELINE_CONTROLLER_H_

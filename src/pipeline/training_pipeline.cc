@@ -1,12 +1,8 @@
 #include "src/pipeline/training_pipeline.h"
 
 #include <algorithm>
-#include <atomic>
-#include <condition_variable>
-#include <map>
-#include <mutex>
+#include <chrono>
 
-#include "src/pipeline/queue.h"
 #include "src/util/check.h"
 #include "src/util/timer.h"
 
@@ -36,25 +32,189 @@ int AdaptiveWorkerSplit::Observe(double compute_parallel_efficiency) {
   return workers_;
 }
 
+PipelineSession::PipelineSession(PipelineOptions options, Producer produce,
+                                 Consumer consume)
+    : options_(std::move(options)),
+      produce_(std::move(produce)),
+      consume_(std::move(consume)),
+      pool_(options_.pool != nullptr ? options_.pool : &ThreadPool::Global()),
+      queue_(options_.queue_capacity) {
+  MG_CHECK(options_.queue_capacity > 0);
+  MG_CHECK(options_.workers >= 0);
+  if (options_.workers > 0) {
+    workers_ = options_.workers;
+    LaunchWorkers(workers_);
+  }
+}
+
+PipelineSession::~PipelineSession() {
+  if (workers_ > 0) {
+    StopWorkers();
+  }
+  queue_.Close();
+}
+
+void PipelineSession::LaunchWorkers(int count) {
+  {
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    window_ = static_cast<int64_t>(options_.queue_capacity) + count;
+    stop_ = false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    workers_left_ = count;
+  }
+  for (int w = 0; w < count; ++w) {
+    pool_->Submit([this] {
+      for (;;) {
+        int64_t i;
+        {
+          std::unique_lock<std::mutex> lock(gate_mu_);
+          gate_cv_.wait(lock, [this] {
+            return stop_ ||
+                   (next_ticket_ < announced_ && next_ticket_ < consumed_ + window_);
+          });
+          if (stop_) {
+            break;
+          }
+          i = next_ticket_++;
+        }
+        WallTimer timer;
+        std::shared_ptr<void> item = produce_(i);
+        sample_nanos_.fetch_add(static_cast<int64_t>(timer.Seconds() * 1e9),
+                                std::memory_order_relaxed);
+        if (!queue_.Push(Produced{i, std::move(item)})) {
+          break;  // queue closed (session teardown)
+        }
+      }
+      std::lock_guard<std::mutex> lock(done_mu_);
+      if (--workers_left_ == 0) {
+        done_cv_.notify_all();
+      }
+    });
+  }
+}
+
+void PipelineSession::StopWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    stop_ = true;
+  }
+  gate_cv_.notify_all();
+  // Workers parked on the gate exit immediately; a worker mid-produce finishes and
+  // pushes first. With the consumer idle the queue can be (or fill) full, so drain
+  // it into the reorder buffer — bounded by the window gate at window_ entries —
+  // until every worker has exited.
+  std::unique_lock<std::mutex> lock(done_mu_);
+  while (workers_left_ > 0) {
+    lock.unlock();
+    while (std::optional<Produced> got = queue_.TryPop()) {
+      reorder_.emplace(got->index, std::move(got->item));
+    }
+    lock.lock();
+    done_cv_.wait_for(lock, std::chrono::milliseconds(1),
+                      [this] { return workers_left_ == 0; });
+  }
+  lock.unlock();
+  // Items pushed between the last drain and the final worker exit.
+  while (std::optional<Produced> got = queue_.TryPop()) {
+    reorder_.emplace(got->index, std::move(got->item));
+  }
+}
+
+void PipelineSession::Resize(int new_workers) {
+  MG_CHECK_MSG(workers_ >= 1, "Resize requires a threaded session (workers >= 1)");
+  MG_CHECK_MSG(new_workers >= 1, "Resize target must be >= 1 worker");
+  if (new_workers == workers_) {
+    return;
+  }
+  StopWorkers();
+  workers_ = new_workers;
+  ++resize_count_;
+  LaunchWorkers(new_workers);
+}
+
+int64_t PipelineSession::Extend(int64_t count) {
+  MG_CHECK(count >= 0);
+  int64_t total;
+  {
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    announced_ += count;
+    total = announced_;
+  }
+  gate_cv_.notify_all();
+  return total;
+}
+
+PipelineStats PipelineSession::ConsumeSerial(int64_t target) {
+  PipelineStats stats;
+  while (consumed_ < target) {
+    const int64_t i = consumed_;
+    WallTimer sample_timer;
+    std::shared_ptr<void> item = produce_(i);
+    stats.sample_seconds += sample_timer.Seconds();
+    WallTimer compute_timer;
+    consume_(item.get(), i);
+    stats.compute_seconds += compute_timer.Seconds();
+    ++consumed_;
+  }
+  return stats;
+}
+
+PipelineStats PipelineSession::Consume(int64_t count) {
+  MG_CHECK(count >= 0);
+  const int64_t target = consumed_ + count;
+  MG_CHECK_MSG(target <= announced_, "Consume beyond the announced stream");
+  if (workers_ == 0) {
+    PipelineStats stats = ConsumeSerial(target);
+    stats.num_items = count;
+    return stats;
+  }
+
+  // The queue-occupancy window covers exactly this segment: reset on entry,
+  // snapshot on exit.
+  (void)queue_.WindowStats();
+  const int64_t sample_nanos_start = sample_nanos_.load(std::memory_order_relaxed);
+
+  PipelineStats stats;
+  while (consumed_ < target) {
+    auto it = reorder_.find(consumed_);
+    if (it == reorder_.end()) {
+      WallTimer wait_timer;
+      std::optional<Produced> got = queue_.Pop();
+      stats.stall_seconds += wait_timer.Seconds();
+      MG_CHECK(got.has_value());
+      reorder_.emplace(got->index, std::move(got->item));
+      continue;
+    }
+    std::shared_ptr<void> item = std::move(it->second);
+    reorder_.erase(it);
+    WallTimer compute_timer;
+    consume_(item.get(), consumed_);
+    stats.compute_seconds += compute_timer.Seconds();
+    {
+      std::lock_guard<std::mutex> lock(gate_mu_);
+      ++consumed_;
+    }
+    gate_cv_.notify_all();
+  }
+
+  stats.num_items = count;
+  stats.workers = workers_;
+  stats.sample_seconds =
+      static_cast<double>(sample_nanos_.load(std::memory_order_relaxed) -
+                          sample_nanos_start) *
+      1e-9;
+  const QueueStats qs = queue_.WindowStats();
+  stats.queue_occupancy_mean =
+      qs.MeanOccupancy() / static_cast<double>(queue_.capacity());
+  return stats;
+}
+
 TrainingPipeline::TrainingPipeline(PipelineOptions options)
     : options_(std::move(options)) {
   MG_CHECK(options_.queue_capacity > 0);
   MG_CHECK(options_.workers >= 0);
-}
-
-PipelineStats TrainingPipeline::RunSerial(int64_t n, const Producer& produce,
-                                          const Consumer& consume) {
-  PipelineStats stats;
-  for (int64_t i = 0; i < n; ++i) {
-    WallTimer sample_timer;
-    std::shared_ptr<void> item = produce(i);
-    stats.sample_seconds += sample_timer.Seconds();
-    WallTimer compute_timer;
-    consume(item.get(), i);
-    stats.compute_seconds += compute_timer.Seconds();
-  }
-  stats.num_items = n;
-  return stats;
 }
 
 PipelineStats TrainingPipeline::Run(int64_t n, const Producer& produce,
@@ -62,94 +222,8 @@ PipelineStats TrainingPipeline::Run(int64_t n, const Producer& produce,
   if (n <= 0) {
     return PipelineStats();
   }
-  if (options_.workers <= 0) {
-    return RunSerial(n, produce, consume);
-  }
-  ThreadPool& pool = options_.pool != nullptr ? *options_.pool : ThreadPool::Global();
-  const int workers = options_.workers;
-
-  struct Produced {
-    int64_t index;
-    std::shared_ptr<void> item;
-  };
-  BoundedQueue<Produced> queue(options_.queue_capacity);
-
-  // Ticket counter: each worker claims the next unclaimed batch index. The window
-  // gate stops a worker from *starting* an index more than `window` ahead of the
-  // consumer, which bounds the reorder buffer at `window` entries.
-  std::atomic<int64_t> next_ticket{0};
-  const int64_t window =
-      static_cast<int64_t>(options_.queue_capacity) + static_cast<int64_t>(workers);
-  std::mutex gate_mu;
-  std::condition_variable gate_cv;
-  int64_t consumed = 0;  // guarded by gate_mu
-
-  std::atomic<int64_t> sample_nanos{0};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  int workers_left = workers;  // guarded by done_mu
-
-  for (int w = 0; w < workers; ++w) {
-    pool.Submit([&] {
-      for (;;) {
-        const int64_t i = next_ticket.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) {
-          break;
-        }
-        {
-          std::unique_lock<std::mutex> lock(gate_mu);
-          gate_cv.wait(lock, [&] { return i < consumed + window; });
-        }
-        WallTimer timer;
-        std::shared_ptr<void> item = produce(i);
-        sample_nanos.fetch_add(static_cast<int64_t>(timer.Seconds() * 1e9),
-                               std::memory_order_relaxed);
-        MG_CHECK(queue.Push(Produced{i, std::move(item)}));
-      }
-      std::lock_guard<std::mutex> lock(done_mu);
-      if (--workers_left == 0) {
-        done_cv.notify_all();
-      }
-    });
-  }
-
-  // Reassembly + compute on the calling thread: drain the queue into a reorder
-  // buffer and consume strictly in index order.
-  PipelineStats stats;
-  std::map<int64_t, std::shared_ptr<void>> reorder;
-  int64_t next_consume = 0;
-  while (next_consume < n) {
-    auto it = reorder.find(next_consume);
-    if (it == reorder.end()) {
-      WallTimer wait_timer;
-      std::optional<Produced> got = queue.Pop();
-      stats.stall_seconds += wait_timer.Seconds();
-      MG_CHECK(got.has_value());
-      reorder.emplace(got->index, std::move(got->item));
-      continue;
-    }
-    std::shared_ptr<void> item = std::move(it->second);
-    reorder.erase(it);
-    WallTimer compute_timer;
-    consume(item.get(), next_consume);
-    stats.compute_seconds += compute_timer.Seconds();
-    ++next_consume;
-    {
-      std::lock_guard<std::mutex> lock(gate_mu);
-      consumed = next_consume;
-    }
-    gate_cv.notify_all();
-  }
-
-  // All n items were pushed and consumed, so every worker's ticket loop is past the
-  // end; wait for the loop bodies to finish before the stack state goes away.
-  {
-    std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&] { return workers_left == 0; });
-  }
-  stats.sample_seconds = static_cast<double>(sample_nanos.load()) * 1e-9;
-  stats.num_items = n;
-  return stats;
+  PipelineSession session(options_, produce, consume);
+  return session.RunSegment(n);
 }
 
 }  // namespace mariusgnn

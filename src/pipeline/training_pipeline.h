@@ -18,16 +18,28 @@
 // runs it or in which order batches finish. A window gate keeps workers at most
 // queue_capacity + workers batches ahead of the consumer, bounding memory.
 //
+// PipelineSession is the resumable form of the engine: one session spans an epoch,
+// the item stream is announced in segments (one per partition set), and the stage-1
+// worker count can be resized at any point between Consume calls — the ticket
+// counter, window gate, and reorder buffer survive the resize, so the
+// PipelineController can rebalance the stage-1/stage-3 split mid-epoch without
+// flushing the pipeline or perturbing the batch stream.
+//
 // The partition-IO stage of Figure 2 lives in PartitionBuffer::Prefetch (storage
 // layer); OrderingPolicy::Lookahead tells the trainer which partitions to stage next.
 #ifndef SRC_PIPELINE_TRAINING_PIPELINE_H_
 #define SRC_PIPELINE_TRAINING_PIPELINE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <utility>
 
+#include "src/pipeline/queue.h"
 #include "src/util/check.h"
 #include "src/util/threadpool.h"
 
@@ -44,21 +56,28 @@ struct PipelineOptions {
   ThreadPool* pool = nullptr;
 };
 
-// Per-stage timing breakdown of one pipeline run.
+// Per-stage timing breakdown of one pipeline run (or one session segment).
 struct PipelineStats {
   double sample_seconds = 0.0;   // total batch-construction time across workers
   double compute_seconds = 0.0;  // total consumer-callback time
   double stall_seconds = 0.0;    // consumer time blocked waiting for the next batch
   int64_t num_items = 0;
+  // Stage-1 workers the segment ran with, and the time-weighted mean occupancy of
+  // the pipeline queue over the segment as a fraction of its capacity (the
+  // back-pressure signal the PipelineController feeds on; 0 for serial runs).
+  int workers = 0;
+  double queue_occupancy_mean = 0.0;
 };
 
-// Adaptive stage-1/stage-3 pool split (the ROADMAP's "pipeline-vs-compute pool
-// contention" item). Sampling workers and compute chunks share one ThreadPool;
-// when the stage-3 kernels report low parallel efficiency it is usually because
-// epoch-long sampling workers occupy the pool and the compute helpers cannot find
-// idle threads. Shrinking the sampling-worker count hands that capacity back to
-// compute — the right trade whenever compute (not sampling) is the bottleneck,
-// because the queue is full and extra producers only wait on the window gate.
+// Adaptive stage-1/stage-3 pool split (the efficiency-hysteresis primitive inside
+// PipelineController, kept as its own class because the rule is independently
+// useful and independently tested). Sampling workers and compute chunks share one
+// ThreadPool; when the stage-3 kernels report low parallel efficiency it is usually
+// because epoch-long sampling workers occupy the pool and the compute helpers
+// cannot find idle threads. Shrinking the sampling-worker count hands that capacity
+// back to compute — the right trade whenever compute (not sampling) is the
+// bottleneck, because the queue is full and extra producers only wait on the
+// window gate.
 //
 // The controller moves one worker per observation with hysteresis: shrink while
 // efficiency < low_threshold, grow back while > high_threshold, hold in between.
@@ -89,17 +108,113 @@ class AdaptiveWorkerSplit {
   int workers_;
 };
 
+// A resumable pipeline run. The logical item stream is open-ended: Extend
+// announces more items (workers may start producing them immediately, subject to
+// the window gate), Consume delivers the next `count` announced items to the
+// consumer strictly in index order, and Resize changes the stage-1 worker count
+// in place — items already produced (in the queue or the reorder buffer), the
+// ticket counter, and the consumption cursor all survive, so a resize can never
+// change what is produced or the order it is consumed in.
+//
+// Workers never claim an index beyond the announced limit. That is what makes
+// per-partition-set segments safe: the producer callback may read per-set state
+// (neighbor index, negative sampler, seed) that the caller swaps between
+// segments, because no worker can run ahead into a segment that has not been
+// announced. The swap is ordered by the gate mutex: state written before
+// Extend/Consume is visible to every worker that claims one of the new indices.
+//
+// Threading: Extend/Consume/Resize/stats must be called from the owning thread
+// (the consumer); the producer callback runs on pool workers and must be
+// thread-safe + index-deterministic.
+class PipelineSession {
+ public:
+  using Producer = std::function<std::shared_ptr<void>(int64_t index)>;
+  using Consumer = std::function<void(void* item, int64_t index)>;
+
+  PipelineSession(PipelineOptions options, Producer produce, Consumer consume);
+  ~PipelineSession();
+
+  PipelineSession(const PipelineSession&) = delete;
+  PipelineSession& operator=(const PipelineSession&) = delete;
+
+  // Announces `count` more items of the stream. Returns the new announced total.
+  int64_t Extend(int64_t count);
+
+  // Consumes the next `count` announced items in index order and returns the
+  // segment's stage timings. Requires consumed() + count <= announced().
+  PipelineStats Consume(int64_t count);
+
+  // Extend + Consume: the common one-segment-per-partition-set shape.
+  PipelineStats RunSegment(int64_t count) {
+    Extend(count);
+    return Consume(count);
+  }
+
+  // Quiesces the current workers (draining any that block on the full queue into
+  // the reorder buffer), then relaunches with `new_workers`. Only valid on
+  // threaded sessions (constructed with workers >= 1) and with new_workers >= 1;
+  // a no-op when the count is unchanged. Never changes the consumed sequence.
+  void Resize(int new_workers);
+
+  int workers() const { return workers_; }
+  int resize_count() const { return resize_count_; }
+  int64_t announced() const { return announced_; }
+  int64_t consumed() const { return consumed_; }
+  // Current queue depth (diagnostics/tests; stale immediately).
+  size_t queue_size() const { return queue_.Size(); }
+  size_t queue_capacity() const { return queue_.capacity(); }
+
+ private:
+  struct Produced {
+    int64_t index;
+    std::shared_ptr<void> item;
+  };
+
+  void LaunchWorkers(int count);
+  // Stops the workers and waits for them to exit, draining the queue into the
+  // reorder buffer so producers blocked on a full queue can finish their push.
+  void StopWorkers();
+  PipelineStats ConsumeSerial(int64_t target);
+
+  PipelineOptions options_;
+  Producer produce_;
+  Consumer consume_;
+  ThreadPool* pool_;
+  BoundedQueue<Produced> queue_;
+
+  // Ticket claiming and the batch-window gate. Workers claim the next index under
+  // gate_mu_ only when it is below both the announced limit and consumed + window
+  // (window = queue_capacity + workers, recomputed on resize).
+  std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
+  int64_t announced_ = 0;    // guarded by gate_mu_; read lock-free by the owner
+  int64_t consumed_ = 0;     // guarded by gate_mu_; read lock-free by the owner
+  int64_t next_ticket_ = 0;  // guarded by gate_mu_
+  int64_t window_ = 0;       // guarded by gate_mu_
+  bool stop_ = false;        // guarded by gate_mu_
+
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  int workers_left_ = 0;  // guarded by done_mu_
+
+  int workers_ = 0;  // current launched worker count (owner thread only)
+  int resize_count_ = 0;
+  std::atomic<int64_t> sample_nanos_{0};
+  std::map<int64_t, std::shared_ptr<void>> reorder_;  // owner thread only
+};
+
 class TrainingPipeline {
  public:
   explicit TrainingPipeline(PipelineOptions options = PipelineOptions());
 
   // Type-erased item stream. Producer may run on any worker thread and must be
   // thread-safe + index-deterministic; consumer runs on the calling thread, in order.
-  using Producer = std::function<std::shared_ptr<void>(int64_t index)>;
-  using Consumer = std::function<void(void* item, int64_t index)>;
+  using Producer = PipelineSession::Producer;
+  using Consumer = PipelineSession::Consumer;
 
   // Runs producer(i) / consumer(item, i) for i in [0, n); returns stage timings.
-  // Exceptions are not expected (library code aborts via MG_CHECK).
+  // Exceptions are not expected (library code aborts via MG_CHECK). Implemented as
+  // a one-segment PipelineSession.
   PipelineStats Run(int64_t n, const Producer& produce, const Consumer& consume);
 
   // Typed convenience wrapper.
@@ -132,8 +247,6 @@ class TrainingPipeline {
   const PipelineOptions& options() const { return options_; }
 
  private:
-  PipelineStats RunSerial(int64_t n, const Producer& produce, const Consumer& consume);
-
   PipelineOptions options_;
 };
 

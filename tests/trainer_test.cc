@@ -2,6 +2,8 @@
 // configuration the paper exercises — in-memory/disk, DENSE/baseline, LP/NC.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "src/core/link_prediction_trainer.h"
 #include "src/core/node_classification_trainer.h"
 #include "src/data/datasets.h"
@@ -626,6 +628,217 @@ TEST(NodeClassification, AdaptiveWorkerSplitDoesNotChangeTrajectory) {
     return loss;
   };
   EXPECT_DOUBLE_EQ(run(true), run(false));
+}
+
+TEST(LinkPrediction, MidEpochResizeDoesNotChangeTrajectory) {
+  // Disk mode with thresholds above any real efficiency forces a shrink at every
+  // partition-set boundary, so the controller demonstrably resizes the live
+  // session mid-epoch — while the loss/MRR trajectory stays bitwise identical to
+  // the fixed-worker run, because a resize only ever changes the worker count.
+  Graph g = Fb15k237Like(0.05);
+  ThreadPool pool(4);
+  auto run = [&](bool adaptive) {
+    TrainingConfig config = SmallLpConfig();
+    config.use_disk = true;
+    config.num_physical = 8;
+    config.num_logical = 4;
+    config.buffer_capacity = 4;
+    config.pipelined = true;
+    config.pipeline_workers = 3;
+    config.parallel_compute = true;
+    config.compute_pool = &pool;
+    config.pipeline_pool = &pool;  // sampling + compute share one pool
+    config.adaptive_pipeline_workers = adaptive;
+    config.adaptive_within_epoch = true;
+    config.adaptive_par_eff_low = 2.0;  // force a shrink at every boundary
+    config.adaptive_par_eff_high = 3.0;
+    LinkPredictionTrainer trainer(&g, config);
+    const EpochStats stats = trainer.TrainEpoch();
+    return std::make_pair(stats, trainer.EvaluateMrr(50, 100));
+  };
+  const auto fixed = run(false);
+  const auto adaptive = run(true);
+  EXPECT_EQ(adaptive.first.loss, fixed.first.loss);
+  EXPECT_EQ(adaptive.second, fixed.second);
+
+  // The fixed run never resizes; the adaptive run resizes mid-epoch.
+  EXPECT_EQ(fixed.first.resize_count, 0);
+  ASSERT_GT(fixed.first.num_partition_sets, 1);
+  for (int w : fixed.first.workers_per_set) {
+    EXPECT_EQ(w, 3);
+  }
+  EXPECT_GE(adaptive.first.resize_count, 1);
+  ASSERT_EQ(static_cast<int64_t>(adaptive.first.workers_per_set.size()),
+            adaptive.first.num_partition_sets);
+  EXPECT_EQ(adaptive.first.workers_per_set.front(), 3);
+  for (size_t i = 1; i < adaptive.first.workers_per_set.size(); ++i) {
+    EXPECT_LE(adaptive.first.workers_per_set[i],
+              adaptive.first.workers_per_set[i - 1]);  // forced shrinks only
+    EXPECT_GE(adaptive.first.workers_per_set[i], 1);
+  }
+  // The per-set record and the queue signal are reported either way.
+  EXPECT_GE(adaptive.first.queue_occupancy_mean, 0.0);
+  EXPECT_LE(adaptive.first.queue_occupancy_mean, 1.0);
+}
+
+TEST(NodeClassification, MidEpochResizeDoesNotChangeTrajectory) {
+  // The NC disk rotation regime (tiny buffer) yields many partition sets per
+  // epoch; forced shrinks at the set boundaries must not perturb the trajectory.
+  Graph g = PapersMini(0.08);
+  ThreadPool pool(4);
+  auto run = [&](bool adaptive) {
+    TrainingConfig config = SmallNcConfig();
+    config.use_disk = true;
+    config.num_physical = 16;
+    config.buffer_capacity = 2;
+    config.pipelined = true;
+    config.pipeline_workers = 2;
+    config.parallel_compute = true;
+    config.compute_pool = &pool;
+    config.pipeline_pool = &pool;
+    config.adaptive_pipeline_workers = adaptive;
+    config.adaptive_within_epoch = true;
+    config.adaptive_par_eff_low = 2.0;
+    config.adaptive_par_eff_high = 3.0;
+    NodeClassificationTrainer trainer(&g, config);
+    return trainer.TrainEpoch();
+  };
+  const EpochStats fixed = run(false);
+  const EpochStats adaptive = run(true);
+  EXPECT_EQ(adaptive.loss, fixed.loss);
+  ASSERT_GT(adaptive.num_partition_sets, 1);
+  EXPECT_GE(adaptive.resize_count, 1);  // shrank 2 -> 1 mid-epoch
+  EXPECT_EQ(fixed.resize_count, 0);
+  EXPECT_EQ(adaptive.workers_per_set.front(), 2);
+  EXPECT_EQ(adaptive.workers_per_set.back(), 1);
+}
+
+TEST(LinkPrediction, EpochFallbackModeHoldsWorkersWithinEpoch) {
+  // adaptive_within_epoch = false restores the legacy epoch-granularity
+  // behavior: every set of an epoch runs the same worker count, resizes only
+  // happen between epochs, and the forced shrink steps once per epoch.
+  Graph g = Fb15k237Like(0.05);
+  ThreadPool pool(4);
+  TrainingConfig config = SmallLpConfig();
+  config.use_disk = true;
+  config.num_physical = 8;
+  config.num_logical = 4;
+  config.buffer_capacity = 4;
+  config.pipelined = true;
+  config.pipeline_workers = 2;
+  config.parallel_compute = true;
+  config.compute_pool = &pool;
+  config.pipeline_pool = &pool;
+  config.adaptive_pipeline_workers = true;
+  config.adaptive_within_epoch = false;
+  config.adaptive_par_eff_low = 2.0;
+  config.adaptive_par_eff_high = 3.0;
+  LinkPredictionTrainer trainer(&g, config);
+  const EpochStats first = trainer.TrainEpoch();
+  const EpochStats second = trainer.TrainEpoch();
+  EXPECT_EQ(first.pipeline_workers, 2);
+  EXPECT_EQ(first.resize_count, 0);
+  for (int w : first.workers_per_set) {
+    EXPECT_EQ(w, 2);
+  }
+  EXPECT_EQ(second.pipeline_workers, 1);  // one shrink at the epoch boundary
+  EXPECT_EQ(second.resize_count, 0);
+  for (int w : second.workers_per_set) {
+    EXPECT_EQ(w, 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden-trajectory regression gate. The determinism sweeps above prove that
+// worker counts, prefetch, and parallel compute cannot change the batch stream;
+// these tests pin the stream itself. The reference values are the bit-exact
+// loss/MRR/accuracy trajectories of the checked-in implementation (fixed seed,
+// IEEE-754 double, no fast-math anywhere in the build), so any future change
+// that silently alters batch construction, seeding, reduction order, or
+// consumption order fails tier-1 here instead of only in the determinism sweeps.
+//
+// To regenerate after an INTENTIONAL stream change: run with
+// --gtest_filter='GoldenTrajectory.*' and copy the "actual" values each failing
+// test prints (they are emitted with %.17g, enough digits to round-trip).
+
+struct GoldenRun {
+  std::vector<double> losses;  // per-epoch mean loss
+  double metric = 0.0;         // MRR (LP) or test accuracy (NC)
+};
+
+void ExpectGolden(const GoldenRun& run, const std::vector<double>& want_losses,
+                  double want_metric) {
+  ASSERT_EQ(run.losses.size(), want_losses.size());
+  for (size_t e = 0; e < want_losses.size(); ++e) {
+    EXPECT_EQ(run.losses[e], want_losses[e])
+        << "epoch " << e << " actual loss: "
+        << ::testing::PrintToString(run.losses[e]).c_str();
+  }
+  EXPECT_EQ(run.metric, want_metric);
+  std::printf("golden actuals: losses={");
+  for (size_t e = 0; e < run.losses.size(); ++e) {
+    std::printf("%s%.17g", e == 0 ? "" : ", ", run.losses[e]);
+  }
+  std::printf("}, metric=%.17g\n", run.metric);
+}
+
+GoldenRun GoldenLpRun(bool use_disk) {
+  Graph g = Fb15k237Like(0.03);
+  TrainingConfig config = SmallLpConfig();
+  config.pipelined = true;
+  config.pipeline_workers = 2;
+  if (use_disk) {
+    config.use_disk = true;
+    config.num_physical = 8;
+    config.num_logical = 4;
+    config.buffer_capacity = 4;
+  }
+  LinkPredictionTrainer trainer(&g, config);
+  GoldenRun run;
+  for (int e = 0; e < 2; ++e) {
+    run.losses.push_back(trainer.TrainEpoch().loss);
+  }
+  run.metric = trainer.EvaluateMrr(50, 100);
+  return run;
+}
+
+GoldenRun GoldenNcRun(bool use_disk) {
+  Graph g = PapersMini(0.05);
+  TrainingConfig config = SmallNcConfig();
+  config.pipelined = true;
+  config.pipeline_workers = 2;
+  if (use_disk) {
+    config.use_disk = true;
+    config.num_physical = 16;
+    config.buffer_capacity = 8;
+  }
+  NodeClassificationTrainer trainer(&g, config);
+  GoldenRun run;
+  for (int e = 0; e < 2; ++e) {
+    run.losses.push_back(trainer.TrainEpoch().loss);
+  }
+  run.metric = trainer.EvaluateTestAccuracy();
+  return run;
+}
+
+TEST(GoldenTrajectory, LinkPredictionInMemory) {
+  ExpectGolden(GoldenLpRun(false),
+               {2.9370360056559246, 2.0135522921880087}, 0.52032430286399378);
+}
+
+TEST(GoldenTrajectory, LinkPredictionDisk) {
+  ExpectGolden(GoldenLpRun(true),
+               {3.0713760495185851, 2.3424148057636462}, 0.47030247547960646);
+}
+
+TEST(GoldenTrajectory, NodeClassificationInMemory) {
+  ExpectGolden(GoldenNcRun(false),
+               {8.0975475311279297, 3.2635064125061035}, 0.34000000000000002);
+}
+
+TEST(GoldenTrajectory, NodeClassificationDisk) {
+  ExpectGolden(GoldenNcRun(true),
+               {8.3907327651977539, 3.291311502456665}, 0.35333333333333333);
 }
 
 TEST(Metrics, RankOfPositive) {
