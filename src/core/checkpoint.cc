@@ -1,0 +1,367 @@
+#include "src/core/checkpoint.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/util/binary_io.h"
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+namespace {
+
+constexpr uint64_t kCheckpointMagic = 0x4D474E4E43503031ULL;  // "MGNNCP01"
+
+// Preamble field offsets (see checkpoint.h for the layout).
+constexpr size_t kOffMagic = 0;
+constexpr size_t kOffVersion = 8;
+constexpr size_t kOffKindLen = 12;
+constexpr size_t kOffManifestBytes = 16;
+constexpr size_t kOffManifestChecksum = 24;
+constexpr size_t kOffDataBytes = 32;
+constexpr size_t kOffDataChecksum = 40;
+constexpr size_t kPreambleBytes = 48;
+
+uint64_t Fnv1a64(const uint8_t* data, size_t len) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+void AppendBytes(std::vector<uint8_t>& buf, const void* src, size_t len) {
+  if (len == 0) {
+    return;  // empty tensors have a null data(); never form a pointer range from it
+  }
+  const uint8_t* p = static_cast<const uint8_t*>(src);
+  buf.insert(buf.end(), p, p + len);
+}
+
+template <typename T>
+void AppendPod(std::vector<uint8_t>& buf, T value) {
+  AppendBytes(buf, &value, sizeof(value));
+}
+
+void AppendString(std::vector<uint8_t>& buf, const std::string& s) {
+  AppendPod<uint32_t>(buf, static_cast<uint32_t>(s.size()));
+  AppendBytes(buf, s.data(), s.size());
+}
+
+// Bounds-checked cursor over an untrusted byte buffer: every primitive read
+// fails (returns false) instead of running past the end, so a truncated
+// manifest surfaces as a clean parse error.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+
+  template <typename T>
+  bool Pod(T* out) {
+    if (len_ - pos_ < sizeof(T)) {
+      return false;
+    }
+    std::memcpy(out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool String(std::string* out, size_t max_len = 4096) {
+    uint32_t n = 0;
+    if (!Pod(&n) || n > max_len || len_ - pos_ < n) {
+      return false;
+    }
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+  bool Done() const { return pos_ == len_; }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+// Reads the whole file into `out` without aborting on a missing/unreadable path.
+bool ReadWholeFile(const std::string& path, std::vector<uint8_t>* out,
+                   std::string* error) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return Fail(error, "cannot open checkpoint '" + path + "': " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Fail(error, "cannot stat checkpoint '" + path + "': " +
+                           std::strerror(errno));
+  }
+  out->resize(static_cast<size_t>(st.st_size));
+  size_t off = 0;
+  while (off < out->size()) {
+    const ssize_t n = ::pread(fd, out->data() + off, out->size() - off,
+                              static_cast<off_t>(off));
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      ::close(fd);
+      return Fail(error, "cannot read checkpoint '" + path + "'");
+    }
+    off += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return true;
+}
+
+}  // namespace
+
+const Tensor& Checkpoint::tensor(const std::string& name) const {
+  for (const auto& [n, t] : tensors) {
+    if (n == name) {
+      return t;
+    }
+  }
+  MG_CHECK_MSG(false, ("checkpoint is missing tensor section '" + name + "'").c_str());
+}
+
+std::string ParamSectionName(size_t index, const char* field) {
+  return "param" + std::to_string(index) + "." + field;
+}
+
+void RestoreParamFromCheckpoint(Parameter* p, const Tensor& value,
+                                const Tensor& state) {
+  MG_CHECK_MSG(value.rows() == p->value.rows() && value.cols() == p->value.cols(),
+               "checkpoint parameter shape mismatch (different model config?)");
+  MG_CHECK_MSG(state.empty() || (state.rows() == value.rows() &&
+                                 state.cols() == value.cols()),
+               "checkpoint optimizer-state shape mismatch");
+  p->value = value;
+  p->state = state;
+  p->grad = Tensor(value.rows(), value.cols());
+}
+
+int64_t Checkpoint::scalar(const std::string& name, int64_t fallback) const {
+  for (const auto& [n, v] : scalars) {
+    if (n == name) {
+      return v;
+    }
+  }
+  return fallback;
+}
+
+void SaveTrainerCheckpointCore(const std::string& kind, uint64_t run_seed,
+                               int64_t epochs_completed, const Rng& rng,
+                               const PipelineController& controller,
+                               const std::vector<Parameter*>& params,
+                               Checkpoint* out) {
+  out->kind = kind;
+  out->run_seed = run_seed;
+  out->epoch = static_cast<uint64_t>(epochs_completed);
+  rng.SaveState(out->rng_state);
+  out->scalars.emplace_back("controller_workers", controller.workers());
+  out->scalars.emplace_back("controller_cooldown",
+                            controller.queue_cooldown_remaining());
+  for (size_t i = 0; i < params.size(); ++i) {
+    out->tensors.emplace_back(ParamSectionName(i, "value"), params[i]->value);
+    out->tensors.emplace_back(ParamSectionName(i, "state"), params[i]->state);
+  }
+}
+
+void RestoreTrainerCheckpointCore(const Checkpoint& ck, const std::string& kind,
+                                  uint64_t run_seed, size_t extra_sections,
+                                  const std::vector<Parameter*>& params, Rng* rng,
+                                  int64_t* epochs_completed,
+                                  PipelineController* controller) {
+  MG_CHECK_MSG(ck.kind == kind,
+               "checkpoint was written by a different trainer kind");
+  MG_CHECK_MSG(ck.run_seed == run_seed,
+               "checkpoint was written with a different run seed");
+  MG_CHECK_MSG(ck.tensors.size() == params.size() * 2 + extra_sections,
+               "checkpoint section count mismatch (different model config?)");
+  for (size_t i = 0; i < params.size(); ++i) {
+    RestoreParamFromCheckpoint(params[i], ck.tensor(ParamSectionName(i, "value")),
+                               ck.tensor(ParamSectionName(i, "state")));
+  }
+  rng->RestoreState(ck.rng_state);
+  *epochs_completed = static_cast<int64_t>(ck.epoch);
+  controller->RestoreState(
+      static_cast<int>(ck.scalar("controller_workers", controller->workers())),
+      static_cast<int>(ck.scalar("controller_cooldown", 0)));
+}
+
+void SaveCheckpoint(const Checkpoint& checkpoint, const std::string& path) {
+  // Manifest blob.
+  std::vector<uint8_t> manifest;
+  AppendBytes(manifest, checkpoint.kind.data(), checkpoint.kind.size());
+  AppendPod<uint64_t>(manifest, checkpoint.run_seed);
+  AppendPod<uint64_t>(manifest, checkpoint.epoch);
+  for (uint64_t w : checkpoint.rng_state) {
+    AppendPod<uint64_t>(manifest, w);
+  }
+  AppendPod<uint32_t>(manifest, static_cast<uint32_t>(checkpoint.scalars.size()));
+  for (const auto& [name, value] : checkpoint.scalars) {
+    AppendString(manifest, name);
+    AppendPod<int64_t>(manifest, value);
+  }
+  AppendPod<uint32_t>(manifest, static_cast<uint32_t>(checkpoint.tensors.size()));
+  uint64_t data_offset = 0;
+  for (const auto& [name, t] : checkpoint.tensors) {
+    AppendString(manifest, name);
+    AppendPod<int64_t>(manifest, t.rows());
+    AppendPod<int64_t>(manifest, t.cols());
+    const uint64_t bytes = static_cast<uint64_t>(t.size()) * sizeof(float);
+    AppendPod<uint64_t>(manifest, data_offset);
+    AppendPod<uint64_t>(manifest, bytes);
+    data_offset += bytes;
+  }
+
+  // Data blob (tensor payloads back to back, matching the manifest offsets).
+  std::vector<uint8_t> data;
+  data.reserve(static_cast<size_t>(data_offset));
+  for (const auto& [name, t] : checkpoint.tensors) {
+    (void)name;
+    AppendBytes(data, t.data(), static_cast<size_t>(t.size()) * sizeof(float));
+  }
+
+  // Preamble.
+  std::vector<uint8_t> preamble;
+  preamble.reserve(kPreambleBytes);
+  AppendPod<uint64_t>(preamble, kCheckpointMagic);
+  AppendPod<uint32_t>(preamble, kCheckpointFormatVersion);
+  AppendPod<uint32_t>(preamble, static_cast<uint32_t>(checkpoint.kind.size()));
+  AppendPod<uint64_t>(preamble, static_cast<uint64_t>(manifest.size()));
+  AppendPod<uint64_t>(preamble, Fnv1a64(manifest.data(), manifest.size()));
+  AppendPod<uint64_t>(preamble, static_cast<uint64_t>(data.size()));
+  AppendPod<uint64_t>(preamble, Fnv1a64(data.data(), data.size()));
+  MG_CHECK(preamble.size() == kPreambleBytes);
+
+  AtomicFile file(path);
+  file.WriteAt(preamble.data(), preamble.size(), 0);
+  file.WriteAt(manifest.data(), manifest.size(), kPreambleBytes);
+  if (!data.empty()) {
+    file.WriteAt(data.data(), data.size(), kPreambleBytes + manifest.size());
+  }
+  file.Commit();
+}
+
+bool LoadCheckpoint(const std::string& path, Checkpoint* out, std::string* error) {
+  std::vector<uint8_t> bytes;
+  if (!ReadWholeFile(path, &bytes, error)) {
+    return false;
+  }
+  if (bytes.size() < kPreambleBytes) {
+    return Fail(error, "corrupt checkpoint: file shorter than the preamble");
+  }
+  auto read_u64 = [&](size_t off) {
+    uint64_t v;
+    std::memcpy(&v, bytes.data() + off, sizeof(v));
+    return v;
+  };
+  auto read_u32 = [&](size_t off) {
+    uint32_t v;
+    std::memcpy(&v, bytes.data() + off, sizeof(v));
+    return v;
+  };
+  if (read_u64(kOffMagic) != kCheckpointMagic) {
+    return Fail(error, "not a checkpoint file (bad magic)");
+  }
+  const uint32_t version = read_u32(kOffVersion);
+  if (version != kCheckpointFormatVersion) {
+    return Fail(error, "unsupported checkpoint format version " +
+                           std::to_string(version) + " (expected " +
+                           std::to_string(kCheckpointFormatVersion) + ")");
+  }
+  const uint32_t kind_len = read_u32(kOffKindLen);
+  const uint64_t manifest_bytes = read_u64(kOffManifestBytes);
+  const uint64_t data_bytes = read_u64(kOffDataBytes);
+  // Overflow-safe size validation before trusting any on-disk length.
+  const uint64_t remaining = bytes.size() - kPreambleBytes;
+  if (manifest_bytes > remaining || data_bytes > remaining - manifest_bytes ||
+      manifest_bytes + data_bytes != remaining) {
+    return Fail(error, "corrupt checkpoint: truncated manifest or data block");
+  }
+  const uint8_t* manifest = bytes.data() + kPreambleBytes;
+  const uint8_t* data = manifest + manifest_bytes;
+  if (Fnv1a64(manifest, manifest_bytes) != read_u64(kOffManifestChecksum)) {
+    return Fail(error, "corrupt checkpoint: manifest checksum mismatch");
+  }
+  if (Fnv1a64(data, data_bytes) != read_u64(kOffDataChecksum)) {
+    return Fail(error, "corrupt checkpoint: data checksum mismatch");
+  }
+
+  Checkpoint ck;
+  if (kind_len > manifest_bytes) {
+    return Fail(error, "corrupt checkpoint: kind length exceeds manifest");
+  }
+  ck.kind.assign(reinterpret_cast<const char*>(manifest), kind_len);
+  Reader body(manifest + kind_len, manifest_bytes - kind_len);
+  uint32_t num_scalars = 0;
+  uint32_t num_sections = 0;
+  bool ok = body.Pod(&ck.run_seed) && body.Pod(&ck.epoch);
+  for (uint64_t& w : ck.rng_state) {
+    ok = ok && body.Pod(&w);
+  }
+  ok = ok && body.Pod(&num_scalars);
+  for (uint32_t i = 0; ok && i < num_scalars; ++i) {
+    std::string name;
+    int64_t value = 0;
+    ok = body.String(&name) && body.Pod(&value);
+    if (ok) {
+      ck.scalars.emplace_back(std::move(name), value);
+    }
+  }
+  ok = ok && body.Pod(&num_sections);
+  for (uint32_t i = 0; ok && i < num_sections; ++i) {
+    std::string name;
+    int64_t rows = 0, cols = 0;
+    uint64_t offset = 0, section_bytes = 0;
+    ok = body.String(&name) && body.Pod(&rows) && body.Pod(&cols) &&
+         body.Pod(&offset) && body.Pod(&section_bytes);
+    if (!ok) {
+      break;
+    }
+    // Overflow-guarded geometry validation: rows * cols * sizeof(float) must
+    // equal section_bytes exactly, and section_bytes <= data_bytes bounds the
+    // product — so wraparound cannot smuggle a huge claimed shape past the
+    // check (Tensor would otherwise overflow rows * cols, UB on int64).
+    const uint64_t urows = static_cast<uint64_t>(rows);
+    const uint64_t ucols = static_cast<uint64_t>(cols);
+    const bool shape_overflows =
+        ucols != 0 && urows > (data_bytes / sizeof(float)) / ucols;
+    if (rows < 0 || cols < 0 || shape_overflows ||
+        urows * ucols * sizeof(float) != section_bytes ||
+        offset > data_bytes || section_bytes > data_bytes - offset) {
+      return Fail(error, "corrupt checkpoint: tensor section '" + name +
+                             "' is out of bounds");
+    }
+    std::vector<float> values(static_cast<size_t>(rows) * cols);
+    if (section_bytes > 0) {
+      std::memcpy(values.data(), data + offset, section_bytes);
+    }
+    ck.tensors.emplace_back(std::move(name), Tensor(rows, cols, std::move(values)));
+  }
+  if (!ok || !body.Done()) {
+    return Fail(error, "corrupt checkpoint: malformed manifest");
+  }
+  *out = std::move(ck);
+  return true;
+}
+
+}  // namespace mariusgnn

@@ -1,0 +1,107 @@
+// Crash-safe checkpoint/restore of training state (epoch-boundary snapshots).
+//
+// A checkpoint is ONE file holding everything a trainer needs to continue a run
+// bitwise-identically to one that never stopped: model parameters with their
+// Adagrad accumulators, the embedding table (values + accumulator state, flushed
+// through the PartitionBuffer in disk mode), the trainer's full RNG state, the
+// run seed, and the number of completed epochs. The determinism contract makes
+// this sufficient — every batch is a pure function of MixSeed(run_seed,
+// batch_index) and consumption is in-order, so restoring {parameters,
+// accumulators, embeddings, RNG words, epoch index} reproduces the exact
+// continuation stream.
+//
+// On-disk layout (host endianness, like every other file in the repo):
+//
+//   [preamble: magic u64 | version u32 | kind_len u32 |
+//    manifest_bytes u64 | manifest_checksum u64 | data_bytes u64 | data_checksum u64]
+//   [manifest: kind chars | run_seed u64 | epoch u64 | rng_state u64[4] |
+//    num_scalars u32, {name_len u32, name, value i64}... |
+//    num_sections u32, {name_len u32, name, rows i64, cols i64,
+//                       data_offset u64, data_bytes u64}...]
+//   [data: tensor payloads back to back, offsets relative to the data block]
+//
+// Both blobs carry FNV-1a 64 checksums; the format version is bumped on any
+// layout change. SaveCheckpoint writes through AtomicFile (tmp → fsync →
+// rename), so a crash mid-save leaves the previous checkpoint intact and at
+// worst a stale <path>.tmp that the next save replaces. LoadCheckpoint validates
+// magic, version, sizes, and checksums before touching any payload and reports
+// corruption as a clear error instead of loading garbage (or aborting inside a
+// huge allocation).
+#ifndef SRC_CORE_CHECKPOINT_H_
+#define SRC_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/nn/parameter.h"
+#include "src/pipeline/pipeline_controller.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace mariusgnn {
+
+inline constexpr uint32_t kCheckpointFormatVersion = 1;
+
+struct Checkpoint {
+  // Which trainer wrote this ("link_prediction" / "node_classification"); resume
+  // refuses a mismatch.
+  std::string kind;
+  uint64_t run_seed = 0;
+  // Epochs completed when the snapshot was taken; training continues at epoch+1.
+  uint64_t epoch = 0;
+  // Full xoshiro256** state of the trainer RNG at the epoch boundary.
+  uint64_t rng_state[4] = {0, 0, 0, 0};
+  // Small named integers (e.g. the pipeline controller's worker decision).
+  std::vector<std::pair<std::string, int64_t>> scalars;
+  // Named tensor sections in a fixed, kind-defined order: weight parameter
+  // values/accumulators, then embedding values/accumulators.
+  std::vector<std::pair<std::string, Tensor>> tensors;
+
+  // Convenience lookups; abort with a clear message when the section is absent
+  // (a well-formed checkpoint of the right kind always has them).
+  const Tensor& tensor(const std::string& name) const;
+  int64_t scalar(const std::string& name, int64_t fallback) const;
+};
+
+// Serialises and writes `checkpoint` to `path` atomically. Aborts on IO errors
+// (consistent with the rest of the storage layer: a failed save must not go
+// unnoticed), never leaves a torn file behind.
+void SaveCheckpoint(const Checkpoint& checkpoint, const std::string& path);
+
+// Reads and validates `path`. Returns false — with a human-readable reason in
+// *error — for any missing, truncated, corrupt, or version-mismatched file;
+// *out is only written on success. Never aborts on bad input.
+bool LoadCheckpoint(const std::string& path, Checkpoint* out, std::string* error);
+
+// Section-name convention shared by both trainers: model parameter i is stored
+// as "param<i>.value" / "param<i>.state" in Parameters() order.
+std::string ParamSectionName(size_t index, const char* field);
+
+// Restores one parameter from its checkpoint sections. The value must match the
+// constructed shape; the accumulator may be empty (optimizer never ran). The
+// gradient is re-zeroed (it is always zero at an epoch boundary).
+void RestoreParamFromCheckpoint(Parameter* p, const Tensor& value,
+                                const Tensor& state);
+
+// The save/restore core both trainers share — kind tag, run seed, epoch count,
+// RNG words, controller scalars, and the model-parameter sections — lives here
+// so the validation sequence cannot drift between the two trainers. Trainers
+// append any extra sections (e.g. the link-prediction embedding table) on top;
+// RestoreTrainerCheckpointCore verifies the total section count is exactly
+// params * 2 + extra_sections.
+void SaveTrainerCheckpointCore(const std::string& kind, uint64_t run_seed,
+                               int64_t epochs_completed, const Rng& rng,
+                               const PipelineController& controller,
+                               const std::vector<Parameter*>& params,
+                               Checkpoint* out);
+void RestoreTrainerCheckpointCore(const Checkpoint& ck, const std::string& kind,
+                                  uint64_t run_seed, size_t extra_sections,
+                                  const std::vector<Parameter*>& params, Rng* rng,
+                                  int64_t* epochs_completed,
+                                  PipelineController* controller);
+
+}  // namespace mariusgnn
+
+#endif  // SRC_CORE_CHECKPOINT_H_

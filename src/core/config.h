@@ -68,6 +68,11 @@ struct TrainingConfig {
   double adaptive_queue_high = 0.75;
   double adaptive_io_stall_hold_fraction = 0.50;
   double adaptive_stall_grow_fraction = 0.05;
+  // Queue-rule decision cool-down: after any worker resize, the queue
+  // back-pressure rules stay quiet for this many windows so the shrink/grow pair
+  // cannot ping-pong on hosts where neither split wins (the efficiency band is
+  // not gated — it has its own hysteresis).
+  int adaptive_queue_cooldown_windows = 2;
   int adaptive_min_workers = 1;
   // Pool overrides for tests/benches; nullptr = ThreadPool::Global(). Pointing both
   // at one pool exercises the production default of sampling workers and compute
@@ -87,6 +92,15 @@ struct TrainingConfig {
   DiskModel disk_model;
   bool prefetch = true;  // overlap partition IO with compute in reported timings
   std::string storage_dir;  // defaults to a fresh temp path
+
+  // Crash-safe checkpointing (src/core/checkpoint.h): every n completed epochs
+  // the trainer writes an atomic epoch-boundary snapshot (model parameters +
+  // Adagrad accumulators, embedding table, RNG/epoch state) to checkpoint_path.
+  // A trainer constructed with the same config can ResumeFrom(checkpoint_path)
+  // and continue bitwise-identically to a run that never stopped. 0 disables
+  // automatic snapshots (SaveCheckpoint can still be called explicitly).
+  int64_t checkpoint_every_n_epochs = 0;
+  std::string checkpoint_path;
 
   int64_t num_layers() const { return static_cast<int64_t>(fanouts.size()); }
 
@@ -123,6 +137,7 @@ struct TrainingConfig {
     options.queue_high = adaptive_queue_high;
     options.io_stall_hold_fraction = adaptive_io_stall_hold_fraction;
     options.stall_grow_fraction = adaptive_stall_grow_fraction;
+    options.queue_cooldown_windows = adaptive_queue_cooldown_windows;
     options.granularity = adaptive_within_epoch ? ControllerGranularity::kPartitionSet
                                                 : ControllerGranularity::kEpoch;
     return PipelineController(options);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "src/core/checkpoint.h"
 #include "src/eval/metrics.h"
 #include "src/pipeline/training_pipeline.h"
 #include "src/policy/beta.h"
@@ -115,6 +116,10 @@ LinkPredictionTrainer::LinkPredictionTrainer(const Graph* graph, TrainingConfig 
     }
     MG_CHECK_MSG(config_.sampler == SamplerKind::kDense,
                  "baseline sampler supports in-memory training only");
+  }
+  if (config_.checkpoint_every_n_epochs > 0) {
+    MG_CHECK_MSG(!config_.checkpoint_path.empty(),
+                 "checkpoint_every_n_epochs requires checkpoint_path");
   }
 }
 
@@ -365,22 +370,74 @@ EpochStats LinkPredictionTrainer::TrainEpochDisk() {
 }
 
 EpochStats LinkPredictionTrainer::TrainEpoch() {
-  return config_.use_disk ? TrainEpochDisk() : TrainEpochInMemory();
+  const EpochStats stats = config_.use_disk ? TrainEpochDisk() : TrainEpochInMemory();
+  ++epochs_completed_;
+  if (config_.checkpoint_every_n_epochs > 0 &&
+      epochs_completed_ % config_.checkpoint_every_n_epochs == 0) {
+    SaveCheckpoint(config_.checkpoint_path);
+  }
+  return stats;
 }
 
+namespace {
+
+constexpr char kLpCheckpointKind[] = "link_prediction";
+
+}  // namespace
+
+void LinkPredictionTrainer::SaveCheckpoint(const std::string& path) {
+  Checkpoint ck;
+  SaveTrainerCheckpointCore(kLpCheckpointKind, config_.seed, epochs_completed_,
+                            rng_, controller_, weight_params_, &ck);
+  if (config_.use_disk) {
+    // Disk mode: the PartitionBuffer flush is the snapshot barrier — ExportAll
+    // drains background IO and evicts every dirty slot before reading the table.
+    ck.tensors.emplace_back("embeddings.values", buffer_->ExportAll());
+    ck.tensors.emplace_back("embeddings.state", buffer_->ExportAllState());
+  } else {
+    ck.tensors.emplace_back("embeddings.values", mem_store_->values());
+    ck.tensors.emplace_back("embeddings.state", mem_store_->state());
+  }
+  mariusgnn::SaveCheckpoint(ck, path);
+}
+
+void LinkPredictionTrainer::ResumeFrom(const std::string& path) {
+  Checkpoint ck;
+  std::string error;
+  MG_CHECK_MSG(LoadCheckpoint(path, &ck, &error), error.c_str());
+  RestoreTrainerCheckpointCore(ck, kLpCheckpointKind, config_.seed,
+                               /*extra_sections=*/2, weight_params_, &rng_,
+                               &epochs_completed_, &controller_);
+  const Tensor& values = ck.tensor("embeddings.values");
+  const Tensor& state = ck.tensor("embeddings.state");
+  if (config_.use_disk) {
+    buffer_->ImportAll(values, &state);
+  } else {
+    MG_CHECK_MSG(values.rows() == mem_store_->values().rows() &&
+                     values.cols() == mem_store_->values().cols(),
+                 "checkpoint embedding shape mismatch");
+    mem_store_->Restore(values, state);
+  }
+}
+
+// Evaluation-time neighborhood samples are seeded from the run seed (not the
+// samplers' internal RNG streams), so metrics are a pure function of model
+// state: repeated evaluations of the same model agree bit-for-bit, and a
+// checkpoint-resumed trainer evaluates identically to the one that saved it.
 Tensor LinkPredictionTrainer::InferReprs(const std::vector<int64_t>& nodes,
                                          const Tensor& values,
                                          const NeighborIndex& index) {
+  const uint64_t eval_seed = MixSeed(config_.seed, 0x4556414CULL);  // "EVAL"
   if (encoder_ != nullptr) {
     dense_sampler_->set_index(&index);
-    DenseBatch batch = dense_sampler_->Sample(nodes);
+    DenseBatch batch = dense_sampler_->SampleSeeded(nodes, eval_seed);
     batch.FinalizeForDevice();
     Tensor h0 = IndexSelect(values, batch.node_ids, &compute_);
     return encoder_->Forward(batch, h0);
   }
   if (block_encoder_ != nullptr) {
     layerwise_sampler_->set_index(&index);
-    LayerwiseSample sample = layerwise_sampler_->Sample(nodes);
+    LayerwiseSample sample = layerwise_sampler_->SampleSeeded(nodes, eval_seed);
     Tensor h0 = IndexSelect(values, sample.input_nodes(), &compute_);
     return block_encoder_->Forward(sample, h0);
   }

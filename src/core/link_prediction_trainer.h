@@ -39,6 +39,19 @@ class LinkPredictionTrainer {
 
   EpochStats TrainEpoch();
 
+  // Crash-safe checkpointing (src/core/checkpoint.h). SaveCheckpoint writes an
+  // atomic epoch-boundary snapshot: model parameters + Adagrad accumulators, the
+  // embedding table (flushed through the PartitionBuffer in disk mode, values +
+  // accumulator state), the trainer RNG, and the completed-epoch count.
+  // ResumeFrom restores a snapshot into a trainer constructed with the SAME
+  // config; the continued run is bitwise-identical to one that never stopped
+  // (every batch is a pure function of MixSeed(run_seed, batch_index)).
+  // TrainEpoch auto-saves to config.checkpoint_path every
+  // config.checkpoint_every_n_epochs completed epochs.
+  void SaveCheckpoint(const std::string& path);
+  void ResumeFrom(const std::string& path);
+  int64_t epochs_completed() const { return epochs_completed_; }
+
   // Ranking MRR with shared uniform negatives, averaged over dst- and src-corruption.
   // Evaluates on up to max_edges test (or valid) edges. With filtered=true, negatives
   // that form true edges of the graph are excluded from the ranking (the standard
@@ -96,6 +109,7 @@ class LinkPredictionTrainer {
   const Graph* graph_;
   TrainingConfig config_;
   Rng rng_;
+  int64_t epochs_completed_ = 0;
 
   // Stage-3 parallel compute: handle threaded into encoder/decoder/optimizer/store,
   // plus the per-epoch scaling counters behind EpochStats.compute_parallel_efficiency.

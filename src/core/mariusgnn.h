@@ -9,9 +9,27 @@
 //   LinkPredictionTrainer trainer(&graph, config);
 //   for (int epoch = 0; epoch < 5; ++epoch) trainer.TrainEpoch();
 //   double mrr = trainer.EvaluateMrr();
+//
+// Crash-safe checkpointing (src/core/checkpoint.h): both trainers write atomic
+// epoch-boundary snapshots — model parameters + Adagrad accumulators, the
+// embedding table (flushed through the PartitionBuffer in disk mode), and the
+// full RNG/epoch state — behind a format-versioned, checksummed manifest. All
+// persistence goes through the atomic-write primitive in src/util/binary_io.h
+// (tmp file → fsync → rename), so a crash at any point leaves the previous
+// snapshot intact. Because every batch is a pure function of
+// MixSeed(run_seed, batch_index), a resumed run is bitwise-identical to one
+// that never stopped:
+//
+//   config.checkpoint_every_n_epochs = 1;
+//   config.checkpoint_path = "run.ckpt";
+//   LinkPredictionTrainer trainer(&graph, config);   // auto-saves every epoch
+//   ...crash...
+//   LinkPredictionTrainer resumed(&graph, config);   // same config
+//   resumed.ResumeFrom("run.ckpt");                  // continues bit-for-bit
 #ifndef SRC_CORE_MARIUSGNN_H_
 #define SRC_CORE_MARIUSGNN_H_
 
+#include "src/core/checkpoint.h"
 #include "src/core/config.h"
 #include "src/core/link_prediction_trainer.h"
 #include "src/core/node_classification_trainer.h"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/core/checkpoint.h"
 #include "src/pipeline/training_pipeline.h"
 #include "src/policy/policy.h"
 #include "src/tensor/ops.h"
@@ -79,6 +80,10 @@ NodeClassificationTrainer::NodeClassificationTrainer(const Graph* graph,
     buffer_store_ = std::make_unique<BufferedEmbeddingStore>(buffer_.get(),
                                                              /*trainable=*/false);
     buffer_store_->set_compute(&compute_);
+  }
+  if (config_.checkpoint_every_n_epochs > 0) {
+    MG_CHECK_MSG(!config_.checkpoint_path.empty(),
+                 "checkpoint_every_n_epochs requires checkpoint_path");
   }
 }
 
@@ -197,6 +202,38 @@ void NodeClassificationTrainer::ReportSetBoundary(
 }
 
 EpochStats NodeClassificationTrainer::TrainEpoch() {
+  const EpochStats stats = TrainEpochImpl();
+  ++epochs_completed_;
+  if (config_.checkpoint_every_n_epochs > 0 &&
+      epochs_completed_ % config_.checkpoint_every_n_epochs == 0) {
+    SaveCheckpoint(config_.checkpoint_path);
+  }
+  return stats;
+}
+
+namespace {
+
+constexpr char kNcCheckpointKind[] = "node_classification";
+
+}  // namespace
+
+void NodeClassificationTrainer::SaveCheckpoint(const std::string& path) {
+  Checkpoint ck;
+  SaveTrainerCheckpointCore(kNcCheckpointKind, config_.seed, epochs_completed_,
+                            rng_, controller_, weight_params_, &ck);
+  mariusgnn::SaveCheckpoint(ck, path);
+}
+
+void NodeClassificationTrainer::ResumeFrom(const std::string& path) {
+  Checkpoint ck;
+  std::string error;
+  MG_CHECK_MSG(LoadCheckpoint(path, &ck, &error), error.c_str());
+  RestoreTrainerCheckpointCore(ck, kNcCheckpointKind, config_.seed,
+                               /*extra_sections=*/0, weight_params_, &rng_,
+                               &epochs_completed_, &controller_);
+}
+
+EpochStats NodeClassificationTrainer::TrainEpochImpl() {
   EpochStats stats;
   compute_stats_.Reset();
   std::vector<int64_t> train = graph_->train_nodes();
@@ -277,18 +314,22 @@ EpochStats NodeClassificationTrainer::TrainEpoch() {
   return stats;
 }
 
+// Evaluation-time samples are seeded from the run seed (see the link-prediction
+// trainer): metrics are a pure function of model state, identical across
+// repeated calls and across a checkpoint resume.
 Tensor NodeClassificationTrainer::InferLogits(const std::vector<int64_t>& nodes,
                                               const NeighborIndex& index) {
+  const uint64_t eval_seed = MixSeed(config_.seed, 0x4556414CULL);  // "EVAL"
   Tensor reprs;
   if (encoder_ != nullptr) {
     dense_sampler_->set_index(&index);
-    DenseBatch batch = dense_sampler_->Sample(nodes);
+    DenseBatch batch = dense_sampler_->SampleSeeded(nodes, eval_seed);
     batch.FinalizeForDevice();
     Tensor h0 = GatherFeatures(batch.node_ids, /*from_graph=*/true);
     reprs = encoder_->Forward(batch, h0);
   } else {
     layerwise_sampler_->set_index(&index);
-    LayerwiseSample sample = layerwise_sampler_->Sample(nodes);
+    LayerwiseSample sample = layerwise_sampler_->SampleSeeded(nodes, eval_seed);
     Tensor h0 = GatherFeatures(sample.input_nodes(), /*from_graph=*/true);
     reprs = block_encoder_->Forward(sample, h0);
   }

@@ -34,6 +34,16 @@ class NodeClassificationTrainer {
 
   EpochStats TrainEpoch();
 
+  // Crash-safe checkpointing (src/core/checkpoint.h): atomic epoch-boundary
+  // snapshot of model parameters + Adagrad accumulators, trainer RNG, and the
+  // completed-epoch count (features are fixed inputs, so no embedding table).
+  // ResumeFrom restores into a trainer constructed with the SAME config; the
+  // continued run is bitwise-identical to one that never stopped. TrainEpoch
+  // auto-saves every config.checkpoint_every_n_epochs completed epochs.
+  void SaveCheckpoint(const std::string& path);
+  void ResumeFrom(const std::string& path);
+  int64_t epochs_completed() const { return epochs_completed_; }
+
   // Multi-class accuracy over a node split, computed with full-graph sampling.
   double EvaluateAccuracy(const std::vector<int64_t>& nodes);
   double EvaluateTestAccuracy() { return EvaluateAccuracy(graph_->test_nodes()); }
@@ -63,12 +73,14 @@ class NodeClassificationTrainer {
   void ReportSetBoundary(PipelineSession* session, const PipelineStats& ps,
                          const ComputeStats& compute_before, double io_stall_delta,
                          double window_seconds, bool more_sets, EpochStats* stats);
+  EpochStats TrainEpochImpl();
   Tensor GatherFeatures(const std::vector<int64_t>& nodes, bool from_graph);
   Tensor InferLogits(const std::vector<int64_t>& nodes, const NeighborIndex& index);
 
   const Graph* graph_;
   TrainingConfig config_;
   Rng rng_;
+  int64_t epochs_completed_ = 0;
 
   // Stage-3 parallel compute (see src/util/compute.h).
   ComputeStats compute_stats_;

@@ -1,6 +1,8 @@
 #include "src/data/serialize.h"
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "src/util/binary_io.h"
 #include "src/util/check.h"
@@ -41,26 +43,37 @@ void SaveGraph(const Graph& graph, const std::string& prefix) {
   meta.n_train_edges = static_cast<int64_t>(graph.train_edges().size());
   meta.n_valid_edges = static_cast<int64_t>(graph.valid_edges().size());
   meta.n_test_edges = static_cast<int64_t>(graph.test_edges().size());
+  // Each component file is replaced atomically (tmp → fsync → rename), so no
+  // individual file can ever be torn. All payloads are staged first and the
+  // renames happen together at the end, with .meta — the file LoadGraph trusts
+  // for every count — committed last: a crash anywhere before the final rename
+  // leaves the previous snapshot fully intact. (A crash inside the brief rename
+  // sequence can still mix generations across component files; true multi-file
+  // atomicity would need the checkpoint layer's single-file manifest format.)
+  std::vector<std::unique_ptr<AtomicFile>> staged;
+  auto stage = [&staged](const std::string& path) -> AtomicFile& {
+    staged.push_back(std::make_unique<AtomicFile>(path));
+    return *staged.back();
+  };
   {
-    File f(prefix + ".meta", /*truncate=*/true);
-    f.WriteAt(&meta, sizeof(meta), 0);
-  }
-  {
-    File f(prefix + ".edges", /*truncate=*/true);
+    AtomicFile& f = stage(prefix + ".edges");
     if (!graph.edges().empty()) {
       f.WriteAt(graph.edges().data(), graph.edges().size() * sizeof(Edge), 0);
     }
   }
   if (graph.has_features()) {
-    File f(prefix + ".feat", /*truncate=*/true);
+    AtomicFile& f = stage(prefix + ".feat");
     f.WriteAt(graph.features().data(),
               static_cast<size_t>(graph.features().size()) * sizeof(float), 0);
   }
   if (!graph.labels().empty()) {
-    WriteVector(prefix + ".labels", graph.labels());
+    AtomicFile& f = stage(prefix + ".labels");
+    const uint64_t count = graph.labels().size();
+    f.WriteAt(&count, sizeof(count), 0);
+    f.WriteAt(graph.labels().data(), count * sizeof(int64_t), sizeof(count));
   }
   {
-    File f(prefix + ".splits", /*truncate=*/true);
+    AtomicFile& f = stage(prefix + ".splits");
     uint64_t offset = 0;
     auto write_split = [&](const std::vector<int64_t>& split) {
       if (!split.empty()) {
@@ -74,6 +87,10 @@ void SaveGraph(const Graph& graph, const std::string& prefix) {
     write_split(graph.train_edges());
     write_split(graph.valid_edges());
     write_split(graph.test_edges());
+  }
+  stage(prefix + ".meta").WriteAt(&meta, sizeof(meta), 0);
+  for (auto& f : staged) {
+    f->Commit();
   }
 }
 

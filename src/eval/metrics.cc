@@ -14,7 +14,11 @@ int64_t RankOfPositive(float positive_score, const std::vector<float>& negative_
       ++equal;
     }
   }
-  return 1 + greater + equal / 2;
+  // Average-rank convention for ties: the positive's expected rank among the
+  // `equal`-scored negatives is (equal + 1) / 2 in the reals; the half-up integer
+  // form keeps ranks integral without the downward bias of truncating equal / 2
+  // (which gave a positive tied with one negative full credit).
+  return 1 + greater + (equal + 1) / 2;
 }
 
 double MrrFromRanks(const std::vector<int64_t>& ranks) {

@@ -14,6 +14,15 @@ PipelineController::PipelineController(PipelineControllerOptions options)
   options_.enabled = options_.enabled && options_.max_workers > 0;
   MG_CHECK(options_.par_eff_low <= options_.par_eff_high);
   MG_CHECK(options_.queue_low <= options_.queue_high);
+  MG_CHECK(options_.queue_cooldown_windows >= 0);
+}
+
+void PipelineController::RestoreState(int workers, int cooldown_remaining) {
+  workers_ = std::min(std::max(workers, options_.max_workers > 0
+                                            ? options_.min_workers
+                                            : 0),
+                      options_.max_workers);
+  cooldown_remaining_ = std::max(0, cooldown_remaining);
 }
 
 int PipelineController::Shrink() {
@@ -34,36 +43,57 @@ int PipelineController::ObserveWindow(const ControllerSignals& signals) {
   if (!options_.enabled) {
     return workers_;
   }
+  const int before = workers_;
+  ObserveWindowImpl(signals);
+  // Any change (from any rule) arms the queue-rule cool-down: the next
+  // queue_cooldown_windows windows let the move's effect reach the occupancy
+  // signal before the opposite queue rule may fire, damping the shrink/grow
+  // ping-pong on hosts where neither split wins.
+  if (workers_ != before) {
+    cooldown_remaining_ = options_.queue_cooldown_windows;
+  } else if (cooldown_remaining_ > 0) {
+    --cooldown_remaining_;
+  }
+  return workers_;
+}
+
+void PipelineController::ObserveWindowImpl(const ControllerSignals& signals) {
   // Rules 1-2: the efficiency hysteresis band. These dominate the queue signal so
   // that fallback (kEpoch) mode and kPartitionSet mode agree whenever efficiency
   // alone is decisive — and so forced-threshold tests stay deterministic.
   if (signals.compute_parallel_efficiency < options_.par_eff_low) {
-    return Shrink();
+    Shrink();
+    return;
   }
   if (signals.compute_parallel_efficiency > options_.par_eff_high) {
-    return Grow();
+    Grow();
+    return;
   }
   if (options_.granularity == ControllerGranularity::kEpoch ||
       !signals.has_queue_signal) {
-    return workers_;  // dead band, no refinement
+    return;  // dead band, no refinement
   }
   // Rule 4: IO-bound window — the stall is on the storage layer, not the split.
   if (signals.window_seconds > 0.0 &&
       signals.io_stall_seconds >
           options_.io_stall_hold_fraction * signals.window_seconds) {
-    return workers_;
+    return;
   }
-  // Rule 3: queue back-pressure refinement inside the dead band.
+  // Rule 3: queue back-pressure refinement inside the dead band, suppressed
+  // while a previous decision's cool-down is still running.
+  if (cooldown_remaining_ > 0) {
+    return;
+  }
   if (signals.queue_occupancy_mean > options_.queue_high) {
-    return Shrink();
+    Shrink();
+    return;
   }
   if (signals.queue_occupancy_mean < options_.queue_low &&
       signals.window_seconds > 0.0 &&
       signals.pipeline_stall_seconds >
           options_.stall_grow_fraction * signals.window_seconds) {
-    return Grow();
+    Grow();
   }
-  return workers_;
 }
 
 void PipelineController::ObserveSetWindow(const ControllerSignals& signals,

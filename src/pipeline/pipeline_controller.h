@@ -61,6 +61,14 @@ struct PipelineControllerOptions {
   // stalled for at least this fraction of the window (otherwise compute simply
   // kept up and the split is fine).
   double stall_grow_fraction = 0.05;
+  // Decision cool-down for the queue back-pressure rules: after any worker-count
+  // change, rule 3 is suppressed for this many subsequent windows. On hosts where
+  // neither split wins, the queue-high shrink and the queue-low grow otherwise
+  // ping-pong every window; the cool-down lets each move's effect show up in the
+  // occupancy signal before the opposite rule may fire. The efficiency band
+  // (rules 1-2) is not gated — it already has hysteresis, and starved compute
+  // must be able to shed workers immediately.
+  int queue_cooldown_windows = 2;
   ControllerGranularity granularity = ControllerGranularity::kPartitionSet;
 };
 
@@ -114,12 +122,22 @@ class PipelineController {
 
   const PipelineControllerOptions& options() const { return options_; }
 
+  // Windows left before the queue rules may act again (0 = not cooling down).
+  int queue_cooldown_remaining() const { return cooldown_remaining_; }
+
+  // Checkpoint/restore of the controller's decision state, so a resumed run
+  // reports the same worker counts as the uninterrupted one (the trajectory is
+  // worker-invariant either way). `workers` is clamped to the configured range.
+  void RestoreState(int workers, int cooldown_remaining);
+
  private:
   int Shrink();
   int Grow();
+  void ObserveWindowImpl(const ControllerSignals& signals);
 
   PipelineControllerOptions options_;
   int workers_;
+  int cooldown_remaining_ = 0;
 };
 
 }  // namespace mariusgnn

@@ -12,6 +12,7 @@
 #define SRC_STORAGE_EMBEDDING_STORE_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/storage/partition_buffer.h"
@@ -66,6 +67,17 @@ class InMemoryEmbeddingStore : public EmbeddingStore {
                       float lr) override;
 
   const Tensor& values() const { return values_; }
+  // Adagrad accumulator table (zero rows for fixed-feature stores).
+  const Tensor& state() const { return state_; }
+
+  // Checkpoint restore: replaces values and accumulator state wholesale. Shapes
+  // must match the store's current geometry.
+  void Restore(Tensor values, Tensor state) {
+    MG_CHECK(values.rows() == values_.rows() && values.cols() == values_.cols());
+    MG_CHECK(state.rows() == state_.rows() && state.cols() == state_.cols());
+    values_ = std::move(values);
+    state_ = std::move(state);
+  }
 
  private:
   Tensor values_;

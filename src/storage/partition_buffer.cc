@@ -322,20 +322,23 @@ float* PartitionBuffer::StateRow(int64_t node) {
   return &state_[static_cast<size_t>(SlotRowOf(node)) * dim_];
 }
 
-Tensor PartitionBuffer::ExportAll() {
+Tensor PartitionBuffer::ExportStream(bool state_stream) {
   FlushAll();
   int64_t num_nodes = 0;
   const int32_t p = partitioning_->num_partitions();
   for (int32_t part = 0; part < p; ++part) {
     num_nodes += partitioning_->PartitionSize(part);
   }
+  const uint64_t stream_offset =
+      state_stream ? static_cast<uint64_t>(max_partition_rows_) * dim_ * sizeof(float)
+                   : 0;
   Tensor out(num_nodes, dim_);
   std::vector<float> scratch(static_cast<size_t>(max_partition_rows_) * dim_);
   for (int32_t part = 0; part < p; ++part) {
     const auto& nodes = partitioning_->NodesIn(part);
     RunIo([&] {
       disk_->Read(scratch.data(), nodes.size() * static_cast<size_t>(dim_) * sizeof(float),
-                  PartitionFileOffset(part));
+                  PartitionFileOffset(part) + stream_offset);
     });
     for (size_t k = 0; k < nodes.size(); ++k) {
       std::memcpy(out.RowPtr(nodes[k]), &scratch[k * static_cast<size_t>(dim_)],
@@ -343,6 +346,51 @@ Tensor PartitionBuffer::ExportAll() {
     }
   }
   return out;
+}
+
+Tensor PartitionBuffer::ExportAll() { return ExportStream(/*state_stream=*/false); }
+
+Tensor PartitionBuffer::ExportAllState() {
+  MG_CHECK_MSG(learnable_, "ExportAllState requires a learnable buffer");
+  return ExportStream(/*state_stream=*/true);
+}
+
+void PartitionBuffer::ImportAll(const Tensor& values, const Tensor* state) {
+  MG_CHECK(values.cols() == dim_);
+  MG_CHECK_MSG((state != nullptr) == learnable_,
+               "ImportAll: state tensor must be supplied iff the buffer is learnable");
+  if (state != nullptr) {
+    MG_CHECK(state->rows() == values.rows() && state->cols() == dim_);
+  }
+  // The table must cover every node of the partitioning: a smaller import (e.g.
+  // a checkpoint from a different graph) would read past the tensor's rows.
+  int64_t num_nodes = 0;
+  for (int32_t part = 0; part < partitioning_->num_partitions(); ++part) {
+    num_nodes += partitioning_->PartitionSize(part);
+  }
+  MG_CHECK_MSG(values.rows() == num_nodes,
+               "ImportAll: table row count does not match the partitioning");
+  // Drop resident copies: FlushAll evicts every slot, so nothing stale can shadow
+  // the imported table on the next SetResident.
+  FlushAll();
+  const int32_t p = partitioning_->num_partitions();
+  std::vector<float> vscratch(static_cast<size_t>(max_partition_rows_) * dim_);
+  std::vector<float> sscratch(learnable_ ? vscratch.size() : 0);
+  for (int32_t part = 0; part < p; ++part) {
+    const auto& nodes = partitioning_->NodesIn(part);
+    for (size_t k = 0; k < nodes.size(); ++k) {
+      std::memcpy(&vscratch[k * static_cast<size_t>(dim_)], values.RowPtr(nodes[k]),
+                  static_cast<size_t>(dim_) * sizeof(float));
+      if (learnable_) {
+        std::memcpy(&sscratch[k * static_cast<size_t>(dim_)], state->RowPtr(nodes[k]),
+                    static_cast<size_t>(dim_) * sizeof(float));
+      }
+    }
+    RunIo([&] {
+      WritePartitionToDisk(part, vscratch.data(),
+                           learnable_ ? sscratch.data() : nullptr);
+    });
+  }
 }
 
 std::vector<int64_t> PartitionBuffer::ResidentNodes() const {

@@ -111,6 +111,16 @@ class PartitionBuffer {
   // id (for post-training evaluation). Flushes dirty partitions first.
   Tensor ExportAll();
 
+  // Same, for the Adagrad accumulator stream (learnable buffers only). Together
+  // with ExportAll this is the checkpoint image of the embedding table.
+  Tensor ExportAllState();
+
+  // Overwrites the full on-disk table (values and, when learnable, accumulator
+  // state) from node-indexed tensors — the inverse of ExportAll/ExportAllState,
+  // used by checkpoint restore. Flushes and evicts everything first, so the next
+  // SetResident reads the imported data. `state` must be non-null iff learnable.
+  void ImportAll(const Tensor& values, const Tensor* state);
+
  private:
   // Prefetched partition data parked between the IO thread and installation.
   struct StagedPartition {
@@ -119,6 +129,7 @@ class PartitionBuffer {
   };
 
   uint64_t PartitionFileOffset(int32_t partition) const;
+  Tensor ExportStream(bool state_stream);
   double LoadIntoSlot(int32_t partition, int32_t slot);
   double EvictSlot(int32_t slot, bool synchronous);
   int64_t SlotRowOf(int64_t node) const;

@@ -1,11 +1,13 @@
 #include "src/util/binary_io.h"
 
 #include <fcntl.h>
+#include <libgen.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <type_traits>
@@ -19,7 +21,9 @@ File::File(const std::string& path, bool truncate) : path_(path) {
   if (truncate) {
     flags |= O_TRUNC;
   }
-  fd_ = ::open(path.c_str(), flags, 0644);
+  do {
+    fd_ = ::open(path.c_str(), flags, 0644);
+  } while (fd_ < 0 && errno == EINTR);
   MG_CHECK_MSG(fd_ >= 0, path.c_str());
 }
 
@@ -34,8 +38,16 @@ void File::ReadAt(void* dst, size_t bytes, uint64_t offset) const {
   size_t remaining = bytes;
   uint64_t off = offset;
   while (remaining > 0) {
-    ssize_t n = ::pread(fd_, p, remaining, static_cast<off_t>(off));
-    MG_CHECK_MSG(n > 0, std::strerror(errno));
+    const ssize_t n = ::pread(fd_, p, remaining, static_cast<off_t>(off));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;  // interrupted by a signal before any data transferred; retry
+      }
+      MG_CHECK_MSG(false, std::strerror(errno));
+    }
+    // pread returning 0 is end-of-file, not an error, so errno is stale here —
+    // report the short read as what it is instead of a misleading strerror.
+    MG_CHECK_MSG(n > 0, "unexpected end of file (short read)");
     p += n;
     off += static_cast<uint64_t>(n);
     remaining -= static_cast<size_t>(n);
@@ -47,8 +59,14 @@ void File::WriteAt(const void* src, size_t bytes, uint64_t offset) {
   size_t remaining = bytes;
   uint64_t off = offset;
   while (remaining > 0) {
-    ssize_t n = ::pwrite(fd_, p, remaining, static_cast<off_t>(off));
-    MG_CHECK_MSG(n > 0, std::strerror(errno));
+    const ssize_t n = ::pwrite(fd_, p, remaining, static_cast<off_t>(off));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      MG_CHECK_MSG(false, std::strerror(errno));
+    }
+    MG_CHECK_MSG(n > 0, "pwrite made no progress");
     p += n;
     off += static_cast<uint64_t>(n);
     remaining -= static_cast<size_t>(n);
@@ -59,21 +77,72 @@ void File::Resize(uint64_t bytes) {
   MG_CHECK(::ftruncate(fd_, static_cast<off_t>(bytes)) == 0);
 }
 
+void File::Sync() {
+  int rc;
+  do {
+    rc = ::fsync(fd_);
+  } while (rc != 0 && errno == EINTR);
+  MG_CHECK_MSG(rc == 0, std::strerror(errno));
+}
+
 uint64_t File::Size() const {
   struct stat st;
   MG_CHECK(::fstat(fd_, &st) == 0);
   return static_cast<uint64_t>(st.st_size);
 }
 
+namespace {
+
+// fsync the directory containing `path` so the rename itself is durable.
+void SyncParentDirectory(const std::string& path) {
+  std::vector<char> buf(path.begin(), path.end());
+  buf.push_back('\0');
+  const char* dir = ::dirname(buf.data());
+  int fd;
+  do {
+    fd = ::open(dir, O_RDONLY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return;  // best effort: some filesystems refuse directory opens
+  }
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+AtomicFile::AtomicFile(const std::string& path)
+    : final_path_(path),
+      tmp_path_(path + ".tmp"),
+      file_(std::make_unique<File>(tmp_path_, /*truncate=*/true)) {}
+
+AtomicFile::~AtomicFile() {
+  if (!committed_) {
+    file_.reset();
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+void AtomicFile::Commit() {
+  MG_CHECK_MSG(!committed_, "AtomicFile::Commit called twice");
+  file_->Sync();
+  file_.reset();  // close before rename
+  MG_CHECK_MSG(std::rename(tmp_path_.c_str(), final_path_.c_str()) == 0,
+               std::strerror(errno));
+  SyncParentDirectory(final_path_);
+  committed_ = true;
+}
+
 template <typename T>
 void WriteVector(const std::string& path, const std::vector<T>& v) {
   static_assert(std::is_trivially_copyable_v<T>);
-  File f(path, /*truncate=*/true);
+  AtomicFile f(path);
   uint64_t count = v.size();
   f.WriteAt(&count, sizeof(count), 0);
   if (count > 0) {
     f.WriteAt(v.data(), count * sizeof(T), sizeof(count));
   }
+  f.Commit();
 }
 
 template <typename T>
@@ -82,6 +151,11 @@ std::vector<T> ReadVector(const std::string& path) {
   File f(path);
   uint64_t count = 0;
   f.ReadAt(&count, sizeof(count), 0);
+  // The on-disk count is untrusted: a truncated or corrupt file must fail here
+  // with a clear message, not inside a multi-GB vector allocation.
+  const uint64_t size = f.Size();
+  MG_CHECK_MSG(count <= (size - sizeof(count)) / sizeof(T),
+               "corrupt vector file: element count exceeds file size");
   std::vector<T> v(count);
   if (count > 0) {
     f.ReadAt(v.data(), count * sizeof(T), sizeof(count));

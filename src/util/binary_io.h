@@ -6,6 +6,7 @@
 #define SRC_UTIL_BINARY_IO_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,14 +21,18 @@ class File {
   File(const File&) = delete;
   File& operator=(const File&) = delete;
 
-  // Reads exactly `bytes` at `offset`; aborts on short read or error.
+  // Reads exactly `bytes` at `offset`; retries EINTR, aborts on IO error or on
+  // end-of-file before `bytes` were read (reported as a short read, not errno).
   void ReadAt(void* dst, size_t bytes, uint64_t offset) const;
 
-  // Writes exactly `bytes` at `offset`; aborts on error.
+  // Writes exactly `bytes` at `offset`; retries EINTR, aborts on error.
   void WriteAt(const void* src, size_t bytes, uint64_t offset);
 
   // Grows or shrinks the file to `bytes`.
   void Resize(uint64_t bytes);
+
+  // Flushes file contents and metadata to stable storage (fsync).
+  void Sync();
 
   uint64_t Size() const;
 
@@ -38,7 +43,41 @@ class File {
   int fd_ = -1;
 };
 
+// Crash-safe whole-file replacement: writes land in `<path>.tmp`, and Commit()
+// fsyncs the data, renames the tmp file over `path`, and fsyncs the containing
+// directory — so a reader only ever observes the previous complete file or the
+// new complete file, never a torn write. A writer destroyed without Commit()
+// (e.g. the process died mid-save) leaves at most a stale `<path>.tmp`, which
+// the next successful Commit() replaces.
+class AtomicFile {
+ public:
+  explicit AtomicFile(const std::string& path);
+  ~AtomicFile();
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  void WriteAt(const void* src, size_t bytes, uint64_t offset) {
+    file_->WriteAt(src, bytes, offset);
+  }
+
+  // fsync + rename + directory fsync. May be called at most once; after Commit
+  // the data is durable under `path`.
+  void Commit();
+
+  const std::string& tmp_path() const { return tmp_path_; }
+
+ private:
+  std::string final_path_;
+  std::string tmp_path_;
+  std::unique_ptr<File> file_;
+  bool committed_ = false;
+};
+
 // Whole-vector helpers (little-endian host layout; used for dataset snapshots).
+// WriteVector replaces the file atomically (AtomicFile); ReadVector validates the
+// on-disk element count against the file size before allocating, so a truncated
+// or corrupt header cannot trigger a huge allocation.
 template <typename T>
 void WriteVector(const std::string& path, const std::vector<T>& v);
 

@@ -109,6 +109,20 @@ class Rng {
   // counts relative to population; order of results is randomized.
   std::vector<int64_t> SampleWithoutReplacement(int64_t population, int64_t count);
 
+  // Checkpoint/restore of the full generator state (the 4 xoshiro256** words): a
+  // restored Rng continues the random stream bit-for-bit where the saved one
+  // left off, which is what makes crash-safe resume bitwise-identical.
+  void SaveState(uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) {
+      out[i] = state_[i];
+    }
+  }
+  void RestoreState(const uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) {
+      state_[i] = in[i];
+    }
+  }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 

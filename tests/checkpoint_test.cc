@@ -1,0 +1,355 @@
+// Checkpoint/restore tests: format round-trip, rejection of every corruption
+// class (truncation, bad checksums, version mismatch, mid-save crash debris),
+// and a real kill-and-resume run (fork + _exit between epochs) that must
+// continue bitwise-identically to an uninterrupted run.
+//
+// The kill-and-resume test forks, so every trainer in this file runs fully
+// serial (no pipeline workers, no parallel compute, no async IO): the child
+// must not inherit a half-initialised thread pool. Determinism makes the
+// serial trajectories identical to the pipelined ones anyway.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/core/checkpoint.h"
+#include "src/core/link_prediction_trainer.h"
+#include "src/data/datasets.h"
+#include "src/util/binary_io.h"
+
+namespace mariusgnn {
+namespace {
+
+Checkpoint SampleCheckpoint() {
+  Checkpoint ck;
+  ck.kind = "link_prediction";
+  ck.run_seed = 7;
+  ck.epoch = 3;
+  for (int i = 0; i < 4; ++i) {
+    ck.rng_state[i] = 0x1111111111111111ULL * (i + 1);
+  }
+  ck.scalars.emplace_back("controller_workers", 2);
+  Tensor a(3, 4);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>(i) * 0.5f;
+  }
+  ck.tensors.emplace_back("param0.value", a);
+  ck.tensors.emplace_back("param0.state", Tensor(3, 4));
+  ck.tensors.emplace_back("empty.state", Tensor());  // never-stepped accumulator
+  return ck;
+}
+
+std::vector<char> Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void Dump(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Checkpoint, RoundTripPreservesEverything) {
+  const std::string path = TempPath("mgnn_ckpt_roundtrip");
+  const Checkpoint saved = SampleCheckpoint();
+  SaveCheckpoint(saved, path);
+
+  Checkpoint loaded;
+  std::string error;
+  ASSERT_TRUE(LoadCheckpoint(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.kind, saved.kind);
+  EXPECT_EQ(loaded.run_seed, saved.run_seed);
+  EXPECT_EQ(loaded.epoch, saved.epoch);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(loaded.rng_state[i], saved.rng_state[i]);
+  }
+  EXPECT_EQ(loaded.scalar("controller_workers", -1), 2);
+  EXPECT_EQ(loaded.scalar("absent", -1), -1);
+  ASSERT_EQ(loaded.tensors.size(), saved.tensors.size());
+  const Tensor& a = loaded.tensor("param0.value");
+  ASSERT_EQ(a.rows(), 3);
+  ASSERT_EQ(a.cols(), 4);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.data()[i], saved.tensor("param0.value").data()[i]);
+  }
+  EXPECT_TRUE(loaded.tensor("empty.state").empty());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileRejectedWithClearError) {
+  Checkpoint ck;
+  std::string error;
+  EXPECT_FALSE(LoadCheckpoint(TempPath("mgnn_ckpt_nonexistent"), &ck, &error));
+  EXPECT_NE(error.find("cannot open checkpoint"), std::string::npos) << error;
+}
+
+TEST(Checkpoint, TruncatedPreambleRejected) {
+  const std::string path = TempPath("mgnn_ckpt_trunc_preamble");
+  SaveCheckpoint(SampleCheckpoint(), path);
+  std::vector<char> bytes = Slurp(path);
+  bytes.resize(20);  // mid-preamble
+  Dump(path, bytes);
+  Checkpoint ck;
+  std::string error;
+  EXPECT_FALSE(LoadCheckpoint(path, &ck, &error));
+  EXPECT_NE(error.find("shorter than the preamble"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncatedManifestRejected) {
+  const std::string path = TempPath("mgnn_ckpt_trunc_manifest");
+  SaveCheckpoint(SampleCheckpoint(), path);
+  std::vector<char> bytes = Slurp(path);
+  bytes.resize(48 + 10);  // preamble plus a sliver of manifest
+  Dump(path, bytes);
+  Checkpoint ck;
+  std::string error;
+  EXPECT_FALSE(LoadCheckpoint(path, &ck, &error));
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ManifestChecksumMismatchRejected) {
+  const std::string path = TempPath("mgnn_ckpt_bad_manifest");
+  SaveCheckpoint(SampleCheckpoint(), path);
+  std::vector<char> bytes = Slurp(path);
+  bytes[50] ^= 0x40;  // inside the manifest blob
+  Dump(path, bytes);
+  Checkpoint ck;
+  std::string error;
+  EXPECT_FALSE(LoadCheckpoint(path, &ck, &error));
+  EXPECT_NE(error.find("manifest checksum"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, DataChecksumMismatchRejected) {
+  const std::string path = TempPath("mgnn_ckpt_bad_data");
+  SaveCheckpoint(SampleCheckpoint(), path);
+  std::vector<char> bytes = Slurp(path);
+  bytes[bytes.size() - 3] ^= 0x01;  // inside the tensor payload
+  Dump(path, bytes);
+  Checkpoint ck;
+  std::string error;
+  EXPECT_FALSE(LoadCheckpoint(path, &ck, &error));
+  EXPECT_NE(error.find("data checksum"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, VersionMismatchRejected) {
+  const std::string path = TempPath("mgnn_ckpt_bad_version");
+  SaveCheckpoint(SampleCheckpoint(), path);
+  std::vector<char> bytes = Slurp(path);
+  bytes[8] = static_cast<char>(kCheckpointFormatVersion + 1);  // version u32
+  Dump(path, bytes);
+  Checkpoint ck;
+  std::string error;
+  EXPECT_FALSE(LoadCheckpoint(path, &ck, &error));
+  EXPECT_NE(error.find("unsupported checkpoint format version"), std::string::npos)
+      << error;
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, NotACheckpointFileRejected) {
+  const std::string path = TempPath("mgnn_ckpt_garbage");
+  Dump(path, std::vector<char>(256, 'x'));
+  Checkpoint ck;
+  std::string error;
+  EXPECT_FALSE(LoadCheckpoint(path, &ck, &error));
+  EXPECT_NE(error.find("bad magic"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, OverflowingTensorShapeRejected) {
+  // A section header claiming rows*cols so large the byte count wraps to match
+  // section_bytes must be rejected by the overflow-guarded geometry check, not
+  // turned into a bogus Tensor. Craft the file from scratch with consistent
+  // checksums so only the geometry check can catch it.
+  auto fnv = [](const std::vector<char>& b) {
+    uint64_t h = 0xCBF29CE484222325ULL;
+    for (char c : b) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001B3ULL;
+    }
+    return h;
+  };
+  auto put = [](std::vector<char>& b, const void* src, size_t len) {
+    const char* p = static_cast<const char*>(src);
+    b.insert(b.end(), p, p + len);
+  };
+  auto put_u32 = [&](std::vector<char>& b, uint32_t v) { put(b, &v, 4); };
+  auto put_u64 = [&](std::vector<char>& b, uint64_t v) { put(b, &v, 8); };
+  auto put_i64 = [&](std::vector<char>& b, int64_t v) { put(b, &v, 8); };
+
+  const std::string kind = "link_prediction";
+  std::vector<char> manifest;
+  put(manifest, kind.data(), kind.size());
+  put_u64(manifest, 7);   // run_seed
+  put_u64(manifest, 1);   // epoch
+  for (int i = 0; i < 4; ++i) {
+    put_u64(manifest, 0);  // rng words
+  }
+  put_u32(manifest, 0);  // num_scalars
+  put_u32(manifest, 1);  // num_sections
+  const std::string name = "param0.value";
+  put_u32(manifest, static_cast<uint32_t>(name.size()));
+  put(manifest, name.data(), name.size());
+  put_i64(manifest, int64_t{1} << 62);  // rows: 2^62
+  put_i64(manifest, 4);                 // cols: 2^62 * 4 * 4 bytes wraps to 0
+  put_u64(manifest, 0);                 // data_offset
+  put_u64(manifest, 0);                 // data_bytes (matches the wrapped product)
+
+  std::vector<char> file;
+  put_u64(file, 0x4D474E4E43503031ULL);  // magic
+  put_u32(file, kCheckpointFormatVersion);
+  put_u32(file, static_cast<uint32_t>(kind.size()));
+  put_u64(file, manifest.size());
+  put_u64(file, fnv(manifest));
+  put_u64(file, 0);  // data_bytes
+  put_u64(file, fnv({}));
+  file.insert(file.end(), manifest.begin(), manifest.end());
+
+  const std::string path = TempPath("mgnn_ckpt_overflow");
+  Dump(path, file);
+  Checkpoint ck;
+  std::string error;
+  EXPECT_FALSE(LoadCheckpoint(path, &ck, &error));
+  EXPECT_NE(error.find("out of bounds"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MidSaveCrashLeavesPreviousCheckpointIntact) {
+  // A crash between the tmp-file write and the rename leaves a stale
+  // `<path>.tmp`; the committed checkpoint must be untouched by it, and the
+  // stale tmp must never be picked up by a load.
+  const std::string path = TempPath("mgnn_ckpt_midsave");
+  Checkpoint first = SampleCheckpoint();
+  first.epoch = 1;
+  SaveCheckpoint(first, path);
+
+  // Simulate the interrupted second save: a complete (even valid!) image parked
+  // at the tmp path that never got renamed.
+  Checkpoint second = SampleCheckpoint();
+  second.epoch = 2;
+  const std::string scratch = TempPath("mgnn_ckpt_midsave_scratch");
+  SaveCheckpoint(second, scratch);
+  Dump(path + ".tmp", Slurp(scratch));
+  std::remove(scratch.c_str());
+
+  Checkpoint loaded;
+  std::string error;
+  ASSERT_TRUE(LoadCheckpoint(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.epoch, 1u);  // the crash never surfaced a partial save
+
+  // The next successful save replaces both the checkpoint and the stale tmp.
+  second.epoch = 3;
+  SaveCheckpoint(second, path);
+  ASSERT_TRUE(LoadCheckpoint(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.epoch, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, StaleTmpAloneIsNotACheckpoint) {
+  // Crash on the very first save: only `<path>.tmp` exists. Resume must fail
+  // cleanly (there never was a durable checkpoint), not read the tmp file.
+  const std::string path = TempPath("mgnn_ckpt_firstsave");
+  const std::string scratch = TempPath("mgnn_ckpt_firstsave_scratch");
+  SaveCheckpoint(SampleCheckpoint(), scratch);
+  Dump(path + ".tmp", Slurp(scratch));
+  std::remove(scratch.c_str());
+  Checkpoint ck;
+  std::string error;
+  EXPECT_FALSE(LoadCheckpoint(path, &ck, &error));
+  EXPECT_NE(error.find("cannot open checkpoint"), std::string::npos) << error;
+  std::remove((path + ".tmp").c_str());
+}
+
+// Fully serial disk-mode LP config (fork-safe: no threads anywhere) that
+// exercises the deepest save path — the PartitionBuffer flush of embedding
+// values + Adagrad state.
+TrainingConfig SerialDiskLpConfig() {
+  TrainingConfig config;
+  config.fanouts = {5};
+  config.dims = {16, 16};
+  config.batch_size = 512;
+  config.num_negatives = 32;
+  config.pipelined = false;
+  config.parallel_compute = false;
+  config.adaptive_pipeline_workers = false;
+  config.use_disk = true;
+  config.num_physical = 8;
+  config.num_logical = 4;
+  config.buffer_capacity = 4;
+  config.prefetch = false;  // no async IO thread
+  return config;
+}
+
+TEST(CheckpointCrash, KillAndResumeProducesIdenticalTrajectory) {
+  Graph g = Fb15k237Like(0.03);
+  const TrainingConfig config = SerialDiskLpConfig();
+
+  // Uninterrupted reference: 3 epochs + MRR.
+  std::vector<double> want_losses;
+  double want_mrr = 0.0;
+  {
+    LinkPredictionTrainer trainer(&g, config);
+    for (int e = 0; e < 3; ++e) {
+      want_losses.push_back(trainer.TrainEpoch().loss);
+    }
+    want_mrr = trainer.EvaluateMrr(50, 100);
+  }
+
+  // Child process: auto-checkpoint every epoch, die hard (_exit, no destructors,
+  // no flushes beyond the checkpoint's own fsync) after epoch 2 — i.e. mid-run.
+  const std::string ckpt = TempPath("mgnn_kill_resume_ckpt");
+  const pid_t pid = fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    TrainingConfig child_config = config;
+    child_config.checkpoint_every_n_epochs = 1;
+    child_config.checkpoint_path = ckpt;
+    LinkPredictionTrainer trainer(&g, child_config);
+    trainer.TrainEpoch();
+    trainer.TrainEpoch();
+    _exit(0);  // simulated crash: the trainer is never torn down
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+
+  // Survivor: resume from the epoch-2 snapshot and finish the run. Epoch 3 and
+  // the final MRR must be bitwise-identical to the uninterrupted run.
+  LinkPredictionTrainer resumed(&g, config);
+  resumed.ResumeFrom(ckpt);
+  EXPECT_EQ(resumed.epochs_completed(), 2);
+  const double resumed_epoch3 = resumed.TrainEpoch().loss;
+  EXPECT_EQ(resumed_epoch3, want_losses[2]);
+  EXPECT_EQ(resumed.EvaluateMrr(50, 100), want_mrr);
+  std::remove(ckpt.c_str());
+}
+
+TEST(CheckpointCrash, ResumeRefusesWrongKindAndSeed) {
+  Graph g = Fb15k237Like(0.03);
+  TrainingConfig config = SerialDiskLpConfig();
+  config.use_disk = false;  // in-memory is enough for the refusal paths
+  const std::string ckpt = TempPath("mgnn_ckpt_refusal");
+  {
+    LinkPredictionTrainer trainer(&g, config);
+    trainer.TrainEpoch();
+    trainer.SaveCheckpoint(ckpt);
+  }
+  // Wrong seed: the batch stream would silently diverge — must abort.
+  TrainingConfig other_seed = config;
+  other_seed.seed = config.seed + 1;
+  LinkPredictionTrainer wrong(&g, other_seed);
+  EXPECT_DEATH(wrong.ResumeFrom(ckpt), "different run seed");
+  std::remove(ckpt.c_str());
+}
+
+}  // namespace
+}  // namespace mariusgnn

@@ -636,6 +636,9 @@ PipelineControllerOptions ControllerOpts(int max_workers, int min_workers = 1) {
   options.min_workers = min_workers;
   options.par_eff_low = 0.4;
   options.par_eff_high = 0.85;
+  // The raw-rule tests below disable the queue-decision cool-down so each window
+  // exercises the rule itself; the QueueCooldown* tests cover the damping.
+  options.queue_cooldown_windows = 0;
   return options;
 }
 
@@ -752,6 +755,67 @@ TEST(PipelineController, FallbackEpochModeMatchesAdaptiveWorkerSplit) {
     signals.compute_parallel_efficiency = par_eff;  // queue fields are decoys
     EXPECT_EQ(controller.ObserveWindow(signals), split.Observe(par_eff)) << i;
   }
+}
+
+TEST(PipelineController, QueueCooldownDampsShrinkGrowPingPong) {
+  // On a host where neither split wins, high-occupancy and low-occupancy+stall
+  // windows can alternate; without a cool-down the queue rules flip the worker
+  // count every single window. The cool-down lets each move settle first.
+  auto run = [](int cooldown_windows) {
+    PipelineControllerOptions options = ControllerOpts(4, 1);
+    options.queue_cooldown_windows = cooldown_windows;
+    PipelineController controller(options);
+    int changes = 0;
+    int prev = controller.workers();
+    for (int i = 0; i < 12; ++i) {
+      // Adversarial alternation: shrink signal, then grow signal, repeat.
+      const int next = controller.ObserveWindow(
+          i % 2 == 0 ? DeadBandQueue(0.95) : DeadBandQueue(0.05, /*stall=*/0.3));
+      if (next != prev) {
+        ++changes;
+      }
+      prev = next;
+    }
+    return changes;
+  };
+  // Undamped, every window flips the decision (12 changes). With a 2-window
+  // cool-down, at most every third window may act.
+  EXPECT_EQ(run(0), 12);
+  EXPECT_LE(run(2), 4);
+  EXPECT_GE(run(2), 1);  // the rule still acts once the cool-down expires
+}
+
+TEST(PipelineController, QueueCooldownCountsDownAndReleases) {
+  PipelineControllerOptions options = ControllerOpts(4, 1);
+  options.queue_cooldown_windows = 2;
+  PipelineController controller(options);
+  EXPECT_EQ(controller.ObserveWindow(DeadBandQueue(0.95)), 3);  // shrink, arm
+  EXPECT_EQ(controller.queue_cooldown_remaining(), 2);
+  EXPECT_EQ(controller.ObserveWindow(DeadBandQueue(0.95)), 3);  // suppressed
+  EXPECT_EQ(controller.ObserveWindow(DeadBandQueue(0.95)), 3);  // suppressed
+  EXPECT_EQ(controller.queue_cooldown_remaining(), 0);
+  EXPECT_EQ(controller.ObserveWindow(DeadBandQueue(0.95)), 2);  // released
+}
+
+TEST(PipelineController, CooldownDoesNotGateEfficiencyRules) {
+  // Starved compute must shed workers immediately: the efficiency band keeps its
+  // own hysteresis and ignores the queue-rule cool-down.
+  PipelineControllerOptions options = ControllerOpts(4, 1);
+  options.queue_cooldown_windows = 3;
+  PipelineController controller(options);
+  EXPECT_EQ(controller.ObserveWindow(DeadBandQueue(0.95)), 3);  // arm cool-down
+  EXPECT_EQ(controller.ObserveWindow(EffOnly(0.1)), 2);         // not gated
+  EXPECT_EQ(controller.ObserveWindow(EffOnly(0.95)), 3);        // not gated
+}
+
+TEST(PipelineController, RestoreStateClampsToConfiguredRange) {
+  PipelineController controller(ControllerOpts(4, 2));
+  controller.RestoreState(/*workers=*/1, /*cooldown_remaining=*/-3);
+  EXPECT_EQ(controller.workers(), 2);
+  EXPECT_EQ(controller.queue_cooldown_remaining(), 0);
+  controller.RestoreState(/*workers=*/9, /*cooldown_remaining=*/1);
+  EXPECT_EQ(controller.workers(), 4);
+  EXPECT_EQ(controller.queue_cooldown_remaining(), 1);
 }
 
 TEST(AdaptiveWorkerSplit, ShrinksGrowsWithHysteresis) {

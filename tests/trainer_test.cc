@@ -8,6 +8,7 @@
 #include "src/core/node_classification_trainer.h"
 #include "src/data/datasets.h"
 #include "src/eval/metrics.h"
+#include "src/util/binary_io.h"
 
 namespace mariusgnn {
 namespace {
@@ -782,7 +783,12 @@ void ExpectGolden(const GoldenRun& run, const std::vector<double>& want_losses,
   std::printf("}, metric=%.17g\n", run.metric);
 }
 
-GoldenRun GoldenLpRun(bool use_disk) {
+// With `resume`, the run is interrupted after epoch 1: the first trainer saves a
+// checkpoint and is destroyed, a second trainer (same config) restores it and
+// trains the remaining epoch. The checkpoint layer guarantees the stitched
+// trajectory is bitwise-identical to the uninterrupted one, so both variants
+// must reproduce the same golden constants.
+GoldenRun GoldenLpRun(bool use_disk, bool resume = false) {
   Graph g = Fb15k237Like(0.03);
   TrainingConfig config = SmallLpConfig();
   config.pipelined = true;
@@ -793,16 +799,31 @@ GoldenRun GoldenLpRun(bool use_disk) {
     config.num_logical = 4;
     config.buffer_capacity = 4;
   }
-  LinkPredictionTrainer trainer(&g, config);
   GoldenRun run;
-  for (int e = 0; e < 2; ++e) {
-    run.losses.push_back(trainer.TrainEpoch().loss);
+  if (!resume) {
+    LinkPredictionTrainer trainer(&g, config);
+    for (int e = 0; e < 2; ++e) {
+      run.losses.push_back(trainer.TrainEpoch().loss);
+    }
+    run.metric = trainer.EvaluateMrr(50, 100);
+    return run;
   }
-  run.metric = trainer.EvaluateMrr(50, 100);
+  const std::string ckpt = TempPath("mgnn_golden_lp_ckpt");
+  {
+    LinkPredictionTrainer trainer(&g, config);
+    run.losses.push_back(trainer.TrainEpoch().loss);
+    trainer.SaveCheckpoint(ckpt);
+  }
+  LinkPredictionTrainer resumed(&g, config);
+  resumed.ResumeFrom(ckpt);
+  EXPECT_EQ(resumed.epochs_completed(), 1);
+  run.losses.push_back(resumed.TrainEpoch().loss);
+  run.metric = resumed.EvaluateMrr(50, 100);
+  std::remove(ckpt.c_str());
   return run;
 }
 
-GoldenRun GoldenNcRun(bool use_disk) {
+GoldenRun GoldenNcRun(bool use_disk, bool resume = false) {
   Graph g = PapersMini(0.05);
   TrainingConfig config = SmallNcConfig();
   config.pipelined = true;
@@ -812,28 +833,45 @@ GoldenRun GoldenNcRun(bool use_disk) {
     config.num_physical = 16;
     config.buffer_capacity = 8;
   }
-  NodeClassificationTrainer trainer(&g, config);
   GoldenRun run;
-  for (int e = 0; e < 2; ++e) {
-    run.losses.push_back(trainer.TrainEpoch().loss);
+  if (!resume) {
+    NodeClassificationTrainer trainer(&g, config);
+    for (int e = 0; e < 2; ++e) {
+      run.losses.push_back(trainer.TrainEpoch().loss);
+    }
+    run.metric = trainer.EvaluateTestAccuracy();
+    return run;
   }
-  run.metric = trainer.EvaluateTestAccuracy();
+  const std::string ckpt = TempPath("mgnn_golden_nc_ckpt");
+  {
+    NodeClassificationTrainer trainer(&g, config);
+    run.losses.push_back(trainer.TrainEpoch().loss);
+    trainer.SaveCheckpoint(ckpt);
+  }
+  NodeClassificationTrainer resumed(&g, config);
+  resumed.ResumeFrom(ckpt);
+  EXPECT_EQ(resumed.epochs_completed(), 1);
+  run.losses.push_back(resumed.TrainEpoch().loss);
+  run.metric = resumed.EvaluateTestAccuracy();
+  std::remove(ckpt.c_str());
   return run;
 }
 
+// MRR constants regenerated when RankOfPositive moved to the average-rank tie
+// convention (the losses are untouched: the batch stream did not change).
 TEST(GoldenTrajectory, LinkPredictionInMemory) {
   ExpectGolden(GoldenLpRun(false),
-               {2.9370360056559246, 2.0135522921880087}, 0.52032430286399378);
+               {2.9370360056559246, 2.0135522921880087}, 0.48917109523447394);
 }
 
 TEST(GoldenTrajectory, LinkPredictionDisk) {
   ExpectGolden(GoldenLpRun(true),
-               {3.0713760495185851, 2.3424148057636462}, 0.47030247547960646);
+               {3.0713760495185851, 2.3424148057636462}, 0.4393313931734697);
 }
 
 TEST(GoldenTrajectory, NodeClassificationInMemory) {
   ExpectGolden(GoldenNcRun(false),
-               {8.0975475311279297, 3.2635064125061035}, 0.34000000000000002);
+               {8.0975475311279297, 3.2635064125061035}, 0.34666666666666668);
 }
 
 TEST(GoldenTrajectory, NodeClassificationDisk) {
@@ -841,11 +879,42 @@ TEST(GoldenTrajectory, NodeClassificationDisk) {
                {8.3907327651977539, 3.291311502456665}, 0.35333333333333333);
 }
 
+// Checkpoint-resume must land on the SAME constants as the uninterrupted runs
+// above: an epoch-k snapshot restores optimizer/embedding/RNG state exactly, so
+// the continuation is bitwise-identical (the strongest checkpoint correctness
+// guarantee the determinism contract makes possible).
+
+TEST(GoldenTrajectory, LinkPredictionInMemoryResume) {
+  ExpectGolden(GoldenLpRun(false, /*resume=*/true),
+               {2.9370360056559246, 2.0135522921880087}, 0.48917109523447394);
+}
+
+TEST(GoldenTrajectory, LinkPredictionDiskResume) {
+  ExpectGolden(GoldenLpRun(true, /*resume=*/true),
+               {3.0713760495185851, 2.3424148057636462}, 0.4393313931734697);
+}
+
+TEST(GoldenTrajectory, NodeClassificationInMemoryResume) {
+  ExpectGolden(GoldenNcRun(false, /*resume=*/true),
+               {8.0975475311279297, 3.2635064125061035}, 0.34666666666666668);
+}
+
+TEST(GoldenTrajectory, NodeClassificationDiskResume) {
+  ExpectGolden(GoldenNcRun(true, /*resume=*/true),
+               {8.3907327651977539, 3.291311502456665}, 0.35333333333333333);
+}
+
 TEST(Metrics, RankOfPositive) {
   EXPECT_EQ(RankOfPositive(1.0f, {0.5f, 0.2f}), 1);
   EXPECT_EQ(RankOfPositive(0.3f, {0.5f, 0.2f}), 2);
   EXPECT_EQ(RankOfPositive(0.1f, {0.5f, 0.2f}), 3);
-  EXPECT_EQ(RankOfPositive(0.5f, {0.5f, 0.5f}), 2);  // ties split
+  // Average-rank tie convention: a positive tied with k negatives ranks
+  // 1 + (k + 1) / 2 (half-up), not the truncated k / 2 that gave a positive
+  // tied with one negative full credit.
+  EXPECT_EQ(RankOfPositive(0.5f, {0.5f, 0.2f}), 2);   // one tie: no full credit
+  EXPECT_EQ(RankOfPositive(0.5f, {0.5f, 0.5f}), 2);   // two ties split around it
+  EXPECT_EQ(RankOfPositive(0.5f, {0.5f, 0.5f, 0.5f}), 3);
+  EXPECT_EQ(RankOfPositive(0.5f, {0.9f, 0.5f}), 3);   // greater + tie combine
 }
 
 TEST(Metrics, MrrFromRanks) {

@@ -282,6 +282,78 @@ TEST(File, VectorRoundTrip) {
   ::remove(path.c_str());
 }
 
+TEST(File, ReadPastEofReportsEofNotErrno) {
+  // EOF is not an errno condition: the old code printed whatever strerror(errno)
+  // happened to hold. The message must name the short read instead.
+  const std::string path = TempPath("util_test_eof");
+  File f(path, /*truncate=*/true);
+  const char data[] = "abc";
+  f.WriteAt(data, 3, 0);
+  char buf[16];
+  EXPECT_DEATH(f.ReadAt(buf, sizeof(buf), 0), "unexpected end of file");
+  ::remove(path.c_str());
+}
+
+TEST(File, ReadVectorRejectsCorruptCountBeforeAllocating) {
+  // An on-disk element count far beyond the file size must fail validation, not
+  // attempt a multi-GB allocation.
+  const std::string path = TempPath("util_test_corrupt_vec");
+  {
+    File f(path, /*truncate=*/true);
+    const uint64_t bogus_count = 1ULL << 40;  // ~8 TiB of int64 payload
+    f.WriteAt(&bogus_count, sizeof(bogus_count), 0);
+  }
+  EXPECT_DEATH(ReadVector<int64_t>(path), "element count exceeds file size");
+  ::remove(path.c_str());
+}
+
+TEST(AtomicFile, CommitPublishesUncommittedDiscards) {
+  const std::string path = TempPath("util_test_atomic");
+  {
+    AtomicFile f(path);  // destroyed without Commit: simulated mid-save crash
+    const int value = 41;
+    f.WriteAt(&value, sizeof(value), 0);
+  }
+  {
+    // Neither the final path nor tmp debris survives an uncommitted writer.
+    File probe(path);
+    EXPECT_EQ(probe.Size(), 0u);  // File() creates empty; nothing was published
+  }
+  ::remove(path.c_str());
+  {
+    AtomicFile f(path);
+    const int value = 42;
+    f.WriteAt(&value, sizeof(value), 0);
+    f.Commit();
+  }
+  File f(path);
+  int back = 0;
+  f.ReadAt(&back, sizeof(back), 0);
+  EXPECT_EQ(back, 42);
+  ::remove(path.c_str());
+}
+
+TEST(AtomicFile, CommitReplacesPreviousContentWholesale) {
+  // The rename is all-or-nothing: a shorter new file fully replaces a longer old
+  // one (no tail of stale bytes, as in-place truncate-less writes would leave).
+  const std::string path = TempPath("util_test_atomic_replace");
+  {
+    AtomicFile f(path);
+    const char big[64] = "old old old";
+    f.WriteAt(big, sizeof(big), 0);
+    f.Commit();
+  }
+  {
+    AtomicFile f(path);
+    const char small[4] = "new";
+    f.WriteAt(small, sizeof(small), 0);
+    f.Commit();
+  }
+  File f(path);
+  EXPECT_EQ(f.Size(), 4u);
+  ::remove(path.c_str());
+}
+
 TEST(BoundedQueue, FifoOrder) {
   BoundedQueue<int> q(4);
   for (int i = 0; i < 4; ++i) {
