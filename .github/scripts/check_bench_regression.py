@@ -56,8 +56,22 @@ def main():
                 f"::warning title=Bench regression::{label} epoch time regressed "
                 f"{delta_pct:+.1f}% ({p:.4f}s -> {c:.4f}s, threshold {args.threshold_pct:.0f}%)"
             )
+        # Unhidden-IO stall is tracked alongside epoch time (warn-only, like
+        # everything here). Sub-10ms stalls are below scheduler noise on shared
+        # runners, so only compare when the previous run had a meaningful stall.
+        ps, cs = prev[key].get("io_stall_sec"), cur[key].get("io_stall_sec")
+        if isinstance(ps, (int, float)) and isinstance(cs, (int, float)) and ps >= 0.010:
+            stall_delta_pct = 100.0 * (cs - ps) / ps
+            print(f"{label}: io_stall {ps:.4f}s -> {cs:.4f}s ({stall_delta_pct:+.1f}%)")
+            if stall_delta_pct > args.threshold_pct:
+                regressions += 1
+                print(
+                    f"::warning title=IO stall regression::{label} unhidden IO stall regressed "
+                    f"{stall_delta_pct:+.1f}% ({ps:.4f}s -> {cs:.4f}s, "
+                    f"threshold {args.threshold_pct:.0f}%)"
+                )
     if regressions == 0:
-        print(f"No epoch-time regression beyond {args.threshold_pct:.0f}%")
+        print(f"No epoch-time or io-stall regression beyond {args.threshold_pct:.0f}%")
     return 0
 
 

@@ -43,6 +43,11 @@ int main() {
     }
     std::printf("]  resizes=%d  queue_occ=%.2f\n", stats.resize_count,
                 stats.queue_occupancy_mean);
+    // Batched IO engine traffic: bytes moved through the submission queue and
+    // how deep it actually ran (mean outstanding requests / peak in flight).
+    std::printf("         io_read=%.1fMB io_write=%.1fMB qd_mean=%.2f inflight_peak=%d\n",
+                stats.io_read_bytes / 1.0e6, stats.io_write_bytes / 1.0e6,
+                stats.io_queue_depth_mean, stats.io_inflight_peak);
   }
   std::printf("MRR: %.4f\n", trainer.EvaluateMrr(200, 500));
   return 0;

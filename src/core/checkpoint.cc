@@ -1,11 +1,8 @@
 #include "src/core/checkpoint.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <cerrno>
 #include <cstring>
+#include <memory>
 
 #include "src/util/binary_io.h"
 #include "src/util/check.h"
@@ -96,37 +93,19 @@ bool Fail(std::string* error, const std::string& message) {
 }
 
 // Reads the whole file into `out` without aborting on a missing/unreadable path.
+// The positional-read loop itself (EINTR retry, short-read detection) lives in
+// File::ReadAt so there is exactly one copy of that policy in the codebase.
 bool ReadWholeFile(const std::string& path, std::vector<uint8_t>* out,
                    std::string* error) {
-  int fd;
-  do {
-    fd = ::open(path.c_str(), O_RDONLY);
-  } while (fd < 0 && errno == EINTR);
-  if (fd < 0) {
-    return Fail(error, "cannot open checkpoint '" + path + "': " +
-                           std::strerror(errno));
+  std::string open_error;
+  const std::unique_ptr<File> f = File::TryOpenReadOnly(path, &open_error);
+  if (f == nullptr) {
+    return Fail(error, "cannot open checkpoint '" + path + "': " + open_error);
   }
-  struct stat st;
-  if (::fstat(fd, &st) != 0) {
-    ::close(fd);
-    return Fail(error, "cannot stat checkpoint '" + path + "': " +
-                           std::strerror(errno));
+  out->resize(static_cast<size_t>(f->Size()));
+  if (!out->empty()) {
+    f->ReadAt(out->data(), out->size(), 0);
   }
-  out->resize(static_cast<size_t>(st.st_size));
-  size_t off = 0;
-  while (off < out->size()) {
-    const ssize_t n = ::pread(fd, out->data() + off, out->size() - off,
-                              static_cast<off_t>(off));
-    if (n < 0 && errno == EINTR) {
-      continue;
-    }
-    if (n <= 0) {
-      ::close(fd);
-      return Fail(error, "cannot read checkpoint '" + path + "'");
-    }
-    off += static_cast<size_t>(n);
-  }
-  ::close(fd);
   return true;
 }
 

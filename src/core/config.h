@@ -12,6 +12,7 @@
 #include "src/pipeline/pipeline_controller.h"
 #include "src/pipeline/training_pipeline.h"
 #include "src/storage/disk.h"
+#include "src/storage/partition_buffer.h"
 #include "src/util/check.h"
 #include "src/util/compute.h"
 
@@ -91,6 +92,14 @@ struct TrainingConfig {
   bool comet_deferred_assignment = true;  // ablation knob (Section 5.1, mechanism 2)
   DiskModel disk_model;
   bool prefetch = true;  // overlap partition IO with compute in reported timings
+  // Batched IO engine knobs (effective only when prefetch is on; see
+  // src/storage/io_engine.h). queue_depth is the in-flight transfer limit,
+  // io_direct requests O_DIRECT (probed at runtime, buffered fallback), and
+  // io_coalesce_writes merges adjacent dirty write-backs. None of these affect
+  // training trajectories — only how fast the modeled IO completes.
+  int io_queue_depth = 4;
+  bool io_direct = true;
+  bool io_coalesce_writes = true;
   std::string storage_dir;  // defaults to a fresh temp path
 
   // Crash-safe checkpointing (src/core/checkpoint.h): every n completed epochs
@@ -143,6 +152,19 @@ struct TrainingConfig {
     return PipelineController(options);
   }
 
+  // Partition-buffer IO mode for one trainer (both trainers build theirs through
+  // this so the wiring cannot diverge): the batched engine runs iff prefetching
+  // is on, with the configured depth/direct/coalescing knobs.
+  PartitionIoOptions MakePartitionIoOptions() const {
+    MG_CHECK_MSG(io_queue_depth >= 1, "io_queue_depth must be >= 1");
+    PartitionIoOptions options;
+    options.async = prefetch;
+    options.queue_depth = io_queue_depth;
+    options.direct_io = io_direct;
+    options.coalesce_writes = io_coalesce_writes;
+    return options;
+  }
+
   // Stage-3 compute handle for one trainer, recording into `stats` (both trainers
   // build theirs through this so the wiring cannot diverge).
   ComputeContext MakeComputeContext(ComputeStats* stats) const {
@@ -170,6 +192,13 @@ struct EpochStats {
   double io_seconds = 0.0;        // total modeled IO
   double io_stall_seconds = 0.0;  // IO not hidden by prefetch overlap
   double pipeline_stall_seconds = 0.0;  // compute blocked waiting for the next batch
+  // IO-engine transfer counters for the epoch (zero when the engine is off):
+  // bytes moved through the engine, the time-weighted mean of outstanding
+  // requests while it was busy, and the peak outstanding count.
+  uint64_t io_read_bytes = 0;
+  uint64_t io_write_bytes = 0;
+  double io_queue_depth_mean = 0.0;
+  int io_inflight_peak = 0;
   // Stage-1 sampling workers the epoch started with (after the adaptive
   // stage-1/stage-3 split; equals the configured count when adapting is off).
   int pipeline_workers = 0;

@@ -102,7 +102,7 @@ LinkPredictionTrainer::LinkPredictionTrainer(const Graph* graph, TrainingConfig 
     buffer_ = std::make_unique<PartitionBuffer>(partitioning_.get(), emb_dim,
                                                 config_.buffer_capacity, path,
                                                 config_.disk_model, /*learnable=*/true,
-                                                &init, /*async_io=*/config_.prefetch);
+                                                &init, config_.MakePartitionIoOptions());
     disk_store_ = std::make_unique<BufferedEmbeddingStore>(buffer_.get(), true);
     disk_store_->set_compute(&compute_);
     store_ = disk_store_.get();
@@ -360,6 +360,11 @@ EpochStats LinkPredictionTrainer::TrainEpochDisk() {
   const double leftover_bg = buffer_->ConsumeBackgroundIoSeconds();
   stats.io_seconds += flush_io + leftover_bg;
   stats.io_stall_seconds += flush_io + leftover_bg;
+  const IoEngineStats engine_io = buffer_->ConsumeIoStats();
+  stats.io_read_bytes = engine_io.read_bytes;
+  stats.io_write_bytes = engine_io.write_bytes;
+  stats.io_queue_depth_mean = engine_io.queue_depth_mean;
+  stats.io_inflight_peak = engine_io.inflight_peak;
   stats.wall_seconds = stats.compute_seconds + stats.io_stall_seconds;
   stats.compute_parallel_efficiency = compute_stats_.ParallelEfficiency();
   controller_.ObserveEpoch(stats.compute_parallel_efficiency);

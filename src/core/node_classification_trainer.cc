@@ -76,7 +76,7 @@ NodeClassificationTrainer::NodeClassificationTrainer(const Graph* graph,
     buffer_ = std::make_unique<PartitionBuffer>(
         partitioning_.get(), graph_->features().cols(), config_.buffer_capacity, path,
         config_.disk_model, /*learnable=*/false, &graph_->features(),
-        /*async_io=*/config_.prefetch);
+        config_.MakePartitionIoOptions());
     buffer_store_ = std::make_unique<BufferedEmbeddingStore>(buffer_.get(),
                                                              /*trainable=*/false);
     buffer_store_->set_compute(&compute_);
@@ -304,6 +304,11 @@ EpochStats NodeClassificationTrainer::TrainEpochImpl() {
                         stats.io_stall_seconds - io_stall_before,
                         window_timer.Seconds(), i + 1 < sets.size(), &stats);
     }
+    const IoEngineStats engine_io = buffer_->ConsumeIoStats();
+    stats.io_read_bytes = engine_io.read_bytes;
+    stats.io_write_bytes = engine_io.write_bytes;
+    stats.io_queue_depth_mean = engine_io.queue_depth_mean;
+    stats.io_inflight_peak = engine_io.inflight_peak;
     stats.wall_seconds = stats.compute_seconds + stats.io_stall_seconds;
   }
   stats.compute_parallel_efficiency = compute_stats_.ParallelEfficiency();

@@ -6,24 +6,53 @@
 
 namespace mariusgnn {
 
+namespace {
+
+// Staging pool size, in partition extents: worst case is one full buffer of
+// staged prefetches, one of stale prefetches awaiting discard, and one of
+// eviction snapshots in flight, plus a request per IO worker. Only the trainer
+// thread blocks on slot exhaustion (IO workers never Acquire), so the bound is
+// about memory, not liveness.
+int ArenaSlots(int32_t capacity, int queue_depth) {
+  return 3 * capacity + queue_depth;
+}
+
+std::string DirName(const std::string& path) {
+  const size_t pos = path.rfind('/');
+  if (pos == std::string::npos) {
+    return ".";
+  }
+  return pos == 0 ? "/" : path.substr(0, pos);
+}
+
+}  // namespace
+
 PartitionBuffer::PartitionBuffer(const Partitioning* partitioning, int64_t dim,
                                  int32_t capacity, const std::string& path,
                                  DiskModel model, bool learnable, const Tensor* init,
-                                 bool async_io)
+                                 PartitionIoOptions io)
     : partitioning_(partitioning),
       dim_(dim),
       capacity_(capacity),
-      learnable_(learnable),
-      disk_(std::make_unique<SimulatedDisk>(path, model)),
-      async_io_(async_io) {
+      learnable_(learnable) {
   const int32_t p = partitioning_->num_partitions();
   MG_CHECK(capacity_ >= 1 && capacity_ <= p);
   for (int32_t i = 0; i < p; ++i) {
     max_partition_rows_ = std::max(max_partition_rows_, partitioning_->PartitionSize(i));
   }
-  values_.assign(static_cast<size_t>(capacity_) * max_partition_rows_ * dim_, 0.0f);
+  stream_bytes_ =
+      static_cast<size_t>(max_partition_rows_) * static_cast<size_t>(dim_) * sizeof(float);
+  stream_bytes_pad_ = AlignUpIo(stream_bytes_);
+  partition_extent_ = (learnable_ ? 2 : 1) * stream_bytes_pad_;
+
+  // O_DIRECT is only worth probing when the engine will issue aligned transfers;
+  // the synchronous path reads exact payloads and stays buffered regardless.
+  const bool direct = io.async && io.direct_io && ProbeDirectIo(DirName(path));
+  disk_ = std::make_unique<SimulatedDisk>(path, model, direct);
+
+  values_ = AlignedBuffer(static_cast<size_t>(capacity_) * max_partition_rows_ * dim_);
   if (learnable_) {
-    state_.assign(values_.size(), 0.0f);
+    state_ = AlignedBuffer(values_.size());
   }
   partition_in_slot_.assign(static_cast<size_t>(capacity_), -1);
   slot_of_partition_.assign(static_cast<size_t>(p), -1);
@@ -32,10 +61,9 @@ PartitionBuffer::PartitionBuffer(const Partitioning* partitioning, int64_t dim,
     dirty_[static_cast<size_t>(slot)].store(0, std::memory_order_relaxed);
   }
 
-  // Seed the on-disk layout: for each partition, value rows then (optional) state rows.
-  const uint64_t streams = learnable_ ? 2 : 1;
-  disk_->Resize(static_cast<uint64_t>(p) * max_partition_rows_ * dim_ * sizeof(float) *
-                streams);
+  // Seed the on-disk layout: each partition owns a fixed extent of
+  // kIoAlignment-padded streams (values, then optional Adagrad state).
+  disk_->Resize(static_cast<uint64_t>(p) * partition_extent_);
   std::vector<float> scratch(static_cast<size_t>(max_partition_rows_) * dim_, 0.0f);
   for (int32_t part = 0; part < p; ++part) {
     if (init != nullptr) {
@@ -45,102 +73,73 @@ PartitionBuffer::PartitionBuffer(const Partitioning* partitioning, int64_t dim,
                     static_cast<size_t>(dim_) * sizeof(float));
       }
     }
-    disk_->Write(scratch.data(),
-                 static_cast<size_t>(partitioning_->PartitionSize(part)) * dim_ * sizeof(float),
-                 PartitionFileOffset(part));
+    disk_->Write(scratch.data(), StreamPayloadBytes(part), PartitionFileOffset(part));
     if (init == nullptr) {
       break;  // File is zero-filled by Resize; no need to write every partition.
     }
   }
-  if (learnable_) {
-    // Adagrad state starts at zero; Resize already zero-filled it.
-  }
+  // Adagrad state starts at zero; Resize already zero-filled it.
   disk_->ResetStats();
 
-  if (async_io_) {
-    io_pool_ = std::make_unique<ThreadPool>(1);
+  if (io.async) {
+    arena_ = std::make_unique<IoArena>(partition_extent_,
+                                       ArenaSlots(capacity_, io.queue_depth));
+    IoEngineOptions eo;
+    eo.queue_depth = io.queue_depth;
+    eo.coalesce_writes = io.coalesce_writes;
+    eo.max_transfer_bytes = io.max_transfer_bytes;
+    eo.before_io = io.before_io;
+    engine_ = std::make_unique<IoEngine>(disk_.get(), eo);
   }
 }
 
 PartitionBuffer::~PartitionBuffer() {
-  // Drain + join the IO thread (~ThreadPool) before the staging mutex/cv its
-  // pending tasks touch are destroyed.
-  io_pool_.reset();
+  // Drain + join the engine before the staging state its completions touch goes
+  // away, then hand still-staged extents back so the arena's leak check passes.
+  engine_.reset();
+  for (auto& entry : staged_) {
+    arena_->Release(entry.second.extent);
+  }
+  staged_.clear();
 }
 
 uint64_t PartitionBuffer::PartitionFileOffset(int32_t partition) const {
-  const uint64_t per_partition = static_cast<uint64_t>(max_partition_rows_) * dim_ *
-                                 sizeof(float) * (learnable_ ? 2 : 1);
-  return static_cast<uint64_t>(partition) * per_partition;
+  return static_cast<uint64_t>(partition) * partition_extent_;
 }
 
-void PartitionBuffer::ReadPartitionFromDisk(int32_t partition, float* values,
-                                            float* state) {
-  const size_t rows = static_cast<size_t>(partitioning_->PartitionSize(partition));
-  const size_t bytes = rows * static_cast<size_t>(dim_) * sizeof(float);
-  disk_->Read(values, bytes, PartitionFileOffset(partition));
-  if (learnable_) {
-    disk_->Read(state, bytes,
-                PartitionFileOffset(partition) +
-                    static_cast<uint64_t>(max_partition_rows_) * dim_ * sizeof(float));
-  }
+size_t PartitionBuffer::StreamPayloadBytes(int32_t partition) const {
+  return static_cast<size_t>(partitioning_->PartitionSize(partition)) *
+         static_cast<size_t>(dim_) * sizeof(float);
 }
 
-void PartitionBuffer::WritePartitionToDisk(int32_t partition, const float* values,
-                                           const float* state) {
-  const size_t rows = static_cast<size_t>(partitioning_->PartitionSize(partition));
-  const size_t bytes = rows * static_cast<size_t>(dim_) * sizeof(float);
-  disk_->Write(values, bytes, PartitionFileOffset(partition));
-  if (learnable_) {
-    disk_->Write(state, bytes,
-                 PartitionFileOffset(partition) +
-                     static_cast<uint64_t>(max_partition_rows_) * dim_ * sizeof(float));
-  }
-}
-
-void PartitionBuffer::EnqueueIo(std::function<void()> fn) {
-  io_pool_->Submit(std::move(fn));
-}
-
-void PartitionBuffer::DrainIo() {
-  if (async_io_) {
-    io_pool_->Wait();
-  }
-}
-
-double PartitionBuffer::RunIo(const std::function<void()>& fn) {
-  if (!async_io_) {
-    const double before = disk_->stats().modeled_seconds;
-    fn();
-    return disk_->stats().modeled_seconds - before;
-  }
-  // FIFO behind any pending background tasks, so a queued write-back of the same
-  // partition lands before this op runs.
-  double modeled = 0.0;
-  bool done = false;
-  std::mutex mu;
-  std::condition_variable cv;
-  EnqueueIo([&] {
-    const double before = disk_->stats().modeled_seconds;
-    fn();
-    const double delta = disk_->stats().modeled_seconds - before;
-    std::lock_guard<std::mutex> lock(mu);
-    modeled = delta;
-    done = true;
-    cv.notify_all();
-  });
-  std::unique_lock<std::mutex> lock(mu);
-  cv.wait(lock, [&] { return done; });
-  return modeled;
+size_t PartitionBuffer::ExtentTransferBytes(int32_t partition) const {
+  // Leading streams at padded stride, trailing stream rounded up to alignment:
+  // the transfer stays inside the partition's extent and is O_DIRECT-eligible.
+  const size_t streams = learnable_ ? 2 : 1;
+  return (streams - 1) * stream_bytes_pad_ + AlignUpIo(StreamPayloadBytes(partition));
 }
 
 double PartitionBuffer::LoadIntoSlot(int32_t partition, int32_t slot) {
-  float* vdst = &values_[static_cast<size_t>(slot) * max_partition_rows_ * dim_];
-  float* sdst =
-      learnable_ ? &state_[static_cast<size_t>(slot) * max_partition_rows_ * dim_]
-                 : nullptr;
-  const double io =
-      RunIo([&] { ReadPartitionFromDisk(partition, vdst, sdst); });
+  float* vdst = values_.data() + static_cast<size_t>(slot) * max_partition_rows_ * dim_;
+  float* sdst = learnable_
+                    ? state_.data() + static_cast<size_t>(slot) * max_partition_rows_ * dim_
+                    : nullptr;
+  const size_t bytes = StreamPayloadBytes(partition);
+  const uint64_t offset = PartitionFileOffset(partition);
+  double io = 0.0;
+  if (engine_ != nullptr) {
+    // Blocking miss, routed through the engine so it stays ordered behind any
+    // in-flight write-back of the same partition (per-tag program order).
+    io += engine_->ReadSync(partition, vdst, bytes, offset);
+    if (learnable_) {
+      io += engine_->ReadSync(partition, sdst, bytes, offset + stream_bytes_pad_);
+    }
+  } else {
+    io += disk_->Read(vdst, bytes, offset);
+    if (learnable_) {
+      io += disk_->Read(sdst, bytes, offset + stream_bytes_pad_);
+    }
+  }
   partition_in_slot_[static_cast<size_t>(slot)] = partition;
   slot_of_partition_[static_cast<size_t>(partition)] = slot;
   dirty_[static_cast<size_t>(slot)].store(0, std::memory_order_relaxed);
@@ -148,14 +147,14 @@ double PartitionBuffer::LoadIntoSlot(int32_t partition, int32_t slot) {
 }
 
 void PartitionBuffer::InstallIntoSlot(int32_t partition, int32_t slot,
-                                      const StagedPartition& data) {
+                                      const float* extent) {
   const size_t count =
       static_cast<size_t>(partitioning_->PartitionSize(partition)) * dim_;
-  std::memcpy(&values_[static_cast<size_t>(slot) * max_partition_rows_ * dim_],
-              data.values.data(), count * sizeof(float));
+  std::memcpy(values_.data() + static_cast<size_t>(slot) * max_partition_rows_ * dim_,
+              extent, count * sizeof(float));
   if (learnable_) {
-    std::memcpy(&state_[static_cast<size_t>(slot) * max_partition_rows_ * dim_],
-                data.state.data(), count * sizeof(float));
+    std::memcpy(state_.data() + static_cast<size_t>(slot) * max_partition_rows_ * dim_,
+                extent + stream_bytes_pad_ / sizeof(float), count * sizeof(float));
   }
   partition_in_slot_[static_cast<size_t>(slot)] = partition;
   slot_of_partition_[static_cast<size_t>(partition)] = slot;
@@ -169,31 +168,39 @@ double PartitionBuffer::EvictSlot(int32_t slot, bool synchronous) {
   }
   double io = 0.0;
   if (dirty_[static_cast<size_t>(slot)].load(std::memory_order_relaxed) != 0) {
-    const float* vsrc = &values_[static_cast<size_t>(slot) * max_partition_rows_ * dim_];
+    const float* vsrc =
+        values_.data() + static_cast<size_t>(slot) * max_partition_rows_ * dim_;
     const float* ssrc =
-        learnable_ ? &state_[static_cast<size_t>(slot) * max_partition_rows_ * dim_]
+        learnable_ ? state_.data() + static_cast<size_t>(slot) * max_partition_rows_ * dim_
                    : nullptr;
-    if (async_io_ && !synchronous) {
-      // Write-back off the critical path: snapshot the slot so it can be reused
-      // immediately; the IO thread persists the copy (modeled seconds surface via
-      // ConsumeBackgroundIoSeconds).
-      const size_t count =
-          static_cast<size_t>(partitioning_->PartitionSize(partition)) * dim_;
-      auto data = std::make_shared<StagedPartition>();
-      data->values.assign(vsrc, vsrc + count);
+    const size_t count =
+        static_cast<size_t>(partitioning_->PartitionSize(partition)) * dim_;
+    if (engine_ != nullptr && !synchronous) {
+      // Write-back off the critical path: snapshot the slot into an aligned
+      // arena extent so the slot can be reused immediately. One transfer covers
+      // both streams (the padded layout makes them contiguous); the engine
+      // deprioritises it behind reads and may merge it with neighbours.
+      float* extent = arena_->Acquire();
+      std::memcpy(extent, vsrc, count * sizeof(float));
       if (learnable_) {
-        data->state.assign(ssrc, ssrc + count);
+        std::memcpy(extent + stream_bytes_pad_ / sizeof(float), ssrc,
+                    count * sizeof(float));
       }
-      EnqueueIo([this, partition, data] {
-        const double before = disk_->stats().modeled_seconds;
-        WritePartitionToDisk(partition, data->values.data(),
-                             learnable_ ? data->state.data() : nullptr);
-        const double delta = disk_->stats().modeled_seconds - before;
-        std::lock_guard<std::mutex> lock(stage_mu_);
-        background_seconds_ += delta;
-      });
+      engine_->SubmitWrite(
+          partition, extent, ExtentTransferBytes(partition),
+          PartitionFileOffset(partition), [this, extent](double modeled_seconds) {
+            {
+              std::lock_guard<std::mutex> lock(stage_mu_);
+              background_seconds_ += modeled_seconds;
+            }
+            arena_->Release(extent);
+          });
     } else {
-      io = RunIo([&] { WritePartitionToDisk(partition, vsrc, ssrc); });
+      io += disk_->Write(vsrc, count * sizeof(float), PartitionFileOffset(partition));
+      if (learnable_) {
+        io += disk_->Write(ssrc, count * sizeof(float),
+                           PartitionFileOffset(partition) + stream_bytes_pad_);
+      }
     }
   }
   slot_of_partition_[static_cast<size_t>(partition)] = -1;
@@ -212,7 +219,7 @@ int32_t PartitionBuffer::FindFreeSlot() const {
 }
 
 void PartitionBuffer::Prefetch(const std::vector<int32_t>& partitions) {
-  if (!async_io_) {
+  if (engine_ == nullptr) {
     return;
   }
   for (int32_t part : partitions) {
@@ -224,28 +231,26 @@ void PartitionBuffer::Prefetch(const std::vector<int32_t>& partitions) {
       if (staged_.count(part) != 0 || staging_in_flight_.count(part) != 0) {
         continue;
       }
-      staging_in_flight_.insert(part);
     }
-    EnqueueIo([this, part] {
-      const size_t count =
-          static_cast<size_t>(partitioning_->PartitionSize(part)) * dim_;
-      StagedPartition data;
-      data.values.resize(count);
-      if (learnable_) {
-        data.state.resize(count);
-      }
-      const double before = disk_->stats().modeled_seconds;
-      ReadPartitionFromDisk(part, data.values.data(),
-                            learnable_ ? data.state.data() : nullptr);
-      const double delta = disk_->stats().modeled_seconds - before;
-      {
-        std::lock_guard<std::mutex> lock(stage_mu_);
-        staged_.emplace(part, std::move(data));
-        staging_in_flight_.erase(part);
-        background_seconds_ += delta;
-      }
-      stage_cv_.notify_all();
-    });
+    // Acquire outside stage_mu_: it may block until a completion releases a
+    // slot, and completions take stage_mu_. Only this (trainer) thread inserts
+    // staging entries, so the check above cannot race with another Prefetch.
+    float* extent = arena_->Acquire();
+    {
+      std::lock_guard<std::mutex> lock(stage_mu_);
+      staging_in_flight_.emplace(part, StagingInFlight{extent});
+    }
+    engine_->SubmitRead(
+        part, extent, ExtentTransferBytes(part), PartitionFileOffset(part),
+        [this, part, extent](double modeled_seconds) {
+          {
+            std::lock_guard<std::mutex> lock(stage_mu_);
+            staged_.emplace(part, StagedPartition{extent});
+            staging_in_flight_.erase(part);
+            background_seconds_ += modeled_seconds;
+          }
+          stage_cv_.notify_all();
+        });
   }
 }
 
@@ -254,10 +259,32 @@ double PartitionBuffer::ConsumeBackgroundIoSeconds() {
   return std::exchange(background_seconds_, 0.0);
 }
 
+IoEngineStats PartitionBuffer::ConsumeIoStats() {
+  return engine_ != nullptr ? engine_->ConsumeStats() : IoEngineStats();
+}
+
+void PartitionBuffer::DiscardStaleStagedLocked(
+    const std::unordered_set<int32_t>& wanted) {
+  for (auto it = staged_.begin(); it != staged_.end();) {
+    if (wanted.count(it->first) == 0) {
+      // Staged data is a clean copy of what is still on disk — discarding loses
+      // nothing but the prefetch work (stale lookahead after a resize).
+      arena_->Release(it->second.extent);
+      it = staged_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 double PartitionBuffer::SetResident(const std::vector<int32_t>& partitions) {
   MG_CHECK(static_cast<int32_t>(partitions.size()) <= capacity_);
   double io = 0.0;
   std::unordered_set<int32_t> wanted(partitions.begin(), partitions.end());
+  if (engine_ != nullptr) {
+    std::lock_guard<std::mutex> lock(stage_mu_);
+    DiscardStaleStagedLocked(wanted);
+  }
   // Evict residents that are no longer wanted (write-back is async when enabled).
   for (int32_t slot = 0; slot < capacity_; ++slot) {
     const int32_t part = partition_in_slot_[static_cast<size_t>(slot)];
@@ -275,14 +302,15 @@ double PartitionBuffer::SetResident(const std::vector<int32_t>& partitions) {
     const int32_t free_slot = FindFreeSlot();
     MG_CHECK(free_slot >= 0);
     bool installed = false;
-    if (async_io_) {
+    if (engine_ != nullptr) {
       std::unique_lock<std::mutex> lock(stage_mu_);
       if (staged_.count(part) != 0 || staging_in_flight_.count(part) != 0) {
         stage_cv_.wait(lock, [&] { return staged_.count(part) != 0; });
-        StagedPartition data = std::move(staged_[part]);
+        float* extent = staged_[part].extent;
         staged_.erase(part);
         lock.unlock();
-        InstallIntoSlot(part, free_slot, data);
+        InstallIntoSlot(part, free_slot, extent);
+        arena_->Release(extent);
         installed = true;
       }
     }
@@ -294,7 +322,12 @@ double PartitionBuffer::SetResident(const std::vector<int32_t>& partitions) {
 }
 
 double PartitionBuffer::FlushAll() {
-  DrainIo();
+  if (engine_ != nullptr) {
+    engine_->Drain();
+  }
+  // Staged prefetches survive a flush: they are clean copies of on-disk data and
+  // may still be installed by the next SetResident (e.g. across an epoch
+  // boundary). Only ImportAll, which rewrites the file underneath them, discards.
   double io = 0.0;
   for (int32_t slot = 0; slot < capacity_; ++slot) {
     io += EvictSlot(slot, /*synchronous=*/true);
@@ -310,16 +343,16 @@ int64_t PartitionBuffer::SlotRowOf(int64_t node) const {
 }
 
 float* PartitionBuffer::ValueRow(int64_t node) {
-  return &values_[static_cast<size_t>(SlotRowOf(node)) * dim_];
+  return values_.data() + static_cast<size_t>(SlotRowOf(node)) * dim_;
 }
 
 const float* PartitionBuffer::ValueRow(int64_t node) const {
-  return &values_[static_cast<size_t>(SlotRowOf(node)) * dim_];
+  return values_.data() + static_cast<size_t>(SlotRowOf(node)) * dim_;
 }
 
 float* PartitionBuffer::StateRow(int64_t node) {
   MG_CHECK(learnable_);
-  return &state_[static_cast<size_t>(SlotRowOf(node)) * dim_];
+  return state_.data() + static_cast<size_t>(SlotRowOf(node)) * dim_;
 }
 
 Tensor PartitionBuffer::ExportStream(bool state_stream) {
@@ -329,17 +362,13 @@ Tensor PartitionBuffer::ExportStream(bool state_stream) {
   for (int32_t part = 0; part < p; ++part) {
     num_nodes += partitioning_->PartitionSize(part);
   }
-  const uint64_t stream_offset =
-      state_stream ? static_cast<uint64_t>(max_partition_rows_) * dim_ * sizeof(float)
-                   : 0;
+  const uint64_t stream_offset = state_stream ? stream_bytes_pad_ : 0;
   Tensor out(num_nodes, dim_);
   std::vector<float> scratch(static_cast<size_t>(max_partition_rows_) * dim_);
   for (int32_t part = 0; part < p; ++part) {
     const auto& nodes = partitioning_->NodesIn(part);
-    RunIo([&] {
-      disk_->Read(scratch.data(), nodes.size() * static_cast<size_t>(dim_) * sizeof(float),
-                  PartitionFileOffset(part) + stream_offset);
-    });
+    disk_->Read(scratch.data(), nodes.size() * static_cast<size_t>(dim_) * sizeof(float),
+                PartitionFileOffset(part) + stream_offset);
     for (size_t k = 0; k < nodes.size(); ++k) {
       std::memcpy(out.RowPtr(nodes[k]), &scratch[k * static_cast<size_t>(dim_)],
                   static_cast<size_t>(dim_) * sizeof(float));
@@ -370,9 +399,18 @@ void PartitionBuffer::ImportAll(const Tensor& values, const Tensor* state) {
   }
   MG_CHECK_MSG(values.rows() == num_nodes,
                "ImportAll: table row count does not match the partitioning");
-  // Drop resident copies: FlushAll evicts every slot, so nothing stale can shadow
-  // the imported table on the next SetResident.
+  // Drop resident copies: FlushAll drains the engine and evicts every slot. The
+  // import rewrites the file, so staged prefetches of the *old* data must be
+  // discarded too — they would shadow the imported table at the next SetResident.
   FlushAll();
+  if (engine_ != nullptr) {
+    std::lock_guard<std::mutex> lock(stage_mu_);
+    for (auto& entry : staged_) {
+      arena_->Release(entry.second.extent);
+    }
+    staged_.clear();
+    MG_CHECK(staging_in_flight_.empty());
+  }
   const int32_t p = partitioning_->num_partitions();
   std::vector<float> vscratch(static_cast<size_t>(max_partition_rows_) * dim_);
   std::vector<float> sscratch(learnable_ ? vscratch.size() : 0);
@@ -386,10 +424,11 @@ void PartitionBuffer::ImportAll(const Tensor& values, const Tensor* state) {
                     static_cast<size_t>(dim_) * sizeof(float));
       }
     }
-    RunIo([&] {
-      WritePartitionToDisk(part, vscratch.data(),
-                           learnable_ ? sscratch.data() : nullptr);
-    });
+    disk_->Write(vscratch.data(), StreamPayloadBytes(part), PartitionFileOffset(part));
+    if (learnable_) {
+      disk_->Write(sscratch.data(), StreamPayloadBytes(part),
+                   PartitionFileOffset(part) + stream_bytes_pad_);
+    }
   }
 }
 

@@ -6,16 +6,27 @@
 // partitions are resident; the processing layer reads/writes rows of resident
 // partitions by global node id. Dirty partitions are written back on eviction.
 //
-// With async IO enabled, the buffer runs a background IO thread so partition IO
-// overlaps with compute (the paper's "hide the IO" pipeline stage):
-//  - Prefetch() stages upcoming partitions (OrderingPolicy::Lookahead tells the
-//    trainer which) into heap-side staging buffers while the current set trains;
+// With async IO enabled, the buffer drives a batched IO engine (io_engine.h) so
+// partition IO overlaps with compute (the paper's "hide the IO" pipeline stage):
+//  - Prefetch() submits reads for upcoming partitions (OrderingPolicy::Lookahead
+//    tells the trainer which) into 4 KiB-aligned arena slots; the engine keeps up
+//    to queue_depth transfers in flight and completions land **out of order** — a
+//    slow partition no longer head-of-line-blocks the rest of the window;
 //  - SetResident() installs staged partitions with a memcpy instead of a blocking
-//    disk read, and pushes dirty-eviction write-backs off the critical path;
+//    disk read, and pushes dirty-eviction write-backs off the critical path; the
+//    engine deprioritises those writes behind reads and coalesces adjacent ones;
 //  - ConsumeBackgroundIoSeconds() reports the modeled seconds of that overlapped IO
 //    so trainers can account stalls as max(0, background_io - compute).
-// All disk access is funneled through the single IO thread (FIFO), so a prefetch read
-// queued after a write-back of the same partition always observes the written data.
+// Ordering safety no longer relies on a FIFO queue: the engine preserves per-tag
+// (per-partition) program order, so a prefetch read submitted after a write-back
+// of the same partition always observes the written data, while transfers for
+// different partitions proceed concurrently.
+//
+// On-disk layout: each partition owns a fixed extent of streams (values, then
+// optional Adagrad state), each stream padded to kIoAlignment. The padding makes
+// every engine transfer alignment-eligible for O_DIRECT and makes neighbouring
+// dirty partitions byte-adjacent, which is what lets the engine merge their
+// write-backs into single large transfers.
 #ifndef SRC_STORAGE_PARTITION_BUFFER_H_
 #define SRC_STORAGE_PARTITION_BUFFER_H_
 
@@ -32,21 +43,40 @@
 
 #include "src/graph/partition.h"
 #include "src/storage/disk.h"
+#include "src/storage/io_arena.h"
+#include "src/storage/io_engine.h"
 #include "src/tensor/tensor.h"
 #include "src/util/check.h"
-#include "src/util/threadpool.h"
 
 namespace mariusgnn {
+
+// How the buffer performs partition IO. Defaults describe the synchronous
+// (no-overlap) mode; trainers enable `async` when prefetching is on.
+struct PartitionIoOptions {
+  // Run the batched IO engine: Prefetch() stages ahead and dirty evictions write
+  // back in the background. When false the buffer is fully synchronous and the
+  // remaining fields are ignored.
+  bool async = false;
+  // In-flight transfer limit (engine worker count). 1 = serial engine.
+  int queue_depth = 4;
+  // Probe the backing filesystem for O_DIRECT and, when supported, route aligned
+  // transfers around the page cache (falls back to buffered transparently).
+  bool direct_io = true;
+  // Merge adjacent dirty write-backs into single transfers.
+  bool coalesce_writes = true;
+  // Test seams, forwarded to IoEngineOptions.
+  size_t max_transfer_bytes = 0;
+  std::function<void(const IoRequest&)> before_io;
+};
 
 class PartitionBuffer {
  public:
   // `learnable` adds a parallel Adagrad accumulator stream persisted next to the
   // values. `init` seeds the on-disk values (rows indexed by global node id); pass
-  // nullptr to zero-initialise. `async_io` starts the background IO thread that
-  // serves Prefetch() and asynchronous dirty write-back.
+  // nullptr to zero-initialise. `io` selects synchronous or engine-backed IO.
   PartitionBuffer(const Partitioning* partitioning, int64_t dim, int32_t capacity,
                   const std::string& path, DiskModel model, bool learnable,
-                  const Tensor* init, bool async_io = false);
+                  const Tensor* init, PartitionIoOptions io = PartitionIoOptions());
   ~PartitionBuffer();
 
   PartitionBuffer(const PartitionBuffer&) = delete;
@@ -54,7 +84,10 @@ class PartitionBuffer {
 
   int32_t capacity() const { return capacity_; }
   int64_t dim() const { return dim_; }
-  bool async_io() const { return async_io_; }
+  bool async_io() const { return engine_ != nullptr; }
+  // True when the O_DIRECT probe succeeded and the engine bypasses the page cache.
+  bool direct_io() const { return disk_->direct_io(); }
+  int io_queue_depth() const { return engine_ ? engine_->queue_depth() : 1; }
 
   bool IsResident(int32_t partition) const {
     return slot_of_partition_[static_cast<size_t>(partition)] >= 0;
@@ -75,6 +108,10 @@ class PartitionBuffer {
   // Modeled seconds of background IO (prefetch reads + async write-backs) completed
   // since the last call. Always 0 when async IO is disabled.
   double ConsumeBackgroundIoSeconds();
+
+  // Engine transfer counters since the last call (EpochStats reporting). Zeroes
+  // when async IO is disabled.
+  IoEngineStats ConsumeIoStats();
 
   // Flushes all dirty partitions to disk (draining pending background IO first);
   // returns modeled IO seconds of the synchronous flush.
@@ -103,8 +140,8 @@ class PartitionBuffer {
   std::vector<int64_t> ResidentNodes() const;
   std::vector<int32_t> ResidentPartitions() const;
 
-  // Not safe to call while background IO is in flight (drain with FlushAll first).
-  const DiskStats& disk_stats() const { return disk_->stats(); }
+  // Snapshot of device-level counters (thread-safe; the engine may be mid-flight).
+  DiskStats disk_stats() const { return disk_->stats(); }
   void ResetDiskStats() { disk_->ResetStats(); }
 
   // Reads the full on-disk table into a num_nodes x dim tensor indexed by global node
@@ -122,43 +159,47 @@ class PartitionBuffer {
   void ImportAll(const Tensor& values, const Tensor* state);
 
  private:
-  // Prefetched partition data parked between the IO thread and installation.
+  // A prefetched partition parked between the IO engine and installation: one
+  // arena slot holding the partition's full on-disk extent (both streams, padded
+  // layout — see PartitionFileOffset).
   struct StagedPartition {
-    std::vector<float> values;
-    std::vector<float> state;
+    float* extent = nullptr;  // owned by arena_ until installed or discarded
+  };
+  // In-flight prefetch bookkeeping (guarded by stage_mu_).
+  struct StagingInFlight {
+    float* extent = nullptr;
   };
 
   uint64_t PartitionFileOffset(int32_t partition) const;
+  // Bytes of one stream's payload for `partition` (actual rows, no padding).
+  size_t StreamPayloadBytes(int32_t partition) const;
+  // Bytes the engine transfers for `partition`: both streams at padded stride,
+  // trailing stream aligned up. Always kIoAlignment-aligned.
+  size_t ExtentTransferBytes(int32_t partition) const;
   Tensor ExportStream(bool state_stream);
   double LoadIntoSlot(int32_t partition, int32_t slot);
   double EvictSlot(int32_t slot, bool synchronous);
   int64_t SlotRowOf(int64_t node) const;
   int32_t FindFreeSlot() const;
-  void InstallIntoSlot(int32_t partition, int32_t slot, const StagedPartition& data);
-
-  // Raw disk transfer of one partition's rows (values + optional state). Runs on the
-  // IO thread when async IO is enabled.
-  void ReadPartitionFromDisk(int32_t partition, float* values, float* state);
-  void WritePartitionToDisk(int32_t partition, const float* values, const float* state);
-
-  // Async-IO plumbing. RunIo executes `fn` (which may touch disk_) inline when async
-  // IO is off, otherwise on the IO thread FIFO, blocking until done; returns the
-  // modeled seconds fn consumed. EnqueueIo is fire-and-forget; DrainIo blocks until
-  // the IO queue is empty.
-  double RunIo(const std::function<void()>& fn);
-  void EnqueueIo(std::function<void()> fn);
-  void DrainIo();
+  void InstallIntoSlot(int32_t partition, int32_t slot, const float* extent);
+  // Drops staged extents for partitions not in `wanted` (stale lookahead after a
+  // mid-epoch resize), returning their arena slots. Caller holds stage_mu_.
+  void DiscardStaleStagedLocked(const std::unordered_set<int32_t>& wanted);
 
   const Partitioning* partitioning_;
   int64_t dim_;
   int32_t capacity_;
   bool learnable_;
   int64_t max_partition_rows_ = 0;
+  // Padded on-disk geometry (see file-layout comment above).
+  size_t stream_bytes_ = 0;      // max_partition_rows_ * dim_ * sizeof(float)
+  size_t stream_bytes_pad_ = 0;  // AlignUpIo(stream_bytes_)
+  size_t partition_extent_ = 0;  // streams * stream_bytes_pad_
   std::unique_ptr<SimulatedDisk> disk_;
   // Buffer storage: capacity_ slots of max_partition_rows_ rows each. Values and
   // (optionally) Adagrad state share slot geometry.
-  std::vector<float> values_;
-  std::vector<float> state_;
+  AlignedBuffer values_;
+  AlignedBuffer state_;
   std::vector<int32_t> partition_in_slot_;  // -1 = free
   std::vector<int32_t> slot_of_partition_;  // -1 = not resident
   // Per-slot dirty flags, one byte per slot so worker threads can mark without
@@ -166,16 +207,17 @@ class PartitionBuffer {
   // atomics are neither copyable nor movable element-wise.
   std::unique_ptr<std::atomic<uint8_t>[]> dirty_;
 
-  // Async IO state (inert when async_io_ is false). The single-thread pool is the
-  // FIFO IO queue: Submit preserves order, Wait drains, destruction drains + joins.
-  bool async_io_ = false;
-  std::unique_ptr<ThreadPool> io_pool_;
-
+  // Async IO state (null when PartitionIoOptions::async is false). Declaration
+  // order matters: the engine destructor drains in-flight completions, which
+  // release arena slots and touch stage_mu_ — so engine_ is declared after (and
+  // destroyed before) arena_ and the staging state.
   std::mutex stage_mu_;
   std::condition_variable stage_cv_;
-  std::unordered_map<int32_t, StagedPartition> staged_;  // ready; guarded by stage_mu_
-  std::unordered_set<int32_t> staging_in_flight_;        // guarded by stage_mu_
-  double background_seconds_ = 0.0;                      // guarded by stage_mu_
+  std::unordered_map<int32_t, StagedPartition> staged_;        // guarded by stage_mu_
+  std::unordered_map<int32_t, StagingInFlight> staging_in_flight_;  // guarded by stage_mu_
+  double background_seconds_ = 0.0;                            // guarded by stage_mu_
+  std::unique_ptr<IoArena> arena_;
+  std::unique_ptr<IoEngine> engine_;
 };
 
 }  // namespace mariusgnn

@@ -33,6 +33,37 @@ File::~File() {
   }
 }
 
+std::unique_ptr<File> File::TryOpenDirect(const std::string& path) {
+#if defined(O_DIRECT)
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDWR | O_DIRECT);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return nullptr;
+  }
+  return std::unique_ptr<File>(new File(path, fd));
+#else
+  (void)path;
+  return nullptr;
+#endif
+}
+
+std::unique_ptr<File> File::TryOpenReadOnly(const std::string& path,
+                                            std::string* error) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = std::strerror(errno);
+    }
+    return nullptr;
+  }
+  return std::unique_ptr<File>(new File(path, fd));
+}
+
 void File::ReadAt(void* dst, size_t bytes, uint64_t offset) const {
   char* p = static_cast<char*>(dst);
   size_t remaining = bytes;

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mariusgnn {
@@ -20,6 +21,17 @@ class File {
 
   File(const File&) = delete;
   File& operator=(const File&) = delete;
+
+  // Opens an existing file O_RDWR | O_DIRECT; returns nullptr when the kernel or
+  // filesystem refuses direct IO (tmpfs, overlayfs, non-Linux). Callers pair this
+  // with a buffered descriptor and route only aligned transfers here.
+  static std::unique_ptr<File> TryOpenDirect(const std::string& path);
+
+  // Opens read-only without aborting: returns nullptr and fills `error` when the
+  // file cannot be opened (the checkpoint loader reports, never crashes). The
+  // returned handle shares ReadAt's EINTR/short-read policy.
+  static std::unique_ptr<File> TryOpenReadOnly(const std::string& path,
+                                               std::string* error);
 
   // Reads exactly `bytes` at `offset`; retries EINTR, aborts on IO error or on
   // end-of-file before `bytes` were read (reported as a short read, not errno).
@@ -39,6 +51,8 @@ class File {
   const std::string& path() const { return path_; }
 
  private:
+  File(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
   std::string path_;
   int fd_ = -1;
 };

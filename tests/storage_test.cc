@@ -1,16 +1,33 @@
-// Tests for the simulated disk, partition buffer, and embedding stores.
+// Tests for the simulated disk, IO engine, partition buffer, and embedding stores.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <mutex>
+#include <thread>
 
 #include "src/data/datasets.h"
 #include "src/storage/disk.h"
 #include "src/storage/embedding_store.h"
+#include "src/storage/io_arena.h"
+#include "src/storage/io_engine.h"
 #include "src/storage/partition_buffer.h"
 #include "src/util/binary_io.h"
 
 namespace mariusgnn {
 namespace {
+
+// Engine-backed IO mode used by the async buffer fixtures. direct_io is
+// requested so every SetUp exercises the runtime O_DIRECT probe (tmpfs and
+// most CI filesystems reject it, taking the buffered-fallback path).
+PartitionIoOptions AsyncIo(int queue_depth = 4) {
+  PartitionIoOptions io;
+  io.async = true;
+  io.queue_depth = queue_depth;
+  io.direct_io = true;
+  return io;
+}
 
 TEST(DiskModel, SecondsCombineLatencyAndBandwidth) {
   DiskModel model;
@@ -236,7 +253,7 @@ class AsyncPartitionBufferTest : public ::testing::Test {
     path_ = TempPath("pb_async_test");
     buffer_ = std::make_unique<PartitionBuffer>(partitioning_.get(), 4, 3, path_,
                                                 DiskModel(), /*learnable=*/true, &init_,
-                                                /*async_io=*/true);
+                                                AsyncIo());
   }
 
   void TearDown() override {
@@ -312,7 +329,7 @@ TEST_F(AsyncPartitionBufferTest, ResidentLayoutMatchesSyncBuffer) {
   // universes (ResidentNodes order) would diverge between prefetch on/off.
   const std::string sync_path = TempPath("pb_sync_twin");
   PartitionBuffer sync_buffer(partitioning_.get(), 4, 3, sync_path, DiskModel(),
-                              /*learnable=*/true, &init_, /*async_io=*/false);
+                              /*learnable=*/true, &init_);
   const std::vector<std::vector<int32_t>> schedule = {
       {0, 1, 2}, {1, 2, 3}, {3, 4, 5}, {0, 5, 6}};
   for (const auto& set : schedule) {
@@ -471,6 +488,389 @@ TEST(BufferedEmbeddingStore, AdagradStatePersistsAcrossEviction) {
   EXPECT_GT(step1, 0.0f);
   EXPECT_LT(step2, step1);
   ::remove(path.c_str());
+}
+
+TEST(DiskModel, DepthAmortisesLatencyOnly) {
+  DiskModel model;
+  const uint64_t bytes = 1 << 20;
+  const uint64_t ops = 4;
+  // Latency shrinks with depth, bandwidth does not; depth <= 1 degenerates.
+  EXPECT_DOUBLE_EQ(model.SecondsForAtDepth(bytes, ops, 1), model.SecondsFor(bytes, ops));
+  EXPECT_LT(model.SecondsForAtDepth(bytes, ops, 16), model.SecondsFor(bytes, ops));
+  EXPECT_GE(model.SecondsForAtDepth(bytes, ops, 16),
+            static_cast<double>(bytes) / model.bandwidth_bytes_per_sec);
+}
+
+class IoEngineTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kBlock = kIoAlignment;  // one aligned slot per tag
+  static constexpr int kBlocks = 32;
+
+  void SetUp() override {
+    path_ = TempPath("io_engine_test");
+    disk_ = std::make_unique<SimulatedDisk>(path_);
+    disk_->Resize(static_cast<uint64_t>(kBlocks) * kBlock);
+  }
+
+  void TearDown() override {
+    disk_.reset();
+    ::remove(path_.c_str());
+  }
+
+  // Fills a block-sized float pattern derived from `seed`.
+  static std::vector<float> Pattern(float seed) {
+    std::vector<float> v(kBlock / sizeof(float));
+    for (size_t i = 0; i < v.size(); ++i) {
+      v[i] = seed + static_cast<float>(i % 17);
+    }
+    return v;
+  }
+
+  std::string path_;
+  std::unique_ptr<SimulatedDisk> disk_;
+};
+
+TEST_F(IoEngineTest, CompletionsArriveOutOfSubmissionOrder) {
+  // Tag 0's transfer is delayed far beyond the others: with queue_depth > 1 the
+  // later submissions must complete first — a slow partition no longer
+  // head-of-line-blocks the rest of the lookahead window.
+  IoEngineOptions opt;
+  opt.queue_depth = 4;
+  opt.before_io = [](const IoRequest& req) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(req.tag == 0 ? 150 : 1));
+  };
+  IoEngine engine(disk_.get(), opt);
+  std::mutex mu;
+  std::vector<int32_t> completion_order;
+  std::vector<std::vector<float>> dst(4, std::vector<float>(kBlock / sizeof(float)));
+  for (int32_t tag = 0; tag < 4; ++tag) {
+    engine.SubmitRead(tag, dst[static_cast<size_t>(tag)].data(), kBlock,
+                      static_cast<uint64_t>(tag) * kBlock, [&, tag](double) {
+                        std::lock_guard<std::mutex> lock(mu);
+                        completion_order.push_back(tag);
+                      });
+  }
+  engine.Drain();
+  ASSERT_EQ(completion_order.size(), 4u);
+  EXPECT_NE(completion_order.front(), 0);  // the slow first submission came in late
+  EXPECT_EQ(completion_order.back(), 0);
+}
+
+TEST_F(IoEngineTest, SameTagPreservesReadAfterWriteOrder) {
+  // A read submitted after a write of the same tag must observe the written
+  // data even while transfers for other tags run concurrently. The write is
+  // slowed down to widen any reordering window.
+  IoEngineOptions opt;
+  opt.queue_depth = 8;
+  opt.before_io = [](const IoRequest& req) {
+    if (req.kind == IoRequest::Kind::kWrite) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  };
+  IoEngine engine(disk_.get(), opt);
+  const std::vector<float> written = Pattern(500.0f);
+  std::vector<float> readback(written.size(), 0.0f);
+  engine.SubmitWrite(7, written.data(), kBlock, 7 * kBlock, [](double) {});
+  engine.SubmitRead(7, readback.data(), kBlock, 7 * kBlock, [](double) {});
+  // Unrelated tags churn concurrently.
+  std::vector<std::vector<float>> noise(6, std::vector<float>(written.size()));
+  for (int32_t tag = 0; tag < 6; ++tag) {
+    engine.SubmitRead(tag, noise[static_cast<size_t>(tag)].data(), kBlock,
+                      static_cast<uint64_t>(tag) * kBlock, [](double) {});
+  }
+  engine.Drain();
+  EXPECT_EQ(readback, written);
+}
+
+TEST_F(IoEngineTest, SameTagPreservesWriteAfterReadOrder) {
+  // A write submitted after a read of the same tag must not overtake it: the
+  // read sees the original bytes. The read is slowed down so an unordered
+  // engine would run the write first.
+  const std::vector<float> original = Pattern(1.0f);
+  disk_->Write(original.data(), kBlock, 3 * kBlock);
+  IoEngineOptions opt;
+  opt.queue_depth = 8;
+  opt.before_io = [](const IoRequest& req) {
+    if (req.kind == IoRequest::Kind::kRead) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  };
+  IoEngine engine(disk_.get(), opt);
+  const std::vector<float> overwrite = Pattern(900.0f);
+  std::vector<float> readback(original.size(), 0.0f);
+  engine.SubmitRead(3, readback.data(), kBlock, 3 * kBlock, [](double) {});
+  engine.SubmitWrite(3, overwrite.data(), kBlock, 3 * kBlock, [](double) {});
+  engine.Drain();
+  EXPECT_EQ(readback, original);
+}
+
+TEST_F(IoEngineTest, AdjacentWritesCoalesceIntoOneDeviceOp) {
+  // Gate the single worker on a decoy read, queue four byte-adjacent writes,
+  // then release: the engine must merge them into one device transfer.
+  IoEngineOptions opt;
+  opt.queue_depth = 1;
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  opt.before_io = [&](const IoRequest& req) {
+    if (req.tag == 99) {
+      std::unique_lock<std::mutex> lock(gate_mu);
+      gate_cv.wait(lock, [&] { return gate_open; });
+    }
+  };
+  IoEngine engine(disk_.get(), opt);
+  std::vector<float> decoy(kBlock / sizeof(float));
+  engine.SubmitRead(99, decoy.data(), kBlock, 20 * kBlock, [](double) {});
+  std::vector<std::vector<float>> blocks;
+  for (int32_t tag = 0; tag < 4; ++tag) {
+    blocks.push_back(Pattern(100.0f * static_cast<float>(tag)));
+  }
+  disk_->ResetStats();
+  for (int32_t tag = 0; tag < 4; ++tag) {
+    engine.SubmitWrite(tag, blocks[static_cast<size_t>(tag)].data(), kBlock,
+                       static_cast<uint64_t>(tag) * kBlock, [](double) {});
+  }
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  engine.Drain();
+  const IoEngineStats stats = engine.ConsumeStats();
+  EXPECT_EQ(stats.coalesced_writes, 3u);   // three rode along with the first
+  EXPECT_EQ(stats.write_requests, 4u);
+  const DiskStats ds = disk_->stats();
+  EXPECT_EQ(ds.write_ops, 1u);             // one merged transfer, one device op
+  EXPECT_EQ(ds.bytes_written, 4 * kBlock);
+  // The merged write landed every request's bytes at its own offset.
+  for (int32_t tag = 0; tag < 4; ++tag) {
+    std::vector<float> readback(kBlock / sizeof(float));
+    disk_->Read(readback.data(), kBlock, static_cast<uint64_t>(tag) * kBlock);
+    EXPECT_EQ(readback, blocks[static_cast<size_t>(tag)]);
+  }
+}
+
+TEST_F(IoEngineTest, SplitTransferSeamRoundTrips) {
+  // max_transfer_bytes forces every transfer through the partial-progress path
+  // (odd slice size, offsets advancing mid-request).
+  const std::vector<float> original = Pattern(7.0f);
+  disk_->Write(original.data(), kBlock, 5 * kBlock);
+  IoEngineOptions opt;
+  opt.queue_depth = 2;
+  opt.max_transfer_bytes = 1000;  // not a divisor of kBlock, not aligned
+  IoEngine engine(disk_.get(), opt);
+  disk_->ResetStats();
+  std::vector<float> readback(original.size(), 0.0f);
+  engine.ReadSync(5, readback.data(), kBlock, 5 * kBlock);
+  EXPECT_EQ(readback, original);
+  EXPECT_GE(disk_->stats().read_ops, 5u);  // ceil(4096/1000) slices
+}
+
+TEST_F(IoEngineTest, QueueDepthStatsTrackOutstandingRequests) {
+  IoEngineOptions opt;
+  opt.queue_depth = 2;
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  opt.before_io = [&](const IoRequest&) {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  };
+  IoEngine engine(disk_.get(), opt);
+  std::vector<std::vector<float>> dst(6, std::vector<float>(kBlock / sizeof(float)));
+  for (int32_t tag = 0; tag < 6; ++tag) {
+    engine.SubmitRead(tag, dst[static_cast<size_t>(tag)].data(), kBlock,
+                      static_cast<uint64_t>(tag) * kBlock, [](double) {});
+  }
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  engine.Drain();
+  const IoEngineStats stats = engine.ConsumeStats();
+  EXPECT_EQ(stats.read_requests, 6u);
+  EXPECT_EQ(stats.read_bytes, 6 * kBlock);
+  EXPECT_EQ(stats.inflight_peak, 6);       // all six were outstanding at once
+  EXPECT_GT(stats.queue_depth_mean, 1.0);  // busy interval held multiple requests
+  // Counters reset on consume.
+  EXPECT_EQ(engine.ConsumeStats().read_requests, 0u);
+}
+
+TEST_F(IoEngineTest, ShortReadThroughEngineAborts) {
+  // A read past end-of-file comes back short; the transfer loop must abort with
+  // the short-read diagnostic, not spin or return garbage. The engine (and its
+  // worker threads) live entirely inside the death-test child.
+  const std::string path = path_;  // capture for the child
+  EXPECT_DEATH(
+      {
+        SimulatedDisk disk(path + ".short");
+        disk.Resize(kBlock);
+        IoEngineOptions opt;
+        opt.queue_depth = 2;
+        IoEngine engine(&disk, opt);
+        std::vector<float> dst(2 * kBlock / sizeof(float));
+        engine.ReadSync(0, dst.data(), 2 * kBlock, 0);  // file is only kBlock long
+      },
+      "short read");
+}
+
+TEST(ProbeDirectIo, MissingDirectoryIsRejected) {
+  EXPECT_FALSE(ProbeDirectIo("/nonexistent_mgnn_probe_dir"));
+}
+
+TEST(ProbeDirectIo, ProbeLeavesNoFilesBehind) {
+  // Whether or not the filesystem supports O_DIRECT, the probe must clean up
+  // after itself and agree with the disk's view when a buffer requests direct IO.
+  const std::string dir = TempPath("probe_dir_marker");
+  // TempPath returns a file path; use its parent (the temp dir) for probing.
+  const std::string parent = dir.substr(0, dir.rfind('/'));
+  const bool supported = ProbeDirectIo(parent);
+  // Probe again: result is stable, and no leftover probe file breaks reruns.
+  EXPECT_EQ(ProbeDirectIo(parent), supported);
+}
+
+// Concurrent submit/complete stress across queue depths (the CI TSan job runs
+// this at depths 1, 4, and 16). Each submitter thread owns disjoint tags and
+// issues interleaved write->read sequences; per-tag program order requires each
+// read to observe exactly the value of its preceding write.
+class IoEngineDepthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IoEngineDepthTest, ConcurrentSubmitStressPreservesPerTagOrder) {
+  constexpr int kThreads = 4;
+  constexpr int kTagsPerThread = 2;
+  constexpr int kIters = 12;
+  constexpr size_t kBlock = kIoAlignment;
+  const std::string path = TempPath("io_engine_stress");
+  SimulatedDisk disk(path);
+  disk.Resize(kThreads * kTagsPerThread * kBlock);
+  IoEngineOptions opt;
+  opt.queue_depth = GetParam();
+  opt.before_io = [](const IoRequest& req) {
+    // Deterministic per-request jitter so completions shuffle across tags.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds((req.offset / 64 + req.bytes) % 300));
+  };
+  IoEngine engine(&disk, opt);
+
+  const size_t floats = kBlock / sizeof(float);
+  // [thread][tag][iter] pinned storage: requests reference it while in flight.
+  std::vector<std::vector<float>> writes(
+      static_cast<size_t>(kThreads * kTagsPerThread * kIters));
+  std::vector<std::vector<float>> reads(writes.size());
+  const auto slot = [&](int t, int g, int i) {
+    return static_cast<size_t>((t * kTagsPerThread + g) * kIters + i);
+  };
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        for (int g = 0; g < kTagsPerThread; ++g) {
+          const int32_t tag = t * kTagsPerThread + g;
+          const uint64_t offset = static_cast<uint64_t>(tag) * kBlock;
+          const float value = static_cast<float>(tag * 1000 + i);
+          writes[slot(t, g, i)].assign(floats, value);
+          reads[slot(t, g, i)].assign(floats, -1.0f);
+          engine.SubmitWrite(tag, writes[slot(t, g, i)].data(), kBlock, offset,
+                             [](double) {});
+          engine.SubmitRead(tag, reads[slot(t, g, i)].data(), kBlock, offset,
+                            [](double) {});
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) {
+    t.join();
+  }
+  engine.Drain();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int g = 0; g < kTagsPerThread; ++g) {
+      for (int i = 0; i < kIters; ++i) {
+        const float expected = static_cast<float>((t * kTagsPerThread + g) * 1000 + i);
+        EXPECT_FLOAT_EQ(reads[slot(t, g, i)].front(), expected);
+        EXPECT_FLOAT_EQ(reads[slot(t, g, i)].back(), expected);
+      }
+    }
+  }
+  const IoEngineStats stats = engine.ConsumeStats();
+  EXPECT_EQ(stats.read_requests,
+            static_cast<uint64_t>(kThreads * kTagsPerThread * kIters));
+  ::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(QueueDepths, IoEngineDepthTest, ::testing::Values(1, 4, 16));
+
+TEST_F(AsyncPartitionBufferTest, ConsumeIoStatsReportsEngineTraffic) {
+  buffer_->SetResident({0, 1, 2});
+  buffer_->Prefetch({3, 4});
+  buffer_->SetResident({3, 4});
+  buffer_->FlushAll();
+  const IoEngineStats stats = buffer_->ConsumeIoStats();
+  EXPECT_GT(stats.read_requests, 0u);
+  EXPECT_GT(stats.read_bytes, 0u);
+  EXPECT_GE(stats.inflight_peak, 1);
+  // Counters are consumed: a second call starts from zero.
+  EXPECT_EQ(buffer_->ConsumeIoStats().read_requests, 0u);
+}
+
+TEST_F(AsyncPartitionBufferTest, OutOfOrderStagingInstallsCorrectData) {
+  // Delay each staged read by a per-partition amount so completions land in
+  // reverse submission order; SetResident must still install every partition's
+  // own bytes (installation is keyed by tag, not by completion order).
+  const std::string path = TempPath("pb_ooo_test");
+  PartitionIoOptions io = AsyncIo(4);
+  io.before_io = [](const IoRequest& req) {
+    if (req.kind == IoRequest::Kind::kRead) {
+      std::this_thread::sleep_for(std::chrono::milliseconds((5 - req.tag % 6) * 8));
+    }
+  };
+  PartitionBuffer buffer(partitioning_.get(), 4, 3, path, DiskModel(),
+                         /*learnable=*/true, &init_, io);
+  buffer.SetResident({6, 7});
+  buffer.Prefetch({0, 1, 2});  // tag 0 slowest, tag 2 fastest
+  buffer.SetResident({0, 1, 2});
+  for (int32_t part : {0, 1, 2}) {
+    for (int64_t v : partitioning_->NodesIn(part)) {
+      const float* row = buffer.ValueRow(v);
+      for (int64_t d = 0; d < 4; ++d) {
+        ASSERT_FLOAT_EQ(row[d], init_(v, d));
+      }
+    }
+  }
+  ::remove(path.c_str());
+}
+
+TEST_F(AsyncPartitionBufferTest, QueueDepthOneMatchesDeeperEngineData) {
+  // The engine at depth 1 is the legacy-equivalent serial path; a depth-16
+  // twin driven through the same schedule must produce identical tables.
+  const std::string p1 = TempPath("pb_qd1");
+  const std::string p16 = TempPath("pb_qd16");
+  PartitionBuffer b1(partitioning_.get(), 4, 3, p1, DiskModel(),
+                     /*learnable=*/true, &init_, AsyncIo(1));
+  PartitionBuffer b16(partitioning_.get(), 4, 3, p16, DiskModel(),
+                      /*learnable=*/true, &init_, AsyncIo(16));
+  const std::vector<std::vector<int32_t>> schedule = {
+      {0, 1, 2}, {2, 3, 4}, {5, 6, 7}, {0, 3, 6}};
+  for (PartitionBuffer* b : {&b1, &b16}) {
+    for (const auto& set : schedule) {
+      b->SetResident(set);
+      for (int32_t part : set) {
+        const int64_t node = partitioning_->NodesIn(part).front();
+        b->ValueRow(node)[0] += 2.0f;
+        b->MarkDirty(node);
+      }
+      b->Prefetch({(set.back() + 1) % 8});
+    }
+  }
+  Tensor t1 = b1.ExportAll();
+  Tensor t16 = b16.ExportAll();
+  ASSERT_EQ(t1.rows(), t16.rows());
+  for (int64_t i = 0; i < t1.size(); ++i) {
+    ASSERT_EQ(t1.data()[i], t16.data()[i]);
+  }
+  ::remove(p1.c_str());
+  ::remove(p16.c_str());
 }
 
 }  // namespace
