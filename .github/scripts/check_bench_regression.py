@@ -42,20 +42,20 @@ def main():
 
     regressions = 0
     for key in sorted(set(prev) & set(cur)):
-        p, c = prev[key].get("epoch_sec"), cur[key].get("epoch_sec")
-        if not isinstance(p, (int, float)) or not isinstance(c, (int, float)) or p <= 0:
-            label = f"{key[0]}/{key[1]}"
-            print(f"::notice::{label} has no comparable epoch_sec; skipping")
-            continue
-        delta_pct = 100.0 * (c - p) / p
         label = f"{key[0]}/{key[1]}"
-        print(f"{label}: {p:.4f}s -> {c:.4f}s ({delta_pct:+.1f}%)")
-        if delta_pct > args.threshold_pct:
-            regressions += 1
-            print(
-                f"::warning title=Bench regression::{label} epoch time regressed "
-                f"{delta_pct:+.1f}% ({p:.4f}s -> {c:.4f}s, threshold {args.threshold_pct:.0f}%)"
-            )
+        # Training rows (bench_pipeline.json) compare on epoch time; serving
+        # rows (bench_serving.json) have no epoch_sec and fall through to the
+        # latency/throughput comparisons below.
+        p, c = prev[key].get("epoch_sec"), cur[key].get("epoch_sec")
+        if isinstance(p, (int, float)) and isinstance(c, (int, float)) and p > 0:
+            delta_pct = 100.0 * (c - p) / p
+            print(f"{label}: {p:.4f}s -> {c:.4f}s ({delta_pct:+.1f}%)")
+            if delta_pct > args.threshold_pct:
+                regressions += 1
+                print(
+                    f"::warning title=Bench regression::{label} epoch time regressed "
+                    f"{delta_pct:+.1f}% ({p:.4f}s -> {c:.4f}s, threshold {args.threshold_pct:.0f}%)"
+                )
         # Unhidden-IO stall is tracked alongside epoch time (warn-only, like
         # everything here). Sub-10ms stalls are below scheduler noise on shared
         # runners, so only compare when the previous run had a meaningful stall.
@@ -70,8 +70,32 @@ def main():
                     f"{stall_delta_pct:+.1f}% ({ps:.4f}s -> {cs:.4f}s, "
                     f"threshold {args.threshold_pct:.0f}%)"
                 )
+        # Serving rows (bench_serving.json) carry latency/throughput instead of
+        # epoch time: tail latency regresses upward, QPS regresses downward.
+        pp, cp = prev[key].get("p99_ms"), cur[key].get("p99_ms")
+        if isinstance(pp, (int, float)) and isinstance(cp, (int, float)) and pp > 0:
+            p99_delta_pct = 100.0 * (cp - pp) / pp
+            print(f"{label}: p99 {pp:.3f}ms -> {cp:.3f}ms ({p99_delta_pct:+.1f}%)")
+            if p99_delta_pct > args.threshold_pct:
+                regressions += 1
+                print(
+                    f"::warning title=Serving p99 regression::{label} p99 latency regressed "
+                    f"{p99_delta_pct:+.1f}% ({pp:.3f}ms -> {cp:.3f}ms, "
+                    f"threshold {args.threshold_pct:.0f}%)"
+                )
+        pq, cq = prev[key].get("qps"), cur[key].get("qps")
+        if isinstance(pq, (int, float)) and isinstance(cq, (int, float)) and pq > 0:
+            qps_delta_pct = 100.0 * (cq - pq) / pq
+            print(f"{label}: qps {pq:.1f} -> {cq:.1f} ({qps_delta_pct:+.1f}%)")
+            if -qps_delta_pct > args.threshold_pct:
+                regressions += 1
+                print(
+                    f"::warning title=Serving QPS regression::{label} throughput dropped "
+                    f"{qps_delta_pct:+.1f}% ({pq:.1f} -> {cq:.1f} qps, "
+                    f"threshold {args.threshold_pct:.0f}%)"
+                )
     if regressions == 0:
-        print(f"No epoch-time or io-stall regression beyond {args.threshold_pct:.0f}%")
+        print(f"No epoch-time, io-stall, or serving regression beyond {args.threshold_pct:.0f}%")
     return 0
 
 

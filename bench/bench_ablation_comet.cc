@@ -56,13 +56,13 @@ int main() {
     tc.dims = {16, 16};
     tc.batch_size = 1000;
     tc.num_negatives = 64;
-    tc.use_disk = true;
-    tc.num_physical = p;
-    tc.num_logical = v.use_beta ? p : l;
-    tc.buffer_capacity = c;
-    tc.policy = v.use_beta ? "beta" : "comet";
-    tc.comet_randomize_grouping = v.randomize_grouping;
-    tc.comet_deferred_assignment = v.deferred_assignment;
+    tc.storage.use_disk = true;
+    tc.storage.num_physical = p;
+    tc.storage.num_logical = v.use_beta ? p : l;
+    tc.storage.buffer_capacity = c;
+    tc.storage.policy = v.use_beta ? "beta" : "comet";
+    tc.storage.comet_randomize_grouping = v.randomize_grouping;
+    tc.storage.comet_deferred_assignment = v.deferred_assignment;
     const RunResult r = RunLinkPrediction(graph, tc, 4);
     std::printf("%-26s %10.3f %10.4f %12.2f\n", v.label, bias, r.metric,
                 r.avg_epoch_seconds);

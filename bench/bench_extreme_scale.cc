@@ -25,11 +25,11 @@ int main() {
   config.decoder = "distmult";
   config.batch_size = 2000;
   config.num_negatives = 100;  // paper: 500; scaled for the CPU substrate
-  config.use_disk = true;
-  config.num_physical = 16;
-  config.num_logical = 16;
-  config.buffer_capacity = 2;
-  config.policy = "comet";
+  config.storage.use_disk = true;
+  config.storage.num_physical = 16;
+  config.storage.num_logical = 16;
+  config.storage.buffer_capacity = 2;
+  config.storage.policy = "comet";
 
   LinkPredictionTrainer trainer(&graph, config);
   const EpochStats stats = trainer.TrainEpoch();

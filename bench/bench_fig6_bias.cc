@@ -61,11 +61,11 @@ int main() {
     tc.dims = {16, 16};
     tc.batch_size = 1000;
     tc.num_negatives = 64;
-    tc.use_disk = true;
-    tc.num_physical = 16;
-    tc.num_logical = cfg.l > 0 ? cfg.l : 16;
-    tc.buffer_capacity = 8;
-    tc.policy = cfg.l == 0 ? "beta" : "comet";
+    tc.storage.use_disk = true;
+    tc.storage.num_physical = 16;
+    tc.storage.num_logical = cfg.l > 0 ? cfg.l : 16;
+    tc.storage.buffer_capacity = 8;
+    tc.storage.policy = cfg.l == 0 ? "beta" : "comet";
     const RunResult r = RunLinkPrediction(graph, tc, 4);
     std::printf("%-18s %10.3f %10.4f\n", cfg.label, bias, r.metric);
   }

@@ -50,9 +50,9 @@ int main() {
     NcSeries("M-GNN_Mem (DENSE)", graph, base, epochs);
 
     TrainingConfig disk = base;
-    disk.use_disk = true;
-    disk.num_physical = 16;
-    disk.buffer_capacity = 8;
+    disk.storage.use_disk = true;
+    disk.storage.num_physical = 16;
+    disk.storage.buffer_capacity = 8;
     NcSeries("M-GNN_Disk (DENSE + caching)", graph, disk, epochs);
 
     TrainingConfig baseline = base;
@@ -74,10 +74,10 @@ int main() {
     LpSeries("M-GNN_Mem (DENSE)", graph, base, epochs);
 
     TrainingConfig disk = base;
-    disk.use_disk = true;
-    disk.num_physical = 8;
-    disk.num_logical = 4;
-    disk.buffer_capacity = 4;
+    disk.storage.use_disk = true;
+    disk.storage.num_physical = 8;
+    disk.storage.num_logical = 4;
+    disk.storage.buffer_capacity = 4;
     LpSeries("M-GNN_Disk (COMET)", graph, disk, epochs);
 
     TrainingConfig baseline = base;

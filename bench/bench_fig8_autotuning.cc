@@ -55,14 +55,14 @@ void RunDataset(const char* name, const Graph& graph, double cpu_budget_bytes,
     tc.dims = {16};
     tc.batch_size = 1000;
     tc.num_negatives = 64;
-    tc.use_disk = true;
-    tc.num_physical = cfg.p;
-    tc.num_logical = cfg.l;
-    tc.buffer_capacity = cfg.c;
+    tc.storage.use_disk = true;
+    tc.storage.num_physical = cfg.p;
+    tc.storage.num_logical = cfg.l;
+    tc.storage.buffer_capacity = cfg.c;
     // Slow volume so IO differences are visible at bench scale.
-    tc.disk_model.bandwidth_bytes_per_sec = 5e6;
-    tc.disk_model.iops = 200;
-    tc.disk_model.block_size = 1 << 14;
+    tc.storage.disk_model.bandwidth_bytes_per_sec = 5e6;
+    tc.storage.disk_model.iops = 200;
+    tc.storage.disk_model.block_size = 1 << 14;
     const RunResult r = RunLinkPrediction(graph, tc, epochs);
     std::printf("p=%-4d l=%-4d c=%-4d %16.2f %10.4f %6s\n", cfg.p, cfg.l, cfg.c,
                 r.avg_epoch_seconds, r.metric, is_tuned ? "<auto" : "");

@@ -125,27 +125,27 @@ PipelineRun Run(const Graph& graph, bool disk, int workers,
                 int io_queue_depth = 4, bool io_direct = true) {
   TrainingConfig config = BaseConfig();
   // workers == 0 is the fully synchronous baseline: no pipeline, no prefetch.
-  config.pipelined = workers > 0;
-  config.pipeline_workers = workers;
-  config.prefetch = workers > 0;
-  config.parallel_compute = shared_pool != nullptr;
-  config.compute_pool = shared_pool;
-  config.pipeline_pool = shared_pool;
-  config.adaptive_pipeline_workers = controller;
-  config.adaptive_within_epoch = true;
-  config.io_queue_depth = io_queue_depth;
-  config.io_direct = io_direct;
+  config.pipeline.enabled = workers > 0;
+  config.pipeline.workers = workers;
+  config.storage.prefetch = workers > 0;
+  config.pipeline.parallel_compute = shared_pool != nullptr;
+  config.pipeline.compute_pool = shared_pool;
+  config.pipeline.pipeline_pool = shared_pool;
+  config.pipeline.adaptive_workers = controller;
+  config.pipeline.adaptive_within_epoch = true;
+  config.storage.io_queue_depth = io_queue_depth;
+  config.storage.io_direct = io_direct;
   if (disk) {
-    config.use_disk = true;
-    config.num_physical = 8;
-    config.num_logical = 4;
-    config.buffer_capacity = 4;
+    config.storage.use_disk = true;
+    config.storage.num_physical = 8;
+    config.storage.num_logical = 4;
+    config.storage.buffer_capacity = 4;
     // The bench graph is ~100x smaller than the paper's, so with the default EBS
     // model partition IO rounds to nothing. Scale the disk down to keep the
     // IO:compute ratio representative — the overlap win is then a deterministic
     // modeled quantity instead of scheduler noise.
-    config.disk_model.bandwidth_bytes_per_sec = 25e6;
-    config.disk_model.iops = 500.0;
+    config.storage.disk_model.bandwidth_bytes_per_sec = 25e6;
+    config.storage.disk_model.iops = 500.0;
   }
   LinkPredictionTrainer trainer(&graph, config);
   PipelineRun result;

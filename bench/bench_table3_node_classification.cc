@@ -32,9 +32,9 @@ void RunDataset(const char* name, const Graph& graph, const char* mem_instance) 
   rows.push_back({"M-GNN_Mem", RunNodeClassification(graph, mem, epochs), mem_instance});
 
   TrainingConfig disk = base;
-  disk.use_disk = true;
-  disk.num_physical = 16;
-  disk.buffer_capacity = 8;
+  disk.storage.use_disk = true;
+  disk.storage.num_physical = 16;
+  disk.storage.buffer_capacity = 8;
   rows.push_back({"M-GNN_Disk", RunNodeClassification(graph, disk, epochs),
                   "p3.2xlarge"});
 

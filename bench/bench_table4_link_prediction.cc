@@ -29,11 +29,11 @@ void RunDataset(const char* name, const Graph& graph, int epochs) {
   rows.push_back({"M-GNN_Mem", RunLinkPrediction(graph, mem, epochs), "p3.8xlarge"});
 
   TrainingConfig disk = base;
-  disk.use_disk = true;
-  disk.num_physical = 8;
-  disk.num_logical = 4;
-  disk.buffer_capacity = 4;
-  disk.policy = "comet";
+  disk.storage.use_disk = true;
+  disk.storage.num_physical = 8;
+  disk.storage.num_logical = 4;
+  disk.storage.buffer_capacity = 4;
+  disk.storage.policy = "comet";
   rows.push_back({"M-GNN_Disk", RunLinkPrediction(graph, disk, epochs), "p3.2xlarge"});
 
   TrainingConfig dgl = base;

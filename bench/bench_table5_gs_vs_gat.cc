@@ -21,10 +21,10 @@ RunResult Run(const Graph& graph, GnnLayerType type, SamplerKind sampler, bool d
   config.num_negatives = 20;  // lighter decoder so encoder cost is visible
   config.sampler = sampler;
   if (disk) {
-    config.use_disk = true;
-    config.num_physical = 8;
-    config.num_logical = 4;
-    config.buffer_capacity = 4;
+    config.storage.use_disk = true;
+    config.storage.num_physical = 8;
+    config.storage.num_logical = 4;
+    config.storage.buffer_capacity = 4;
   }
   return RunLinkPrediction(graph, config, epochs);
 }

@@ -35,18 +35,18 @@ void RunCombo(const char* model, const char* dataset, const Graph& graph, int ep
 
   // Buffer = 1/4 of partitions: p = 8, c = 2 (COMET: group 1, l = 8, c_l = 2).
   TrainingConfig comet = ModelConfig(model);
-  comet.use_disk = true;
-  comet.num_physical = 8;
-  comet.num_logical = 8;
-  comet.buffer_capacity = 2;
-  comet.policy = "comet";
+  comet.storage.use_disk = true;
+  comet.storage.num_physical = 8;
+  comet.storage.num_logical = 8;
+  comet.storage.buffer_capacity = 2;
+  comet.storage.policy = "comet";
   const RunResult comet_result = RunLinkPrediction(graph, comet, epochs);
 
   TrainingConfig beta = ModelConfig(model);
-  beta.use_disk = true;
-  beta.num_physical = 8;
-  beta.buffer_capacity = 2;
-  beta.policy = "beta";
+  beta.storage.use_disk = true;
+  beta.storage.num_physical = 8;
+  beta.storage.buffer_capacity = 2;
+  beta.storage.policy = "beta";
   const RunResult beta_result = RunLinkPrediction(graph, beta, epochs);
 
   std::printf("%-9s %-10s %10.4f %12.4f %12.4f %14.2f %14.2f\n", model, dataset,

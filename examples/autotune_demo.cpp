@@ -52,10 +52,10 @@ int main() {
   config.dims = {16};
   config.batch_size = 1000;
   config.num_negatives = 32;
-  config.use_disk = !tuned.fits_in_memory;
-  config.num_physical = tuned.num_physical;
-  config.num_logical = tuned.num_logical;
-  config.buffer_capacity = tuned.buffer_capacity;
+  config.storage.use_disk = !tuned.fits_in_memory;
+  config.storage.num_physical = tuned.num_physical;
+  config.storage.num_logical = tuned.num_logical;
+  config.storage.buffer_capacity = tuned.buffer_capacity;
   LinkPredictionTrainer trainer(&graph, config);
   for (int epoch = 1; epoch <= 3; ++epoch) {
     const EpochStats stats = trainer.TrainEpoch();

@@ -22,11 +22,11 @@ int main() {
 
   // Disk-based storage: 8 physical partitions grouped into 4 logical ones, a buffer
   // of 4 physical partitions (1/2 of the graph resident at a time).
-  config.use_disk = true;
-  config.num_physical = 8;
-  config.num_logical = 4;
-  config.buffer_capacity = 4;
-  config.policy = "comet";
+  config.storage.use_disk = true;
+  config.storage.num_physical = 8;
+  config.storage.num_logical = 4;
+  config.storage.buffer_capacity = 4;
+  config.storage.policy = "comet";
 
   LinkPredictionTrainer trainer(&graph, config);
   for (int epoch = 1; epoch <= 4; ++epoch) {

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <memory>
 
+#include "src/storage/io_arena.h"
 #include "src/util/binary_io.h"
 #include "src/util/check.h"
 
@@ -186,7 +187,9 @@ void RestoreTrainerCheckpointCore(const Checkpoint& ck, const std::string& kind,
 }
 
 void SaveCheckpoint(const Checkpoint& checkpoint, const std::string& path) {
-  // Manifest blob.
+  // Manifest blob. Section offsets are 4 KiB-aligned within the data block
+  // (format v2) so each payload lands page-aligned in the file — the gaps are
+  // zero padding, included in the data blob and its checksum.
   std::vector<uint8_t> manifest;
   AppendBytes(manifest, checkpoint.kind.data(), checkpoint.kind.size());
   AppendPod<uint64_t>(manifest, checkpoint.run_seed);
@@ -202,6 +205,7 @@ void SaveCheckpoint(const Checkpoint& checkpoint, const std::string& path) {
   AppendPod<uint32_t>(manifest, static_cast<uint32_t>(checkpoint.tensors.size()));
   uint64_t data_offset = 0;
   for (const auto& [name, t] : checkpoint.tensors) {
+    data_offset = AlignUpIo(data_offset);
     AppendString(manifest, name);
     AppendPod<int64_t>(manifest, t.rows());
     AppendPod<int64_t>(manifest, t.cols());
@@ -211,15 +215,18 @@ void SaveCheckpoint(const Checkpoint& checkpoint, const std::string& path) {
     data_offset += bytes;
   }
 
-  // Data blob (tensor payloads back to back, matching the manifest offsets).
+  // Data blob (payloads at their aligned offsets; zero-filled gaps between).
   std::vector<uint8_t> data;
-  data.reserve(static_cast<size_t>(data_offset));
+  data.reserve(static_cast<size_t>(AlignUpIo(data_offset)));
   for (const auto& [name, t] : checkpoint.tensors) {
     (void)name;
+    data.resize(AlignUpIo(data.size()), 0);
     AppendBytes(data, t.data(), static_cast<size_t>(t.size()) * sizeof(float));
   }
 
-  // Preamble.
+  // Preamble. The data block starts at the first 4 KiB boundary after the
+  // manifest, keeping the in-block alignment meaningful file-absolute.
+  const uint64_t data_start = AlignUpIo(kPreambleBytes + manifest.size());
   std::vector<uint8_t> preamble;
   preamble.reserve(kPreambleBytes);
   AppendPod<uint64_t>(preamble, kCheckpointMagic);
@@ -235,66 +242,84 @@ void SaveCheckpoint(const Checkpoint& checkpoint, const std::string& path) {
   file.WriteAt(preamble.data(), preamble.size(), 0);
   file.WriteAt(manifest.data(), manifest.size(), kPreambleBytes);
   if (!data.empty()) {
-    file.WriteAt(data.data(), data.size(), kPreambleBytes + manifest.size());
+    // The manifest→data gap is a file hole; it reads back as zeros and is not
+    // part of either checksummed blob.
+    file.WriteAt(data.data(), data.size(), data_start);
   }
   file.Commit();
 }
 
-bool LoadCheckpoint(const std::string& path, Checkpoint* out, std::string* error) {
-  std::vector<uint8_t> bytes;
-  if (!ReadWholeFile(path, &bytes, error)) {
-    return false;
-  }
-  if (bytes.size() < kPreambleBytes) {
+namespace {
+
+// Shared preamble + manifest parser behind LoadCheckpoint and
+// ReadCheckpointManifest. `head` must hold the preamble and the whole manifest
+// (callers size it from the preamble's manifest_bytes); `file_size` is the full
+// checkpoint file length, used to validate the data-block geometry without
+// touching the data itself. Fills *out with file-absolute section offsets.
+bool ParseCheckpointHead(const uint8_t* head, size_t head_len, uint64_t file_size,
+                         CheckpointManifest* out, std::string* error) {
+  if (head_len < kPreambleBytes || file_size < kPreambleBytes) {
     return Fail(error, "corrupt checkpoint: file shorter than the preamble");
   }
   auto read_u64 = [&](size_t off) {
     uint64_t v;
-    std::memcpy(&v, bytes.data() + off, sizeof(v));
+    std::memcpy(&v, head + off, sizeof(v));
     return v;
   };
   auto read_u32 = [&](size_t off) {
     uint32_t v;
-    std::memcpy(&v, bytes.data() + off, sizeof(v));
+    std::memcpy(&v, head + off, sizeof(v));
     return v;
   };
   if (read_u64(kOffMagic) != kCheckpointMagic) {
     return Fail(error, "not a checkpoint file (bad magic)");
   }
   const uint32_t version = read_u32(kOffVersion);
-  if (version != kCheckpointFormatVersion) {
+  if (version < kMinCheckpointFormatVersion || version > kCheckpointFormatVersion) {
     return Fail(error, "unsupported checkpoint format version " +
                            std::to_string(version) + " (expected " +
+                           std::to_string(kMinCheckpointFormatVersion) + ".." +
                            std::to_string(kCheckpointFormatVersion) + ")");
   }
   const uint32_t kind_len = read_u32(kOffKindLen);
   const uint64_t manifest_bytes = read_u64(kOffManifestBytes);
   const uint64_t data_bytes = read_u64(kOffDataBytes);
-  // Overflow-safe size validation before trusting any on-disk length.
-  const uint64_t remaining = bytes.size() - kPreambleBytes;
-  if (manifest_bytes > remaining || data_bytes > remaining - manifest_bytes ||
-      manifest_bytes + data_bytes != remaining) {
+  // Overflow-safe size validation before trusting any on-disk length. v1 packs
+  // the data block flush against the manifest; v2 starts it at the next 4 KiB
+  // boundary (a v2 file with no data block ends right after the manifest).
+  const uint64_t remaining = file_size - kPreambleBytes;
+  if (manifest_bytes > remaining || manifest_bytes + kPreambleBytes > head_len) {
+    return Fail(error, "corrupt checkpoint: truncated manifest");
+  }
+  const uint64_t manifest_end = kPreambleBytes + manifest_bytes;
+  const uint64_t data_start =
+      version >= 2 ? (manifest_end + kIoAlignment - 1) & ~(uint64_t{kIoAlignment} - 1)
+                   : manifest_end;
+  const bool size_ok =
+      data_bytes == 0 ? file_size == manifest_end
+                      : data_start <= file_size && data_bytes == file_size - data_start;
+  if (!size_ok) {
     return Fail(error, "corrupt checkpoint: truncated manifest or data block");
   }
-  const uint8_t* manifest = bytes.data() + kPreambleBytes;
-  const uint8_t* data = manifest + manifest_bytes;
+  const uint8_t* manifest = head + kPreambleBytes;
   if (Fnv1a64(manifest, manifest_bytes) != read_u64(kOffManifestChecksum)) {
     return Fail(error, "corrupt checkpoint: manifest checksum mismatch");
   }
-  if (Fnv1a64(data, data_bytes) != read_u64(kOffDataChecksum)) {
-    return Fail(error, "corrupt checkpoint: data checksum mismatch");
-  }
 
-  Checkpoint ck;
+  CheckpointManifest m;
+  m.version = version;
+  m.data_start = data_start;
+  m.data_bytes = data_bytes;
+  m.aligned_sections = version >= 2;
   if (kind_len > manifest_bytes) {
     return Fail(error, "corrupt checkpoint: kind length exceeds manifest");
   }
-  ck.kind.assign(reinterpret_cast<const char*>(manifest), kind_len);
+  m.kind.assign(reinterpret_cast<const char*>(manifest), kind_len);
   Reader body(manifest + kind_len, manifest_bytes - kind_len);
   uint32_t num_scalars = 0;
   uint32_t num_sections = 0;
-  bool ok = body.Pod(&ck.run_seed) && body.Pod(&ck.epoch);
-  for (uint64_t& w : ck.rng_state) {
+  bool ok = body.Pod(&m.run_seed) && body.Pod(&m.epoch);
+  for (uint64_t& w : m.rng_state) {
     ok = ok && body.Pod(&w);
   }
   ok = ok && body.Pod(&num_scalars);
@@ -303,41 +328,115 @@ bool LoadCheckpoint(const std::string& path, Checkpoint* out, std::string* error
     int64_t value = 0;
     ok = body.String(&name) && body.Pod(&value);
     if (ok) {
-      ck.scalars.emplace_back(std::move(name), value);
+      m.scalars.emplace_back(std::move(name), value);
     }
   }
   ok = ok && body.Pod(&num_sections);
   for (uint32_t i = 0; ok && i < num_sections; ++i) {
-    std::string name;
-    int64_t rows = 0, cols = 0;
-    uint64_t offset = 0, section_bytes = 0;
-    ok = body.String(&name) && body.Pod(&rows) && body.Pod(&cols) &&
-         body.Pod(&offset) && body.Pod(&section_bytes);
+    CheckpointSectionInfo s;
+    uint64_t offset = 0;
+    ok = body.String(&s.name) && body.Pod(&s.rows) && body.Pod(&s.cols) &&
+         body.Pod(&offset) && body.Pod(&s.bytes);
     if (!ok) {
       break;
     }
     // Overflow-guarded geometry validation: rows * cols * sizeof(float) must
-    // equal section_bytes exactly, and section_bytes <= data_bytes bounds the
+    // equal the section size exactly, and bytes <= data_bytes bounds the
     // product — so wraparound cannot smuggle a huge claimed shape past the
     // check (Tensor would otherwise overflow rows * cols, UB on int64).
-    const uint64_t urows = static_cast<uint64_t>(rows);
-    const uint64_t ucols = static_cast<uint64_t>(cols);
+    const uint64_t urows = static_cast<uint64_t>(s.rows);
+    const uint64_t ucols = static_cast<uint64_t>(s.cols);
     const bool shape_overflows =
         ucols != 0 && urows > (data_bytes / sizeof(float)) / ucols;
-    if (rows < 0 || cols < 0 || shape_overflows ||
-        urows * ucols * sizeof(float) != section_bytes ||
-        offset > data_bytes || section_bytes > data_bytes - offset) {
-      return Fail(error, "corrupt checkpoint: tensor section '" + name +
+    if (s.rows < 0 || s.cols < 0 || shape_overflows ||
+        urows * ucols * sizeof(float) != s.bytes || offset > data_bytes ||
+        s.bytes > data_bytes - offset) {
+      return Fail(error, "corrupt checkpoint: tensor section '" + s.name +
                              "' is out of bounds");
     }
-    std::vector<float> values(static_cast<size_t>(rows) * cols);
-    if (section_bytes > 0) {
-      std::memcpy(values.data(), data + offset, section_bytes);
-    }
-    ck.tensors.emplace_back(std::move(name), Tensor(rows, cols, std::move(values)));
+    s.file_offset = data_start + offset;
+    m.sections.push_back(std::move(s));
   }
   if (!ok || !body.Done()) {
     return Fail(error, "corrupt checkpoint: malformed manifest");
+  }
+  *out = std::move(m);
+  return true;
+}
+
+}  // namespace
+
+const CheckpointSectionInfo* CheckpointManifest::FindSection(
+    const std::string& name) const {
+  for (const CheckpointSectionInfo& s : sections) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+bool ReadCheckpointManifest(const std::string& path, CheckpointManifest* out,
+                            std::string* error) {
+  std::string open_error;
+  const std::unique_ptr<File> f = File::TryOpenReadOnly(path, &open_error);
+  if (f == nullptr) {
+    return Fail(error, "cannot open checkpoint '" + path + "': " + open_error);
+  }
+  const uint64_t file_size = static_cast<uint64_t>(f->Size());
+  if (file_size < kPreambleBytes) {
+    return Fail(error, "corrupt checkpoint: file shorter than the preamble");
+  }
+  uint8_t preamble[kPreambleBytes];
+  f->ReadAt(preamble, kPreambleBytes, 0);
+  uint64_t manifest_bytes = 0;
+  std::memcpy(&manifest_bytes, preamble + kOffManifestBytes, sizeof(manifest_bytes));
+  if (manifest_bytes > file_size - kPreambleBytes) {
+    return Fail(error, "corrupt checkpoint: truncated manifest");
+  }
+  std::vector<uint8_t> head(kPreambleBytes + static_cast<size_t>(manifest_bytes));
+  std::memcpy(head.data(), preamble, kPreambleBytes);
+  if (manifest_bytes > 0) {
+    f->ReadAt(head.data() + kPreambleBytes, static_cast<size_t>(manifest_bytes),
+              kPreambleBytes);
+  }
+  return ParseCheckpointHead(head.data(), head.size(), file_size, out, error);
+}
+
+bool LoadCheckpoint(const std::string& path, Checkpoint* out, std::string* error) {
+  std::vector<uint8_t> bytes;
+  if (!ReadWholeFile(path, &bytes, error)) {
+    return false;
+  }
+  CheckpointManifest m;
+  if (!ParseCheckpointHead(bytes.data(), bytes.size(),
+                           static_cast<uint64_t>(bytes.size()), &m, error)) {
+    return false;
+  }
+  // A no-data checkpoint ends right after the manifest; never form a pointer
+  // past the buffer for the empty-checksum case.
+  const uint8_t* data = m.data_bytes > 0 ? bytes.data() + m.data_start : nullptr;
+  uint64_t data_checksum = 0;
+  std::memcpy(&data_checksum, bytes.data() + kOffDataChecksum, sizeof(data_checksum));
+  if (Fnv1a64(data, m.data_bytes) != data_checksum) {
+    return Fail(error, "corrupt checkpoint: data checksum mismatch");
+  }
+
+  Checkpoint ck;
+  ck.kind = m.kind;
+  ck.run_seed = m.run_seed;
+  ck.epoch = m.epoch;
+  for (size_t i = 0; i < 4; ++i) {
+    ck.rng_state[i] = m.rng_state[i];
+  }
+  ck.scalars = std::move(m.scalars);
+  for (CheckpointSectionInfo& s : m.sections) {
+    std::vector<float> values(static_cast<size_t>(s.rows) * s.cols);
+    if (s.bytes > 0) {
+      std::memcpy(values.data(), bytes.data() + s.file_offset, s.bytes);
+    }
+    ck.tensors.emplace_back(std::move(s.name),
+                            Tensor(s.rows, s.cols, std::move(values)));
   }
   *out = std::move(ck);
   return true;

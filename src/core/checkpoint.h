@@ -18,7 +18,15 @@
 //    num_scalars u32, {name_len u32, name, value i64}... |
 //    num_sections u32, {name_len u32, name, rows i64, cols i64,
 //                       data_offset u64, data_bytes u64}...]
-//   [data: tensor payloads back to back, offsets relative to the data block]
+//   [data: tensor payloads, offsets relative to the data block]
+//
+// Since format version 2 the data block begins at the first 4 KiB boundary after
+// the manifest and every section offset is rounded up to 4 KiB (gaps are zero
+// padding, covered by the data checksum). Every payload therefore sits
+// page-aligned in the file, so the serving tier can mmap a checkpoint and hand
+// out zero-copy section views (src/serve/), and O_DIRECT readers need no bounce
+// buffering. Version-1 files (tightly packed) remain readable; only writing is
+// always v2.
 //
 // Both blobs carry FNV-1a 64 checksums; the format version is bumped on any
 // layout change. SaveCheckpoint writes through AtomicFile (tmp → fsync →
@@ -42,7 +50,10 @@
 
 namespace mariusgnn {
 
-inline constexpr uint32_t kCheckpointFormatVersion = 1;
+inline constexpr uint32_t kCheckpointFormatVersion = 2;
+// Oldest version LoadCheckpoint / ReadCheckpointManifest still accept (v1:
+// unpadded sections, no alignment guarantee).
+inline constexpr uint32_t kMinCheckpointFormatVersion = 1;
 
 struct Checkpoint {
   // Which trainer wrote this ("link_prediction" / "node_classification"); resume
@@ -74,6 +85,43 @@ void SaveCheckpoint(const Checkpoint& checkpoint, const std::string& path);
 // *error — for any missing, truncated, corrupt, or version-mismatched file;
 // *out is only written on success. Never aborts on bad input.
 bool LoadCheckpoint(const std::string& path, Checkpoint* out, std::string* error);
+
+// One tensor section as laid out on disk: shape plus the absolute byte range of
+// its payload within the checkpoint file.
+struct CheckpointSectionInfo {
+  std::string name;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  uint64_t file_offset = 0;  // absolute offset of the payload in the file
+  uint64_t bytes = 0;        // exact payload size (rows * cols * sizeof(float))
+};
+
+// The parsed preamble + manifest of a checkpoint file, without any payload.
+struct CheckpointManifest {
+  uint32_t version = 0;
+  std::string kind;
+  uint64_t run_seed = 0;
+  uint64_t epoch = 0;
+  uint64_t rng_state[4] = {0, 0, 0, 0};
+  std::vector<std::pair<std::string, int64_t>> scalars;
+  std::vector<CheckpointSectionInfo> sections;
+  uint64_t data_start = 0;  // absolute file offset of the data block
+  uint64_t data_bytes = 0;  // data block length (v2: includes alignment padding)
+  // True when every section payload is 4 KiB-aligned in the file (format v2+):
+  // the precondition for the serving tier's zero-copy mmap views.
+  bool aligned_sections = false;
+
+  const CheckpointSectionInfo* FindSection(const std::string& name) const;
+};
+
+// Parses and validates only the head of a checkpoint file — preamble and
+// manifest, with checksum — leaving the (possibly huge) data block untouched.
+// This is the serving tier's entry point: ModelSnapshot maps the file and
+// resolves section views through the returned offsets instead of deserialising
+// payloads. Same error contract as LoadCheckpoint; the data-block checksum is
+// NOT verified here (it would fault in every page).
+bool ReadCheckpointManifest(const std::string& path, CheckpointManifest* out,
+                            std::string* error);
 
 // Section-name convention shared by both trainers: model parameter i is stored
 // as "param<i>.value" / "param<i>.state" in Parameters() order.

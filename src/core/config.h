@@ -1,4 +1,11 @@
 // Training configuration and per-epoch statistics shared by both trainers.
+//
+// The knob list is grouped into sub-structs by subsystem — StorageOptions
+// (partition buffer + IO engine), PipelineOptions (async pipeline + adaptive
+// controller + compute parallelism), CheckpointOptions (crash-safe snapshots) —
+// so callers configure one subsystem at a time and new knobs land next to their
+// neighbors. The old flat field names survive as read-only forwarding accessors
+// (config.use_disk() etc.) for call sites that only consume the config.
 #ifndef SRC_CORE_CONFIG_H_
 #define SRC_CORE_CONFIG_H_
 
@@ -7,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/model.h"
 #include "src/graph/neighbor_index.h"
 #include "src/nn/encoder.h"
 #include "src/pipeline/pipeline_controller.h"
@@ -18,71 +26,9 @@
 
 namespace mariusgnn {
 
-enum class SamplerKind {
-  kDense,      // MariusGNN: DENSE with one-hop sample reuse (Algorithm 1)
-  kLayerwise,  // baseline: DGL/PyG-style per-layer resampling + block execution
-};
-
-struct TrainingConfig {
-  // Model.
-  GnnLayerType layer_type = GnnLayerType::kGraphSage;
-  std::vector<int64_t> fanouts;  // per hop, ordered away from targets; empty = no GNN
-  std::vector<int64_t> dims;     // dims[0] = base representation width
-  EdgeDirection direction = EdgeDirection::kBoth;
-  std::string decoder = "distmult";  // link prediction only
-  SamplerKind sampler = SamplerKind::kDense;
-
-  // Optimisation.
-  int64_t batch_size = 1000;
-  int64_t num_negatives = 100;        // link prediction only
-  float embedding_lr = 0.1f;          // sparse Adagrad on base representations
-  float weight_lr = 0.01f;            // Adagrad on GNN/decoder weights
-  bool pipelined = true;              // overlap sampling with compute
-  // Batch-construction workers when pipelined (TrainingPipeline). Worker count never
-  // changes results: batches are derived from per-batch seeds and consumed in order.
-  int pipeline_workers = 2;
-  int64_t pipeline_queue_capacity = 4;  // prepared batches buffered ahead of compute
-  // Stage-3 compute parallelism: run the hot kernels (matmuls, neighbor
-  // aggregation, ranking loss, sparse Adagrad) in fixed chunks on the shared
-  // ThreadPool. Like the pipeline, this never changes results — chunk boundaries
-  // and reduction order depend only on tensor shapes (src/util/compute.h), so
-  // serial and N-thread runs are bitwise-identical.
-  bool parallel_compute = true;
-  // Adaptive stage-1/stage-3 pool split (PipelineController): while a window's
-  // compute_parallel_efficiency sits below adaptive_par_eff_low (compute chunks
-  // starved of pool threads by epoch-long sampling workers), the next window runs
-  // one fewer sampling worker, down to adaptive_min_workers; while it sits above
-  // adaptive_par_eff_high, workers grow back toward pipeline_workers. In the dead
-  // band the controller refines with queue back-pressure: time-weighted queue
-  // occupancy above adaptive_queue_high (fraction of capacity) shrinks, occupancy
-  // below adaptive_queue_low with real consumer stalls grows, and IO-bound windows
-  // hold. Worker count never affects results (per-batch seeds + in-order
-  // consumption), so the rebalance preserves bitwise-identical trajectories.
-  bool adaptive_pipeline_workers = true;
-  // Observation granularity: true = one window per partition set, with worker
-  // resizes applied mid-epoch at set boundaries (PipelineSession::Resize); false =
-  // the legacy epoch-boundary fallback (also disables the queue-depth signal).
-  bool adaptive_within_epoch = true;
-  double adaptive_par_eff_low = 0.40;
-  double adaptive_par_eff_high = 0.85;
-  double adaptive_queue_low = 0.25;
-  double adaptive_queue_high = 0.75;
-  double adaptive_io_stall_hold_fraction = 0.50;
-  double adaptive_stall_grow_fraction = 0.05;
-  // Queue-rule decision cool-down: after any worker resize, the queue
-  // back-pressure rules stay quiet for this many windows so the shrink/grow pair
-  // cannot ping-pong on hosts where neither split wins (the efficiency band is
-  // not gated — it has its own hysteresis).
-  int adaptive_queue_cooldown_windows = 2;
-  int adaptive_min_workers = 1;
-  // Pool overrides for tests/benches; nullptr = ThreadPool::Global(). Pointing both
-  // at one pool exercises the production default of sampling workers and compute
-  // chunks sharing the global pool.
-  ThreadPool* compute_pool = nullptr;
-  ThreadPool* pipeline_pool = nullptr;
-  uint64_t seed = 7;
-
-  // Storage.
+// Out-of-core embedding storage: partitioning, buffer replacement, and the
+// batched IO engine underneath it (src/storage/).
+struct StorageOptions {
   bool use_disk = false;
   int32_t num_physical = 1;    // p
   int32_t num_logical = 1;     // l (COMET)
@@ -100,32 +46,132 @@ struct TrainingConfig {
   int io_queue_depth = 4;
   bool io_direct = true;
   bool io_coalesce_writes = true;
-  std::string storage_dir;  // defaults to a fresh temp path
+  std::string dir;  // defaults to a fresh temp path
+};
 
-  // Crash-safe checkpointing (src/core/checkpoint.h): every n completed epochs
-  // the trainer writes an atomic epoch-boundary snapshot (model parameters +
-  // Adagrad accumulators, embedding table, RNG/epoch state) to checkpoint_path.
-  // A trainer constructed with the same config can ResumeFrom(checkpoint_path)
-  // and continue bitwise-identically to a run that never stopped. 0 disables
-  // automatic snapshots (SaveCheckpoint can still be called explicitly).
-  int64_t checkpoint_every_n_epochs = 0;
-  std::string checkpoint_path;
+// Async batch-construction pipeline, the in-epoch adaptive controller on top of
+// it, and stage-3 compute parallelism (src/pipeline/, src/util/compute.h).
+struct PipelineOptions {
+  bool enabled = true;  // overlap sampling with compute
+  // Batch-construction workers when pipelined (TrainingPipeline). Worker count never
+  // changes results: batches are derived from per-batch seeds and consumed in order.
+  int workers = 2;
+  int64_t queue_capacity = 4;  // prepared batches buffered ahead of compute
+  // Stage-3 compute parallelism: run the hot kernels (matmuls, neighbor
+  // aggregation, ranking loss, sparse Adagrad) in fixed chunks on the shared
+  // ThreadPool. Like the pipeline, this never changes results — chunk boundaries
+  // and reduction order depend only on tensor shapes (src/util/compute.h), so
+  // serial and N-thread runs are bitwise-identical.
+  bool parallel_compute = true;
+  // Adaptive stage-1/stage-3 pool split (PipelineController): while a window's
+  // compute_parallel_efficiency sits below par_eff_low (compute chunks starved of
+  // pool threads by epoch-long sampling workers), the next window runs one fewer
+  // sampling worker, down to min_workers; while it sits above par_eff_high,
+  // workers grow back toward `workers`. In the dead band the controller refines
+  // with queue back-pressure: time-weighted queue occupancy above queue_high
+  // (fraction of capacity) shrinks, occupancy below queue_low with real consumer
+  // stalls grows, and IO-bound windows hold. Worker count never affects results
+  // (per-batch seeds + in-order consumption), so the rebalance preserves
+  // bitwise-identical trajectories.
+  bool adaptive_workers = true;
+  // Observation granularity: true = one window per partition set, with worker
+  // resizes applied mid-epoch at set boundaries (PipelineSession::Resize); false =
+  // the legacy epoch-boundary fallback (also disables the queue-depth signal).
+  bool adaptive_within_epoch = true;
+  double par_eff_low = 0.40;
+  double par_eff_high = 0.85;
+  double queue_low = 0.25;
+  double queue_high = 0.75;
+  double io_stall_hold_fraction = 0.50;
+  double stall_grow_fraction = 0.05;
+  // Queue-rule decision cool-down: after any worker resize, the queue
+  // back-pressure rules stay quiet for this many windows so the shrink/grow pair
+  // cannot ping-pong on hosts where neither split wins (the efficiency band is
+  // not gated — it has its own hysteresis).
+  int queue_cooldown_windows = 2;
+  int min_workers = 1;
+  // Pool overrides for tests/benches; nullptr = ThreadPool::Global(). Pointing both
+  // at one pool exercises the production default of sampling workers and compute
+  // chunks sharing the global pool.
+  ThreadPool* compute_pool = nullptr;
+  ThreadPool* pipeline_pool = nullptr;
+};
+
+// Crash-safe checkpointing (src/core/checkpoint.h): every n completed epochs
+// the trainer writes an atomic epoch-boundary snapshot (model parameters +
+// Adagrad accumulators, embedding table, RNG/epoch state) to `path`. A trainer
+// constructed with the same config can ResumeFrom(path) and continue
+// bitwise-identically to a run that never stopped. 0 disables automatic
+// snapshots (SaveCheckpoint can still be called explicitly).
+struct CheckpointOptions {
+  int64_t every_n_epochs = 0;
+  std::string path;
+};
+
+struct TrainingConfig {
+  // Model.
+  GnnLayerType layer_type = GnnLayerType::kGraphSage;
+  std::vector<int64_t> fanouts;  // per hop, ordered away from targets; empty = no GNN
+  std::vector<int64_t> dims;     // dims[0] = base representation width
+  EdgeDirection direction = EdgeDirection::kBoth;
+  std::string decoder = "distmult";  // link prediction only
+  SamplerKind sampler = SamplerKind::kDense;
+
+  // Optimisation.
+  int64_t batch_size = 1000;
+  int64_t num_negatives = 100;        // link prediction only
+  float embedding_lr = 0.1f;          // sparse Adagrad on base representations
+  float weight_lr = 0.01f;            // Adagrad on GNN/decoder weights
+  uint64_t seed = 7;
+
+  // Subsystem option groups (see the struct docs above).
+  StorageOptions storage;
+  PipelineOptions pipeline;
+  CheckpointOptions checkpoint;
+
+  // Forwarding accessors for the pre-grouping flat field names: read-only views
+  // into the sub-structs so consumers of the config stay terse. Writers set the
+  // grouped fields directly (config.storage.use_disk = true).
+  bool use_disk() const { return storage.use_disk; }
+  bool prefetch() const { return storage.prefetch; }
+  const std::string& storage_dir() const { return storage.dir; }
+  bool pipelined() const { return pipeline.enabled; }
+  int pipeline_workers() const { return pipeline.workers; }
+  bool parallel_compute() const { return pipeline.parallel_compute; }
+  int64_t checkpoint_every_n_epochs() const { return checkpoint.every_n_epochs; }
+  const std::string& checkpoint_path() const { return checkpoint.path; }
 
   int64_t num_layers() const { return static_cast<int64_t>(fanouts.size()); }
+
+  // The model-defining subset of this config (src/core/model.h): what
+  // ModelState::Build consumes, shared verbatim by both trainers and the
+  // serving tier so a server always reconstructs exactly the trained model.
+  ModelConfig model_config() const {
+    ModelConfig m;
+    m.layer_type = layer_type;
+    m.fanouts = fanouts;
+    m.dims = dims;
+    m.direction = direction;
+    m.decoder = decoder;
+    m.sampler = sampler;
+    m.weight_lr = weight_lr;
+    m.seed = seed;
+    return m;
+  }
 
   // Pipeline settings for one epoch run, validated (both trainers drive their
   // TrainingPipeline through this so the wiring cannot diverge). `worker_override`
   // (>= 0) substitutes the adaptive split's current worker count when pipelined.
-  PipelineOptions MakePipelineOptions(int worker_override = -1) const {
-    MG_CHECK_MSG(pipeline_queue_capacity > 0, "pipeline_queue_capacity must be > 0");
-    MG_CHECK_MSG(pipeline_workers >= 0, "pipeline_workers must be >= 0");
-    PipelineOptions options;
-    options.workers = pipelined ? pipeline_workers : 0;
-    if (pipelined && worker_override >= 0) {
+  PipelineSessionOptions MakePipelineSessionOptions(int worker_override = -1) const {
+    MG_CHECK_MSG(pipeline.queue_capacity > 0, "pipeline.queue_capacity must be > 0");
+    MG_CHECK_MSG(pipeline.workers >= 0, "pipeline.workers must be >= 0");
+    PipelineSessionOptions options;
+    options.workers = pipeline.enabled ? pipeline.workers : 0;
+    if (pipeline.enabled && worker_override >= 0) {
       options.workers = worker_override;
     }
-    options.queue_capacity = static_cast<size_t>(pipeline_queue_capacity);
-    options.pool = pipeline_pool;
+    options.queue_capacity = static_cast<size_t>(pipeline.queue_capacity);
+    options.pool = pipeline.pipeline_pool;
     return options;
   }
 
@@ -133,22 +179,24 @@ struct TrainingConfig {
   // through this so the thresholds and gating cannot diverge). Adapting is
   // pointless without the shared-pool contention it rebalances, so it requires
   // both the pipeline and stage-3 parallel compute to be on;
-  // adaptive_within_epoch selects per-partition-set windows (with mid-epoch
-  // resizes) vs the legacy epoch-boundary fallback.
+  // pipeline.adaptive_within_epoch selects per-partition-set windows (with
+  // mid-epoch resizes) vs the legacy epoch-boundary fallback.
   PipelineController MakePipelineController() const {
     PipelineControllerOptions options;
-    options.enabled = adaptive_pipeline_workers && pipelined && parallel_compute;
-    options.max_workers = pipelined ? pipeline_workers : 0;
-    options.min_workers = adaptive_min_workers;
-    options.par_eff_low = adaptive_par_eff_low;
-    options.par_eff_high = adaptive_par_eff_high;
-    options.queue_low = adaptive_queue_low;
-    options.queue_high = adaptive_queue_high;
-    options.io_stall_hold_fraction = adaptive_io_stall_hold_fraction;
-    options.stall_grow_fraction = adaptive_stall_grow_fraction;
-    options.queue_cooldown_windows = adaptive_queue_cooldown_windows;
-    options.granularity = adaptive_within_epoch ? ControllerGranularity::kPartitionSet
-                                                : ControllerGranularity::kEpoch;
+    options.enabled =
+        pipeline.adaptive_workers && pipeline.enabled && pipeline.parallel_compute;
+    options.max_workers = pipeline.enabled ? pipeline.workers : 0;
+    options.min_workers = pipeline.min_workers;
+    options.par_eff_low = pipeline.par_eff_low;
+    options.par_eff_high = pipeline.par_eff_high;
+    options.queue_low = pipeline.queue_low;
+    options.queue_high = pipeline.queue_high;
+    options.io_stall_hold_fraction = pipeline.io_stall_hold_fraction;
+    options.stall_grow_fraction = pipeline.stall_grow_fraction;
+    options.queue_cooldown_windows = pipeline.queue_cooldown_windows;
+    options.granularity = pipeline.adaptive_within_epoch
+                              ? ControllerGranularity::kPartitionSet
+                              : ControllerGranularity::kEpoch;
     return PipelineController(options);
   }
 
@@ -156,12 +204,12 @@ struct TrainingConfig {
   // this so the wiring cannot diverge): the batched engine runs iff prefetching
   // is on, with the configured depth/direct/coalescing knobs.
   PartitionIoOptions MakePartitionIoOptions() const {
-    MG_CHECK_MSG(io_queue_depth >= 1, "io_queue_depth must be >= 1");
+    MG_CHECK_MSG(storage.io_queue_depth >= 1, "storage.io_queue_depth must be >= 1");
     PartitionIoOptions options;
-    options.async = prefetch;
-    options.queue_depth = io_queue_depth;
-    options.direct_io = io_direct;
-    options.coalesce_writes = io_coalesce_writes;
+    options.async = storage.prefetch;
+    options.queue_depth = storage.io_queue_depth;
+    options.direct_io = storage.io_direct;
+    options.coalesce_writes = storage.io_coalesce_writes;
     return options;
   }
 
@@ -169,8 +217,9 @@ struct TrainingConfig {
   // build theirs through this so the wiring cannot diverge).
   ComputeContext MakeComputeContext(ComputeStats* stats) const {
     ComputeContext ctx;
-    if (parallel_compute) {
-      ctx.pool = compute_pool != nullptr ? compute_pool : &ThreadPool::Global();
+    if (pipeline.parallel_compute) {
+      ctx.pool = pipeline.compute_pool != nullptr ? pipeline.compute_pool
+                                                  : &ThreadPool::Global();
     }
     ctx.stats = stats;
     return ctx;

@@ -29,49 +29,8 @@ struct LinkPredictionTrainer::PreparedBatch {
 };
 
 LinkPredictionTrainer::LinkPredictionTrainer(const Graph* graph, TrainingConfig config)
-    : graph_(graph),
-      config_(std::move(config)),
-      rng_(config_.seed),
-      compute_(config_.MakeComputeContext(&compute_stats_)),
-      controller_(config_.MakePipelineController()) {
-  MG_CHECK(!config_.dims.empty());
-  MG_CHECK(static_cast<int64_t>(config_.dims.size()) == config_.num_layers() + 1);
+    : TrainerBase(graph, std::move(config), TaskKind::kLinkPrediction) {
   const int64_t emb_dim = config_.dims.front();
-
-  if (config_.num_layers() > 0) {
-    if (config_.sampler == SamplerKind::kDense) {
-      encoder_ = std::make_unique<GnnEncoder>(config_.layer_type, config_.dims,
-                                              Activation::kRelu, rng_);
-      dense_sampler_ = std::make_unique<DenseSampler>(nullptr, config_.fanouts,
-                                                      config_.direction, config_.seed + 1);
-    } else {
-      block_encoder_ = std::make_unique<BlockEncoder>(config_.layer_type, config_.dims,
-                                                      Activation::kRelu, rng_);
-      layerwise_sampler_ = std::make_unique<LayerwiseSampler>(
-          nullptr, config_.fanouts, config_.direction, config_.seed + 1);
-    }
-  }
-  decoder_ = MakeDecoder(config_.decoder, graph_->num_relations(), config_.dims.back(), rng_);
-
-  // Thread the stage-3 compute handle through every component that runs kernels.
-  if (encoder_ != nullptr) {
-    encoder_->set_compute(&compute_);
-  }
-  if (block_encoder_ != nullptr) {
-    block_encoder_->set_compute(&compute_);
-  }
-  decoder_->set_compute(&compute_);
-
-  weight_opt_ = std::make_unique<Adagrad>(config_.weight_lr);
-  weight_opt_->set_compute(&compute_);
-  if (encoder_ != nullptr) {
-    weight_params_ = encoder_->Parameters();
-  } else if (block_encoder_ != nullptr) {
-    weight_params_ = block_encoder_->Parameters();
-  }
-  for (Parameter* p : decoder_->Parameters()) {
-    weight_params_.push_back(p);
-  }
 
   // Training-edge membership (disk policies iterate all buckets; only train edges
   // become examples).
@@ -85,41 +44,37 @@ LinkPredictionTrainer::LinkPredictionTrainer(const Graph* graph, TrainingConfig 
   }
 
   const float init_scale = 1.0f / std::sqrt(static_cast<float>(emb_dim));
-  if (!config_.use_disk) {
+  if (!config_.storage.use_disk) {
     mem_store_ = std::make_unique<InMemoryEmbeddingStore>(graph_->num_nodes(), emb_dim,
                                                           init_scale, rng_);
     mem_store_->set_compute(&compute_);
     full_index_ = std::make_unique<NeighborIndex>(*graph_);
     store_ = mem_store_.get();
   } else {
-    MG_CHECK(config_.num_physical >= 2 && config_.buffer_capacity >= 2);
-    partitioning_ = std::make_unique<Partitioning>(*graph_, config_.num_physical,
+    MG_CHECK(config_.storage.num_physical >= 2 && config_.storage.buffer_capacity >= 2);
+    partitioning_ = std::make_unique<Partitioning>(*graph_, config_.storage.num_physical,
                                                    PartitionAssignment::kRandom, rng_);
     Tensor init = Tensor::Uniform(graph_->num_nodes(), emb_dim, init_scale, rng_);
-    const std::string path = config_.storage_dir.empty()
+    const std::string path = config_.storage.dir.empty()
                                  ? TempPath("mgnn_lp_embeddings")
-                                 : config_.storage_dir + "/embeddings.bin";
+                                 : config_.storage.dir + "/embeddings.bin";
     buffer_ = std::make_unique<PartitionBuffer>(partitioning_.get(), emb_dim,
-                                                config_.buffer_capacity, path,
-                                                config_.disk_model, /*learnable=*/true,
+                                                config_.storage.buffer_capacity, path,
+                                                config_.storage.disk_model, /*learnable=*/true,
                                                 &init, config_.MakePartitionIoOptions());
     disk_store_ = std::make_unique<BufferedEmbeddingStore>(buffer_.get(), true);
     disk_store_->set_compute(&compute_);
     store_ = disk_store_.get();
-    if (config_.policy == "beta") {
+    if (config_.storage.policy == "beta") {
       policy_ = std::make_unique<BetaPolicy>();
     } else {
-      MG_CHECK_MSG(config_.policy == "comet", "policy must be comet or beta");
-      policy_ = std::make_unique<CometPolicy>(config_.num_logical,
-                                              config_.comet_randomize_grouping,
-                                              config_.comet_deferred_assignment);
+      MG_CHECK_MSG(config_.storage.policy == "comet", "policy must be comet or beta");
+      policy_ = std::make_unique<CometPolicy>(config_.storage.num_logical,
+                                              config_.storage.comet_randomize_grouping,
+                                              config_.storage.comet_deferred_assignment);
     }
     MG_CHECK_MSG(config_.sampler == SamplerKind::kDense,
                  "baseline sampler supports in-memory training only");
-  }
-  if (config_.checkpoint_every_n_epochs > 0) {
-    MG_CHECK_MSG(!config_.checkpoint_path.empty(),
-                 "checkpoint_every_n_epochs requires checkpoint_path");
   }
 }
 
@@ -155,45 +110,46 @@ LinkPredictionTrainer::PreparedBatch LinkPredictionTrainer::PrepareBatch(
     batch.neg_rows.push_back(row(n));
   }
 
-  if (dense_sampler_ != nullptr) {
-    batch.dense = dense_sampler_->SampleSeeded(batch.targets, MixSeed(batch_seed, 2));
+  if (model_.dense_sampler != nullptr) {
+    batch.dense = model_.dense_sampler->SampleSeeded(batch.targets, MixSeed(batch_seed, 2));
     batch.dense.FinalizeForDevice();
     batch.dense_nodes = batch.dense.node_ids;
-  } else if (layerwise_sampler_ != nullptr) {
-    batch.layerwise = layerwise_sampler_->SampleSeeded(batch.targets, MixSeed(batch_seed, 3));
+  } else if (model_.layerwise_sampler != nullptr) {
+    batch.layerwise =
+        model_.layerwise_sampler->SampleSeeded(batch.targets, MixSeed(batch_seed, 3));
   }
   return batch;
 }
 
 float LinkPredictionTrainer::ConsumeBatch(PreparedBatch& batch) {
   Tensor reprs;
-  if (encoder_ != nullptr) {
+  if (model_.encoder != nullptr) {
     Tensor h0;
     store_->Gather(batch.dense_nodes, &h0);
-    reprs = encoder_->Forward(batch.dense, h0);
-  } else if (block_encoder_ != nullptr) {
+    reprs = model_.encoder->Forward(batch.dense, h0);
+  } else if (model_.block_encoder != nullptr) {
     Tensor h0;
     store_->Gather(batch.layerwise.input_nodes(), &h0);
-    reprs = block_encoder_->Forward(batch.layerwise, h0);
+    reprs = model_.block_encoder->Forward(batch.layerwise, h0);
   } else {
     store_->Gather(batch.targets, &reprs);
   }
 
   Tensor d_reprs(reprs.rows(), reprs.cols());
-  const float loss = decoder_->LossAndGrad(reprs, batch.src_rows, batch.dst_rows,
-                                           batch.rels, batch.neg_rows, &d_reprs);
+  const float loss = model_.decoder->LossAndGrad(reprs, batch.src_rows, batch.dst_rows,
+                                                 batch.rels, batch.neg_rows, &d_reprs);
 
-  if (encoder_ != nullptr) {
-    Tensor dh0 = encoder_->Backward(d_reprs);
+  if (model_.encoder != nullptr) {
+    Tensor dh0 = model_.encoder->Backward(d_reprs);
     store_->ApplyGradients(batch.dense_nodes, dh0, config_.embedding_lr);
-  } else if (block_encoder_ != nullptr) {
-    Tensor dh0 = block_encoder_->Backward(d_reprs);
+  } else if (model_.block_encoder != nullptr) {
+    Tensor dh0 = model_.block_encoder->Backward(d_reprs);
     store_->ApplyGradients(batch.layerwise.input_nodes(), dh0, config_.embedding_lr);
   } else {
     store_->ApplyGradients(batch.targets, d_reprs, config_.embedding_lr);
   }
-  if (!weight_params_.empty()) {
-    weight_opt_->StepAll(weight_params_);
+  if (!model_.params.empty()) {
+    model_.weight_opt->StepAll(model_.params);
   }
   return loss;
 }
@@ -202,13 +158,13 @@ float LinkPredictionTrainer::ConsumeBatch(PreparedBatch& batch) {
 // global index onto the current set's local batch number (run_batch_base_), so the
 // per-batch seed derivation — MixSeed(per-set run_seed, local batch) — is
 // unchanged from the per-set pipelines this replaces, and the batch stream is
-// bit-identical. The controller's worker count at epoch start (== pipeline_workers
+// bit-identical. The controller's worker count at epoch start (== pipeline.workers
 // when adapting is off) sizes the session; worker count never affects the batch
 // stream, only where time goes.
 std::unique_ptr<PipelineSession> LinkPredictionTrainer::MakeSession(
     EpochStats* stats) {
   return std::make_unique<PipelineSession>(
-      config_.MakePipelineOptions(controller_.workers()),
+      config_.MakePipelineSessionOptions(controller_.workers()),
       [this](int64_t index) -> std::shared_ptr<void> {
         const int64_t b = index - run_batch_base_;
         const int64_t begin = b * config_.batch_size;
@@ -237,11 +193,11 @@ PipelineStats LinkPredictionTrainer::RunBatches(
   // const, seed-driven sampling methods. Swapping this (and the run_* members) is
   // safe here: no producer can run between segments — workers never claim an
   // index beyond the announced limit.
-  if (dense_sampler_ != nullptr) {
-    dense_sampler_->set_index(&index);
+  if (model_.dense_sampler != nullptr) {
+    model_.dense_sampler->set_index(&index);
   }
-  if (layerwise_sampler_ != nullptr) {
-    layerwise_sampler_->set_index(&index);
+  if (model_.layerwise_sampler != nullptr) {
+    model_.layerwise_sampler->set_index(&index);
   }
   run_ids_ = &edge_ids;
   run_negatives_ = &negatives;
@@ -298,7 +254,7 @@ EpochStats LinkPredictionTrainer::TrainEpochInMemory() {
 EpochStats LinkPredictionTrainer::TrainEpochDisk() {
   EpochStats stats;
   compute_stats_.Reset();
-  EpochPlan plan = policy_->GenerateEpoch(*partitioning_, config_.buffer_capacity, rng_);
+  EpochPlan plan = policy_->GenerateEpoch(*partitioning_, config_.storage.buffer_capacity, rng_);
   stats.num_partition_sets = plan.num_sets();
   stats.pipeline_workers = controller_.workers();
   std::unique_ptr<PipelineSession> session = MakeSession(&stats);
@@ -317,7 +273,7 @@ EpochStats LinkPredictionTrainer::TrainEpochDisk() {
 
     // Stage the next set's partitions while this set trains (Figure 2's partition
     // prefetch); the policy knows the upcoming swap.
-    if (config_.prefetch && i + 1 < plan.num_sets()) {
+    if (config_.storage.prefetch && i + 1 < plan.num_sets()) {
       buffer_->Prefetch(policy_->Lookahead(plan, i));
     }
 
@@ -374,48 +330,26 @@ EpochStats LinkPredictionTrainer::TrainEpochDisk() {
   return stats;
 }
 
-EpochStats LinkPredictionTrainer::TrainEpoch() {
-  const EpochStats stats = config_.use_disk ? TrainEpochDisk() : TrainEpochInMemory();
-  ++epochs_completed_;
-  if (config_.checkpoint_every_n_epochs > 0 &&
-      epochs_completed_ % config_.checkpoint_every_n_epochs == 0) {
-    SaveCheckpoint(config_.checkpoint_path);
-  }
-  return stats;
+EpochStats LinkPredictionTrainer::TrainEpochImpl() {
+  return config_.storage.use_disk ? TrainEpochDisk() : TrainEpochInMemory();
 }
 
-namespace {
-
-constexpr char kLpCheckpointKind[] = "link_prediction";
-
-}  // namespace
-
-void LinkPredictionTrainer::SaveCheckpoint(const std::string& path) {
-  Checkpoint ck;
-  SaveTrainerCheckpointCore(kLpCheckpointKind, config_.seed, epochs_completed_,
-                            rng_, controller_, weight_params_, &ck);
-  if (config_.use_disk) {
+void LinkPredictionTrainer::AppendCheckpointSections(Checkpoint* ck) {
+  if (config_.storage.use_disk) {
     // Disk mode: the PartitionBuffer flush is the snapshot barrier — ExportAll
     // drains background IO and evicts every dirty slot before reading the table.
-    ck.tensors.emplace_back("embeddings.values", buffer_->ExportAll());
-    ck.tensors.emplace_back("embeddings.state", buffer_->ExportAllState());
+    ck->tensors.emplace_back("embeddings.values", buffer_->ExportAll());
+    ck->tensors.emplace_back("embeddings.state", buffer_->ExportAllState());
   } else {
-    ck.tensors.emplace_back("embeddings.values", mem_store_->values());
-    ck.tensors.emplace_back("embeddings.state", mem_store_->state());
+    ck->tensors.emplace_back("embeddings.values", mem_store_->values());
+    ck->tensors.emplace_back("embeddings.state", mem_store_->state());
   }
-  mariusgnn::SaveCheckpoint(ck, path);
 }
 
-void LinkPredictionTrainer::ResumeFrom(const std::string& path) {
-  Checkpoint ck;
-  std::string error;
-  MG_CHECK_MSG(LoadCheckpoint(path, &ck, &error), error.c_str());
-  RestoreTrainerCheckpointCore(ck, kLpCheckpointKind, config_.seed,
-                               /*extra_sections=*/2, weight_params_, &rng_,
-                               &epochs_completed_, &controller_);
+void LinkPredictionTrainer::RestoreCheckpointSections(const Checkpoint& ck) {
   const Tensor& values = ck.tensor("embeddings.values");
   const Tensor& state = ck.tensor("embeddings.state");
-  if (config_.use_disk) {
+  if (config_.storage.use_disk) {
     buffer_->ImportAll(values, &state);
   } else {
     MG_CHECK_MSG(values.rows() == mem_store_->values().rows() &&
@@ -433,20 +367,10 @@ Tensor LinkPredictionTrainer::InferReprs(const std::vector<int64_t>& nodes,
                                          const Tensor& values,
                                          const NeighborIndex& index) {
   const uint64_t eval_seed = MixSeed(config_.seed, 0x4556414CULL);  // "EVAL"
-  if (encoder_ != nullptr) {
-    dense_sampler_->set_index(&index);
-    DenseBatch batch = dense_sampler_->SampleSeeded(nodes, eval_seed);
-    batch.FinalizeForDevice();
-    Tensor h0 = IndexSelect(values, batch.node_ids, &compute_);
-    return encoder_->Forward(batch, h0);
-  }
-  if (block_encoder_ != nullptr) {
-    layerwise_sampler_->set_index(&index);
-    LayerwiseSample sample = layerwise_sampler_->SampleSeeded(nodes, eval_seed);
-    Tensor h0 = IndexSelect(values, sample.input_nodes(), &compute_);
-    return block_encoder_->Forward(sample, h0);
-  }
-  return IndexSelect(values, nodes, &compute_);
+  return model_.InferReprs(
+      nodes, eval_seed, index,
+      [&](const std::vector<int64_t>& ids) { return IndexSelect(values, ids, &compute_); },
+      &compute_);
 }
 
 namespace {
@@ -473,7 +397,7 @@ double LinkPredictionTrainer::EvaluateMrr(int64_t num_negatives, int64_t max_edg
   }
   // Base representations in memory (exported from disk when needed).
   Tensor values;
-  if (config_.use_disk) {
+  if (config_.storage.use_disk) {
     values = buffer_->ExportAll();
   } else {
     values = mem_store_->values();
@@ -537,8 +461,8 @@ double LinkPredictionTrainer::EvaluateMrr(int64_t num_negatives, int64_t max_edg
     }
     for (size_t k = 0; k < srcs.size(); ++k) {
       // dst corruption.
-      decoder_->ScoreCandidates(reprs, srcs[k], rels[k], {dsts[k]}, false, &pos_score);
-      decoder_->ScoreCandidates(reprs, srcs[k], rels[k], neg_rows, false, &neg_scores);
+      model_.decoder->ScoreCandidates(reprs, srcs[k], rels[k], {dsts[k]}, false, &pos_score);
+      model_.decoder->ScoreCandidates(reprs, srcs[k], rels[k], neg_rows, false, &neg_scores);
       if (filtered) {
         kept_scores.clear();
         for (size_t j = 0; j < neg_nodes.size(); ++j) {
@@ -551,8 +475,8 @@ double LinkPredictionTrainer::EvaluateMrr(int64_t num_negatives, int64_t max_edg
         ranks.push_back(RankOfPositive(pos_score[0], neg_scores));
       }
       // src corruption.
-      decoder_->ScoreCandidates(reprs, dsts[k], rels[k], {srcs[k]}, true, &pos_score);
-      decoder_->ScoreCandidates(reprs, dsts[k], rels[k], neg_rows, true, &neg_scores);
+      model_.decoder->ScoreCandidates(reprs, dsts[k], rels[k], {srcs[k]}, true, &pos_score);
+      model_.decoder->ScoreCandidates(reprs, dsts[k], rels[k], neg_rows, true, &neg_scores);
       if (filtered) {
         kept_scores.clear();
         for (size_t j = 0; j < neg_nodes.size(); ++j) {

@@ -8,6 +8,10 @@
 //  - DENSE sampling (MariusGNN) or baseline layer-wise sampling + block execution
 //    (in-memory only, mirroring DGL/PyG's capabilities);
 //  - pipelined mini-batch construction.
+//
+// The model itself (encoder/decoder/optimizer/samplers) lives in the inherited
+// ModelState (src/core/model.h); this class adds the embedding storage, the
+// disk partition policies, and the training loop.
 #ifndef SRC_CORE_LINK_PREDICTION_TRAINER_H_
 #define SRC_CORE_LINK_PREDICTION_TRAINER_H_
 
@@ -17,40 +21,20 @@
 #include <vector>
 
 #include "src/core/config.h"
+#include "src/core/trainer_base.h"
 #include "src/graph/graph.h"
 #include "src/graph/partition.h"
-#include "src/nn/decoder.h"
-#include "src/nn/encoder.h"
-#include "src/nn/optimizer.h"
 #include "src/policy/policy.h"
-#include "src/sampler/dense.h"
-#include "src/sampler/layerwise.h"
 #include "src/sampler/negative.h"
 #include "src/storage/embedding_store.h"
 #include "src/storage/partition_buffer.h"
-#include "src/util/rng.h"
 
 namespace mariusgnn {
 
-class LinkPredictionTrainer {
+class LinkPredictionTrainer : public TrainerBase {
  public:
   LinkPredictionTrainer(const Graph* graph, TrainingConfig config);
-  ~LinkPredictionTrainer();
-
-  EpochStats TrainEpoch();
-
-  // Crash-safe checkpointing (src/core/checkpoint.h). SaveCheckpoint writes an
-  // atomic epoch-boundary snapshot: model parameters + Adagrad accumulators, the
-  // embedding table (flushed through the PartitionBuffer in disk mode, values +
-  // accumulator state), the trainer RNG, and the completed-epoch count.
-  // ResumeFrom restores a snapshot into a trainer constructed with the SAME
-  // config; the continued run is bitwise-identical to one that never stopped
-  // (every batch is a pure function of MixSeed(run_seed, batch_index)).
-  // TrainEpoch auto-saves to config.checkpoint_path every
-  // config.checkpoint_every_n_epochs completed epochs.
-  void SaveCheckpoint(const std::string& path);
-  void ResumeFrom(const std::string& path);
-  int64_t epochs_completed() const { return epochs_completed_; }
+  ~LinkPredictionTrainer() override;
 
   // Ranking MRR with shared uniform negatives, averaged over dst- and src-corruption.
   // Evaluates on up to max_edges test (or valid) edges. With filtered=true, negatives
@@ -59,8 +43,15 @@ class LinkPredictionTrainer {
   double EvaluateMrr(int64_t num_negatives = 500, int64_t max_edges = 2000,
                      bool use_valid = false, bool filtered = false);
 
-  const TrainingConfig& config() const { return config_; }
   const Partitioning* partitioning() const { return partitioning_.get(); }
+
+ protected:
+  EpochStats TrainEpochImpl() override;
+  // Checkpoint extras: the embedding table (values + Adagrad state), flushed
+  // through the PartitionBuffer in disk mode.
+  void AppendCheckpointSections(Checkpoint* ck) override;
+  void RestoreCheckpointSections(const Checkpoint& ck) override;
+  size_t NumExtraCheckpointSections() const override { return 2; }
 
  private:
   struct PreparedBatch;
@@ -82,7 +73,7 @@ class LinkPredictionTrainer {
   std::unique_ptr<PipelineSession> MakeSession(EpochStats* stats);
 
   // Runs one partition set's batches of `edge_ids` (already shuffled) as a session
-  // segment; config_.pipelined / pipeline_workers chose serial vs parallel
+  // segment; config_.pipeline.enabled / pipeline.workers chose serial vs parallel
   // construction when the session was built. Returns the segment's stage timings
   // (also folded into `stats`).
   PipelineStats RunBatches(const std::vector<int64_t>& edge_ids,
@@ -106,20 +97,6 @@ class LinkPredictionTrainer {
   Tensor InferReprs(const std::vector<int64_t>& nodes, const Tensor& values,
                     const NeighborIndex& index);
 
-  const Graph* graph_;
-  TrainingConfig config_;
-  Rng rng_;
-  int64_t epochs_completed_ = 0;
-
-  // Stage-3 parallel compute: handle threaded into encoder/decoder/optimizer/store,
-  // plus the per-epoch scaling counters behind EpochStats.compute_parallel_efficiency.
-  ComputeStats compute_stats_;
-  ComputeContext compute_;
-  // In-epoch pipeline controller: observes one window per partition set (queue
-  // occupancy + compute efficiency + IO stalls) and rebalances sampling workers vs
-  // compute chunks, mid-epoch (see pipeline_controller.h).
-  PipelineController controller_;
-
   // Current segment's producer state, swapped by RunBatches between partition
   // sets. Safe without locks: workers never claim an index beyond the announced
   // limit, so no producer runs while these change (ordered by the session's gate).
@@ -128,15 +105,6 @@ class LinkPredictionTrainer {
   uint64_t run_seed_ = 0;
   int64_t run_batch_base_ = 0;
   int64_t run_total_ = 0;
-
-  std::unique_ptr<GnnEncoder> encoder_;        // DENSE path (may be null: decoder-only)
-  std::unique_ptr<BlockEncoder> block_encoder_;  // baseline path
-  std::unique_ptr<Decoder> decoder_;
-  std::unique_ptr<Adagrad> weight_opt_;
-  std::vector<Parameter*> weight_params_;
-
-  std::unique_ptr<DenseSampler> dense_sampler_;
-  std::unique_ptr<LayerwiseSampler> layerwise_sampler_;
 
   // In-memory state.
   std::unique_ptr<InMemoryEmbeddingStore> mem_store_;

@@ -20,12 +20,24 @@
 // MixSeed(run_seed, batch_index), a resumed run is bitwise-identical to one
 // that never stopped:
 //
-//   config.checkpoint_every_n_epochs = 1;
-//   config.checkpoint_path = "run.ckpt";
+//   config.checkpoint.every_n_epochs = 1;
+//   config.checkpoint.path = "run.ckpt";
 //   LinkPredictionTrainer trainer(&graph, config);   // auto-saves every epoch
 //   ...crash...
 //   LinkPredictionTrainer resumed(&graph, config);   // same config
 //   resumed.ResumeFrom("run.ckpt");                  // continues bit-for-bit
+//
+// Online serving (src/serve/, see examples/serve_quickstart.cpp): an
+// InferenceServer answers concurrent link-prediction / node-classification
+// queries straight off checkpoint snapshots — mmapped zero-copy for v2 files,
+// LRU-cached disk reads for tables too big for RAM — coalescing concurrent
+// requests into one batched forward and hot-swapping to a newer checkpoint
+// without dropping in-flight requests:
+//
+//   InferenceServer server(&graph, TaskKind::kLinkPrediction,
+//                          config.model_config(), {});
+//   server.LoadSnapshot("run.ckpt", &error);
+//   ServeResult r = server.ScoreLinks(src, rel, candidates);
 #ifndef SRC_CORE_MARIUSGNN_H_
 #define SRC_CORE_MARIUSGNN_H_
 
@@ -42,5 +54,6 @@
 #include "src/policy/comet.h"
 #include "src/sampler/dense.h"
 #include "src/sampler/layerwise.h"
+#include "src/serve/server.h"
 
 #endif  // SRC_CORE_MARIUSGNN_H_

@@ -22,68 +22,25 @@ struct NodeClassificationTrainer::PreparedBatch {
 
 NodeClassificationTrainer::NodeClassificationTrainer(const Graph* graph,
                                                      TrainingConfig config)
-    : graph_(graph),
-      config_(std::move(config)),
-      rng_(config_.seed),
-      compute_(config_.MakeComputeContext(&compute_stats_)),
-      controller_(config_.MakePipelineController()) {
-  MG_CHECK(graph_->has_features());
-  MG_CHECK(!graph_->labels().empty() && graph_->num_classes() > 0);
-  MG_CHECK(config_.num_layers() >= 1);
-  MG_CHECK(static_cast<int64_t>(config_.dims.size()) == config_.num_layers() + 1);
-  MG_CHECK(config_.dims.front() == graph_->features().cols());
-
-  if (config_.sampler == SamplerKind::kDense) {
-    encoder_ = std::make_unique<GnnEncoder>(config_.layer_type, config_.dims,
-                                            Activation::kRelu, rng_);
-    dense_sampler_ = std::make_unique<DenseSampler>(nullptr, config_.fanouts,
-                                                    config_.direction, config_.seed + 1);
-    weight_params_ = encoder_->Parameters();
-  } else {
-    block_encoder_ = std::make_unique<BlockEncoder>(config_.layer_type, config_.dims,
-                                                    Activation::kRelu, rng_);
-    layerwise_sampler_ = std::make_unique<LayerwiseSampler>(
-        nullptr, config_.fanouts, config_.direction, config_.seed + 1);
-    weight_params_ = block_encoder_->Parameters();
-  }
-  head_ = std::make_unique<LinearLayer>(config_.dims.back(), graph_->num_classes(), rng_);
-  for (Parameter* p : head_->Parameters()) {
-    weight_params_.push_back(p);
-  }
-  weight_opt_ = std::make_unique<Adagrad>(config_.weight_lr);
-
-  // Thread the stage-3 compute handle through every component that runs kernels.
-  if (encoder_ != nullptr) {
-    encoder_->set_compute(&compute_);
-  }
-  if (block_encoder_ != nullptr) {
-    block_encoder_->set_compute(&compute_);
-  }
-  head_->set_compute(&compute_);
-  weight_opt_->set_compute(&compute_);
-
-  if (!config_.use_disk) {
+    : TrainerBase(graph, std::move(config), TaskKind::kNodeClassification) {
+  if (!config_.storage.use_disk) {
     full_index_ = std::make_unique<NeighborIndex>(*graph_);
   } else {
-    MG_CHECK(config_.num_physical >= 2 && config_.buffer_capacity >= 2);
+    MG_CHECK(config_.storage.num_physical >= 2 && config_.storage.buffer_capacity >= 2);
     MG_CHECK_MSG(config_.sampler == SamplerKind::kDense,
                  "baseline sampler supports in-memory training only");
     partitioning_ = std::make_unique<Partitioning>(
-        *graph_, config_.num_physical, PartitionAssignment::kTrainingNodesFirst, rng_);
-    const std::string path = config_.storage_dir.empty()
+        *graph_, config_.storage.num_physical, PartitionAssignment::kTrainingNodesFirst, rng_);
+    const std::string path = config_.storage.dir.empty()
                                  ? TempPath("mgnn_nc_features")
-                                 : config_.storage_dir + "/features.bin";
+                                 : config_.storage.dir + "/features.bin";
     buffer_ = std::make_unique<PartitionBuffer>(
-        partitioning_.get(), graph_->features().cols(), config_.buffer_capacity, path,
-        config_.disk_model, /*learnable=*/false, &graph_->features(),
+        partitioning_.get(), graph_->features().cols(), config_.storage.buffer_capacity, path,
+        config_.storage.disk_model, /*learnable=*/false, &graph_->features(),
         config_.MakePartitionIoOptions());
     buffer_store_ = std::make_unique<BufferedEmbeddingStore>(buffer_.get(),
                                                              /*trainable=*/false);
     buffer_store_->set_compute(&compute_);
-  }
-  if (config_.checkpoint_every_n_epochs > 0) {
-    MG_CHECK_MSG(!config_.checkpoint_path.empty(),
-                 "checkpoint_every_n_epochs requires checkpoint_path");
   }
 }
 
@@ -109,35 +66,35 @@ NodeClassificationTrainer::PreparedBatch NodeClassificationTrainer::PrepareBatch
   for (int64_t v : nodes) {
     batch.labels.push_back(graph_->labels()[static_cast<size_t>(v)]);
   }
-  if (dense_sampler_ != nullptr) {
-    batch.dense = dense_sampler_->SampleSeeded(nodes, MixSeed(batch_seed, 2));
+  if (model_.dense_sampler != nullptr) {
+    batch.dense = model_.dense_sampler->SampleSeeded(nodes, MixSeed(batch_seed, 2));
     batch.dense.FinalizeForDevice();
     batch.dense_nodes = batch.dense.node_ids;
   } else {
-    batch.layerwise = layerwise_sampler_->SampleSeeded(nodes, MixSeed(batch_seed, 3));
+    batch.layerwise = model_.layerwise_sampler->SampleSeeded(nodes, MixSeed(batch_seed, 3));
   }
   return batch;
 }
 
 float NodeClassificationTrainer::ConsumeBatch(PreparedBatch& batch) {
   Tensor reprs;
-  if (encoder_ != nullptr) {
+  if (model_.encoder != nullptr) {
     Tensor h0 = GatherFeatures(batch.dense_nodes, /*from_graph=*/false);
-    reprs = encoder_->Forward(batch.dense, h0);
+    reprs = model_.encoder->Forward(batch.dense, h0);
   } else {
     Tensor h0 = GatherFeatures(batch.layerwise.input_nodes(), /*from_graph=*/false);
-    reprs = block_encoder_->Forward(batch.layerwise, h0);
+    reprs = model_.block_encoder->Forward(batch.layerwise, h0);
   }
-  Tensor logits = head_->Forward(reprs);
+  Tensor logits = model_.head->Forward(reprs);
   Tensor dlogits;
   const float loss = SoftmaxCrossEntropy(logits, batch.labels, &dlogits, &compute_);
-  Tensor dreprs = head_->Backward(dlogits);
-  if (encoder_ != nullptr) {
-    encoder_->Backward(dreprs);  // features are fixed; d(h0) is discarded
+  Tensor dreprs = model_.head->Backward(dlogits);
+  if (model_.encoder != nullptr) {
+    model_.encoder->Backward(dreprs);  // features are fixed; d(h0) is discarded
   } else {
-    block_encoder_->Backward(dreprs);
+    model_.block_encoder->Backward(dreprs);
   }
-  weight_opt_->StepAll(weight_params_);
+  model_.weight_opt->StepAll(model_.params);
   return loss;
 }
 
@@ -148,7 +105,7 @@ float NodeClassificationTrainer::ConsumeBatch(PreparedBatch& batch) {
 std::unique_ptr<PipelineSession> NodeClassificationTrainer::MakeSession(
     EpochStats* stats) {
   return std::make_unique<PipelineSession>(
-      config_.MakePipelineOptions(controller_.workers()),
+      config_.MakePipelineSessionOptions(controller_.workers()),
       [this](int64_t index) -> std::shared_ptr<void> {
         const int64_t b = index - run_batch_base_;
         const int64_t begin = b * config_.batch_size;
@@ -175,11 +132,11 @@ PipelineStats NodeClassificationTrainer::RunBatches(
   // Point the samplers at this run's index once, up front; workers then only call
   // const, seed-driven sampling methods. Safe between segments: workers never
   // claim an index beyond the announced limit.
-  if (dense_sampler_ != nullptr) {
-    dense_sampler_->set_index(&index);
+  if (model_.dense_sampler != nullptr) {
+    model_.dense_sampler->set_index(&index);
   }
-  if (layerwise_sampler_ != nullptr) {
-    layerwise_sampler_->set_index(&index);
+  if (model_.layerwise_sampler != nullptr) {
+    model_.layerwise_sampler->set_index(&index);
   }
   run_nodes_ = &nodes;
   run_seed_ = rng_.Next();
@@ -201,38 +158,6 @@ void NodeClassificationTrainer::ReportSetBoundary(
                                 &stats->workers_per_set, &stats->resize_count);
 }
 
-EpochStats NodeClassificationTrainer::TrainEpoch() {
-  const EpochStats stats = TrainEpochImpl();
-  ++epochs_completed_;
-  if (config_.checkpoint_every_n_epochs > 0 &&
-      epochs_completed_ % config_.checkpoint_every_n_epochs == 0) {
-    SaveCheckpoint(config_.checkpoint_path);
-  }
-  return stats;
-}
-
-namespace {
-
-constexpr char kNcCheckpointKind[] = "node_classification";
-
-}  // namespace
-
-void NodeClassificationTrainer::SaveCheckpoint(const std::string& path) {
-  Checkpoint ck;
-  SaveTrainerCheckpointCore(kNcCheckpointKind, config_.seed, epochs_completed_,
-                            rng_, controller_, weight_params_, &ck);
-  mariusgnn::SaveCheckpoint(ck, path);
-}
-
-void NodeClassificationTrainer::ResumeFrom(const std::string& path) {
-  Checkpoint ck;
-  std::string error;
-  MG_CHECK_MSG(LoadCheckpoint(path, &ck, &error), error.c_str());
-  RestoreTrainerCheckpointCore(ck, kNcCheckpointKind, config_.seed,
-                               /*extra_sections=*/0, weight_params_, &rng_,
-                               &epochs_completed_, &controller_);
-}
-
 EpochStats NodeClassificationTrainer::TrainEpochImpl() {
   EpochStats stats;
   compute_stats_.Reset();
@@ -241,7 +166,7 @@ EpochStats NodeClassificationTrainer::TrainEpochImpl() {
   stats.pipeline_workers = controller_.workers();
   std::unique_ptr<PipelineSession> session = MakeSession(&stats);
 
-  if (!config_.use_disk) {
+  if (!config_.storage.use_disk) {
     WallTimer timer;
     const ComputeStats compute_before = compute_stats_;
     const PipelineStats ps = RunBatches(train, *full_index_, session.get(), &stats);
@@ -252,12 +177,12 @@ EpochStats NodeClassificationTrainer::TrainEpochImpl() {
     stats.num_partition_sets = 1;
   } else {
     const auto sets =
-        caching_policy_.GenerateEpoch(*partitioning_, config_.buffer_capacity, rng_);
+        caching_policy_.GenerateEpoch(*partitioning_, config_.storage.buffer_capacity, rng_);
     stats.num_partition_sets = static_cast<int64_t>(sets.size());
     double prev_compute = 0.0;
     // A partition's training nodes are trained the first time it becomes resident
     // (in the cached regime all training partitions are resident in the single set).
-    std::vector<char> partition_done(static_cast<size_t>(config_.num_physical), 0);
+    std::vector<char> partition_done(static_cast<size_t>(config_.storage.num_physical), 0);
     for (size_t i = 0; i < sets.size(); ++i) {
       const ComputeStats compute_before = compute_stats_;
       const double io_stall_before = stats.io_stall_seconds;
@@ -266,13 +191,13 @@ EpochStats NodeClassificationTrainer::TrainEpochImpl() {
       stats.AccumulateSwapIo(sync_io, buffer_->ConsumeBackgroundIoSeconds(),
                              prev_compute);
 
-      if (config_.prefetch && i + 1 < sets.size()) {
+      if (config_.storage.prefetch && i + 1 < sets.size()) {
         buffer_->Prefetch(PrefetchDelta(sets[i], sets[i + 1]));
       }
 
       WallTimer set_timer;
       std::vector<Edge> resident_edges;
-      std::vector<char> resident_fresh(static_cast<size_t>(config_.num_physical), 0);
+      std::vector<char> resident_fresh(static_cast<size_t>(config_.storage.num_physical), 0);
       for (int32_t a : sets[i]) {
         if (partition_done[static_cast<size_t>(a)] == 0) {
           resident_fresh[static_cast<size_t>(a)] = 1;
@@ -325,20 +250,10 @@ EpochStats NodeClassificationTrainer::TrainEpochImpl() {
 Tensor NodeClassificationTrainer::InferLogits(const std::vector<int64_t>& nodes,
                                               const NeighborIndex& index) {
   const uint64_t eval_seed = MixSeed(config_.seed, 0x4556414CULL);  // "EVAL"
-  Tensor reprs;
-  if (encoder_ != nullptr) {
-    dense_sampler_->set_index(&index);
-    DenseBatch batch = dense_sampler_->SampleSeeded(nodes, eval_seed);
-    batch.FinalizeForDevice();
-    Tensor h0 = GatherFeatures(batch.node_ids, /*from_graph=*/true);
-    reprs = encoder_->Forward(batch, h0);
-  } else {
-    layerwise_sampler_->set_index(&index);
-    LayerwiseSample sample = layerwise_sampler_->SampleSeeded(nodes, eval_seed);
-    Tensor h0 = GatherFeatures(sample.input_nodes(), /*from_graph=*/true);
-    reprs = block_encoder_->Forward(sample, h0);
-  }
-  return head_->Forward(reprs);
+  return model_.InferLogits(
+      nodes, eval_seed, index,
+      [&](const std::vector<int64_t>& ids) { return GatherFeatures(ids, /*from_graph=*/true); },
+      &compute_);
 }
 
 double NodeClassificationTrainer::EvaluateAccuracy(const std::vector<int64_t>& nodes) {

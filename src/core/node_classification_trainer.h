@@ -6,6 +6,10 @@
 //  - disk: features stored per-partition on the simulated disk; training nodes are
 //    packed into the leading partitions and cached in CPU memory for the whole epoch
 //    (the Section 5.2 policy), with sampling restricted to the in-memory subgraph.
+//
+// The model itself (encoder/head/optimizer/samplers) lives in the inherited
+// ModelState (src/core/model.h); this class adds the feature storage and the
+// training loop.
 #ifndef SRC_CORE_NODE_CLASSIFICATION_TRAINER_H_
 #define SRC_CORE_NODE_CLASSIFICATION_TRAINER_H_
 
@@ -13,43 +17,29 @@
 #include <vector>
 
 #include "src/core/config.h"
+#include "src/core/trainer_base.h"
 #include "src/graph/graph.h"
 #include "src/graph/partition.h"
-#include "src/nn/encoder.h"
-#include "src/nn/linear.h"
-#include "src/nn/optimizer.h"
 #include "src/policy/node_caching.h"
-#include "src/sampler/dense.h"
-#include "src/sampler/layerwise.h"
 #include "src/storage/embedding_store.h"
 #include "src/storage/partition_buffer.h"
-#include "src/util/rng.h"
 
 namespace mariusgnn {
 
-class NodeClassificationTrainer {
+class NodeClassificationTrainer : public TrainerBase {
  public:
   NodeClassificationTrainer(const Graph* graph, TrainingConfig config);
-  ~NodeClassificationTrainer();
-
-  EpochStats TrainEpoch();
-
-  // Crash-safe checkpointing (src/core/checkpoint.h): atomic epoch-boundary
-  // snapshot of model parameters + Adagrad accumulators, trainer RNG, and the
-  // completed-epoch count (features are fixed inputs, so no embedding table).
-  // ResumeFrom restores into a trainer constructed with the SAME config; the
-  // continued run is bitwise-identical to one that never stopped. TrainEpoch
-  // auto-saves every config.checkpoint_every_n_epochs completed epochs.
-  void SaveCheckpoint(const std::string& path);
-  void ResumeFrom(const std::string& path);
-  int64_t epochs_completed() const { return epochs_completed_; }
+  ~NodeClassificationTrainer() override;
 
   // Multi-class accuracy over a node split, computed with full-graph sampling.
   double EvaluateAccuracy(const std::vector<int64_t>& nodes);
   double EvaluateTestAccuracy() { return EvaluateAccuracy(graph_->test_nodes()); }
   double EvaluateValidAccuracy() { return EvaluateAccuracy(graph_->valid_nodes()); }
 
-  const TrainingConfig& config() const { return config_; }
+ protected:
+  // Features are fixed inputs, so the checkpoint has no extra sections beyond
+  // the model parameters (TrainerBase defaults).
+  EpochStats TrainEpochImpl() override;
 
  private:
   struct PreparedBatch;
@@ -63,7 +53,7 @@ class NodeClassificationTrainer {
   // producer closure reads the run_* members RunBatches swaps between segments).
   std::unique_ptr<PipelineSession> MakeSession(EpochStats* stats);
   // Runs one partition set's batches as a session segment (serial when
-  // !config_.pipelined) and folds its timings into `stats`.
+  // !config_.pipeline.enabled) and folds its timings into `stats`.
   PipelineStats RunBatches(const std::vector<int64_t>& nodes,
                            const NeighborIndex& index, PipelineSession* session,
                            EpochStats* stats);
@@ -73,20 +63,8 @@ class NodeClassificationTrainer {
   void ReportSetBoundary(PipelineSession* session, const PipelineStats& ps,
                          const ComputeStats& compute_before, double io_stall_delta,
                          double window_seconds, bool more_sets, EpochStats* stats);
-  EpochStats TrainEpochImpl();
   Tensor GatherFeatures(const std::vector<int64_t>& nodes, bool from_graph);
   Tensor InferLogits(const std::vector<int64_t>& nodes, const NeighborIndex& index);
-
-  const Graph* graph_;
-  TrainingConfig config_;
-  Rng rng_;
-  int64_t epochs_completed_ = 0;
-
-  // Stage-3 parallel compute (see src/util/compute.h).
-  ComputeStats compute_stats_;
-  ComputeContext compute_;
-  // In-epoch pipeline controller (see pipeline_controller.h).
-  PipelineController controller_;
 
   // Current segment's producer state, swapped by RunBatches between partition
   // sets (safe: workers never claim an index beyond the announced limit).
@@ -94,15 +72,6 @@ class NodeClassificationTrainer {
   uint64_t run_seed_ = 0;
   int64_t run_batch_base_ = 0;
   int64_t run_total_ = 0;
-
-  std::unique_ptr<GnnEncoder> encoder_;
-  std::unique_ptr<BlockEncoder> block_encoder_;
-  std::unique_ptr<LinearLayer> head_;
-  std::unique_ptr<Adagrad> weight_opt_;
-  std::vector<Parameter*> weight_params_;
-
-  std::unique_ptr<DenseSampler> dense_sampler_;
-  std::unique_ptr<LayerwiseSampler> layerwise_sampler_;
 
   std::unique_ptr<NeighborIndex> full_index_;
 

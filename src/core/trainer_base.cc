@@ -1,0 +1,58 @@
+#include "src/core/trainer_base.h"
+
+#include "src/core/checkpoint.h"
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+TrainerBase::TrainerBase(const Graph* graph, TrainingConfig config, TaskKind kind)
+    : graph_(graph),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      compute_(config_.MakeComputeContext(&compute_stats_)),
+      controller_(config_.MakePipelineController()),
+      model_(ModelState::Build(kind, *graph, config_.model_config(), rng_)) {
+  model_.SetCompute(&compute_);
+  if (config_.checkpoint.every_n_epochs > 0) {
+    MG_CHECK_MSG(!config_.checkpoint.path.empty(),
+                 "checkpoint_every_n_epochs requires checkpoint_path");
+  }
+}
+
+TrainerBase::~TrainerBase() = default;
+
+EpochStats TrainerBase::TrainEpoch() {
+  const EpochStats stats = TrainEpochImpl();
+  ++epochs_completed_;
+  if (config_.checkpoint.every_n_epochs > 0 &&
+      epochs_completed_ % config_.checkpoint.every_n_epochs == 0) {
+    SaveCheckpoint(config_.checkpoint.path);
+  }
+  return stats;
+}
+
+void TrainerBase::AppendCheckpointSections(Checkpoint* ck) { (void)ck; }
+
+void TrainerBase::RestoreCheckpointSections(const Checkpoint& ck) { (void)ck; }
+
+size_t TrainerBase::NumExtraCheckpointSections() const { return 0; }
+
+void TrainerBase::SaveCheckpoint(const std::string& path) {
+  Checkpoint ck;
+  SaveTrainerCheckpointCore(CheckpointKindName(model_.kind), config_.seed,
+                            epochs_completed_, rng_, controller_, model_.params, &ck);
+  AppendCheckpointSections(&ck);
+  mariusgnn::SaveCheckpoint(ck, path);
+}
+
+void TrainerBase::ResumeFrom(const std::string& path) {
+  Checkpoint ck;
+  std::string error;
+  MG_CHECK_MSG(LoadCheckpoint(path, &ck, &error), error.c_str());
+  RestoreTrainerCheckpointCore(ck, CheckpointKindName(model_.kind), config_.seed,
+                               NumExtraCheckpointSections(), model_.params, &rng_,
+                               &epochs_completed_, &controller_);
+  RestoreCheckpointSections(ck);
+}
+
+}  // namespace mariusgnn

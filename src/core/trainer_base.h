@@ -1,0 +1,80 @@
+// Shared trainer surface: both task trainers own a ModelState built through the
+// same code path and expose one checkpoint/epoch contract.
+//
+// TrainerBase holds everything task-independent — config, RNG, the stage-3
+// compute handle, the in-epoch pipeline controller, and the model — and
+// implements TrainEpoch (epoch counting + auto-checkpoint), SaveCheckpoint, and
+// ResumeFrom once. Derived trainers implement TrainEpochImpl plus the checkpoint
+// extra-section hooks (the link-prediction embedding table; node classification
+// has none), so the save/restore sequence cannot drift between tasks.
+#ifndef SRC_CORE_TRAINER_BASE_H_
+#define SRC_CORE_TRAINER_BASE_H_
+
+#include <string>
+
+#include "src/core/config.h"
+#include "src/core/model.h"
+#include "src/graph/graph.h"
+#include "src/pipeline/pipeline_controller.h"
+#include "src/util/compute.h"
+#include "src/util/rng.h"
+
+namespace mariusgnn {
+
+struct Checkpoint;
+
+class TrainerBase {
+ public:
+  virtual ~TrainerBase();
+
+  // Runs one epoch, bumps the completed-epoch count, and auto-saves to
+  // config.checkpoint.path every config.checkpoint.every_n_epochs epochs.
+  EpochStats TrainEpoch();
+
+  // Crash-safe checkpointing (src/core/checkpoint.h). SaveCheckpoint writes an
+  // atomic epoch-boundary snapshot: model parameters + Adagrad accumulators,
+  // the trainer RNG, the completed-epoch count, and any task sections the
+  // derived trainer appends (the link-prediction embedding table). ResumeFrom
+  // restores a snapshot into a trainer constructed with the SAME config; the
+  // continued run is bitwise-identical to one that never stopped (every batch
+  // is a pure function of MixSeed(run_seed, batch_index)).
+  void SaveCheckpoint(const std::string& path);
+  void ResumeFrom(const std::string& path);
+  int64_t epochs_completed() const { return epochs_completed_; }
+
+  const TrainingConfig& config() const { return config_; }
+  const ModelState& model() const { return model_; }
+
+ protected:
+  // Builds the ModelState (validating the config for `kind`) and the shared
+  // compute/controller wiring. Derived ctors add task storage on top; any RNG
+  // draws they make come after the model's, preserving historical draw order.
+  TrainerBase(const Graph* graph, TrainingConfig config, TaskKind kind);
+
+  virtual EpochStats TrainEpochImpl() = 0;
+
+  // Checkpoint extension hooks: extra sections after the model-parameter
+  // sections (order and count must agree between the three).
+  virtual void AppendCheckpointSections(Checkpoint* ck);
+  virtual void RestoreCheckpointSections(const Checkpoint& ck);
+  virtual size_t NumExtraCheckpointSections() const;
+
+  const Graph* graph_;
+  TrainingConfig config_;
+  Rng rng_;
+  int64_t epochs_completed_ = 0;
+
+  // Stage-3 parallel compute: handle threaded into the model's components (and
+  // the derived trainer's stores), plus the per-epoch scaling counters behind
+  // EpochStats.compute_parallel_efficiency.
+  ComputeStats compute_stats_;
+  ComputeContext compute_;
+  // In-epoch pipeline controller (see pipeline_controller.h).
+  PipelineController controller_;
+
+  ModelState model_;
+};
+
+}  // namespace mariusgnn
+
+#endif  // SRC_CORE_TRAINER_BASE_H_

@@ -32,31 +32,43 @@ std::vector<std::unique_ptr<GnnLayer>> BuildGnnLayers(GnnLayerType type,
   return layers;
 }
 
-Tensor GnnEncoder::Forward(DenseBatch& batch, const Tensor& h0) {
+Tensor GnnEncoder::ForwardImpl(DenseBatch& batch, const Tensor& h0,
+                               const ComputeContext* compute,
+                               std::vector<std::unique_ptr<LayerContext>>* ctxs) const {
   MG_CHECK(batch.num_deltas() == num_layers() + 1);
   MG_CHECK(h0.rows() == batch.num_nodes());
   MG_CHECK(batch.repr_map.size() == batch.nbrs.size());
-  contexts_.clear();
-  contexts_.resize(layers_.size());
+  ctxs->clear();
+  ctxs->resize(layers_.size());
 
   Tensor h = h0;
   for (size_t j = 0; j < layers_.size(); ++j) {
     LayerView view;
     view.h = &h;
-    view.compute = compute_;
+    view.compute = compute;
     const int64_t out_begin = batch.node_id_offsets[1];
     view.self_rows.resize(static_cast<size_t>(batch.num_nodes() - out_begin));
     std::iota(view.self_rows.begin(), view.self_rows.end(), out_begin);
     view.nbr_rows = batch.repr_map;
     view.seg_offsets = batch.SegmentOffsets();
     view.nbr_rels = batch.nbr_rels;
-    Tensor out = layers_[j]->Forward(view, &contexts_[j]);
+    Tensor out = layers_[j]->Forward(view, &(*ctxs)[j]);
     if (j + 1 < layers_.size()) {
       batch.AdvanceLayer();
     }
     h = std::move(out);
   }
   return h;
+}
+
+Tensor GnnEncoder::Forward(DenseBatch& batch, const Tensor& h0) {
+  return ForwardImpl(batch, h0, compute_, &contexts_);
+}
+
+Tensor GnnEncoder::InferForward(DenseBatch& batch, const Tensor& h0,
+                                const ComputeContext* compute) const {
+  std::vector<std::unique_ptr<LayerContext>> scratch;
+  return ForwardImpl(batch, h0, compute, &scratch);
 }
 
 Tensor GnnEncoder::Backward(const Tensor& grad_targets) {
@@ -197,20 +209,32 @@ LayerView BlockToView(const LayerBlock& block, const Tensor& h,
 
 }  // namespace
 
-Tensor BlockEncoder::Forward(const LayerwiseSample& sample, const Tensor& h0) {
+Tensor BlockEncoder::ForwardImpl(const LayerwiseSample& sample, const Tensor& h0,
+                                 const ComputeContext* compute,
+                                 std::vector<std::unique_ptr<LayerContext>>* ctxs) const {
   MG_CHECK(static_cast<int64_t>(sample.blocks.size()) == num_layers());
   MG_CHECK(h0.rows() == sample.NumInputNodes());
-  contexts_.clear();
-  contexts_.resize(layers_.size());
+  ctxs->clear();
+  ctxs->resize(layers_.size());
 
   Tensor h = h0;
   for (size_t j = 0; j < layers_.size(); ++j) {
-    LayerView view = BlockToView(sample.blocks[j], h, compute_);
-    view.compute = compute_;
-    Tensor out = layers_[j]->Forward(view, &contexts_[j]);
+    LayerView view = BlockToView(sample.blocks[j], h, compute);
+    view.compute = compute;
+    Tensor out = layers_[j]->Forward(view, &(*ctxs)[j]);
     h = std::move(out);
   }
   return h;
+}
+
+Tensor BlockEncoder::Forward(const LayerwiseSample& sample, const Tensor& h0) {
+  return ForwardImpl(sample, h0, compute_, &contexts_);
+}
+
+Tensor BlockEncoder::InferForward(const LayerwiseSample& sample, const Tensor& h0,
+                                  const ComputeContext* compute) const {
+  std::vector<std::unique_ptr<LayerContext>> scratch;
+  return ForwardImpl(sample, h0, compute, &scratch);
 }
 
 Tensor BlockEncoder::Backward(const Tensor& grad_targets) {

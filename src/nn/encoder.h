@@ -45,6 +45,13 @@ class GnnEncoder {
   // h0 rows align with batch.node_ids. Returns representations of the target nodes.
   Tensor Forward(DenseBatch& batch, const Tensor& h0);
 
+  // Inference-only forward: identical math to Forward (bitwise), but saves no
+  // backward state in the encoder, so a const encoder shared by concurrent
+  // readers (the serving snapshot) stays immutable. `compute` overrides the
+  // training-time handle (pass nullptr for serial).
+  Tensor InferForward(DenseBatch& batch, const Tensor& h0,
+                      const ComputeContext* compute) const;
+
   // Returns d loss / d h0, aligned with the original node_ids of the last Forward.
   Tensor Backward(const Tensor& grad_targets);
 
@@ -54,6 +61,12 @@ class GnnEncoder {
   int64_t out_dim() const { return layers_.back()->out_dim(); }
 
  private:
+  // Shared const forward pass: per-invocation state lands in *ctxs (sized to the
+  // layer count by the caller), never in the encoder.
+  Tensor ForwardImpl(DenseBatch& batch, const Tensor& h0,
+                     const ComputeContext* compute,
+                     std::vector<std::unique_ptr<LayerContext>>* ctxs) const;
+
   std::vector<std::unique_ptr<GnnLayer>> layers_;
   std::vector<std::unique_ptr<LayerContext>> contexts_;
   const ComputeContext* compute_ = nullptr;
@@ -71,6 +84,10 @@ class BlockEncoder {
   // h0 rows align with sample.input_nodes(). Returns target-node representations.
   Tensor Forward(const LayerwiseSample& sample, const Tensor& h0);
 
+  // Inference-only forward (see GnnEncoder::InferForward).
+  Tensor InferForward(const LayerwiseSample& sample, const Tensor& h0,
+                      const ComputeContext* compute) const;
+
   // Returns d loss / d h0 (rows == input_nodes of the last Forward).
   Tensor Backward(const Tensor& grad_targets);
 
@@ -80,6 +97,10 @@ class BlockEncoder {
   int64_t out_dim() const { return layers_.back()->out_dim(); }
 
  private:
+  Tensor ForwardImpl(const LayerwiseSample& sample, const Tensor& h0,
+                     const ComputeContext* compute,
+                     std::vector<std::unique_ptr<LayerContext>>* ctxs) const;
+
   std::vector<std::unique_ptr<GnnLayer>> layers_;
   std::vector<std::unique_ptr<LayerContext>> contexts_;
   const ComputeContext* compute_ = nullptr;

@@ -35,7 +35,7 @@ GatLayer::GatLayer(int64_t in_dim, int64_t out_dim, Activation act, Rng& rng,
       attn_r_(Tensor::Uniform(1, out_dim, 0.3f, rng)),
       bias_(Tensor(1, out_dim)) {}
 
-Tensor GatLayer::Forward(const LayerView& view, std::unique_ptr<LayerContext>* ctx) {
+Tensor GatLayer::Forward(const LayerView& view, std::unique_ptr<LayerContext>* ctx) const {
   MG_CHECK(view.h != nullptr && view.h->cols() == in_dim_);
   const ComputeContext* cc = view.compute;
   auto c = std::make_unique<GatContext>();

@@ -27,7 +27,7 @@ GraphSageLayer::GraphSageLayer(int64_t in_dim, int64_t out_dim, Activation act, 
       w_nbr_(Tensor::GlorotUniform(in_dim, out_dim, rng)),
       bias_(Tensor(1, out_dim)) {}
 
-Tensor GraphSageLayer::Forward(const LayerView& view, std::unique_ptr<LayerContext>* ctx) {
+Tensor GraphSageLayer::Forward(const LayerView& view, std::unique_ptr<LayerContext>* ctx) const {
   MG_CHECK(view.h != nullptr && view.h->cols() == in_dim_);
   const ComputeContext* cc = view.compute;
   auto c = std::make_unique<SageContext>();

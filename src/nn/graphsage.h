@@ -19,7 +19,7 @@ class GraphSageLayer : public GnnLayer {
  public:
   GraphSageLayer(int64_t in_dim, int64_t out_dim, Activation act, Rng& rng);
 
-  Tensor Forward(const LayerView& view, std::unique_ptr<LayerContext>* ctx) override;
+  Tensor Forward(const LayerView& view, std::unique_ptr<LayerContext>* ctx) const override;
   Tensor Backward(LayerContext& ctx, const Tensor& grad_out) override;
   std::vector<Parameter*> Parameters() override { return {&w_self_, &w_nbr_, &bias_}; }
 

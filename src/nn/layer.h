@@ -58,7 +58,10 @@ class GnnLayer {
   virtual ~GnnLayer() = default;
 
   // Computes output representations; fills *ctx with the state Backward needs.
-  virtual Tensor Forward(const LayerView& view, std::unique_ptr<LayerContext>* ctx) = 0;
+  // Const: all invocation state goes into *ctx, never into the layer, so a shared
+  // immutable layer stack (e.g. a serving snapshot) can run Forward concurrently.
+  virtual Tensor Forward(const LayerView& view,
+                         std::unique_ptr<LayerContext>* ctx) const = 0;
 
   // Returns d loss / d h (rows == the forward view's num_inputs()) and accumulates
   // parameter gradients.

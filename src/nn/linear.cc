@@ -6,8 +6,13 @@ namespace mariusgnn {
 
 Tensor LinearLayer::Forward(const Tensor& input) {
   saved_input_ = input;
-  Tensor out = Matmul(input, w_.value, compute_);
-  AddBiasRows(out, bias_.value, compute_);
+  return InferForward(input, compute_);
+}
+
+Tensor LinearLayer::InferForward(const Tensor& input,
+                                 const ComputeContext* compute) const {
+  Tensor out = Matmul(input, w_.value, compute);
+  AddBiasRows(out, bias_.value, compute);
   return out;
 }
 

@@ -22,6 +22,10 @@ class LinearLayer {
 
   Tensor Forward(const Tensor& input);
 
+  // Inference-only forward: same math as Forward (bitwise) but saves no backward
+  // state, so a const layer shared by concurrent readers stays immutable.
+  Tensor InferForward(const Tensor& input, const ComputeContext* compute) const;
+
   // Returns d loss / d input; accumulates parameter gradients.
   Tensor Backward(const Tensor& grad_out);
 

@@ -32,7 +32,7 @@ int AdaptiveWorkerSplit::Observe(double compute_parallel_efficiency) {
   return workers_;
 }
 
-PipelineSession::PipelineSession(PipelineOptions options, Producer produce,
+PipelineSession::PipelineSession(PipelineSessionOptions options, Producer produce,
                                  Consumer consume)
     : options_(std::move(options)),
       produce_(std::move(produce)),
@@ -211,7 +211,7 @@ PipelineStats PipelineSession::Consume(int64_t count) {
   return stats;
 }
 
-TrainingPipeline::TrainingPipeline(PipelineOptions options)
+TrainingPipeline::TrainingPipeline(PipelineSessionOptions options)
     : options_(std::move(options)) {
   MG_CHECK(options_.queue_capacity > 0);
   MG_CHECK(options_.workers >= 0);

@@ -45,7 +45,7 @@
 
 namespace mariusgnn {
 
-struct PipelineOptions {
+struct PipelineSessionOptions {
   // Batch-construction workers. 0 runs everything serially on the calling thread
   // (same batch stream, no threads) — the non-pipelined baseline.
   int workers = 2;
@@ -131,7 +131,7 @@ class PipelineSession {
   using Producer = std::function<std::shared_ptr<void>(int64_t index)>;
   using Consumer = std::function<void(void* item, int64_t index)>;
 
-  PipelineSession(PipelineOptions options, Producer produce, Consumer consume);
+  PipelineSession(PipelineSessionOptions options, Producer produce, Consumer consume);
   ~PipelineSession();
 
   PipelineSession(const PipelineSession&) = delete;
@@ -176,7 +176,7 @@ class PipelineSession {
   void StopWorkers();
   PipelineStats ConsumeSerial(int64_t target);
 
-  PipelineOptions options_;
+  PipelineSessionOptions options_;
   Producer produce_;
   Consumer consume_;
   ThreadPool* pool_;
@@ -205,7 +205,7 @@ class PipelineSession {
 
 class TrainingPipeline {
  public:
-  explicit TrainingPipeline(PipelineOptions options = PipelineOptions());
+  explicit TrainingPipeline(PipelineSessionOptions options = PipelineSessionOptions());
 
   // Type-erased item stream. Producer may run on any worker thread and must be
   // thread-safe + index-deterministic; consumer runs on the calling thread, in order.
@@ -244,10 +244,10 @@ class TrainingPipeline {
         std::forward<C>(consume));
   }
 
-  const PipelineOptions& options() const { return options_; }
+  const PipelineSessionOptions& options() const { return options_; }
 
  private:
-  PipelineOptions options_;
+  PipelineSessionOptions options_;
 };
 
 }  // namespace mariusgnn

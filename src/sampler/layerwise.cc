@@ -25,8 +25,9 @@ LayerwiseSample LayerwiseSampler::Sample(const std::vector<int64_t>& target_node
 }
 
 LayerwiseSample LayerwiseSampler::SampleSeeded(const std::vector<int64_t>& target_nodes,
-                                               uint64_t batch_seed) const {
-  MG_CHECK(index_ != nullptr);
+                                               uint64_t batch_seed,
+                                               const NeighborIndex* index) const {
+  MG_CHECK(index != nullptr);
   LayerwiseSample sample;
   sample.blocks.resize(fanouts_.size());
 
@@ -53,7 +54,7 @@ LayerwiseSample LayerwiseSampler::SampleSeeded(const std::vector<int64_t>& targe
       Rng node_rng(MixSeed(batch_seed, static_cast<uint64_t>(h) * 0x100000001ULL +
                                            static_cast<uint64_t>(d)));
       // Fresh sample per layer: this is the cross-layer resampling DENSE avoids.
-      index_->SampleOneHop(frontier[d], fanouts_[h], dir_, node_rng, scratch);
+      index->SampleOneHop(frontier[d], fanouts_[h], dir_, node_rng, scratch);
       for (const Neighbor& nb : scratch) {
         auto [it, inserted] =
             src_pos.emplace(nb.node, static_cast<int64_t>(block.src_nodes.size()));

@@ -56,7 +56,15 @@ class LayerwiseSampler {
   // `batch_seed` alone (per-node RNG streams), so pipeline workers can share one
   // sampler and produce identical batches for any worker count.
   LayerwiseSample SampleSeeded(const std::vector<int64_t>& target_nodes,
-                               uint64_t batch_seed) const;
+                               uint64_t batch_seed) const {
+    return SampleSeeded(target_nodes, batch_seed, index_);
+  }
+
+  // Explicit-index variant for callers that must not mutate shared sampler state
+  // (the serving path: one const sampler, many concurrent readers).
+  LayerwiseSample SampleSeeded(const std::vector<int64_t>& target_nodes,
+                               uint64_t batch_seed,
+                               const NeighborIndex* index) const;
 
   int64_t num_layers() const { return static_cast<int64_t>(fanouts_.size()); }
   void set_index(const NeighborIndex* index) { index_ = index; }

@@ -222,6 +222,115 @@ TEST(Checkpoint, OverflowingTensorShapeRejected) {
   std::remove(path.c_str());
 }
 
+TEST(Checkpoint, V2SectionsAre4KiBAlignedInFile) {
+  // Format v2 contract: every tensor payload sits on a 4 KiB file boundary so
+  // the serving tier can mmap the checkpoint and hand out page-aligned views.
+  const std::string path = TempPath("mgnn_ckpt_aligned");
+  SaveCheckpoint(SampleCheckpoint(), path);
+  CheckpointManifest m;
+  std::string error;
+  ASSERT_TRUE(ReadCheckpointManifest(path, &m, &error)) << error;
+  EXPECT_EQ(m.version, kCheckpointFormatVersion);
+  EXPECT_TRUE(m.aligned_sections);
+  EXPECT_EQ(m.kind, "link_prediction");
+  EXPECT_EQ(m.epoch, 3u);
+  EXPECT_EQ(m.data_start % 4096, 0u);
+  ASSERT_EQ(m.sections.size(), 3u);
+  for (const CheckpointSectionInfo& s : m.sections) {
+    EXPECT_EQ(s.file_offset % 4096, 0u) << s.name;
+  }
+  const CheckpointSectionInfo* value = m.FindSection("param0.value");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->rows, 3);
+  EXPECT_EQ(value->cols, 4);
+  EXPECT_EQ(value->bytes, 3u * 4u * sizeof(float));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ReadsUnpaddedV1Files) {
+  // Files written before the alignment change (version 1, payloads packed flush
+  // against the manifest and each other) must keep loading bit-exactly.
+  auto fnv = [](const std::vector<char>& b) {
+    uint64_t h = 0xCBF29CE484222325ULL;
+    for (char c : b) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001B3ULL;
+    }
+    return h;
+  };
+  auto put = [](std::vector<char>& b, const void* src, size_t len) {
+    const char* p = static_cast<const char*>(src);
+    b.insert(b.end(), p, p + len);
+  };
+  auto put_u32 = [&](std::vector<char>& b, uint32_t v) { put(b, &v, 4); };
+  auto put_u64 = [&](std::vector<char>& b, uint64_t v) { put(b, &v, 8); };
+  auto put_i64 = [&](std::vector<char>& b, int64_t v) { put(b, &v, 8); };
+  auto put_str = [&](std::vector<char>& b, const std::string& s) {
+    put_u32(b, static_cast<uint32_t>(s.size()));
+    put(b, s.data(), s.size());
+  };
+
+  const Checkpoint want = SampleCheckpoint();
+  std::vector<char> manifest;
+  put(manifest, want.kind.data(), want.kind.size());
+  put_u64(manifest, want.run_seed);
+  put_u64(manifest, want.epoch);
+  for (uint64_t w : want.rng_state) {
+    put_u64(manifest, w);
+  }
+  put_u32(manifest, static_cast<uint32_t>(want.scalars.size()));
+  for (const auto& [name, value] : want.scalars) {
+    put_str(manifest, name);
+    put_i64(manifest, value);
+  }
+  put_u32(manifest, static_cast<uint32_t>(want.tensors.size()));
+  std::vector<char> data;
+  for (const auto& [name, t] : want.tensors) {
+    put_str(manifest, name);
+    put_i64(manifest, t.rows());
+    put_i64(manifest, t.cols());
+    put_u64(manifest, data.size());  // tight v1 offsets, no padding
+    put_u64(manifest, static_cast<uint64_t>(t.size()) * sizeof(float));
+    if (t.size() > 0) {
+      put(data, t.data(), static_cast<size_t>(t.size()) * sizeof(float));
+    }
+  }
+
+  std::vector<char> file;
+  put_u64(file, 0x4D474E4E43503031ULL);  // magic
+  put_u32(file, 1);                      // version 1
+  put_u32(file, static_cast<uint32_t>(want.kind.size()));
+  put_u64(file, manifest.size());
+  put_u64(file, fnv(manifest));
+  put_u64(file, data.size());
+  put_u64(file, fnv(data));
+  file.insert(file.end(), manifest.begin(), manifest.end());
+  file.insert(file.end(), data.begin(), data.end());
+
+  const std::string path = TempPath("mgnn_ckpt_v1");
+  Dump(path, file);
+
+  Checkpoint ck;
+  std::string error;
+  ASSERT_TRUE(LoadCheckpoint(path, &ck, &error)) << error;
+  EXPECT_EQ(ck.kind, want.kind);
+  EXPECT_EQ(ck.epoch, want.epoch);
+  ASSERT_EQ(ck.tensors.size(), want.tensors.size());
+  for (size_t i = 0; i < want.tensors.size(); ++i) {
+    EXPECT_EQ(ck.tensors[i].first, want.tensors[i].first);
+    ASSERT_EQ(ck.tensors[i].second.size(), want.tensors[i].second.size());
+    for (int64_t j = 0; j < want.tensors[i].second.size(); ++j) {
+      EXPECT_EQ(ck.tensors[i].second.data()[j], want.tensors[i].second.data()[j]);
+    }
+  }
+
+  CheckpointManifest m;
+  ASSERT_TRUE(ReadCheckpointManifest(path, &m, &error)) << error;
+  EXPECT_EQ(m.version, 1u);
+  EXPECT_FALSE(m.aligned_sections);
+  std::remove(path.c_str());
+}
+
 TEST(Checkpoint, MidSaveCrashLeavesPreviousCheckpointIntact) {
   // A crash between the tmp-file write and the rename leaves a stale
   // `<path>.tmp`; the committed checkpoint must be untouched by it, and the
@@ -277,14 +386,14 @@ TrainingConfig SerialDiskLpConfig() {
   config.dims = {16, 16};
   config.batch_size = 512;
   config.num_negatives = 32;
-  config.pipelined = false;
-  config.parallel_compute = false;
-  config.adaptive_pipeline_workers = false;
-  config.use_disk = true;
-  config.num_physical = 8;
-  config.num_logical = 4;
-  config.buffer_capacity = 4;
-  config.prefetch = false;  // no async IO thread
+  config.pipeline.enabled = false;
+  config.pipeline.parallel_compute = false;
+  config.pipeline.adaptive_workers = false;
+  config.storage.use_disk = true;
+  config.storage.num_physical = 8;
+  config.storage.num_logical = 4;
+  config.storage.buffer_capacity = 4;
+  config.storage.prefetch = false;  // no async IO thread
   return config;
 }
 
@@ -310,8 +419,8 @@ TEST(CheckpointCrash, KillAndResumeProducesIdenticalTrajectory) {
   ASSERT_NE(pid, -1);
   if (pid == 0) {
     TrainingConfig child_config = config;
-    child_config.checkpoint_every_n_epochs = 1;
-    child_config.checkpoint_path = ckpt;
+    child_config.checkpoint.every_n_epochs = 1;
+    child_config.checkpoint.path = ckpt;
     LinkPredictionTrainer trainer(&g, child_config);
     trainer.TrainEpoch();
     trainer.TrainEpoch();
@@ -336,7 +445,7 @@ TEST(CheckpointCrash, KillAndResumeProducesIdenticalTrajectory) {
 TEST(CheckpointCrash, ResumeRefusesWrongKindAndSeed) {
   Graph g = Fb15k237Like(0.03);
   TrainingConfig config = SerialDiskLpConfig();
-  config.use_disk = false;  // in-memory is enough for the refusal paths
+  config.storage.use_disk = false;  // in-memory is enough for the refusal paths
   const std::string ckpt = TempPath("mgnn_ckpt_refusal");
   {
     LinkPredictionTrainer trainer(&g, config);

@@ -51,7 +51,7 @@ TEST(Integration, DiskTrainingApproachesInMemoryMrr) {
   config.dims = {16};
   config.batch_size = 512;
   config.num_negatives = 32;
-  config.pipelined = false;
+  config.pipeline.enabled = false;
 
   LinkPredictionTrainer mem(&g, config);
   for (int e = 0; e < 6; ++e) {
@@ -59,10 +59,10 @@ TEST(Integration, DiskTrainingApproachesInMemoryMrr) {
   }
   const double mem_mrr = mem.EvaluateMrr(100, 300);
 
-  config.use_disk = true;
-  config.num_physical = 8;
-  config.num_logical = 4;
-  config.buffer_capacity = 4;
+  config.storage.use_disk = true;
+  config.storage.num_physical = 8;
+  config.storage.num_logical = 4;
+  config.storage.buffer_capacity = 4;
   LinkPredictionTrainer disk(&g, config);
   for (int e = 0; e < 6; ++e) {
     disk.TrainEpoch();
@@ -105,11 +105,11 @@ TEST(Integration, AutoTunedConfigRunsEndToEnd) {
   config.dims = {16};
   config.batch_size = 512;
   config.num_negatives = 16;
-  config.pipelined = false;
-  config.use_disk = true;
-  config.num_physical = tuned.num_physical;
-  config.num_logical = tuned.num_logical;
-  config.buffer_capacity = tuned.buffer_capacity;
+  config.pipeline.enabled = false;
+  config.storage.use_disk = true;
+  config.storage.num_physical = tuned.num_physical;
+  config.storage.num_logical = tuned.num_logical;
+  config.storage.buffer_capacity = tuned.buffer_capacity;
   LinkPredictionTrainer trainer(&g, config);
   const EpochStats first = trainer.TrainEpoch();
   const EpochStats second = trainer.TrainEpoch();
@@ -123,17 +123,17 @@ TEST(Integration, PrefetchReducesReportedStalls) {
   config.dims = {16};
   config.batch_size = 256;
   config.num_negatives = 16;
-  config.pipelined = false;
-  config.use_disk = true;
-  config.num_physical = 8;
-  config.num_logical = 4;
-  config.buffer_capacity = 4;
+  config.pipeline.enabled = false;
+  config.storage.use_disk = true;
+  config.storage.num_physical = 8;
+  config.storage.num_logical = 4;
+  config.storage.buffer_capacity = 4;
 
-  config.prefetch = true;
+  config.storage.prefetch = true;
   LinkPredictionTrainer with(&g, config);
   const EpochStats s_with = with.TrainEpoch();
 
-  config.prefetch = false;
+  config.storage.prefetch = false;
   LinkPredictionTrainer without(&g, config);
   const EpochStats s_without = without.TrainEpoch();
 
@@ -147,7 +147,7 @@ TEST(Integration, GnnDiskNodeClassificationMatchesMemoryAccuracy) {
   config.fanouts = {10, 5};
   config.dims = {64, 32, 32};
   config.batch_size = 256;
-  config.pipelined = false;
+  config.pipeline.enabled = false;
   config.weight_lr = 0.05f;
 
   NodeClassificationTrainer mem(&g, config);
@@ -156,9 +156,9 @@ TEST(Integration, GnnDiskNodeClassificationMatchesMemoryAccuracy) {
   }
   const double mem_acc = mem.EvaluateTestAccuracy();
 
-  config.use_disk = true;
-  config.num_physical = 16;
-  config.buffer_capacity = 8;
+  config.storage.use_disk = true;
+  config.storage.num_physical = 16;
+  config.storage.buffer_capacity = 8;
   NodeClassificationTrainer disk(&g, config);
   for (int e = 0; e < 4; ++e) {
     disk.TrainEpoch();

@@ -247,7 +247,7 @@ TEST(BoundedQueue, StatsConsistentUnderConcurrentPushPop) {
 
 TEST(TrainingPipeline, OrderedDeliveryWithJitteredProducers) {
   ThreadPool pool(4);
-  PipelineOptions options;
+  PipelineSessionOptions options;
   options.workers = 4;
   options.queue_capacity = 3;
   options.pool = &pool;
@@ -280,7 +280,7 @@ TEST(TrainingPipeline, WorkerCountNeverChangesConsumedSequence) {
   auto produce = [](int64_t i) { return MixSeed(42, static_cast<uint64_t>(i)); };
   std::vector<std::vector<uint64_t>> runs;
   for (int workers : {0, 1, 2, 4}) {
-    PipelineOptions options;
+    PipelineSessionOptions options;
     options.workers = workers;
     options.queue_capacity = 2;
     options.pool = &pool;
@@ -296,7 +296,7 @@ TEST(TrainingPipeline, WorkerCountNeverChangesConsumedSequence) {
 }
 
 TEST(TrainingPipeline, SerialModeRunsInline) {
-  TrainingPipeline pipeline(PipelineOptions{0, 4, nullptr});
+  TrainingPipeline pipeline(PipelineSessionOptions{0, 4, nullptr});
   const std::thread::id caller = std::this_thread::get_id();
   int64_t produced_on_caller = 0;
   const PipelineStats stats = pipeline.RunTyped<int>(
@@ -324,7 +324,7 @@ TEST(TrainingPipeline, EmptyRunIsNoop) {
 
 TEST(TrainingPipeline, RunBatchesSlicesTheFullRange) {
   ThreadPool pool(2);
-  PipelineOptions options;
+  PipelineSessionOptions options;
   options.workers = 2;
   options.pool = &pool;
   TrainingPipeline pipeline(options);
@@ -351,7 +351,7 @@ TEST(TrainingPipeline, RunBatchesSlicesTheFullRange) {
 
 TEST(TrainingPipeline, MoreWorkersThanPoolThreadsStillCompletes) {
   ThreadPool pool(1);  // workers serialize on the single pool thread
-  PipelineOptions options;
+  PipelineSessionOptions options;
   options.workers = 4;
   options.queue_capacity = 2;
   options.pool = &pool;
@@ -372,7 +372,7 @@ TEST(TrainingPipeline, ComputeChunksOnSaturatedPipelinePoolCannotDeadlock) {
   // helper tasks submitted to the same pool may never run. ForEachChunk must make
   // progress through the calling thread alone — and still produce the same bits.
   ThreadPool pool(2);
-  PipelineOptions options;
+  PipelineSessionOptions options;
   options.workers = 2;  // saturate the pool
   options.queue_capacity = 1;
   options.pool = &pool;
@@ -423,7 +423,7 @@ TEST(PipelineSession, SegmentsWithResizesMatchFixedWorkerRun) {
   // Reference: the one-shot fixed-worker pipeline over the same pure producer.
   std::vector<uint64_t> expected;
   {
-    PipelineOptions options;
+    PipelineSessionOptions options;
     options.workers = 2;
     options.queue_capacity = 3;
     options.pool = &pool;
@@ -433,7 +433,7 @@ TEST(PipelineSession, SegmentsWithResizesMatchFixedWorkerRun) {
         [&](void* item, int64_t) { expected.push_back(*static_cast<uint64_t*>(item)); });
   }
 
-  PipelineOptions options;
+  PipelineSessionOptions options;
   options.workers = 3;
   options.queue_capacity = 3;
   options.pool = &pool;
@@ -458,7 +458,7 @@ TEST(PipelineSession, SegmentsWithResizesMatchFixedWorkerRun) {
 
 TEST(PipelineSession, ExtendAheadOfConsumeKeepsOrder) {
   ThreadPool pool(2);
-  PipelineOptions options;
+  PipelineSessionOptions options;
   options.workers = 2;
   options.queue_capacity = 2;
   options.pool = &pool;
@@ -482,7 +482,7 @@ TEST(PipelineSession, ExtendAheadOfConsumeKeepsOrder) {
 }
 
 TEST(PipelineSession, SerialSessionRunsInlineAndSupportsSegments) {
-  PipelineOptions options;
+  PipelineSessionOptions options;
   options.workers = 0;
   const std::thread::id caller = std::this_thread::get_id();
   int64_t on_caller = 0;
@@ -508,7 +508,7 @@ TEST(PipelineSession, ReportsQueueOccupancyPerSegment) {
   // Fast producers + a slow consumer pin the queue at capacity, so the segment's
   // time-weighted occupancy must come out high; the signal feeding the controller.
   ThreadPool pool(4);
-  PipelineOptions options;
+  PipelineSessionOptions options;
   options.workers = 4;
   options.queue_capacity = 2;
   options.pool = &pool;
@@ -532,7 +532,7 @@ TEST(PipelineSession, TeardownWithBlockedProducersDoesNotDeadlock) {
   // must quiesce by draining, not deadlock; ASan's leak check covers the
   // drained-but-unconsumed items.
   ThreadPool pool(2);
-  PipelineOptions options;
+  PipelineSessionOptions options;
   options.workers = 2;
   options.queue_capacity = 1;
   options.pool = &pool;
@@ -569,7 +569,7 @@ TEST(PipelineSession, StressRandomDelaysAndAdversarialResizes) {
       expected.push_back(MixSeed(seed, static_cast<uint64_t>(i)));
     }
 
-    PipelineOptions options;
+    PipelineSessionOptions options;
     options.workers = 3;
     options.queue_capacity = 2;
     options.pool = &pool;

@@ -19,7 +19,7 @@ TrainingConfig SmallLpConfig() {
   config.dims = {16, 16};
   config.batch_size = 512;
   config.num_negatives = 32;
-  config.pipelined = false;
+  config.pipeline.enabled = false;
   return config;
 }
 
@@ -77,7 +77,7 @@ TEST(LinkPrediction, GatRuns) {
 TEST(LinkPrediction, PipelinedMatchesUnpipelinedProgress) {
   Graph g = Fb15k237Like(0.03);
   TrainingConfig config = SmallLpConfig();
-  config.pipelined = true;
+  config.pipeline.enabled = true;
   LinkPredictionTrainer trainer(&g, config);
   const EpochStats first = trainer.TrainEpoch();
   EpochStats last;
@@ -103,11 +103,11 @@ TEST(LinkPrediction, BaselineSamplerLearns) {
 TEST(LinkPrediction, DiskCometTrainsAndTracksIo) {
   Graph g = Fb15k237Like(0.05);
   TrainingConfig config = SmallLpConfig();
-  config.use_disk = true;
-  config.num_physical = 8;
-  config.num_logical = 4;
-  config.buffer_capacity = 4;
-  config.policy = "comet";
+  config.storage.use_disk = true;
+  config.storage.num_physical = 8;
+  config.storage.num_logical = 4;
+  config.storage.buffer_capacity = 4;
+  config.storage.policy = "comet";
   LinkPredictionTrainer trainer(&g, config);
   const EpochStats first = trainer.TrainEpoch();
   EXPECT_GT(first.io_seconds, 0.0);
@@ -123,10 +123,10 @@ TEST(LinkPrediction, DiskCometTrainsAndTracksIo) {
 TEST(LinkPrediction, DiskBetaTrains) {
   Graph g = Fb15k237Like(0.05);
   TrainingConfig config = SmallLpConfig();
-  config.use_disk = true;
-  config.num_physical = 8;
-  config.buffer_capacity = 4;
-  config.policy = "beta";
+  config.storage.use_disk = true;
+  config.storage.num_physical = 8;
+  config.storage.buffer_capacity = 4;
+  config.storage.policy = "beta";
   LinkPredictionTrainer trainer(&g, config);
   const EpochStats first = trainer.TrainEpoch();
   EpochStats last;
@@ -143,10 +143,10 @@ TEST(LinkPrediction, EpochIteratesAllTrainExamples) {
   const EpochStats mem = mem_trainer.TrainEpoch();
   EXPECT_EQ(mem.num_examples, static_cast<int64_t>(g.train_edges().size()));
 
-  config.use_disk = true;
-  config.num_physical = 8;
-  config.num_logical = 4;
-  config.buffer_capacity = 4;
+  config.storage.use_disk = true;
+  config.storage.num_physical = 8;
+  config.storage.num_logical = 4;
+  config.storage.buffer_capacity = 4;
   LinkPredictionTrainer disk_trainer(&g, config);
   const EpochStats disk = disk_trainer.TrainEpoch();
   EXPECT_EQ(disk.num_examples, static_cast<int64_t>(g.train_edges().size()));
@@ -158,7 +158,7 @@ TrainingConfig SmallNcConfig() {
   config.dims = {64, 32, 32};
   config.batch_size = 256;
   config.num_negatives = 0;
-  config.pipelined = false;
+  config.pipeline.enabled = false;
   config.weight_lr = 0.05f;
   return config;
 }
@@ -184,9 +184,9 @@ TEST(NodeClassification, InMemoryBeatsChance) {
 TEST(NodeClassification, DiskCachedPolicyWorks) {
   Graph g = PapersMini(0.08);
   TrainingConfig config = SmallNcConfig();
-  config.use_disk = true;
-  config.num_physical = 16;
-  config.buffer_capacity = 8;
+  config.storage.use_disk = true;
+  config.storage.num_physical = 16;
+  config.storage.buffer_capacity = 8;
   NodeClassificationTrainer trainer(&g, config);
   const EpochStats first = trainer.TrainEpoch();
   // Cached regime: a single partition set per epoch, zero intra-epoch swaps.
@@ -216,7 +216,7 @@ TEST(NodeClassification, BaselineSamplerLearns) {
 TEST(NodeClassification, PipelinedLearns) {
   Graph g = PapersMini(0.05);
   TrainingConfig config = SmallNcConfig();
-  config.pipelined = true;
+  config.pipeline.enabled = true;
   NodeClassificationTrainer trainer(&g, config);
   EpochStats first, last;
   for (int e = 0; e < 3; ++e) {
@@ -232,7 +232,7 @@ TEST(NodeClassification, PipelinedLearns) {
 TEST(LinkPrediction, DeterministicForSameSeed) {
   Graph g = Fb15k237Like(0.03);
   TrainingConfig config = SmallLpConfig();
-  config.pipelined = false;
+  config.pipeline.enabled = false;
   LinkPredictionTrainer a(&g, config);
   LinkPredictionTrainer b(&g, config);
   const EpochStats sa = a.TrainEpoch();
@@ -246,10 +246,10 @@ TEST(LinkPrediction, DiskGatTrains) {
   TrainingConfig config = SmallLpConfig();
   config.layer_type = GnnLayerType::kGat;
   config.direction = EdgeDirection::kIncoming;
-  config.use_disk = true;
-  config.num_physical = 8;
-  config.num_logical = 4;
-  config.buffer_capacity = 4;
+  config.storage.use_disk = true;
+  config.storage.num_physical = 8;
+  config.storage.num_logical = 4;
+  config.storage.buffer_capacity = 4;
   LinkPredictionTrainer trainer(&g, config);
   const EpochStats first = trainer.TrainEpoch();
   const EpochStats second = trainer.TrainEpoch();
@@ -260,9 +260,9 @@ TEST(NodeClassification, DiskFallbackRotationWhenTrainSetLarge) {
   // Force k >= c: tiny buffer relative to the training partitions.
   Graph g = PapersMini(0.08);
   TrainingConfig config = SmallNcConfig();
-  config.use_disk = true;
-  config.num_physical = 16;
-  config.buffer_capacity = 2;
+  config.storage.use_disk = true;
+  config.storage.num_physical = 16;
+  config.storage.buffer_capacity = 2;
   NodeClassificationTrainer trainer(&g, config);
   const EpochStats stats = trainer.TrainEpoch();
   // Rotation visits every partition: many sets, each training a node subset.
@@ -275,15 +275,15 @@ TEST(LinkPrediction, DiskEpochIoDropsWithLargerBuffer) {
   TrainingConfig config = SmallLpConfig();
   config.fanouts = {};
   config.dims = {16};
-  config.use_disk = true;
-  config.num_physical = 8;
-  config.num_logical = 8;
-  config.buffer_capacity = 2;
+  config.storage.use_disk = true;
+  config.storage.num_physical = 8;
+  config.storage.num_logical = 8;
+  config.storage.buffer_capacity = 2;
   LinkPredictionTrainer small(&g, config);
   const double io_small = small.TrainEpoch().io_seconds;
 
-  config.num_logical = 4;
-  config.buffer_capacity = 4;
+  config.storage.num_logical = 4;
+  config.storage.buffer_capacity = 4;
   LinkPredictionTrainer large(&g, config);
   const double io_large = large.TrainEpoch().io_seconds;
   EXPECT_LT(io_large, io_small);
@@ -369,8 +369,8 @@ TEST(LinkPrediction, WorkerCountDoesNotChangeTrajectory) {
   std::vector<double> mrrs;
   for (int workers : {0, 1, 3}) {
     TrainingConfig config = SmallLpConfig();
-    config.pipelined = workers > 0;
-    config.pipeline_workers = workers;
+    config.pipeline.enabled = workers > 0;
+    config.pipeline.workers = workers;
     LinkPredictionTrainer trainer(&g, config);
     double loss = 0.0;
     for (int e = 0; e < 2; ++e) {
@@ -391,13 +391,13 @@ TEST(LinkPrediction, DiskPipelineAndPrefetchDoNotChangeTrajectory) {
   Graph g = Fb15k237Like(0.05);
   auto run = [&](bool pipelined, bool prefetch) {
     TrainingConfig config = SmallLpConfig();
-    config.use_disk = true;
-    config.num_physical = 8;
-    config.num_logical = 4;
-    config.buffer_capacity = 4;
-    config.pipelined = pipelined;
-    config.pipeline_workers = 2;
-    config.prefetch = prefetch;
+    config.storage.use_disk = true;
+    config.storage.num_physical = 8;
+    config.storage.num_logical = 4;
+    config.storage.buffer_capacity = 4;
+    config.pipeline.enabled = pipelined;
+    config.pipeline.workers = 2;
+    config.storage.prefetch = prefetch;
     LinkPredictionTrainer trainer(&g, config);
     double loss = 0.0;
     for (int e = 0; e < 2; ++e) {
@@ -419,8 +419,8 @@ TEST(NodeClassification, WorkerCountDoesNotChangeTrajectory) {
   std::vector<double> losses;
   for (int workers : {0, 2}) {
     TrainingConfig config = SmallNcConfig();
-    config.pipelined = workers > 0;
-    config.pipeline_workers = workers;
+    config.pipeline.enabled = workers > 0;
+    config.pipeline.workers = workers;
     NodeClassificationTrainer trainer(&g, config);
     double loss = 0.0;
     for (int e = 0; e < 2; ++e) {
@@ -434,8 +434,8 @@ TEST(NodeClassification, WorkerCountDoesNotChangeTrajectory) {
 TEST(LinkPrediction, PipelinedEpochReportsStageBreakdown) {
   Graph g = Fb15k237Like(0.03);
   TrainingConfig config = SmallLpConfig();
-  config.pipelined = true;
-  config.pipeline_workers = 2;
+  config.pipeline.enabled = true;
+  config.pipeline.workers = 2;
   LinkPredictionTrainer trainer(&g, config);
   const EpochStats stats = trainer.TrainEpoch();
   EXPECT_GT(stats.sample_seconds, 0.0);       // batch construction was timed
@@ -452,12 +452,12 @@ TEST(LinkPrediction, ParallelComputeDoesNotChangeTrajectory) {
   ThreadPool pool(8);
   auto run = [&](bool parallel, bool pipelined) {
     TrainingConfig config = SmallLpConfig();
-    config.parallel_compute = parallel;
-    config.compute_pool = parallel ? &pool : nullptr;
+    config.pipeline.parallel_compute = parallel;
+    config.pipeline.compute_pool = parallel ? &pool : nullptr;
     // Sampling workers and compute chunks share ONE pool (production default).
-    config.pipeline_pool = (parallel && pipelined) ? &pool : nullptr;
-    config.pipelined = pipelined;
-    config.pipeline_workers = 2;
+    config.pipeline.pipeline_pool = (parallel && pipelined) ? &pool : nullptr;
+    config.pipeline.enabled = pipelined;
+    config.pipeline.workers = 2;
     LinkPredictionTrainer trainer(&g, config);
     std::vector<double> losses;
     for (int e = 0; e < 3; ++e) {
@@ -482,14 +482,14 @@ TEST(LinkPrediction, ParallelComputeDiskTrajectoryIdentical) {
   ThreadPool pool(8);
   auto run = [&](bool parallel) {
     TrainingConfig config = SmallLpConfig();
-    config.use_disk = true;
-    config.num_physical = 8;
-    config.num_logical = 4;
-    config.buffer_capacity = 4;
-    config.pipelined = true;
-    config.pipeline_workers = 2;
-    config.parallel_compute = parallel;
-    config.compute_pool = parallel ? &pool : nullptr;
+    config.storage.use_disk = true;
+    config.storage.num_physical = 8;
+    config.storage.num_logical = 4;
+    config.storage.buffer_capacity = 4;
+    config.pipeline.enabled = true;
+    config.pipeline.workers = 2;
+    config.pipeline.parallel_compute = parallel;
+    config.pipeline.compute_pool = parallel ? &pool : nullptr;
     LinkPredictionTrainer trainer(&g, config);
     double loss = 0.0;
     for (int e = 0; e < 2; ++e) {
@@ -508,10 +508,10 @@ TEST(NodeClassification, ParallelComputeDoesNotChangeTrajectory) {
   ThreadPool pool(8);
   auto run = [&](bool parallel) {
     TrainingConfig config = SmallNcConfig();
-    config.parallel_compute = parallel;
-    config.compute_pool = parallel ? &pool : nullptr;
-    config.pipelined = true;
-    config.pipeline_workers = 2;
+    config.pipeline.parallel_compute = parallel;
+    config.pipeline.compute_pool = parallel ? &pool : nullptr;
+    config.pipeline.enabled = true;
+    config.pipeline.workers = 2;
     NodeClassificationTrainer trainer(&g, config);
     std::vector<double> out;
     for (int e = 0; e < 2; ++e) {
@@ -534,8 +534,8 @@ TEST(LinkPrediction, GatParallelComputeTrajectoryIdentical) {
   auto run = [&](bool parallel) {
     TrainingConfig config = SmallLpConfig();
     config.layer_type = GnnLayerType::kGat;
-    config.parallel_compute = parallel;
-    config.compute_pool = parallel ? &pool : nullptr;
+    config.pipeline.parallel_compute = parallel;
+    config.pipeline.compute_pool = parallel ? &pool : nullptr;
     LinkPredictionTrainer trainer(&g, config);
     double loss = 0.0;
     for (int e = 0; e < 2; ++e) {
@@ -555,8 +555,8 @@ TEST(LinkPrediction, BaselineSamplerParallelComputeTrajectoryIdentical) {
   auto run = [&](bool parallel) {
     TrainingConfig config = SmallLpConfig();
     config.sampler = SamplerKind::kLayerwise;
-    config.parallel_compute = parallel;
-    config.compute_pool = parallel ? &pool : nullptr;
+    config.pipeline.parallel_compute = parallel;
+    config.pipeline.compute_pool = parallel ? &pool : nullptr;
     LinkPredictionTrainer trainer(&g, config);
     double loss = 0.0;
     for (int e = 0; e < 2; ++e) {
@@ -579,14 +579,14 @@ TEST(LinkPrediction, AdaptiveWorkerSplitDoesNotChangeTrajectory) {
   ThreadPool pool(4);
   auto run = [&](bool adaptive) {
     TrainingConfig config = SmallLpConfig();
-    config.pipelined = true;
-    config.pipeline_workers = 3;
-    config.parallel_compute = true;
-    config.compute_pool = &pool;
-    config.pipeline_pool = &pool;  // sampling + compute share one pool
-    config.adaptive_pipeline_workers = adaptive;
-    config.adaptive_par_eff_low = 2.0;
-    config.adaptive_par_eff_high = 3.0;
+    config.pipeline.enabled = true;
+    config.pipeline.workers = 3;
+    config.pipeline.parallel_compute = true;
+    config.pipeline.compute_pool = &pool;
+    config.pipeline.pipeline_pool = &pool;  // sampling + compute share one pool
+    config.pipeline.adaptive_workers = adaptive;
+    config.pipeline.par_eff_low = 2.0;
+    config.pipeline.par_eff_high = 3.0;
     LinkPredictionTrainer trainer(&g, config);
     std::vector<double> history;
     std::vector<int> workers;
@@ -613,14 +613,14 @@ TEST(NodeClassification, AdaptiveWorkerSplitDoesNotChangeTrajectory) {
   ThreadPool pool(4);
   auto run = [&](bool adaptive) {
     TrainingConfig config = SmallNcConfig();
-    config.pipelined = true;
-    config.pipeline_workers = 2;
-    config.parallel_compute = true;
-    config.compute_pool = &pool;
-    config.pipeline_pool = &pool;
-    config.adaptive_pipeline_workers = adaptive;
-    config.adaptive_par_eff_low = 2.0;
-    config.adaptive_par_eff_high = 3.0;
+    config.pipeline.enabled = true;
+    config.pipeline.workers = 2;
+    config.pipeline.parallel_compute = true;
+    config.pipeline.compute_pool = &pool;
+    config.pipeline.pipeline_pool = &pool;
+    config.pipeline.adaptive_workers = adaptive;
+    config.pipeline.par_eff_low = 2.0;
+    config.pipeline.par_eff_high = 3.0;
     NodeClassificationTrainer trainer(&g, config);
     double loss = 0.0;
     for (int e = 0; e < 2; ++e) {
@@ -640,19 +640,19 @@ TEST(LinkPrediction, MidEpochResizeDoesNotChangeTrajectory) {
   ThreadPool pool(4);
   auto run = [&](bool adaptive) {
     TrainingConfig config = SmallLpConfig();
-    config.use_disk = true;
-    config.num_physical = 8;
-    config.num_logical = 4;
-    config.buffer_capacity = 4;
-    config.pipelined = true;
-    config.pipeline_workers = 3;
-    config.parallel_compute = true;
-    config.compute_pool = &pool;
-    config.pipeline_pool = &pool;  // sampling + compute share one pool
-    config.adaptive_pipeline_workers = adaptive;
-    config.adaptive_within_epoch = true;
-    config.adaptive_par_eff_low = 2.0;  // force a shrink at every boundary
-    config.adaptive_par_eff_high = 3.0;
+    config.storage.use_disk = true;
+    config.storage.num_physical = 8;
+    config.storage.num_logical = 4;
+    config.storage.buffer_capacity = 4;
+    config.pipeline.enabled = true;
+    config.pipeline.workers = 3;
+    config.pipeline.parallel_compute = true;
+    config.pipeline.compute_pool = &pool;
+    config.pipeline.pipeline_pool = &pool;  // sampling + compute share one pool
+    config.pipeline.adaptive_workers = adaptive;
+    config.pipeline.adaptive_within_epoch = true;
+    config.pipeline.par_eff_low = 2.0;  // force a shrink at every boundary
+    config.pipeline.par_eff_high = 3.0;
     LinkPredictionTrainer trainer(&g, config);
     const EpochStats stats = trainer.TrainEpoch();
     return std::make_pair(stats, trainer.EvaluateMrr(50, 100));
@@ -689,18 +689,18 @@ TEST(NodeClassification, MidEpochResizeDoesNotChangeTrajectory) {
   ThreadPool pool(4);
   auto run = [&](bool adaptive) {
     TrainingConfig config = SmallNcConfig();
-    config.use_disk = true;
-    config.num_physical = 16;
-    config.buffer_capacity = 2;
-    config.pipelined = true;
-    config.pipeline_workers = 2;
-    config.parallel_compute = true;
-    config.compute_pool = &pool;
-    config.pipeline_pool = &pool;
-    config.adaptive_pipeline_workers = adaptive;
-    config.adaptive_within_epoch = true;
-    config.adaptive_par_eff_low = 2.0;
-    config.adaptive_par_eff_high = 3.0;
+    config.storage.use_disk = true;
+    config.storage.num_physical = 16;
+    config.storage.buffer_capacity = 2;
+    config.pipeline.enabled = true;
+    config.pipeline.workers = 2;
+    config.pipeline.parallel_compute = true;
+    config.pipeline.compute_pool = &pool;
+    config.pipeline.pipeline_pool = &pool;
+    config.pipeline.adaptive_workers = adaptive;
+    config.pipeline.adaptive_within_epoch = true;
+    config.pipeline.par_eff_low = 2.0;
+    config.pipeline.par_eff_high = 3.0;
     NodeClassificationTrainer trainer(&g, config);
     return trainer.TrainEpoch();
   };
@@ -721,19 +721,19 @@ TEST(LinkPrediction, EpochFallbackModeHoldsWorkersWithinEpoch) {
   Graph g = Fb15k237Like(0.05);
   ThreadPool pool(4);
   TrainingConfig config = SmallLpConfig();
-  config.use_disk = true;
-  config.num_physical = 8;
-  config.num_logical = 4;
-  config.buffer_capacity = 4;
-  config.pipelined = true;
-  config.pipeline_workers = 2;
-  config.parallel_compute = true;
-  config.compute_pool = &pool;
-  config.pipeline_pool = &pool;
-  config.adaptive_pipeline_workers = true;
-  config.adaptive_within_epoch = false;
-  config.adaptive_par_eff_low = 2.0;
-  config.adaptive_par_eff_high = 3.0;
+  config.storage.use_disk = true;
+  config.storage.num_physical = 8;
+  config.storage.num_logical = 4;
+  config.storage.buffer_capacity = 4;
+  config.pipeline.enabled = true;
+  config.pipeline.workers = 2;
+  config.pipeline.parallel_compute = true;
+  config.pipeline.compute_pool = &pool;
+  config.pipeline.pipeline_pool = &pool;
+  config.pipeline.adaptive_workers = true;
+  config.pipeline.adaptive_within_epoch = false;
+  config.pipeline.par_eff_low = 2.0;
+  config.pipeline.par_eff_high = 3.0;
   LinkPredictionTrainer trainer(&g, config);
   const EpochStats first = trainer.TrainEpoch();
   const EpochStats second = trainer.TrainEpoch();
@@ -791,13 +791,13 @@ void ExpectGolden(const GoldenRun& run, const std::vector<double>& want_losses,
 GoldenRun GoldenLpRun(bool use_disk, bool resume = false) {
   Graph g = Fb15k237Like(0.03);
   TrainingConfig config = SmallLpConfig();
-  config.pipelined = true;
-  config.pipeline_workers = 2;
+  config.pipeline.enabled = true;
+  config.pipeline.workers = 2;
   if (use_disk) {
-    config.use_disk = true;
-    config.num_physical = 8;
-    config.num_logical = 4;
-    config.buffer_capacity = 4;
+    config.storage.use_disk = true;
+    config.storage.num_physical = 8;
+    config.storage.num_logical = 4;
+    config.storage.buffer_capacity = 4;
   }
   GoldenRun run;
   if (!resume) {
@@ -826,12 +826,12 @@ GoldenRun GoldenLpRun(bool use_disk, bool resume = false) {
 GoldenRun GoldenNcRun(bool use_disk, bool resume = false) {
   Graph g = PapersMini(0.05);
   TrainingConfig config = SmallNcConfig();
-  config.pipelined = true;
-  config.pipeline_workers = 2;
+  config.pipeline.enabled = true;
+  config.pipeline.workers = 2;
   if (use_disk) {
-    config.use_disk = true;
-    config.num_physical = 16;
-    config.buffer_capacity = 8;
+    config.storage.use_disk = true;
+    config.storage.num_physical = 16;
+    config.storage.buffer_capacity = 8;
   }
   GoldenRun run;
   if (!resume) {
