@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Fail CI when the docs drift from the code they describe.
+
+Checks, over README.md and docs/*.md:
+
+  1. Every `EpochStats.<field>` reference names a real member of the
+     EpochStats struct in src/core/config.h.
+  2. Every `storage.<knob>` / `pipeline.<knob>` / `checkpoint.<knob>`
+     reference names a real member of StorageOptions / PipelineOptions /
+     CheckpointOptions in src/core/config.h (the documented convention for
+     naming config knobs), OR one of the dotted runtime-verification
+     invariant names defined in src/util/rv_monitor.cc (which share the
+     subsystem prefixes).
+  3. Every relative markdown link points at a file that exists.
+
+The parser is deliberately permissive (it may admit a few extra identifiers
+from struct method bodies); it exists to catch renamed/removed fields and
+dead links, not to be a C++ front end.
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), "..", ".."))
+CONFIG_H = os.path.join(REPO_ROOT, "src", "core", "config.h")
+RV_MONITOR_CC = os.path.join(REPO_ROOT, "src", "util", "rv_monitor.cc")
+
+# Struct name in src/core/config.h -> doc prefix used to reference its members.
+STRUCTS = {
+    "EpochStats": "EpochStats",
+    "StorageOptions": "storage",
+    "PipelineOptions": "pipeline",
+    "CheckpointOptions": "checkpoint",
+}
+
+MEMBER_RE = re.compile(
+    r"^\s*(?:[A-Za-z_][\w:<>,*&\s]*?[\s*&])([A-Za-z_]\w*)\s*(?:=[^;]*)?;", re.M
+)
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def struct_body(source, name):
+    m = re.search(r"\bstruct\s+" + name + r"\s*\{", source)
+    if m is None:
+        sys.exit(f"check_docs_drift: struct {name} not found in {CONFIG_H}")
+    depth = 0
+    for i in range(m.end() - 1, len(source)):
+        if source[i] == "{":
+            depth += 1
+        elif source[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return source[m.end() : i]
+    sys.exit(f"check_docs_drift: unbalanced braces in struct {name}")
+
+
+def struct_members(source, name):
+    members = set()
+    for line in struct_body(source, name).splitlines():
+        code = line.split("//", 1)[0]
+        if "(" in code:  # skip method declarations/calls
+            continue
+        m = MEMBER_RE.match(code)
+        if m:
+            members.add(m.group(1))
+    return members
+
+
+def rv_invariant_names():
+    """The dotted invariant names RvInvariantName returns ("pipeline.ticket_order",
+    ...) — docs reference monitored invariants by these names."""
+    with open(RV_MONITOR_CC, encoding="utf-8") as f:
+        source = f.read()
+    return set(re.findall(r'return\s+"([a-z_]+\.[a-z_]+)"', source))
+
+
+def doc_files():
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs_dir, name))
+    return [f for f in files if os.path.isfile(f)]
+
+
+def main():
+    with open(CONFIG_H, encoding="utf-8") as f:
+        config_src = f.read()
+    known = {prefix: struct_members(config_src, s) for s, prefix in STRUCTS.items()}
+    invariants = rv_invariant_names()
+
+    errors = []
+    for path in doc_files():
+        rel = os.path.relpath(path, REPO_ROOT)
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+
+        for prefix, members in known.items():
+            for m in re.finditer(r"\b" + prefix + r"\.([a-z_][a-z0-9_]*)\b", text):
+                field = m.group(1)
+                # Skip file-extension lookalikes ("training_pipeline.h" never
+                # matches because of \b, but a bare "pipeline.h" path would).
+                if field in ("h", "cc", "md", "json", "py", "yml"):
+                    continue
+                if f"{prefix}.{field}" in invariants:
+                    continue
+                if field not in members:
+                    line = text.count("\n", 0, m.start()) + 1
+                    errors.append(
+                        f"{rel}:{line}: `{prefix}.{field}` does not exist in "
+                        f"src/core/config.h"
+                    )
+
+        for m in LINK_RE.finditer(text):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "#", "mailto:")):
+                continue
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target_path)
+            )
+            if not os.path.exists(resolved):
+                line = text.count("\n", 0, m.start()) + 1
+                errors.append(f"{rel}:{line}: dangling link `{target}`")
+
+    if errors:
+        print("docs drift detected:")
+        for e in errors:
+            print("  " + e)
+        return 1
+    print(f"docs drift check: {len(doc_files())} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

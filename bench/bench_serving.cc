@@ -40,6 +40,7 @@ struct ServingRow {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
+  uint64_t rv_violations = 0;  // serve.epoch_pin breaches (must be 0)
 };
 
 std::vector<ServingRow>& Rows() {
@@ -151,7 +152,14 @@ bool RunConfig(const Graph& g, const TrainingConfig& config,
   row.cache_hits = stats.cache.hits;
   row.cache_misses = stats.cache.misses;
   row.cache_evictions = stats.cache.evictions;
+  row.rv_violations = stats.rv_violations;
   Rows().push_back(row);
+  if (stats.rv_violations != 0) {
+    std::printf("FAIL: %llu serve.epoch_pin RV violations (%s, %d clients)\n",
+                static_cast<unsigned long long>(stats.rv_violations),
+                row.mode.c_str(), clients);
+    return false;
+  }
 
   std::printf(
       "%-6s  %3d clients  p50 %7.3f ms  p99 %7.3f ms  %8.1f qps  "
@@ -180,7 +188,7 @@ void WriteJson(const std::string& path) {
                  "\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"qps\": %.2f, "
                  "\"queries\": %llu, \"batches\": %llu, \"max_coalesced\": %lld, "
                  "\"cache_hits\": %llu, \"cache_misses\": %llu, "
-                 "\"cache_evictions\": %llu}%s\n",
+                 "\"cache_evictions\": %llu, \"rv_violations\": %llu}%s\n",
                  r.mode.c_str(), r.name.c_str(), r.clients, r.p50_ms, r.p99_ms,
                  r.qps, static_cast<unsigned long long>(r.queries),
                  static_cast<unsigned long long>(r.batches),
@@ -188,6 +196,7 @@ void WriteJson(const std::string& path) {
                  static_cast<unsigned long long>(r.cache_hits),
                  static_cast<unsigned long long>(r.cache_misses),
                  static_cast<unsigned long long>(r.cache_evictions),
+                 static_cast<unsigned long long>(r.rv_violations),
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

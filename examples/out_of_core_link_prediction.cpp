@@ -48,6 +48,12 @@ int main() {
     std::printf("         io_read=%.1fMB io_write=%.1fMB qd_mean=%.2f inflight_peak=%d\n",
                 stats.io_read_bytes / 1.0e6, stats.io_write_bytes / 1.0e6,
                 stats.io_queue_depth_mean, stats.io_inflight_peak);
+    // The epoch's determinism hash (compare against an in-memory or serial run
+    // of the same config to prove the out-of-core path preserved the batch
+    // stream) and any RV monitor violations (always 0 in a healthy build).
+    std::printf("         hash=%016llx  rv=%llu\n",
+                static_cast<unsigned long long>(stats.determinism_hash),
+                static_cast<unsigned long long>(stats.rv_violations));
   }
   std::printf("MRR: %.4f\n", trainer.EvaluateMrr(200, 500));
   return 0;

@@ -42,8 +42,10 @@ int main() {
     for (size_t s = 0; s < stats.workers_per_set.size(); ++s) {
       std::printf("%s%d", s == 0 ? "" : " ", stats.workers_per_set[s]);
     }
-    std::printf("]  resizes=%d  queue_occ=%.2f\n", stats.resize_count,
-                stats.queue_occupancy_mean);
+    std::printf("]  resizes=%d  queue_occ=%.2f  hash=%016llx  rv=%llu\n",
+                stats.resize_count, stats.queue_occupancy_mean,
+                static_cast<unsigned long long>(stats.determinism_hash),
+                static_cast<unsigned long long>(stats.rv_violations));
   }
 
   // 4. Crash-safe checkpointing: snapshot the run (parameters + Adagrad state +
@@ -59,5 +61,57 @@ int main() {
               static_cast<long long>(resumed.epochs_completed()), mrr_before,
               mrr_after, mrr_before == mrr_after ? "bitwise-identical" : "DIVERGED");
   std::remove(ckpt.c_str());
-  return mrr_before == mrr_after ? 0 : 1;
+  if (mrr_before != mrr_after) {
+    return 1;
+  }
+
+  // 5. Determinism-hash smoke (docs/DETERMINISM.md): every epoch's hash is an
+  //    ordered fold of its batch-loss bits, so a serial run, an 8-worker
+  //    pipelined run, and a save/resume run of the same config must produce
+  //    bit-equal per-epoch hashes — one u64 comparison per epoch proves the
+  //    whole batch stream was identical. RV violations must stay 0 throughout.
+  Graph small = Fb15k237Like(/*scale=*/0.1);
+  TrainingConfig hash_config = config;
+  constexpr int kHashEpochs = 2;
+  uint64_t serial_hash[kHashEpochs];
+  uint64_t rv_total = 0;
+  {
+    TrainingConfig serial_config = hash_config;
+    serial_config.pipeline.enabled = false;
+    LinkPredictionTrainer serial(&small, serial_config);
+    for (int e = 0; e < kHashEpochs; ++e) {
+      const EpochStats stats = serial.TrainEpoch();
+      serial_hash[e] = stats.determinism_hash;
+      rv_total += stats.rv_violations;
+    }
+  }
+  bool hashes_ok = true;
+  {
+    TrainingConfig parallel_config = hash_config;
+    parallel_config.pipeline.enabled = true;
+    parallel_config.pipeline.workers = 8;
+    LinkPredictionTrainer parallel(&small, parallel_config);
+    const std::string mid = TempPath("mgnn_quickstart_hash_ckpt");
+    for (int e = 0; e < kHashEpochs; ++e) {
+      const EpochStats stats = parallel.TrainEpoch();
+      hashes_ok = hashes_ok && stats.determinism_hash == serial_hash[e];
+      rv_total += stats.rv_violations;
+      if (e == 0) {
+        parallel.SaveCheckpoint(mid);
+      }
+    }
+    // Resume from the epoch-1 checkpoint and re-run epoch 2: same hash again,
+    // and the checkpoint carried epoch 1's hash in its manifest.
+    LinkPredictionTrainer resumed_run(&small, parallel_config);
+    resumed_run.ResumeFrom(mid);
+    hashes_ok = hashes_ok && resumed_run.last_determinism_hash() == serial_hash[0];
+    const EpochStats stats = resumed_run.TrainEpoch();
+    hashes_ok = hashes_ok && stats.determinism_hash == serial_hash[1];
+    rv_total += stats.rv_violations;
+    std::remove(mid.c_str());
+  }
+  std::printf("determinism hashes (serial vs 8-worker vs resumed): %s, rv=%llu\n",
+              hashes_ok ? "bit-equal" : "DIVERGED",
+              static_cast<unsigned long long>(rv_total));
+  return hashes_ok && rv_total == 0 ? 0 : 1;
 }

@@ -88,7 +88,11 @@ int main() {
               static_cast<unsigned long long>(stats.batches),
               static_cast<long long>(stats.max_coalesced),
               static_cast<unsigned long long>(stats.snapshot_swaps));
+  // The serve.epoch_pin RV monitor checked every answer against its batch's
+  // pinned snapshot epoch — any hot-swap isolation breach would count here.
+  std::printf("rv violations (serve.epoch_pin): %llu\n",
+              static_cast<unsigned long long>(stats.rv_violations));
   std::remove(ckpt_v1.c_str());
   std::remove(ckpt_v2.c_str());
-  return 0;
+  return stats.rv_violations == 0 ? 0 : 1;
 }

@@ -261,6 +261,16 @@ struct EpochStats {
   int64_t num_batches = 0;
   int64_t num_examples = 0;
   int64_t num_partition_sets = 0;
+  // Ordered FNV-1a 64 fold of every batch's mean-loss bits, in consumption
+  // order (docs/DETERMINISM.md). Two runs of the same epoch — serial or
+  // pipelined, fresh or resumed, any worker count — must produce the same u64;
+  // a mismatch means the batch stream itself diverged. Also persisted in the
+  // checkpoint manifest as the "determinism_hash" scalar.
+  uint64_t determinism_hash = 0;
+  // Runtime-verification violations observed during the epoch (process-wide
+  // RvRuntime delta across src/util/rv_monitor.h's monitored invariants).
+  // Always 0 unless a pipeline/IO/serving invariant was broken.
+  uint64_t rv_violations = 0;
 
   // Folds one pipeline run over `num_examples` examples into the epoch totals.
   // The epoch-level queue occupancy mean weights each segment by its batch count.

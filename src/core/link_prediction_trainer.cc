@@ -177,7 +177,11 @@ std::unique_ptr<PipelineSession> LinkPredictionTrainer::MakeSession(
             ids, *run_negatives_, MixSeed(run_seed_, static_cast<uint64_t>(b))));
       },
       [this, stats](void* item, int64_t) {
-        stats->loss += ConsumeBatch(*static_cast<PreparedBatch*>(item));
+        const float loss = ConsumeBatch(*static_cast<PreparedBatch*>(item));
+        // The consumer runs strictly in batch-index order, so this fold defines
+        // the epoch's determinism hash (docs/DETERMINISM.md).
+        epoch_determinism_.FoldFloat(loss);
+        stats->loss += loss;
       });
 }
 

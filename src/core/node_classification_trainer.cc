@@ -118,7 +118,10 @@ std::unique_ptr<PipelineSession> NodeClassificationTrainer::MakeSession(
             PrepareBatch(ids, MixSeed(run_seed_, static_cast<uint64_t>(b))));
       },
       [this, stats](void* item, int64_t) {
-        stats->loss += ConsumeBatch(*static_cast<PreparedBatch*>(item));
+        const float loss = ConsumeBatch(*static_cast<PreparedBatch*>(item));
+        // In-order consumer: this fold defines the epoch's determinism hash.
+        epoch_determinism_.FoldFloat(loss);
+        stats->loss += loss;
       });
 }
 

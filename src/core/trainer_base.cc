@@ -1,5 +1,7 @@
 #include "src/core/trainer_base.h"
 
+#include <cstring>
+
 #include "src/core/checkpoint.h"
 #include "src/util/check.h"
 
@@ -22,7 +24,12 @@ TrainerBase::TrainerBase(const Graph* graph, TrainingConfig config, TaskKind kin
 TrainerBase::~TrainerBase() = default;
 
 EpochStats TrainerBase::TrainEpoch() {
-  const EpochStats stats = TrainEpochImpl();
+  epoch_determinism_.Reset();
+  const uint64_t rv_before = RvRuntime::Global().TotalViolations();
+  EpochStats stats = TrainEpochImpl();
+  last_determinism_hash_ = epoch_determinism_.value();
+  stats.determinism_hash = last_determinism_hash_;
+  stats.rv_violations = RvRuntime::Global().TotalViolations() - rv_before;
   ++epochs_completed_;
   if (config_.checkpoint.every_n_epochs > 0 &&
       epochs_completed_ % config_.checkpoint.every_n_epochs == 0) {
@@ -41,6 +48,13 @@ void TrainerBase::SaveCheckpoint(const std::string& path) {
   Checkpoint ck;
   SaveTrainerCheckpointCore(CheckpointKindName(model_.kind), config_.seed,
                             epochs_completed_, rng_, controller_, model_.params, &ck);
+  // Last completed epoch's determinism hash, bitcast into the named-scalar
+  // list (docs/CHECKPOINT_FORMAT.md): the resumed trainer re-exposes it, so a
+  // replica can compare trajectories against the checkpointed run with one u64
+  // and no new manifest version.
+  int64_t hash_bits = 0;
+  std::memcpy(&hash_bits, &last_determinism_hash_, sizeof(hash_bits));
+  ck.scalars.emplace_back("determinism_hash", hash_bits);
   AppendCheckpointSections(&ck);
   mariusgnn::SaveCheckpoint(ck, path);
 }
@@ -52,6 +66,8 @@ void TrainerBase::ResumeFrom(const std::string& path) {
   RestoreTrainerCheckpointCore(ck, CheckpointKindName(model_.kind), config_.seed,
                                NumExtraCheckpointSections(), model_.params, &rng_,
                                &epochs_completed_, &controller_);
+  const int64_t hash_bits = ck.scalar("determinism_hash", 0);
+  std::memcpy(&last_determinism_hash_, &hash_bits, sizeof(last_determinism_hash_));
   RestoreCheckpointSections(ck);
 }
 

@@ -18,6 +18,7 @@
 #include "src/pipeline/pipeline_controller.h"
 #include "src/util/compute.h"
 #include "src/util/rng.h"
+#include "src/util/rv_monitor.h"
 
 namespace mariusgnn {
 
@@ -41,6 +42,11 @@ class TrainerBase {
   void SaveCheckpoint(const std::string& path);
   void ResumeFrom(const std::string& path);
   int64_t epochs_completed() const { return epochs_completed_; }
+
+  // Determinism hash of the most recent completed epoch (also in that epoch's
+  // EpochStats.determinism_hash, and in checkpoints as the "determinism_hash"
+  // manifest scalar). 0 before any epoch has run.
+  uint64_t last_determinism_hash() const { return last_determinism_hash_; }
 
   const TrainingConfig& config() const { return config_; }
   const ModelState& model() const { return model_; }
@@ -71,6 +77,12 @@ class TrainerBase {
   ComputeContext compute_;
   // In-epoch pipeline controller (see pipeline_controller.h).
   PipelineController controller_;
+
+  // Per-epoch determinism hash: TrainEpoch resets it, the derived trainer's
+  // in-order consumer folds each batch's mean-loss bits into it, and TrainEpoch
+  // publishes the result (EpochStats + last_determinism_hash_).
+  DeterminismHash epoch_determinism_;
+  uint64_t last_determinism_hash_ = 0;
 
   ModelState model_;
 };

@@ -20,6 +20,7 @@
 #include <optional>
 
 #include "src/util/check.h"
+#include "src/util/rv_monitor.h"
 
 namespace mariusgnn {
 
@@ -62,6 +63,7 @@ class BoundedQueue {
     items_.push_back(std::move(item));
     ++pushes_;
     high_ = std::max(high_, items_.size());
+    rv_occupancy_.ObserveOccupancy(items_.size(), capacity_);
     not_empty_.notify_one();
     return true;
   }
@@ -105,6 +107,7 @@ class BoundedQueue {
   QueueStats WindowStats() {
     std::lock_guard<std::mutex> lock(mu_);
     AdvanceIntegralLocked();
+    rv_occupancy_.ObserveWindow(low_, high_, capacity_);
     QueueStats stats;
     stats.high_watermark = high_;
     stats.low_watermark = low_;
@@ -166,6 +169,11 @@ class BoundedQueue {
   std::condition_variable not_full_;
   std::deque<T> items_;
   bool closed_ = false;
+
+  // RV monitor (pipeline.queue_occupancy): observed under mu_ after each push
+  // and at window close, so occupancy can never silently exceed capacity and the
+  // watermark bookkeeping the controller steers by stays self-consistent.
+  RvWatermarkMonitor rv_occupancy_{RvInvariant::kQueueOccupancy};
 
   // Occupancy instrumentation, all guarded by mu_.
   Clock::time_point window_start_;

@@ -129,6 +129,14 @@ void PipelineSession::Resize(int new_workers) {
     return;
   }
   StopWorkers();
+  {
+    // pipeline.resize_quiesce: after StopWorkers the session must be fully
+    // quiescent — no Consume delivery on the stack, every worker exited, and the
+    // queue drained into the reorder buffer — or the relaunch could race the old
+    // workers and corrupt the batch stream.
+    std::lock_guard<std::mutex> lock(done_mu_);
+    rv_quiesce_.ObserveResize(consuming_, workers_left_, queue_.Size());
+  }
   workers_ = new_workers;
   ++resize_count_;
   LaunchWorkers(new_workers);
@@ -153,6 +161,7 @@ PipelineStats PipelineSession::ConsumeSerial(int64_t target) {
     WallTimer sample_timer;
     std::shared_ptr<void> item = produce_(i);
     stats.sample_seconds += sample_timer.Seconds();
+    rv_ticket_.Observe(i);
     WallTimer compute_timer;
     consume_(item.get(), i);
     stats.compute_seconds += compute_timer.Seconds();
@@ -189,8 +198,11 @@ PipelineStats PipelineSession::Consume(int64_t count) {
     }
     std::shared_ptr<void> item = std::move(it->second);
     reorder_.erase(it);
+    rv_ticket_.Observe(consumed_);
     WallTimer compute_timer;
+    consuming_ = true;
     consume_(item.get(), consumed_);
+    consuming_ = false;
     stats.compute_seconds += compute_timer.Seconds();
     {
       std::lock_guard<std::mutex> lock(gate_mu_);

@@ -41,6 +41,7 @@
 
 #include "src/pipeline/queue.h"
 #include "src/util/check.h"
+#include "src/util/rv_monitor.h"
 #include "src/util/threadpool.h"
 
 namespace mariusgnn {
@@ -201,6 +202,15 @@ class PipelineSession {
   int resize_count_ = 0;
   std::atomic<int64_t> sample_nanos_{0};
   std::map<int64_t, std::shared_ptr<void>> reorder_;  // owner thread only
+
+  // RV monitors (owner thread only). rv_ticket_ observes every index handed to
+  // the consumer — serial or pipelined — so any reorder-buffer slip shows up as a
+  // pipeline.ticket_order violation. rv_quiesce_ checks Resize's precondition
+  // (no active Consume delivery, all workers exited, queue drained) after
+  // StopWorkers returns; consuming_ is the mid-delivery flag it reads.
+  RvSequenceMonitor rv_ticket_{RvInvariant::kTicketOrder};
+  RvQuiesceMonitor rv_quiesce_{RvInvariant::kResizeQuiesce};
+  bool consuming_ = false;  // owner thread only
 };
 
 class TrainingPipeline {

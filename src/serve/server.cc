@@ -162,7 +162,9 @@ void InferenceServer::ExecuteBatch(const ModelSnapshot& snap,
   // the coalesced batch executes query-by-query against the one snapshot.
   if (model.block_encoder != nullptr) {
     for (Request& req : batch) {
-      req.promise.set_value(ExecuteSingle(snap, req));
+      ServeResult result = ExecuteSingle(snap, req);
+      rv_epoch_pin_.ObserveAnswer(snap.epoch, result.epoch);
+      req.promise.set_value(std::move(result));
     }
     return;
   }
@@ -214,6 +216,7 @@ void InferenceServer::ExecuteBatch(const ModelSnapshot& snap,
       result.epoch = snap.epoch;
       const float* row = logits.RowPtr(bases[q]);  // one target row per query
       result.values.assign(row, row + logits.cols());
+      rv_epoch_pin_.ObserveAnswer(snap.epoch, result.epoch);
       batch[q].promise.set_value(std::move(result));
     }
     return;
@@ -230,6 +233,7 @@ void InferenceServer::ExecuteBatch(const ModelSnapshot& snap,
     result.epoch = snap.epoch;
     model.decoder->ScoreCandidates(reprs, bases[q] + plan.src_row, batch[q].rel,
                                    shifted, /*corrupt_src=*/false, &result.values);
+    rv_epoch_pin_.ObserveAnswer(snap.epoch, result.epoch);
     batch[q].promise.set_value(std::move(result));
   }
 }
@@ -277,6 +281,8 @@ ServerStats InferenceServer::stats() const {
   s.batches = batches_;
   s.max_coalesced = max_coalesced_;
   s.snapshot_swaps = swaps_;
+  s.rv_violations =
+      RvRuntime::Global().violations(RvInvariant::kServeEpochPin);
   if (snapshot_ != nullptr && snapshot_->embeddings != nullptr) {
     s.cache = snapshot_->embeddings->cache_stats();
   }

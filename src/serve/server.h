@@ -38,6 +38,7 @@
 #include "src/graph/neighbor_index.h"
 #include "src/serve/model_snapshot.h"
 #include "src/util/compute.h"
+#include "src/util/rv_monitor.h"
 #include "src/util/threadpool.h"
 
 namespace mariusgnn {
@@ -63,6 +64,10 @@ struct ServerStats {
   int64_t max_coalesced = 0;     // largest batch observed
   uint64_t snapshot_swaps = 0;   // successful LoadSnapshot calls after the first
   CacheStats cache;              // current snapshot's LRU counters (disk mode)
+  // serve.epoch_pin violations observed process-wide (RvRuntime counter): an
+  // answer tagged with a different epoch than its batch's pinned snapshot.
+  // Always 0 unless the hot-swap isolation is broken.
+  uint64_t rv_violations = 0;
 };
 
 class InferenceServer {
@@ -129,6 +134,11 @@ class InferenceServer {
   ServeOptions options_;
   NeighborIndex full_index_;
   uint64_t query_seed_ = 0;  // content-independent sample seed, fixed per server
+
+  // RV monitor (serve.epoch_pin): every answer a batch produces must carry the
+  // epoch of the snapshot that batch pinned. Stateless and thread-safe; mutable
+  // because the execution paths are const.
+  mutable RvEpochPinMonitor rv_epoch_pin_{RvInvariant::kServeEpochPin};
 
   mutable std::mutex mu_;
   std::shared_ptr<const ModelSnapshot> snapshot_;  // swapped by LoadSnapshot

@@ -70,7 +70,7 @@ void IoEngine::SubmitRead(int32_t tag, void* dst, size_t bytes, uint64_t offset,
     req.offset = offset;
     req.bytes = bytes;
     req.dst = dst;
-    sq_.push_back(Pending{req, std::move(done)});
+    sq_.push_back(Pending{req, std::move(done), next_seq_++});
     stats_.read_requests += 1;
     stats_.read_bytes += bytes;
     stats_.inflight_peak = std::max(
@@ -91,7 +91,7 @@ void IoEngine::SubmitWrite(int32_t tag, const void* src, size_t bytes,
     req.offset = offset;
     req.bytes = bytes;
     req.src = src;
-    sq_.push_back(Pending{req, std::move(done)});
+    sq_.push_back(Pending{req, std::move(done), next_seq_++});
     stats_.write_requests += 1;
     stats_.write_bytes += bytes;
     stats_.inflight_peak = std::max(
@@ -218,6 +218,10 @@ std::vector<IoEngine::Pending> IoEngine::ClaimLocked() {
   }
 
   for (const Pending& p : batch) {
+    // io_engine.tag_order: claiming is starting. Batch members are claimed in
+    // queue order, which the coalescing loop keeps equal to per-tag submission
+    // order, so seq must be increasing per tag across every claim.
+    rv_tag_order_.ObserveStart(p.req.tag, p.seq);
     tag_busy_[p.req.tag] += 1;
   }
   inflight_ += static_cast<int>(batch.size());

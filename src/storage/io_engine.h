@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "src/storage/disk.h"
+#include "src/util/rv_monitor.h"
 
 namespace mariusgnn {
 
@@ -118,6 +119,9 @@ class IoEngine {
   struct Pending {
     IoRequest req;
     Completion done;
+    // Engine-wide submission sequence number; the RV tag-order monitor checks
+    // that same-tag requests start executing in increasing seq.
+    uint64_t seq = 0;
   };
 
   void WorkerLoop();
@@ -140,6 +144,13 @@ class IoEngine {
   std::unordered_map<int32_t, int> tag_busy_;
   int inflight_ = 0;  // requests currently executing; guarded by mu_
   bool stop_ = false;
+  uint64_t next_seq_ = 0;  // submission sequence counter; guarded by mu_
+
+  // RV monitor (io_engine.tag_order): observed at claim time under mu_, in batch
+  // order — claim order is execution-start order, and coalesced batches preserve
+  // per-tag submission order internally, so any scheduler bug that lets a
+  // same-tag request jump an earlier one trips here.
+  RvTagOrderMonitor rv_tag_order_{RvInvariant::kIoTagOrder};
 
   // Stats, guarded by mu_. The depth integral accumulates outstanding-request
   // count over busy wall-time intervals.

@@ -928,5 +928,129 @@ TEST(Metrics, CostModel) {
   EXPECT_NEAR(cost.CostFor("p3.16xlarge", 1800.0), 12.24, 1e-9);
 }
 
+// The per-epoch determinism hash (ordered FNV-1a fold of batch-loss bits,
+// docs/DETERMINISM.md) must be bit-equal across serial, 8-worker, and
+// save/resume runs of the same config — one u64 per epoch subsumes the
+// loss/MRR trajectory comparisons above — and no run may trip an RV monitor.
+
+TEST(DeterminismHash, LinkPredictionSerialVs8WorkerVsResume) {
+  Graph g = Fb15k237Like(0.05);
+  uint64_t serial_hash[2] = {0, 0};
+  {
+    TrainingConfig config = SmallLpConfig();
+    LinkPredictionTrainer serial(&g, config);
+    for (int e = 0; e < 2; ++e) {
+      const EpochStats stats = serial.TrainEpoch();
+      serial_hash[e] = stats.determinism_hash;
+      EXPECT_EQ(stats.rv_violations, 0u);
+    }
+  }
+  EXPECT_NE(serial_hash[0], 0u);
+  EXPECT_NE(serial_hash[0], serial_hash[1]);  // the model moved between epochs
+
+  TrainingConfig config = SmallLpConfig();
+  config.pipeline.enabled = true;
+  config.pipeline.workers = 8;
+  const std::string ckpt = TempPath("hash_lp_resume");
+  {
+    LinkPredictionTrainer parallel(&g, config);
+    for (int e = 0; e < 2; ++e) {
+      const EpochStats stats = parallel.TrainEpoch();
+      EXPECT_EQ(stats.determinism_hash, serial_hash[e]);
+      EXPECT_EQ(stats.rv_violations, 0u);
+      if (e == 0) {
+        parallel.SaveCheckpoint(ckpt);
+      }
+    }
+    EXPECT_EQ(parallel.last_determinism_hash(), serial_hash[1]);
+  }
+  {
+    LinkPredictionTrainer resumed(&g, config);
+    EXPECT_EQ(resumed.last_determinism_hash(), 0u);
+    resumed.ResumeFrom(ckpt);
+    // The checkpoint manifest carried epoch 1's hash.
+    EXPECT_EQ(resumed.last_determinism_hash(), serial_hash[0]);
+    const EpochStats stats = resumed.TrainEpoch();
+    EXPECT_EQ(stats.determinism_hash, serial_hash[1]);
+    EXPECT_EQ(stats.rv_violations, 0u);
+  }
+  std::remove(ckpt.c_str());
+}
+
+TEST(DeterminismHash, LinkPredictionDiskMatchesDiskSerial) {
+  // Disk mode partitions the epoch differently from in-memory (its own batch
+  // stream), but within the mode the hash must be invariant to pipelining,
+  // prefetch, and resume.
+  Graph g = Fb15k237Like(0.05);
+  auto disk_config = [&](bool pipelined) {
+    TrainingConfig config = SmallLpConfig();
+    config.storage.use_disk = true;
+    config.storage.num_physical = 8;
+    config.storage.num_logical = 4;
+    config.storage.buffer_capacity = 4;
+    config.pipeline.enabled = pipelined;
+    config.pipeline.workers = 8;
+    config.storage.prefetch = pipelined;
+    return config;
+  };
+  uint64_t serial_hash[2] = {0, 0};
+  {
+    LinkPredictionTrainer serial(&g, disk_config(false));
+    for (int e = 0; e < 2; ++e) {
+      const EpochStats stats = serial.TrainEpoch();
+      serial_hash[e] = stats.determinism_hash;
+      EXPECT_EQ(stats.rv_violations, 0u);
+    }
+  }
+  {
+    LinkPredictionTrainer parallel(&g, disk_config(true));
+    for (int e = 0; e < 2; ++e) {
+      const EpochStats stats = parallel.TrainEpoch();
+      EXPECT_EQ(stats.determinism_hash, serial_hash[e]);
+      EXPECT_EQ(stats.rv_violations, 0u);
+    }
+  }
+}
+
+TEST(DeterminismHash, NodeClassificationSerialVs8WorkerVsResume) {
+  Graph g = PapersMini(0.08);
+  uint64_t serial_hash[2] = {0, 0};
+  {
+    TrainingConfig config = SmallNcConfig();
+    NodeClassificationTrainer serial(&g, config);
+    for (int e = 0; e < 2; ++e) {
+      const EpochStats stats = serial.TrainEpoch();
+      serial_hash[e] = stats.determinism_hash;
+      EXPECT_EQ(stats.rv_violations, 0u);
+    }
+  }
+  EXPECT_NE(serial_hash[0], 0u);
+
+  TrainingConfig config = SmallNcConfig();
+  config.pipeline.enabled = true;
+  config.pipeline.workers = 8;
+  const std::string ckpt = TempPath("hash_nc_resume");
+  {
+    NodeClassificationTrainer parallel(&g, config);
+    for (int e = 0; e < 2; ++e) {
+      const EpochStats stats = parallel.TrainEpoch();
+      EXPECT_EQ(stats.determinism_hash, serial_hash[e]);
+      EXPECT_EQ(stats.rv_violations, 0u);
+      if (e == 0) {
+        parallel.SaveCheckpoint(ckpt);
+      }
+    }
+  }
+  {
+    NodeClassificationTrainer resumed(&g, config);
+    resumed.ResumeFrom(ckpt);
+    EXPECT_EQ(resumed.last_determinism_hash(), serial_hash[0]);
+    const EpochStats stats = resumed.TrainEpoch();
+    EXPECT_EQ(stats.determinism_hash, serial_hash[1]);
+    EXPECT_EQ(stats.rv_violations, 0u);
+  }
+  std::remove(ckpt.c_str());
+}
+
 }  // namespace
 }  // namespace mariusgnn
