@@ -70,6 +70,20 @@ def main():
                     f"{stall_delta_pct:+.1f}% ({ps:.4f}s -> {cs:.4f}s, "
                     f"threshold {args.threshold_pct:.0f}%)"
                 )
+        # Streamed checkpoint save time (warn-only). Saves on the bench graph
+        # take milliseconds, so only compare when the previous run's save was
+        # long enough to measure above filesystem-cache noise.
+        pk, ck = prev[key].get("checkpoint_save_sec"), cur[key].get("checkpoint_save_sec")
+        if isinstance(pk, (int, float)) and isinstance(ck, (int, float)) and pk >= 0.010:
+            save_delta_pct = 100.0 * (ck - pk) / pk
+            print(f"{label}: checkpoint_save {pk:.4f}s -> {ck:.4f}s ({save_delta_pct:+.1f}%)")
+            if save_delta_pct > args.threshold_pct:
+                regressions += 1
+                print(
+                    f"::warning title=Checkpoint save regression::{label} checkpoint save regressed "
+                    f"{save_delta_pct:+.1f}% ({pk:.4f}s -> {ck:.4f}s, "
+                    f"threshold {args.threshold_pct:.0f}%)"
+                )
         # Serving rows (bench_serving.json) carry latency/throughput instead of
         # epoch time: tail latency regresses upward, QPS regresses downward.
         pp, cp = prev[key].get("p99_ms"), cur[key].get("p99_ms")
@@ -95,7 +109,7 @@ def main():
                     f"threshold {args.threshold_pct:.0f}%)"
                 )
     if regressions == 0:
-        print(f"No epoch-time, io-stall, or serving regression beyond {args.threshold_pct:.0f}%")
+        print(f"No epoch-time, io-stall, checkpoint-save, or serving regression beyond {args.threshold_pct:.0f}%")
     return 0
 
 

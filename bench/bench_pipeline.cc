@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/util/binary_io.h"
 
 using namespace mariusgnn;
 using namespace mariusgnn::bench;
@@ -56,6 +57,10 @@ struct PipelineRun {
   uint64_t determinism_hash = 0;
   // RV violations observed across the run's epochs (must be 0).
   uint64_t rv_violations = 0;
+  // One streamed checkpoint save at end of run: wall time and peak transient
+  // allocation (disk mode must stay O(one partition), never the full table).
+  double checkpoint_save_seconds = 0.0;
+  uint64_t checkpoint_peak_bytes = 0;
 };
 
 // One (mode, configuration) row for the machine-readable output the CI
@@ -115,6 +120,8 @@ void WriteJson(const std::string& path, bool all_identical) {
                  "\"io_queue_depth_mean\": %.4f, \"io_inflight_peak\": %d, "
                  "\"loss\": %.8f, \"mrr\": %.8f, "
                  "\"determinism_hash\": \"%016llx\", \"rv_violations\": %llu, "
+                 "\"checkpoint_save_sec\": %.6f, "
+                 "\"checkpoint_peak_bytes\": %llu, "
                  "\"identical\": %s}%s\n",
                  r.mode.c_str(), r.name.c_str(), r.run.epoch_seconds,
                  r.run.sample_seconds, r.run.io_stall_seconds, r.run.compute_efficiency,
@@ -125,6 +132,8 @@ void WriteJson(const std::string& path, bool all_identical) {
                  r.run.loss, r.run.mrr,
                  static_cast<unsigned long long>(r.run.determinism_hash),
                  static_cast<unsigned long long>(r.run.rv_violations),
+                 r.run.checkpoint_save_seconds,
+                 static_cast<unsigned long long>(r.run.checkpoint_peak_bytes),
                  r.identical ? "true" : "false",
                  i + 1 < rows.size() ? "," : "");
   }
@@ -191,6 +200,11 @@ PipelineRun Run(const Graph& graph, bool disk, int workers,
   result.io_stall_seconds /= kEpochs;
   result.determinism_hash = run_hash.value();
   result.mrr = trainer.EvaluateMrr(100, 300);
+  const std::string ckpt_path = TempPath("bench_pipeline_ckpt");
+  trainer.SaveCheckpoint(ckpt_path);
+  result.checkpoint_save_seconds = trainer.last_checkpoint_stats().seconds;
+  result.checkpoint_peak_bytes = trainer.last_checkpoint_stats().peak_bytes;
+  std::remove(ckpt_path.c_str());
   return result;
 }
 

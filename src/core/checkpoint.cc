@@ -1,6 +1,12 @@
 #include "src/core/checkpoint.h"
 
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 
@@ -24,13 +30,41 @@ constexpr size_t kOffDataBytes = 32;
 constexpr size_t kOffDataChecksum = 40;
 constexpr size_t kPreambleBytes = 48;
 
+constexpr uint64_t kFnvOffsetBasis = 0xCBF29CE484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001B3ULL;
+
+// Bounded scratch for the incremental data-checksum folds (the streaming
+// writer's read-back of scatter-written sections, and the reader's streaming
+// verify). Part of the save path's peak_bytes accounting, so it must stay well
+// below one partition of embedding rows.
+constexpr uint64_t kChecksumChunkBytes = 256 * 1024;
+
 uint64_t Fnv1a64(const uint8_t* data, size_t len) {
-  uint64_t h = 0xCBF29CE484222325ULL;
+  uint64_t h = kFnvOffsetBasis;
   for (size_t i = 0; i < len; ++i) {
     h ^= data[i];
-    h *= 0x100000001B3ULL;
+    h *= kFnvPrime;
   }
   return h;
+}
+
+// Incremental FNV-1a 64: folding a blob in chunks yields the same value as one
+// Fnv1a64 pass — the property the streaming writer/verifier are built on.
+void Fnv1a64Fold(uint64_t* h, const uint8_t* data, size_t len) {
+  uint64_t v = *h;
+  for (size_t i = 0; i < len; ++i) {
+    v ^= data[i];
+    v *= kFnvPrime;
+  }
+  *h = v;
+}
+
+void Fnv1a64FoldZeros(uint64_t* h, uint64_t count) {
+  uint64_t v = *h;
+  for (uint64_t i = 0; i < count; ++i) {
+    v *= kFnvPrime;  // v ^= 0 is a no-op
+  }
+  *h = v;
 }
 
 void AppendBytes(std::vector<uint8_t>& buf, const void* src, size_t len) {
@@ -93,32 +127,37 @@ bool Fail(std::string* error, const std::string& message) {
   return false;
 }
 
-// Reads the whole file into `out` without aborting on a missing/unreadable path.
-// The positional-read loop itself (EINTR retry, short-read detection) lives in
-// File::ReadAt so there is exactly one copy of that policy in the codebase.
-bool ReadWholeFile(const std::string& path, std::vector<uint8_t>* out,
-                   std::string* error) {
-  std::string open_error;
-  const std::unique_ptr<File> f = File::TryOpenReadOnly(path, &open_error);
-  if (f == nullptr) {
-    return Fail(error, "cannot open checkpoint '" + path + "': " + open_error);
+bool ValidateMagicVersion(uint64_t magic, uint32_t version, std::string* error) {
+  if (magic != kCheckpointMagic) {
+    return Fail(error, "not a checkpoint file (bad magic)");
   }
-  out->resize(static_cast<size_t>(f->Size()));
-  if (!out->empty()) {
-    f->ReadAt(out->data(), out->size(), 0);
+  if (version < kMinCheckpointFormatVersion || version > kCheckpointFormatVersion) {
+    return Fail(error, "unsupported checkpoint format version " +
+                           std::to_string(version) + " (expected " +
+                           std::to_string(kMinCheckpointFormatVersion) + ".." +
+                           std::to_string(kCheckpointFormatVersion) + ")");
   }
   return true;
+}
+
+uint64_t SectionBytes(const CheckpointSectionSpec& s) {
+  return static_cast<uint64_t>(s.rows) * static_cast<uint64_t>(s.cols) *
+         sizeof(float);
 }
 
 }  // namespace
 
 const Tensor& Checkpoint::tensor(const std::string& name) const {
-  for (const auto& [n, t] : tensors) {
-    if (n == name) {
-      return t;
+  if (tensor_index_.size() != tensors.size()) {
+    tensor_index_.clear();
+    for (size_t i = 0; i < tensors.size(); ++i) {
+      tensor_index_.emplace(tensors[i].first, i);
     }
   }
-  MG_CHECK_MSG(false, ("checkpoint is missing tensor section '" + name + "'").c_str());
+  const auto it = tensor_index_.find(name);
+  MG_CHECK_MSG(it != tensor_index_.end(),
+               ("checkpoint is missing tensor section '" + name + "'").c_str());
+  return tensors[it->second].second;
 }
 
 std::string ParamSectionName(size_t index, const char* field) {
@@ -146,11 +185,11 @@ int64_t Checkpoint::scalar(const std::string& name, int64_t fallback) const {
   return fallback;
 }
 
-void SaveTrainerCheckpointCore(const std::string& kind, uint64_t run_seed,
-                               int64_t epochs_completed, const Rng& rng,
-                               const PipelineController& controller,
-                               const std::vector<Parameter*>& params,
-                               Checkpoint* out) {
+void BuildTrainerCheckpointRequest(const std::string& kind, uint64_t run_seed,
+                                   int64_t epochs_completed, const Rng& rng,
+                                   const PipelineController& controller,
+                                   const std::vector<Parameter*>& params,
+                                   CheckpointSaveRequest* out) {
   out->kind = kind;
   out->run_seed = run_seed;
   out->epoch = static_cast<uint64_t>(epochs_completed);
@@ -159,99 +198,253 @@ void SaveTrainerCheckpointCore(const std::string& kind, uint64_t run_seed,
   out->scalars.emplace_back("controller_cooldown",
                             controller.queue_cooldown_remaining());
   for (size_t i = 0; i < params.size(); ++i) {
-    out->tensors.emplace_back(ParamSectionName(i, "value"), params[i]->value);
-    out->tensors.emplace_back(ParamSectionName(i, "state"), params[i]->state);
+    out->sections.push_back(
+        TensorSectionSpec(ParamSectionName(i, "value"), params[i]->value));
+    out->sections.push_back(
+        TensorSectionSpec(ParamSectionName(i, "state"), params[i]->state));
   }
 }
 
-void RestoreTrainerCheckpointCore(const Checkpoint& ck, const std::string& kind,
+void RestoreTrainerCheckpointCore(CheckpointReader& reader, const std::string& kind,
                                   uint64_t run_seed, size_t extra_sections,
                                   const std::vector<Parameter*>& params, Rng* rng,
                                   int64_t* epochs_completed,
                                   PipelineController* controller) {
-  MG_CHECK_MSG(ck.kind == kind,
+  const CheckpointManifest& m = reader.manifest();
+  MG_CHECK_MSG(m.kind == kind,
                "checkpoint was written by a different trainer kind");
-  MG_CHECK_MSG(ck.run_seed == run_seed,
+  MG_CHECK_MSG(m.run_seed == run_seed,
                "checkpoint was written with a different run seed");
-  MG_CHECK_MSG(ck.tensors.size() == params.size() * 2 + extra_sections,
+  MG_CHECK_MSG(m.sections.size() == params.size() * 2 + extra_sections,
                "checkpoint section count mismatch (different model config?)");
+  std::string error;
   for (size_t i = 0; i < params.size(); ++i) {
-    RestoreParamFromCheckpoint(params[i], ck.tensor(ParamSectionName(i, "value")),
-                               ck.tensor(ParamSectionName(i, "state")));
+    const CheckpointSectionInfo* vs = reader.FindSection(ParamSectionName(i, "value"));
+    const CheckpointSectionInfo* ss = reader.FindSection(ParamSectionName(i, "state"));
+    MG_CHECK_MSG(vs != nullptr && ss != nullptr,
+                 "checkpoint is missing a model parameter section");
+    std::vector<float> value_data(static_cast<size_t>(vs->rows) * vs->cols);
+    MG_CHECK_MSG(reader.ReadSection(*vs, value_data.data(), &error), error.c_str());
+    std::vector<float> state_data(static_cast<size_t>(ss->rows) * ss->cols);
+    MG_CHECK_MSG(reader.ReadSection(*ss, state_data.data(), &error), error.c_str());
+    RestoreParamFromCheckpoint(
+        params[i], Tensor(vs->rows, vs->cols, std::move(value_data)),
+        Tensor(ss->rows, ss->cols, std::move(state_data)));
   }
-  rng->RestoreState(ck.rng_state);
-  *epochs_completed = static_cast<int64_t>(ck.epoch);
+  rng->RestoreState(m.rng_state);
+  *epochs_completed = static_cast<int64_t>(m.epoch);
   controller->RestoreState(
-      static_cast<int>(ck.scalar("controller_workers", controller->workers())),
-      static_cast<int>(ck.scalar("controller_cooldown", 0)));
+      static_cast<int>(m.scalar("controller_workers", controller->workers())),
+      static_cast<int>(m.scalar("controller_cooldown", 0)));
 }
 
-void SaveCheckpoint(const Checkpoint& checkpoint, const std::string& path) {
-  // Manifest blob. Section offsets are 4 KiB-aligned within the data block
-  // (format v2) so each payload lands page-aligned in the file — the gaps are
-  // zero padding, included in the data blob and its checksum.
+// ---------------------------------------------------------------------------
+// Streaming save
+// ---------------------------------------------------------------------------
+
+CheckpointSectionWriter::CheckpointSectionWriter(AtomicFile* file,
+                                                 uint64_t file_offset,
+                                                 uint64_t bytes, uint64_t row_bytes,
+                                                 uint64_t* checksum,
+                                                 uint64_t* staging_peak)
+    : file_(file),
+      file_offset_(file_offset),
+      bytes_(bytes),
+      row_bytes_(row_bytes),
+      checksum_(checksum),
+      staging_peak_(staging_peak) {}
+
+void CheckpointSectionWriter::Append(const void* src, size_t bytes) {
+  if (bytes == 0) {
+    return;
+  }
+  // A section producer is either sequential (checksum folds inline, in file
+  // order) or scattered (re-folded from the file afterwards) — mixing the two
+  // would corrupt the running fold.
+  MG_CHECK_MSG(scattered_ == 0,
+               "checkpoint section mixed Append with WriteRows");
+  MG_CHECK_MSG(cursor_ + bytes <= bytes_, "checkpoint section overflow");
+  file_->WriteAt(src, bytes, file_offset_ + cursor_);
+  Fnv1a64Fold(checksum_, static_cast<const uint8_t*>(src), bytes);
+  cursor_ += bytes;
+}
+
+void CheckpointSectionWriter::WriteRows(int64_t row, int64_t count,
+                                        const void* src) {
+  if (count == 0) {
+    return;
+  }
+  MG_CHECK_MSG(cursor_ == 0, "checkpoint section mixed WriteRows with Append");
+  MG_CHECK(row >= 0 && count > 0 && row_bytes_ > 0);
+  const uint64_t offset = static_cast<uint64_t>(row) * row_bytes_;
+  const uint64_t n = static_cast<uint64_t>(count) * row_bytes_;
+  MG_CHECK_MSG(offset <= bytes_ && n <= bytes_ - offset,
+               "checkpoint section row range out of bounds");
+  file_->WriteAt(src, n, file_offset_ + offset);
+  scattered_ += n;
+}
+
+void CheckpointSectionWriter::NoteStagingBytes(uint64_t bytes) {
+  *staging_peak_ = std::max(*staging_peak_, bytes);
+}
+
+CheckpointSectionSpec TensorSectionSpec(std::string name, const Tensor& t) {
+  CheckpointSectionSpec spec;
+  spec.name = std::move(name);
+  spec.rows = t.rows();
+  spec.cols = t.cols();
+  spec.write = [&t](CheckpointSectionWriter* w) {
+    w->Append(t.data(), static_cast<size_t>(t.size()) * sizeof(float));
+  };
+  return spec;
+}
+
+CheckpointSaveStats SaveCheckpointStreaming(const CheckpointSaveRequest& request,
+                                            const std::string& path) {
+  const auto start_time = std::chrono::steady_clock::now();
+
+  // Manifest first: every section's shape is known up front, so the whole head
+  // — and with it every section's aligned file offset — exists before a single
+  // payload byte is produced. Section offsets are 4 KiB-aligned within the data
+  // block (format v2) so each payload lands page-aligned in the file; the gaps
+  // are zero padding, included in the data blob and its checksum.
   std::vector<uint8_t> manifest;
-  AppendBytes(manifest, checkpoint.kind.data(), checkpoint.kind.size());
-  AppendPod<uint64_t>(manifest, checkpoint.run_seed);
-  AppendPod<uint64_t>(manifest, checkpoint.epoch);
-  for (uint64_t w : checkpoint.rng_state) {
+  AppendBytes(manifest, request.kind.data(), request.kind.size());
+  AppendPod<uint64_t>(manifest, request.run_seed);
+  AppendPod<uint64_t>(manifest, request.epoch);
+  for (uint64_t w : request.rng_state) {
     AppendPod<uint64_t>(manifest, w);
   }
-  AppendPod<uint32_t>(manifest, static_cast<uint32_t>(checkpoint.scalars.size()));
-  for (const auto& [name, value] : checkpoint.scalars) {
+  AppendPod<uint32_t>(manifest, static_cast<uint32_t>(request.scalars.size()));
+  for (const auto& [name, value] : request.scalars) {
     AppendString(manifest, name);
     AppendPod<int64_t>(manifest, value);
   }
-  AppendPod<uint32_t>(manifest, static_cast<uint32_t>(checkpoint.tensors.size()));
+  AppendPod<uint32_t>(manifest, static_cast<uint32_t>(request.sections.size()));
+  std::vector<uint64_t> section_offsets;  // relative to the data block
+  section_offsets.reserve(request.sections.size());
   uint64_t data_offset = 0;
-  for (const auto& [name, t] : checkpoint.tensors) {
+  for (const CheckpointSectionSpec& s : request.sections) {
     data_offset = AlignUpIo(data_offset);
-    AppendString(manifest, name);
-    AppendPod<int64_t>(manifest, t.rows());
-    AppendPod<int64_t>(manifest, t.cols());
-    const uint64_t bytes = static_cast<uint64_t>(t.size()) * sizeof(float);
+    section_offsets.push_back(data_offset);
+    AppendString(manifest, s.name);
+    AppendPod<int64_t>(manifest, s.rows);
+    AppendPod<int64_t>(manifest, s.cols);
     AppendPod<uint64_t>(manifest, data_offset);
-    AppendPod<uint64_t>(manifest, bytes);
-    data_offset += bytes;
+    AppendPod<uint64_t>(manifest, SectionBytes(s));
+    data_offset += SectionBytes(s);
   }
-
-  // Data blob (payloads at their aligned offsets; zero-filled gaps between).
-  std::vector<uint8_t> data;
-  data.reserve(static_cast<size_t>(AlignUpIo(data_offset)));
-  for (const auto& [name, t] : checkpoint.tensors) {
-    (void)name;
-    data.resize(AlignUpIo(data.size()), 0);
-    AppendBytes(data, t.data(), static_cast<size_t>(t.size()) * sizeof(float));
-  }
-
-  // Preamble. The data block starts at the first 4 KiB boundary after the
-  // manifest, keeping the in-block alignment meaningful file-absolute.
+  const uint64_t data_bytes = data_offset;
+  // The data block starts at the first 4 KiB boundary after the manifest,
+  // keeping the in-block alignment meaningful file-absolute. The manifest→data
+  // gap is a file hole; it reads back as zeros and is in neither checksum.
   const uint64_t data_start = AlignUpIo(kPreambleBytes + manifest.size());
+
+  AtomicFile file(path);
+  if (data_bytes > 0) {
+    // Pre-size the tmp file so sections can land at their final offsets in any
+    // order; unwritten gaps (alignment padding, trailing pad before an empty
+    // final section) read back as zeros, exactly what the format requires.
+    file.Resize(data_start + data_bytes);
+  }
+  file.WriteAt(manifest.data(), manifest.size(), kPreambleBytes);
+
+  uint64_t staging_peak = 0;
+  uint64_t data_checksum = kFnvOffsetBasis;
+  uint64_t folded = 0;        // data-block bytes folded into the checksum so far
+  std::vector<uint8_t> chunk;  // read-back scratch; allocated only when needed
+
+  for (size_t i = 0; i < request.sections.size(); ++i) {
+    const CheckpointSectionSpec& spec = request.sections[i];
+    const uint64_t rel = section_offsets[i];
+    const uint64_t bytes = SectionBytes(spec);
+    Fnv1a64FoldZeros(&data_checksum, rel - folded);  // inter-section padding
+    const uint64_t row_bytes =
+        static_cast<uint64_t>(spec.cols) * sizeof(float);
+    CheckpointSectionWriter writer(&file, data_start + rel, bytes, row_bytes,
+                                   &data_checksum, &staging_peak);
+    if (spec.write) {
+      spec.write(&writer);
+    }
+    if (writer.scattered_ > 0) {
+      // Rows arrived out of file order (e.g. partition-by-partition over a
+      // random node permutation): the inline fold was skipped, so re-fold this
+      // section by reading it back from the tmp file in bounded chunks. This is
+      // one extra sequential pass over data that is still page-cache warm.
+      MG_CHECK_MSG(writer.scattered_ == bytes,
+                   "checkpoint section producer did not cover every row");
+      if (chunk.empty()) {
+        chunk.resize(static_cast<size_t>(
+            std::min<uint64_t>(kChecksumChunkBytes, bytes)));
+      }
+      uint64_t off = 0;
+      while (off < bytes) {
+        const size_t n =
+            static_cast<size_t>(std::min<uint64_t>(chunk.size(), bytes - off));
+        file.ReadAt(chunk.data(), n, data_start + rel + off);
+        Fnv1a64Fold(&data_checksum, chunk.data(), n);
+        off += n;
+      }
+    } else {
+      MG_CHECK_MSG(writer.cursor_ == bytes,
+                   "checkpoint section producer wrote the wrong byte count");
+    }
+    folded = rel + bytes;
+  }
+  // Trailing padding: an empty final section's aligned offset can extend the
+  // data block past the last payload byte.
+  Fnv1a64FoldZeros(&data_checksum, data_bytes - folded);
+
+  // Preamble last: until this write the tmp file has no valid magic, so a crash
+  // mid-save can never be mistaken for a complete checkpoint even before the
+  // rename barrier.
   std::vector<uint8_t> preamble;
   preamble.reserve(kPreambleBytes);
   AppendPod<uint64_t>(preamble, kCheckpointMagic);
   AppendPod<uint32_t>(preamble, kCheckpointFormatVersion);
-  AppendPod<uint32_t>(preamble, static_cast<uint32_t>(checkpoint.kind.size()));
+  AppendPod<uint32_t>(preamble, static_cast<uint32_t>(request.kind.size()));
   AppendPod<uint64_t>(preamble, static_cast<uint64_t>(manifest.size()));
   AppendPod<uint64_t>(preamble, Fnv1a64(manifest.data(), manifest.size()));
-  AppendPod<uint64_t>(preamble, static_cast<uint64_t>(data.size()));
-  AppendPod<uint64_t>(preamble, Fnv1a64(data.data(), data.size()));
+  AppendPod<uint64_t>(preamble, data_bytes);
+  AppendPod<uint64_t>(preamble, data_checksum);
   MG_CHECK(preamble.size() == kPreambleBytes);
-
-  AtomicFile file(path);
   file.WriteAt(preamble.data(), preamble.size(), 0);
-  file.WriteAt(manifest.data(), manifest.size(), kPreambleBytes);
-  if (!data.empty()) {
-    // The manifest→data gap is a file hole; it reads back as zeros and is not
-    // part of either checksummed blob.
-    file.WriteAt(data.data(), data.size(), data_start);
-  }
   file.Commit();
+
+  CheckpointSaveStats stats;
+  stats.bytes_written =
+      data_bytes > 0 ? data_start + data_bytes : kPreambleBytes + manifest.size();
+  stats.peak_bytes = kPreambleBytes + manifest.size() + staging_peak +
+                     static_cast<uint64_t>(chunk.capacity());
+  stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time)
+          .count();
+  return stats;
 }
+
+void SaveCheckpoint(const Checkpoint& checkpoint, const std::string& path) {
+  CheckpointSaveRequest request;
+  request.kind = checkpoint.kind;
+  request.run_seed = checkpoint.run_seed;
+  request.epoch = checkpoint.epoch;
+  for (size_t i = 0; i < 4; ++i) {
+    request.rng_state[i] = checkpoint.rng_state[i];
+  }
+  request.scalars = checkpoint.scalars;
+  request.sections.reserve(checkpoint.tensors.size());
+  for (const auto& [name, t] : checkpoint.tensors) {
+    request.sections.push_back(TensorSectionSpec(name, t));
+  }
+  SaveCheckpointStreaming(request, path);
+}
+
+// ---------------------------------------------------------------------------
+// Manifest parsing / manifest-driven restore
+// ---------------------------------------------------------------------------
 
 namespace {
 
-// Shared preamble + manifest parser behind LoadCheckpoint and
+// Shared preamble + manifest parser behind LoadCheckpoint, CheckpointReader and
 // ReadCheckpointManifest. `head` must hold the preamble and the whole manifest
 // (callers size it from the preamble's manifest_bytes); `file_size` is the full
 // checkpoint file length, used to validate the data-block geometry without
@@ -271,15 +464,9 @@ bool ParseCheckpointHead(const uint8_t* head, size_t head_len, uint64_t file_siz
     std::memcpy(&v, head + off, sizeof(v));
     return v;
   };
-  if (read_u64(kOffMagic) != kCheckpointMagic) {
-    return Fail(error, "not a checkpoint file (bad magic)");
-  }
   const uint32_t version = read_u32(kOffVersion);
-  if (version < kMinCheckpointFormatVersion || version > kCheckpointFormatVersion) {
-    return Fail(error, "unsupported checkpoint format version " +
-                           std::to_string(version) + " (expected " +
-                           std::to_string(kMinCheckpointFormatVersion) + ".." +
-                           std::to_string(kCheckpointFormatVersion) + ")");
+  if (!ValidateMagicVersion(read_u64(kOffMagic), version, error)) {
+    return false;
   }
   const uint32_t kind_len = read_u32(kOffKindLen);
   const uint64_t manifest_bytes = read_u64(kOffManifestBytes);
@@ -360,6 +547,12 @@ bool ParseCheckpointHead(const uint8_t* head, size_t head_len, uint64_t file_siz
   if (!ok || !body.Done()) {
     return Fail(error, "corrupt checkpoint: malformed manifest");
   }
+  // Name index for O(1) FindSection — restore touches every section once, so
+  // the lookup must not be a linear scan per section.
+  m.section_index.reserve(m.sections.size());
+  for (size_t i = 0; i < m.sections.size(); ++i) {
+    m.section_index.emplace(m.sections[i].name, i);
+  }
   *out = std::move(m);
   return true;
 }
@@ -368,6 +561,11 @@ bool ParseCheckpointHead(const uint8_t* head, size_t head_len, uint64_t file_siz
 
 const CheckpointSectionInfo* CheckpointManifest::FindSection(
     const std::string& name) const {
+  if (section_index.size() == sections.size()) {
+    const auto it = section_index.find(name);
+    return it == section_index.end() ? nullptr : &sections[it->second];
+  }
+  // Hand-assembled manifest without an index (tests): fall back to a scan.
   for (const CheckpointSectionInfo& s : sections) {
     if (s.name == name) {
       return &s;
@@ -376,19 +574,41 @@ const CheckpointSectionInfo* CheckpointManifest::FindSection(
   return nullptr;
 }
 
-bool ReadCheckpointManifest(const std::string& path, CheckpointManifest* out,
-                            std::string* error) {
+int64_t CheckpointManifest::scalar(const std::string& name,
+                                   int64_t fallback) const {
+  for (const auto& [n, v] : scalars) {
+    if (n == name) {
+      return v;
+    }
+  }
+  return fallback;
+}
+
+bool CheckpointReader::Open(const std::string& path, std::string* error) {
   std::string open_error;
-  const std::unique_ptr<File> f = File::TryOpenReadOnly(path, &open_error);
-  if (f == nullptr) {
+  file_ = File::TryOpenReadOnly(path, &open_error);
+  if (file_ == nullptr) {
     return Fail(error, "cannot open checkpoint '" + path + "': " + open_error);
   }
-  const uint64_t file_size = static_cast<uint64_t>(f->Size());
+  const uint64_t file_size = file_->Size();
   if (file_size < kPreambleBytes) {
     return Fail(error, "corrupt checkpoint: file shorter than the preamble");
   }
   uint8_t preamble[kPreambleBytes];
-  f->ReadAt(preamble, kPreambleBytes, 0);
+  std::string io_error;
+  if (!file_->TryReadAt(preamble, kPreambleBytes, 0, &io_error)) {
+    return Fail(error, "corrupt checkpoint: " + io_error);
+  }
+  // Magic and version are validated straight from the preamble BEFORE the head
+  // allocation is sized from the untrusted manifest_bytes field — a garbage
+  // multi-GiB file must fail here, not inside a huge allocation.
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  std::memcpy(&magic, preamble + kOffMagic, sizeof(magic));
+  std::memcpy(&version, preamble + kOffVersion, sizeof(version));
+  if (!ValidateMagicVersion(magic, version, error)) {
+    return false;
+  }
   uint64_t manifest_bytes = 0;
   std::memcpy(&manifest_bytes, preamble + kOffManifestBytes, sizeof(manifest_bytes));
   if (manifest_bytes > file_size - kPreambleBytes) {
@@ -396,32 +616,95 @@ bool ReadCheckpointManifest(const std::string& path, CheckpointManifest* out,
   }
   std::vector<uint8_t> head(kPreambleBytes + static_cast<size_t>(manifest_bytes));
   std::memcpy(head.data(), preamble, kPreambleBytes);
-  if (manifest_bytes > 0) {
-    f->ReadAt(head.data() + kPreambleBytes, static_cast<size_t>(manifest_bytes),
-              kPreambleBytes);
+  if (manifest_bytes > 0 &&
+      !file_->TryReadAt(head.data() + kPreambleBytes,
+                        static_cast<size_t>(manifest_bytes), kPreambleBytes,
+                        &io_error)) {
+    return Fail(error, "corrupt checkpoint: " + io_error);
   }
-  return ParseCheckpointHead(head.data(), head.size(), file_size, out, error);
+  if (!ParseCheckpointHead(head.data(), head.size(), file_size, &manifest_, error)) {
+    return false;
+  }
+  std::memcpy(&data_checksum_, preamble + kOffDataChecksum, sizeof(data_checksum_));
+  return true;
+}
+
+bool CheckpointReader::VerifyDataChecksum(std::string* error) {
+  MG_CHECK_MSG(file_ != nullptr, "CheckpointReader::Open must succeed first");
+  uint64_t h = kFnvOffsetBasis;
+  if (manifest_.data_bytes > 0) {
+    std::vector<uint8_t> chunk(static_cast<size_t>(
+        std::min<uint64_t>(kChecksumChunkBytes, manifest_.data_bytes)));
+    uint64_t off = manifest_.data_start;
+    uint64_t remaining = manifest_.data_bytes;
+    std::string io_error;
+    while (remaining > 0) {
+      const size_t n =
+          static_cast<size_t>(std::min<uint64_t>(chunk.size(), remaining));
+      if (!file_->TryReadAt(chunk.data(), n, off, &io_error)) {
+        return Fail(error, "corrupt checkpoint: " + io_error);
+      }
+      Fnv1a64Fold(&h, chunk.data(), n);
+      off += n;
+      remaining -= n;
+    }
+  }
+  if (h != data_checksum_) {
+    return Fail(error, "corrupt checkpoint: data checksum mismatch");
+  }
+  return true;
+}
+
+bool CheckpointReader::ReadSection(const CheckpointSectionInfo& s, void* dst,
+                                   std::string* error) {
+  if (s.bytes == 0) {
+    return true;
+  }
+  std::string io_error;
+  if (!file_->TryReadAt(dst, static_cast<size_t>(s.bytes), s.file_offset,
+                        &io_error)) {
+    return Fail(error, "corrupt checkpoint: " + io_error);
+  }
+  return true;
+}
+
+bool CheckpointReader::ReadRows(const CheckpointSectionInfo& s, int64_t row,
+                                int64_t count, void* dst, std::string* error) {
+  if (count == 0) {
+    return true;
+  }
+  if (row < 0 || count < 0 || row > s.rows || count > s.rows - row) {
+    return Fail(error, "checkpoint section row range out of bounds");
+  }
+  const uint64_t row_bytes = static_cast<uint64_t>(s.cols) * sizeof(float);
+  std::string io_error;
+  if (!file_->TryReadAt(dst, static_cast<size_t>(count * row_bytes),
+                        s.file_offset + static_cast<uint64_t>(row) * row_bytes,
+                        &io_error)) {
+    return Fail(error, "corrupt checkpoint: " + io_error);
+  }
+  return true;
+}
+
+bool ReadCheckpointManifest(const std::string& path, CheckpointManifest* out,
+                            std::string* error) {
+  CheckpointReader reader;
+  if (!reader.Open(path, error)) {
+    return false;
+  }
+  *out = reader.manifest();
+  return true;
 }
 
 bool LoadCheckpoint(const std::string& path, Checkpoint* out, std::string* error) {
-  std::vector<uint8_t> bytes;
-  if (!ReadWholeFile(path, &bytes, error)) {
+  CheckpointReader reader;
+  if (!reader.Open(path, error)) {
     return false;
   }
-  CheckpointManifest m;
-  if (!ParseCheckpointHead(bytes.data(), bytes.size(),
-                           static_cast<uint64_t>(bytes.size()), &m, error)) {
+  if (!reader.VerifyDataChecksum(error)) {
     return false;
   }
-  // A no-data checkpoint ends right after the manifest; never form a pointer
-  // past the buffer for the empty-checksum case.
-  const uint8_t* data = m.data_bytes > 0 ? bytes.data() + m.data_start : nullptr;
-  uint64_t data_checksum = 0;
-  std::memcpy(&data_checksum, bytes.data() + kOffDataChecksum, sizeof(data_checksum));
-  if (Fnv1a64(data, m.data_bytes) != data_checksum) {
-    return Fail(error, "corrupt checkpoint: data checksum mismatch");
-  }
-
+  const CheckpointManifest& m = reader.manifest();
   Checkpoint ck;
   ck.kind = m.kind;
   ck.run_seed = m.run_seed;
@@ -429,17 +712,151 @@ bool LoadCheckpoint(const std::string& path, Checkpoint* out, std::string* error
   for (size_t i = 0; i < 4; ++i) {
     ck.rng_state[i] = m.rng_state[i];
   }
-  ck.scalars = std::move(m.scalars);
-  for (CheckpointSectionInfo& s : m.sections) {
+  ck.scalars = m.scalars;
+  for (const CheckpointSectionInfo& s : m.sections) {
     std::vector<float> values(static_cast<size_t>(s.rows) * s.cols);
-    if (s.bytes > 0) {
-      std::memcpy(values.data(), bytes.data() + s.file_offset, s.bytes);
+    if (!reader.ReadSection(s, values.data(), error)) {
+      return false;
     }
-    ck.tensors.emplace_back(std::move(s.name),
-                            Tensor(s.rows, s.cols, std::move(values)));
+    ck.tensors.emplace_back(s.name, Tensor(s.rows, s.cols, std::move(values)));
   }
   *out = std::move(ck);
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Retention
+// ---------------------------------------------------------------------------
+
+std::string CheckpointEpochPath(const std::string& base, int64_t epoch) {
+  return base + ".epoch" + std::to_string(epoch);
+}
+
+namespace {
+
+// "<dir-prefix>" including the trailing '/' (empty for a bare filename), and
+// the filename component of `path`.
+void SplitCheckpointPath(const std::string& path, std::string* dir_prefix,
+                         std::string* filename) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    dir_prefix->clear();
+    *filename = path;
+  } else {
+    *dir_prefix = path.substr(0, slash + 1);
+    *filename = path.substr(slash + 1);
+  }
+}
+
+bool AllDigits(const std::string& s) {
+  if (s.empty()) {
+    return false;
+  }
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Scans the directory of `base` for retention-managed names. Fills `epochs`
+// with (N, filename) for every "<stem>.epoch<N>", and `debris` with stale tmp
+// files ("<stem>.tmp", "<stem>.epoch<N>.tmp"). Either output may be null.
+void ScanCheckpointDir(const std::string& base,
+                       std::vector<std::pair<int64_t, std::string>>* epochs,
+                       std::vector<std::string>* debris) {
+  std::string dir_prefix, stem;
+  SplitCheckpointPath(base, &dir_prefix, &stem);
+  const std::string dir = dir_prefix.empty() ? "." : dir_prefix;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return;
+  }
+  const std::string epoch_prefix = stem + ".epoch";
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == stem + ".tmp") {
+      if (debris != nullptr) {
+        debris->push_back(name);
+      }
+      continue;
+    }
+    if (name.size() <= epoch_prefix.size() ||
+        name.compare(0, epoch_prefix.size(), epoch_prefix) != 0) {
+      continue;
+    }
+    std::string tail = name.substr(epoch_prefix.size());
+    const bool is_tmp = tail.size() > 4 && tail.compare(tail.size() - 4, 4, ".tmp") == 0;
+    if (is_tmp) {
+      tail.resize(tail.size() - 4);
+    }
+    if (!AllDigits(tail)) {
+      continue;
+    }
+    if (is_tmp) {
+      if (debris != nullptr) {
+        debris->push_back(name);
+      }
+    } else if (epochs != nullptr) {
+      epochs->emplace_back(std::stoll(tail), name);
+    }
+  }
+  ::closedir(d);
+}
+
+}  // namespace
+
+void PruneCheckpoints(const std::string& base, int64_t keep_last_k,
+                      const std::string& keep_path) {
+  if (keep_last_k <= 0) {
+    return;
+  }
+  std::string dir_prefix, stem;
+  SplitCheckpointPath(base, &dir_prefix, &stem);
+  std::string keep_dir, keep_name;
+  SplitCheckpointPath(keep_path, &keep_dir, &keep_name);
+
+  std::vector<std::pair<int64_t, std::string>> epochs;
+  std::vector<std::string> debris;
+  ScanCheckpointDir(base, &epochs, &debris);
+
+  // Newest first; everything past the first keep_last_k entries goes — except
+  // the file just written, which is never deleted regardless of its epoch.
+  std::sort(epochs.begin(), epochs.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (size_t i = static_cast<size_t>(keep_last_k); i < epochs.size(); ++i) {
+    if (epochs[i].second == keep_name) {
+      continue;
+    }
+    std::remove((dir_prefix + epochs[i].second).c_str());
+  }
+  // Stale tmp debris from crashed saves. The just-written file's own tmp name
+  // is excluded for safety, though a completed Commit has already renamed it.
+  for (const std::string& name : debris) {
+    if (name == keep_name + ".tmp") {
+      continue;
+    }
+    std::remove((dir_prefix + name).c_str());
+  }
+}
+
+std::string LatestCheckpointPath(const std::string& base) {
+  std::string dir_prefix, stem;
+  SplitCheckpointPath(base, &dir_prefix, &stem);
+  std::vector<std::pair<int64_t, std::string>> epochs;
+  ScanCheckpointDir(base, &epochs, nullptr);
+  if (!epochs.empty()) {
+    const auto it = std::max_element(
+        epochs.begin(), epochs.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    return dir_prefix + it->second;
+  }
+  struct stat st;
+  if (::stat(base.c_str(), &st) == 0) {
+    return base;
+  }
+  return std::string();
 }
 
 }  // namespace mariusgnn

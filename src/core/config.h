@@ -106,6 +106,11 @@ struct PipelineOptions {
 struct CheckpointOptions {
   int64_t every_n_epochs = 0;
   std::string path;
+  // Keep-last-k retention: when > 0, each auto-save lands in a per-epoch file
+  // "<path>.epoch<N>" and the oldest files beyond the newest k are pruned after
+  // a successful commit (stale ".tmp" debris from crashed saves is swept too).
+  // 0 preserves the legacy single-file behavior: every save overwrites `path`.
+  int64_t keep_last_k = 0;
 };
 
 struct TrainingConfig {
@@ -271,6 +276,12 @@ struct EpochStats {
   // RvRuntime delta across src/util/rv_monitor.h's monitored invariants).
   // Always 0 unless a pipeline/IO/serving invariant was broken.
   uint64_t rv_violations = 0;
+  // Checkpoint auto-save accounting for this epoch; both are 0 when no save
+  // ran. peak_bytes is the save path's largest transient allocation (manifest +
+  // one partition of staging + the checksum chunk — never a full table image,
+  // which is the streaming writer's contract).
+  double checkpoint_save_seconds = 0.0;
+  uint64_t checkpoint_peak_bytes = 0;
 
   // Folds one pipeline run over `num_examples` examples into the epoch totals.
   // The epoch-level queue occupancy mean weights each segment by its batch count.

@@ -338,28 +338,104 @@ EpochStats LinkPredictionTrainer::TrainEpochImpl() {
   return config_.storage.use_disk ? TrainEpochDisk() : TrainEpochInMemory();
 }
 
-void LinkPredictionTrainer::AppendCheckpointSections(Checkpoint* ck) {
+CheckpointSectionSpec LinkPredictionTrainer::MakeBufferSectionSpec(
+    const char* name, bool state_stream) {
+  const Partitioning* partitioning = partitioning_.get();
+  int64_t num_nodes = 0;
+  int64_t max_rows = 0;
+  for (int32_t part = 0; part < partitioning->num_partitions(); ++part) {
+    num_nodes += partitioning->PartitionSize(part);
+    max_rows = std::max(max_rows, partitioning->PartitionSize(part));
+  }
+  const int64_t dim = buffer_->dim();
+  CheckpointSectionSpec spec;
+  spec.name = name;
+  spec.rows = num_nodes;
+  spec.cols = dim;
+  PartitionBuffer* buffer = buffer_.get();
+  spec.write = [partitioning, buffer, dim, max_rows,
+                state_stream](CheckpointSectionWriter* w) {
+    // One partition of one stream is the only staging this producer ever holds
+    // — the streaming writer's whole point. Rows scatter to their node-indexed
+    // positions because partitions hold a random permutation of node ids.
+    std::vector<float> scratch(static_cast<size_t>(max_rows) * dim);
+    w->NoteStagingBytes(scratch.size() * sizeof(float));
+    for (int32_t part = 0; part < partitioning->num_partitions(); ++part) {
+      buffer->ExportPartition(part, state_stream ? nullptr : scratch.data(),
+                              state_stream ? scratch.data() : nullptr);
+      const auto& nodes = partitioning->NodesIn(part);
+      for (size_t k = 0; k < nodes.size(); ++k) {
+        w->WriteRows(nodes[k], 1, &scratch[k * static_cast<size_t>(dim)]);
+      }
+    }
+  };
+  return spec;
+}
+
+void LinkPredictionTrainer::AppendCheckpointSections(CheckpointSaveRequest* request) {
   if (config_.storage.use_disk) {
-    // Disk mode: the PartitionBuffer flush is the snapshot barrier — ExportAll
-    // drains background IO and evicts every dirty slot before reading the table.
-    ck->tensors.emplace_back("embeddings.values", buffer_->ExportAll());
-    ck->tensors.emplace_back("embeddings.state", buffer_->ExportAllState());
+    // Disk mode: streamed partition-by-partition. Resident partitions flush
+    // through from buffer memory; evicted ones are read back via the engine —
+    // the full table is never materialised (peak = one partition's scratch).
+    request->sections.push_back(MakeBufferSectionSpec("embeddings.values", false));
+    request->sections.push_back(MakeBufferSectionSpec("embeddings.state", true));
   } else {
-    ck->tensors.emplace_back("embeddings.values", mem_store_->values());
-    ck->tensors.emplace_back("embeddings.state", mem_store_->state());
+    request->sections.push_back(
+        TensorSectionSpec("embeddings.values", mem_store_->values()));
+    request->sections.push_back(
+        TensorSectionSpec("embeddings.state", mem_store_->state()));
   }
 }
 
-void LinkPredictionTrainer::RestoreCheckpointSections(const Checkpoint& ck) {
-  const Tensor& values = ck.tensor("embeddings.values");
-  const Tensor& state = ck.tensor("embeddings.state");
+void LinkPredictionTrainer::RestoreCheckpointSections(CheckpointReader& reader) {
+  const CheckpointSectionInfo* values = reader.FindSection("embeddings.values");
+  const CheckpointSectionInfo* state = reader.FindSection("embeddings.state");
+  MG_CHECK_MSG(values != nullptr && state != nullptr,
+               "checkpoint is missing the embedding sections");
+  std::string error;
   if (config_.storage.use_disk) {
-    buffer_->ImportAll(values, &state);
-  } else {
-    MG_CHECK_MSG(values.rows() == mem_store_->values().rows() &&
-                     values.cols() == mem_store_->values().cols(),
+    const Partitioning* partitioning = partitioning_.get();
+    int64_t num_nodes = 0;
+    int64_t max_rows = 0;
+    for (int32_t part = 0; part < partitioning->num_partitions(); ++part) {
+      num_nodes += partitioning->PartitionSize(part);
+      max_rows = std::max(max_rows, partitioning->PartitionSize(part));
+    }
+    const int64_t dim = buffer_->dim();
+    MG_CHECK_MSG(values->rows == num_nodes && values->cols == dim &&
+                     state->rows == num_nodes && state->cols == dim,
                  "checkpoint embedding shape mismatch");
-    mem_store_->Restore(values, state);
+    // Inverse of the streaming save: gather each partition's rows from their
+    // node-indexed section positions into one-partition scratch buffers, then
+    // overwrite that partition's on-disk extent. Peak memory stays at one
+    // partition of each stream.
+    buffer_->BeginImport();
+    std::vector<float> vscratch(static_cast<size_t>(max_rows) * dim);
+    std::vector<float> sscratch(vscratch.size());
+    for (int32_t part = 0; part < partitioning->num_partitions(); ++part) {
+      const auto& nodes = partitioning->NodesIn(part);
+      for (size_t k = 0; k < nodes.size(); ++k) {
+        MG_CHECK_MSG(reader.ReadRows(*values, nodes[k], 1,
+                                     &vscratch[k * static_cast<size_t>(dim)], &error),
+                     error.c_str());
+        MG_CHECK_MSG(reader.ReadRows(*state, nodes[k], 1,
+                                     &sscratch[k * static_cast<size_t>(dim)], &error),
+                     error.c_str());
+      }
+      buffer_->ImportPartition(part, vscratch.data(), sscratch.data());
+    }
+  } else {
+    MG_CHECK_MSG(values->rows == mem_store_->values().rows() &&
+                     values->cols == mem_store_->values().cols(),
+                 "checkpoint embedding shape mismatch");
+    std::vector<float> value_data(static_cast<size_t>(values->rows) * values->cols);
+    MG_CHECK_MSG(reader.ReadSection(*values, value_data.data(), &error),
+                 error.c_str());
+    std::vector<float> state_data(static_cast<size_t>(state->rows) * state->cols);
+    MG_CHECK_MSG(reader.ReadSection(*state, state_data.data(), &error),
+                 error.c_str());
+    mem_store_->Restore(Tensor(values->rows, values->cols, std::move(value_data)),
+                        Tensor(state->rows, state->cols, std::move(state_data)));
   }
 }
 

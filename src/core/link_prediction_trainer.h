@@ -47,11 +47,18 @@ class LinkPredictionTrainer : public TrainerBase {
 
  protected:
   EpochStats TrainEpochImpl() override;
-  // Checkpoint extras: the embedding table (values + Adagrad state), flushed
-  // through the PartitionBuffer in disk mode.
-  void AppendCheckpointSections(Checkpoint* ck) override;
-  void RestoreCheckpointSections(const Checkpoint& ck) override;
+  // Checkpoint extras: the embedding table (values + Adagrad state). In disk
+  // mode the sections are streamed partition-by-partition through
+  // PartitionBuffer::ExportPartition / ImportPartition, so the save/restore
+  // path never materialises the full table in memory.
+  void AppendCheckpointSections(CheckpointSaveRequest* request) override;
+  void RestoreCheckpointSections(CheckpointReader& reader) override;
   size_t NumExtraCheckpointSections() const override { return 2; }
+
+  // Streaming producer for one embedding section ("embeddings.values" or
+  // "embeddings.state") in disk mode: exports each partition into a one-
+  // partition scratch and scatters its rows to their node-indexed positions.
+  CheckpointSectionSpec MakeBufferSectionSpec(const char* name, bool state_stream);
 
  private:
   struct PreparedBatch;

@@ -33,42 +33,65 @@ EpochStats TrainerBase::TrainEpoch() {
   ++epochs_completed_;
   if (config_.checkpoint.every_n_epochs > 0 &&
       epochs_completed_ % config_.checkpoint.every_n_epochs == 0) {
-    SaveCheckpoint(config_.checkpoint.path);
+    if (config_.checkpoint.keep_last_k > 0) {
+      // Keep-last-k retention: each save lands in its own per-epoch file, and
+      // only after a successful Commit are the oldest files (and any stale
+      // .tmp debris from crashed saves) pruned — the file just written is
+      // never a deletion candidate.
+      const std::string epoch_path =
+          CheckpointEpochPath(config_.checkpoint.path, epochs_completed_);
+      SaveCheckpoint(epoch_path);
+      PruneCheckpoints(config_.checkpoint.path, config_.checkpoint.keep_last_k,
+                       epoch_path);
+    } else {
+      SaveCheckpoint(config_.checkpoint.path);
+    }
+    stats.checkpoint_save_seconds = last_checkpoint_stats_.seconds;
+    stats.checkpoint_peak_bytes = last_checkpoint_stats_.peak_bytes;
   }
   return stats;
 }
 
-void TrainerBase::AppendCheckpointSections(Checkpoint* ck) { (void)ck; }
+void TrainerBase::AppendCheckpointSections(CheckpointSaveRequest* request) {
+  (void)request;
+}
 
-void TrainerBase::RestoreCheckpointSections(const Checkpoint& ck) { (void)ck; }
+void TrainerBase::RestoreCheckpointSections(CheckpointReader& reader) {
+  (void)reader;
+}
 
 size_t TrainerBase::NumExtraCheckpointSections() const { return 0; }
 
 void TrainerBase::SaveCheckpoint(const std::string& path) {
-  Checkpoint ck;
-  SaveTrainerCheckpointCore(CheckpointKindName(model_.kind), config_.seed,
-                            epochs_completed_, rng_, controller_, model_.params, &ck);
+  CheckpointSaveRequest request;
+  BuildTrainerCheckpointRequest(CheckpointKindName(model_.kind), config_.seed,
+                                epochs_completed_, rng_, controller_, model_.params,
+                                &request);
   // Last completed epoch's determinism hash, bitcast into the named-scalar
   // list (docs/CHECKPOINT_FORMAT.md): the resumed trainer re-exposes it, so a
   // replica can compare trajectories against the checkpointed run with one u64
   // and no new manifest version.
   int64_t hash_bits = 0;
   std::memcpy(&hash_bits, &last_determinism_hash_, sizeof(hash_bits));
-  ck.scalars.emplace_back("determinism_hash", hash_bits);
-  AppendCheckpointSections(&ck);
-  mariusgnn::SaveCheckpoint(ck, path);
+  request.scalars.emplace_back("determinism_hash", hash_bits);
+  AppendCheckpointSections(&request);
+  last_checkpoint_stats_ = SaveCheckpointStreaming(request, path);
 }
 
 void TrainerBase::ResumeFrom(const std::string& path) {
-  Checkpoint ck;
+  CheckpointReader reader;
   std::string error;
-  MG_CHECK_MSG(LoadCheckpoint(path, &ck, &error), error.c_str());
-  RestoreTrainerCheckpointCore(ck, CheckpointKindName(model_.kind), config_.seed,
-                               NumExtraCheckpointSections(), model_.params, &rng_,
-                               &epochs_completed_, &controller_);
-  const int64_t hash_bits = ck.scalar("determinism_hash", 0);
+  MG_CHECK_MSG(reader.Open(path, &error), error.c_str());
+  // Validate the full data block BEFORE touching any trainer state, preserving
+  // the all-or-nothing restore contract the whole-file loader provided.
+  MG_CHECK_MSG(reader.VerifyDataChecksum(&error), error.c_str());
+  RestoreTrainerCheckpointCore(reader, CheckpointKindName(model_.kind),
+                               config_.seed, NumExtraCheckpointSections(),
+                               model_.params, &rng_, &epochs_completed_,
+                               &controller_);
+  const int64_t hash_bits = reader.manifest().scalar("determinism_hash", 0);
   std::memcpy(&last_determinism_hash_, &hash_bits, sizeof(last_determinism_hash_));
-  RestoreCheckpointSections(ck);
+  RestoreCheckpointSections(reader);
 }
 
 }  // namespace mariusgnn

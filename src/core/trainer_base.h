@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "src/core/checkpoint.h"
 #include "src/core/config.h"
 #include "src/core/model.h"
 #include "src/graph/graph.h"
@@ -22,8 +23,6 @@
 
 namespace mariusgnn {
 
-struct Checkpoint;
-
 class TrainerBase {
  public:
   virtual ~TrainerBase();
@@ -32,16 +31,24 @@ class TrainerBase {
   // config.checkpoint.path every config.checkpoint.every_n_epochs epochs.
   EpochStats TrainEpoch();
 
-  // Crash-safe checkpointing (src/core/checkpoint.h). SaveCheckpoint writes an
+  // Crash-safe checkpointing (src/core/checkpoint.h). SaveCheckpoint streams an
   // atomic epoch-boundary snapshot: model parameters + Adagrad accumulators,
   // the trainer RNG, the completed-epoch count, and any task sections the
-  // derived trainer appends (the link-prediction embedding table). ResumeFrom
+  // derived trainer appends (the link-prediction embedding table, streamed
+  // partition-by-partition in disk mode — never a full table image). ResumeFrom
   // restores a snapshot into a trainer constructed with the SAME config; the
   // continued run is bitwise-identical to one that never stopped (every batch
   // is a pure function of MixSeed(run_seed, batch_index)).
   void SaveCheckpoint(const std::string& path);
   void ResumeFrom(const std::string& path);
   int64_t epochs_completed() const { return epochs_completed_; }
+
+  // Accounting of the most recent SaveCheckpoint (explicit or auto-save):
+  // peak transient allocation, bytes written, wall seconds. Zeroes before any
+  // save has run.
+  const CheckpointSaveStats& last_checkpoint_stats() const {
+    return last_checkpoint_stats_;
+  }
 
   // Determinism hash of the most recent completed epoch (also in that epoch's
   // EpochStats.determinism_hash, and in checkpoints as the "determinism_hash"
@@ -60,9 +67,11 @@ class TrainerBase {
   virtual EpochStats TrainEpochImpl() = 0;
 
   // Checkpoint extension hooks: extra sections after the model-parameter
-  // sections (order and count must agree between the three).
-  virtual void AppendCheckpointSections(Checkpoint* ck);
-  virtual void RestoreCheckpointSections(const Checkpoint& ck);
+  // sections (order and count must agree between the three). Append pushes
+  // CheckpointSectionSpec producers (shapes known up front, payloads streamed
+  // on demand); Restore pulls section ranges straight from the reader.
+  virtual void AppendCheckpointSections(CheckpointSaveRequest* request);
+  virtual void RestoreCheckpointSections(CheckpointReader& reader);
   virtual size_t NumExtraCheckpointSections() const;
 
   const Graph* graph_;
@@ -83,6 +92,8 @@ class TrainerBase {
   // publishes the result (EpochStats + last_determinism_hash_).
   DeterminismHash epoch_determinism_;
   uint64_t last_determinism_hash_ = 0;
+
+  CheckpointSaveStats last_checkpoint_stats_;
 
   ModelState model_;
 };

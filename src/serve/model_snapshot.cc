@@ -33,7 +33,13 @@ std::unique_ptr<EmbeddingSource> EmbeddingSource::OpenMapped(
       return nullptr;
     }
     src->owned_ = Tensor(section.rows, section.cols);
-    f->ReadAt(src->owned_.data(), section.bytes, section.file_offset);
+    // Untrusted on-disk input: a concurrently-truncated file must surface as a
+    // clean error, not a process abort.
+    if (!f->TryReadAt(src->owned_.data(), section.bytes, section.file_offset,
+                      error)) {
+      *error = "serve: corrupt checkpoint: " + *error;
+      return nullptr;
+    }
     src->section_data_ = src->owned_.data();
     return src;
   }
@@ -194,7 +200,12 @@ std::shared_ptr<const ModelSnapshot> ModelSnapshot::Load(
       return nullptr;
     }
     Tensor value(section->rows, section->cols);
-    f->ReadAt(value.data(), section->bytes, section->file_offset);
+    // Untrusted on-disk input: fail with a clean error instead of aborting if
+    // the file was truncated between the manifest parse and this read.
+    if (!f->TryReadAt(value.data(), section->bytes, section->file_offset, error)) {
+      *error = "serve: corrupt checkpoint: " + *error;
+      return nullptr;
+    }
     // Serving never runs the optimizer: drop the Adagrad accumulator sections.
     RestoreParamFromCheckpoint(p, value, Tensor());
   }

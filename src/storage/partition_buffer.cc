@@ -399,18 +399,7 @@ void PartitionBuffer::ImportAll(const Tensor& values, const Tensor* state) {
   }
   MG_CHECK_MSG(values.rows() == num_nodes,
                "ImportAll: table row count does not match the partitioning");
-  // Drop resident copies: FlushAll drains the engine and evicts every slot. The
-  // import rewrites the file, so staged prefetches of the *old* data must be
-  // discarded too — they would shadow the imported table at the next SetResident.
-  FlushAll();
-  if (engine_ != nullptr) {
-    std::lock_guard<std::mutex> lock(stage_mu_);
-    for (auto& entry : staged_) {
-      arena_->Release(entry.second.extent);
-    }
-    staged_.clear();
-    MG_CHECK(staging_in_flight_.empty());
-  }
+  BeginImport();
   const int32_t p = partitioning_->num_partitions();
   std::vector<float> vscratch(static_cast<size_t>(max_partition_rows_) * dim_);
   std::vector<float> sscratch(learnable_ ? vscratch.size() : 0);
@@ -424,11 +413,83 @@ void PartitionBuffer::ImportAll(const Tensor& values, const Tensor* state) {
                     static_cast<size_t>(dim_) * sizeof(float));
       }
     }
-    disk_->Write(vscratch.data(), StreamPayloadBytes(part), PartitionFileOffset(part));
-    if (learnable_) {
-      disk_->Write(sscratch.data(), StreamPayloadBytes(part),
-                   PartitionFileOffset(part) + stream_bytes_pad_);
+    ImportPartition(part, vscratch.data(), learnable_ ? sscratch.data() : nullptr);
+  }
+}
+
+double PartitionBuffer::ExportPartition(int32_t partition, float* values_out,
+                                        float* state_out) {
+  MG_CHECK(partition >= 0 && partition < partitioning_->num_partitions());
+  MG_CHECK_MSG(state_out == nullptr || learnable_,
+               "ExportPartition: state stream requires a learnable buffer");
+  const size_t bytes = StreamPayloadBytes(partition);
+  const int32_t slot = slot_of_partition_[static_cast<size_t>(partition)];
+  if (slot >= 0) {
+    // Flush-through: the resident rows (dirty or clean) are the freshest copy.
+    // No eviction, no write-back — residency and the trajectory are untouched.
+    if (values_out != nullptr) {
+      std::memcpy(values_out,
+                  values_.data() + static_cast<size_t>(slot) * max_partition_rows_ * dim_,
+                  bytes);
     }
+    if (state_out != nullptr) {
+      std::memcpy(state_out,
+                  state_.data() + static_cast<size_t>(slot) * max_partition_rows_ * dim_,
+                  bytes);
+    }
+    return 0.0;
+  }
+  const uint64_t offset = PartitionFileOffset(partition);
+  double io = 0.0;
+  if (engine_ != nullptr) {
+    // Routed through the engine so the read stays ordered behind any in-flight
+    // write-back of this partition (per-tag program order): an evicted-dirty
+    // partition is never observed half-written.
+    if (values_out != nullptr) {
+      io += engine_->ReadSync(partition, values_out, bytes, offset);
+    }
+    if (state_out != nullptr) {
+      io += engine_->ReadSync(partition, state_out, bytes, offset + stream_bytes_pad_);
+    }
+  } else {
+    if (values_out != nullptr) {
+      io += disk_->Read(values_out, bytes, offset);
+    }
+    if (state_out != nullptr) {
+      io += disk_->Read(state_out, bytes, offset + stream_bytes_pad_);
+    }
+  }
+  return io;
+}
+
+void PartitionBuffer::BeginImport() {
+  // Drop resident copies: FlushAll drains the engine and evicts every slot. The
+  // import rewrites the file, so staged prefetches of the *old* data must be
+  // discarded too — they would shadow the imported table at the next SetResident.
+  FlushAll();
+  if (engine_ != nullptr) {
+    std::lock_guard<std::mutex> lock(stage_mu_);
+    for (auto& entry : staged_) {
+      arena_->Release(entry.second.extent);
+    }
+    staged_.clear();
+    MG_CHECK(staging_in_flight_.empty());
+  }
+}
+
+void PartitionBuffer::ImportPartition(int32_t partition, const float* values,
+                                      const float* state) {
+  MG_CHECK(partition >= 0 && partition < partitioning_->num_partitions());
+  MG_CHECK_MSG((state != nullptr) == learnable_,
+               "ImportPartition: state rows must be supplied iff the buffer is learnable");
+  // BeginImport evicted everything; a resident partition here means the caller
+  // skipped it and the synchronous writes below could be shadowed on eviction.
+  MG_CHECK_MSG(slot_of_partition_[static_cast<size_t>(partition)] < 0,
+               "ImportPartition without BeginImport: partition is still resident");
+  disk_->Write(values, StreamPayloadBytes(partition), PartitionFileOffset(partition));
+  if (learnable_) {
+    disk_->Write(state, StreamPayloadBytes(partition),
+                 PartitionFileOffset(partition) + stream_bytes_pad_);
   }
 }
 

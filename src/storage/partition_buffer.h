@@ -158,6 +158,28 @@ class PartitionBuffer {
   // SetResident reads the imported data. `state` must be non-null iff learnable.
   void ImportAll(const Tensor& values, const Tensor* state);
 
+  // Streams one partition out (the streaming checkpoint writer's unit of work):
+  // copies the partition's rows, in partition-local order, into the caller's
+  // buffers — each at least PartitionSize(partition) * dim floats — without
+  // materialising the full table. Resident partitions flush through directly
+  // from buffer memory (dirty or not — no eviction, so residency and the
+  // training trajectory are untouched); evicted ones are read through the
+  // engine, which keeps the read ordered behind any in-flight write-back of the
+  // same partition. Pass nullptr to skip a stream; `state_out` requires a
+  // learnable buffer. Returns modeled synchronous IO seconds.
+  double ExportPartition(int32_t partition, float* values_out, float* state_out);
+
+  // Prepares a partition-by-partition overwrite of the on-disk table (streaming
+  // checkpoint restore): flushes + evicts every slot and discards staged
+  // prefetches of the soon-to-be-stale data. Call once, then ImportPartition
+  // for each partition before the next SetResident.
+  void BeginImport();
+
+  // Overwrites one partition's on-disk streams with rows in partition-local
+  // order — the inverse of ExportPartition. `state` must be non-null iff the
+  // buffer is learnable. Only valid after BeginImport (nothing resident).
+  void ImportPartition(int32_t partition, const float* values, const float* state);
+
  private:
   // A prefetched partition parked between the IO engine and installation: one
   // arena slot holding the partition's full on-disk extent (both streams, padded

@@ -65,6 +65,12 @@ std::unique_ptr<File> File::TryOpenReadOnly(const std::string& path,
 }
 
 void File::ReadAt(void* dst, size_t bytes, uint64_t offset) const {
+  std::string error;
+  MG_CHECK_MSG(TryReadAt(dst, bytes, offset, &error), error.c_str());
+}
+
+bool File::TryReadAt(void* dst, size_t bytes, uint64_t offset,
+                     std::string* error) const {
   char* p = static_cast<char*>(dst);
   size_t remaining = bytes;
   uint64_t off = offset;
@@ -74,15 +80,24 @@ void File::ReadAt(void* dst, size_t bytes, uint64_t offset) const {
       if (errno == EINTR) {
         continue;  // interrupted by a signal before any data transferred; retry
       }
-      MG_CHECK_MSG(false, std::strerror(errno));
+      if (error != nullptr) {
+        *error = std::strerror(errno);
+      }
+      return false;
     }
-    // pread returning 0 is end-of-file, not an error, so errno is stale here —
-    // report the short read as what it is instead of a misleading strerror.
-    MG_CHECK_MSG(n > 0, "unexpected end of file (short read)");
+    if (n == 0) {
+      // pread returning 0 is end-of-file, not an error, so errno is stale here —
+      // report the short read as what it is instead of a misleading strerror.
+      if (error != nullptr) {
+        *error = "unexpected end of file (short read)";
+      }
+      return false;
+    }
     p += n;
     off += static_cast<uint64_t>(n);
     remaining -= static_cast<size_t>(n);
   }
+  return true;
 }
 
 void File::WriteAt(const void* src, size_t bytes, uint64_t offset) {

@@ -37,6 +37,13 @@ class File {
   // end-of-file before `bytes` were read (reported as a short read, not errno).
   void ReadAt(void* dst, size_t bytes, uint64_t offset) const;
 
+  // Non-aborting ReadAt for untrusted inputs (checkpoint loads, snapshot opens):
+  // returns false and fills `error` on IO error or end-of-file before `bytes`
+  // were read — e.g. a file truncated between Size() and the read — instead of
+  // killing the process. Retries EINTR like ReadAt.
+  bool TryReadAt(void* dst, size_t bytes, uint64_t offset,
+                 std::string* error) const;
+
   // Writes exactly `bytes` at `offset`; retries EINTR, aborts on error.
   void WriteAt(const void* src, size_t bytes, uint64_t offset);
 
@@ -74,6 +81,17 @@ class AtomicFile {
   void WriteAt(const void* src, size_t bytes, uint64_t offset) {
     file_->WriteAt(src, bytes, offset);
   }
+
+  // Reads back bytes already written to the tmp file. The streaming checkpoint
+  // writer uses this to fold the data checksum over sections whose rows were
+  // scatter-written out of file order.
+  void ReadAt(void* dst, size_t bytes, uint64_t offset) const {
+    file_->ReadAt(dst, bytes, offset);
+  }
+
+  // Pre-sizes the tmp file so section payloads can land at their final aligned
+  // offsets in any order; unwritten gaps read back as zeros (file holes).
+  void Resize(uint64_t bytes) { file_->Resize(bytes); }
 
   // fsync + rename + directory fsync. May be called at most once; after Commit
   // the data is durable under `path`.

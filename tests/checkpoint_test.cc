@@ -11,6 +11,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -18,6 +19,7 @@
 
 #include "src/core/checkpoint.h"
 #include "src/core/link_prediction_trainer.h"
+#include "src/core/node_classification_trainer.h"
 #include "src/data/datasets.h"
 #include "src/util/binary_io.h"
 
@@ -440,6 +442,260 @@ TEST(CheckpointCrash, KillAndResumeProducesIdenticalTrajectory) {
   EXPECT_EQ(resumed_epoch3, want_losses[2]);
   EXPECT_EQ(resumed.EvaluateMrr(50, 100), want_mrr);
   std::remove(ckpt.c_str());
+}
+
+// Byte-exact reference for the pre-streaming save algorithm: serialize the
+// manifest, materialize the whole data blob in memory (zero padding each
+// section up to its 4 KiB-aligned offset), then lay the file out as
+// preamble | manifest | zero gap | data blob. The streaming writer must
+// produce bit-identical files — same format version, no reader changes.
+void ReferenceMaterializedSave(const Checkpoint& ck, const std::string& path) {
+  auto fnv = [](const std::vector<char>& b) {
+    uint64_t h = 0xCBF29CE484222325ULL;
+    for (char c : b) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001B3ULL;
+    }
+    return h;
+  };
+  auto align4k = [](uint64_t n) { return (n + 4095) & ~uint64_t{4095}; };
+  auto put = [](std::vector<char>& b, const void* src, size_t len) {
+    const char* p = static_cast<const char*>(src);
+    b.insert(b.end(), p, p + len);
+  };
+  auto put_u32 = [&](std::vector<char>& b, uint32_t v) { put(b, &v, 4); };
+  auto put_u64 = [&](std::vector<char>& b, uint64_t v) { put(b, &v, 8); };
+  auto put_i64 = [&](std::vector<char>& b, int64_t v) { put(b, &v, 8); };
+  auto put_str = [&](std::vector<char>& b, const std::string& s) {
+    put_u32(b, static_cast<uint32_t>(s.size()));
+    put(b, s.data(), s.size());
+  };
+
+  std::vector<char> manifest;
+  put(manifest, ck.kind.data(), ck.kind.size());
+  put_u64(manifest, ck.run_seed);
+  put_u64(manifest, ck.epoch);
+  for (uint64_t w : ck.rng_state) {
+    put_u64(manifest, w);
+  }
+  put_u32(manifest, static_cast<uint32_t>(ck.scalars.size()));
+  for (const auto& [name, value] : ck.scalars) {
+    put_str(manifest, name);
+    put_i64(manifest, value);
+  }
+  put_u32(manifest, static_cast<uint32_t>(ck.tensors.size()));
+  std::vector<char> data;
+  for (const auto& [name, t] : ck.tensors) {
+    data.resize(align4k(data.size()));  // v2 alignment padding, zero-filled
+    put_str(manifest, name);
+    put_i64(manifest, t.rows());
+    put_i64(manifest, t.cols());
+    put_u64(manifest, data.size());
+    put_u64(manifest, static_cast<uint64_t>(t.size()) * sizeof(float));
+    if (t.size() > 0) {
+      put(data, t.data(), static_cast<size_t>(t.size()) * sizeof(float));
+    }
+  }
+
+  std::vector<char> file;
+  put_u64(file, 0x4D474E4E43503031ULL);  // magic
+  put_u32(file, kCheckpointFormatVersion);
+  put_u32(file, static_cast<uint32_t>(ck.kind.size()));
+  put_u64(file, manifest.size());
+  put_u64(file, fnv(manifest));
+  put_u64(file, data.size());
+  put_u64(file, fnv(data));
+  file.insert(file.end(), manifest.begin(), manifest.end());
+  if (!data.empty()) {
+    file.resize(align4k(file.size()));  // manifest->data gap (hole in the real file)
+    file.insert(file.end(), data.begin(), data.end());
+  }
+  Dump(path, file);
+}
+
+// Saves through the trainer's streaming writer, then re-derives the same
+// logical checkpoint and rewrites it with the reference materializing
+// algorithm: the two files must match byte for byte.
+void ExpectStreamedSaveMatchesReference(TrainerBase& trainer,
+                                        const std::string& tag) {
+  const std::string path = TempPath("mgnn_golden_" + tag);
+  trainer.SaveCheckpoint(path);
+  Checkpoint ck;
+  std::string error;
+  ASSERT_TRUE(LoadCheckpoint(path, &ck, &error)) << tag << ": " << error;
+  const std::string ref = path + ".ref";
+  ReferenceMaterializedSave(ck, ref);
+  const std::vector<char> streamed = Slurp(path);
+  const std::vector<char> reference = Slurp(ref);
+  ASSERT_FALSE(streamed.empty()) << tag;
+  EXPECT_TRUE(streamed == reference)
+      << tag << ": streamed file (" << streamed.size()
+      << " bytes) differs from the materialized reference (" << reference.size()
+      << " bytes)";
+  std::remove(path.c_str());
+  std::remove(ref.c_str());
+}
+
+TrainingConfig SerialNcConfig(bool use_disk) {
+  TrainingConfig config;
+  config.fanouts = {10, 5};
+  config.dims = {64, 32, 32};
+  config.batch_size = 256;
+  config.num_negatives = 0;
+  config.weight_lr = 0.05f;
+  config.pipeline.enabled = false;
+  config.pipeline.parallel_compute = false;
+  config.pipeline.adaptive_workers = false;
+  if (use_disk) {
+    config.storage.use_disk = true;
+    config.storage.num_physical = 16;
+    config.storage.buffer_capacity = 8;
+    config.storage.prefetch = false;
+  }
+  return config;
+}
+
+TEST(CheckpointStreaming, LpMemorySaveMatchesMaterializedReference) {
+  Graph g = Fb15k237Like(0.03);
+  TrainingConfig config = SerialDiskLpConfig();
+  config.storage.use_disk = false;
+  LinkPredictionTrainer trainer(&g, config);
+  trainer.TrainEpoch();
+  ExpectStreamedSaveMatchesReference(trainer, "lp_mem");
+}
+
+TEST(CheckpointStreaming, LpDiskSaveMatchesMaterializedReference) {
+  // The deepest path: embedding values + Adagrad state stream partition by
+  // partition (a random node permutation, so rows scatter) and the checksum is
+  // re-folded from the file. The bytes must still match the reference exactly.
+  Graph g = Fb15k237Like(0.03);
+  LinkPredictionTrainer trainer(&g, SerialDiskLpConfig());
+  trainer.TrainEpoch();
+  ExpectStreamedSaveMatchesReference(trainer, "lp_disk");
+}
+
+TEST(CheckpointStreaming, NcMemorySaveMatchesMaterializedReference) {
+  Graph g = PapersMini(0.05);
+  NodeClassificationTrainer trainer(&g, SerialNcConfig(false));
+  trainer.TrainEpoch();
+  ExpectStreamedSaveMatchesReference(trainer, "nc_mem");
+}
+
+TEST(CheckpointStreaming, NcDiskSaveMatchesMaterializedReference) {
+  Graph g = PapersMini(0.05);
+  NodeClassificationTrainer trainer(&g, SerialNcConfig(true));
+  trainer.TrainEpoch();
+  ExpectStreamedSaveMatchesReference(trainer, "nc_disk");
+}
+
+TEST(CheckpointStreaming, TruncationRaceFailsCleanlyWithoutAborting) {
+  // A file that shrinks under an already-open reader (concurrent prune, admin
+  // mistake) must surface as a clean error from the TryReadAt layer — never a
+  // process abort. This test IS the death-test-negative: an abort fails it.
+  const std::string path = TempPath("mgnn_ckpt_trunc_race");
+  SaveCheckpoint(SampleCheckpoint(), path);
+  CheckpointReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.Open(path, &error)) << error;
+  ASSERT_EQ(::truncate(path.c_str(), 64), 0);  // cut mid-manifest, data gone
+  EXPECT_FALSE(reader.VerifyDataChecksum(&error));
+  EXPECT_NE(error.find("unexpected end of file"), std::string::npos) << error;
+  // A fresh whole-file load of the truncated file also fails cleanly.
+  Checkpoint ck;
+  EXPECT_FALSE(LoadCheckpoint(path, &ck, &error));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointStreaming, DiskSavePeakMemoryStaysBelowOnePartitionSet) {
+  // The point of the streaming writer: auto-saving a disk-mode embedding table
+  // must not materialize it. Peak transient memory has to stay under even one
+  // resident partition set, which is itself well under the full table.
+  Graph g = Fb15k237Like(0.25);
+  TrainingConfig config = SerialDiskLpConfig();
+  config.dims = {64, 64};
+  config.checkpoint.every_n_epochs = 1;
+  config.checkpoint.path = TempPath("mgnn_ckpt_peak");
+  LinkPredictionTrainer trainer(&g, config);
+  const EpochStats stats = trainer.TrainEpoch();
+
+  int64_t max_rows = 0;
+  for (int32_t p = 0; p < config.storage.num_physical; ++p) {
+    max_rows = std::max(max_rows, trainer.partitioning()->PartitionSize(p));
+  }
+  const uint64_t dim = static_cast<uint64_t>(config.dims.front());
+  const uint64_t set_bytes = static_cast<uint64_t>(config.storage.buffer_capacity) *
+                             max_rows * dim * sizeof(float) * 2;  // values + state
+  const uint64_t table_bytes =
+      static_cast<uint64_t>(g.num_nodes()) * dim * sizeof(float) * 2;
+  ASSERT_LT(set_bytes, table_bytes);
+
+  EXPECT_GT(stats.checkpoint_peak_bytes, 0u);
+  EXPECT_LT(stats.checkpoint_peak_bytes, set_bytes);
+  EXPECT_GT(stats.checkpoint_save_seconds, 0.0);
+  // The file itself still holds the full table (plus model params + manifest).
+  EXPECT_GT(trainer.last_checkpoint_stats().bytes_written, table_bytes);
+  std::remove(config.checkpoint.path.c_str());
+}
+
+TEST(CheckpointRetention, AutoSaveKeepsLastKAndSweepsStaleTmp) {
+  Graph g = Fb15k237Like(0.03);
+  TrainingConfig config = SerialDiskLpConfig();
+  config.storage.use_disk = false;
+  config.checkpoint.every_n_epochs = 1;
+  config.checkpoint.keep_last_k = 2;
+  config.checkpoint.path = TempPath("mgnn_ckpt_keep");
+  const std::string& base = config.checkpoint.path;
+  auto exists = [](const std::string& p) {
+    return std::ifstream(p, std::ios::binary).good();
+  };
+  // Debris from hypothetical earlier crashed saves: both the legacy tmp name
+  // and a per-epoch tmp. Retention must sweep them, not trip over them.
+  Dump(base + ".tmp", std::vector<char>(32, 'x'));
+  Dump(base + ".epoch1.tmp", std::vector<char>(32, 'x'));
+
+  LinkPredictionTrainer trainer(&g, config);
+  for (int e = 0; e < 5; ++e) {
+    trainer.TrainEpoch();
+  }
+  // Exactly the newest k=2 per-epoch files survive; older ones and all stale
+  // tmp debris are gone; nothing was ever written to the bare base path.
+  EXPECT_FALSE(exists(CheckpointEpochPath(base, 1)));
+  EXPECT_FALSE(exists(CheckpointEpochPath(base, 2)));
+  EXPECT_FALSE(exists(CheckpointEpochPath(base, 3)));
+  EXPECT_TRUE(exists(CheckpointEpochPath(base, 4)));
+  EXPECT_TRUE(exists(CheckpointEpochPath(base, 5)));
+  EXPECT_FALSE(exists(base + ".tmp"));
+  EXPECT_FALSE(exists(base + ".epoch1.tmp"));
+  EXPECT_FALSE(exists(base));
+  EXPECT_EQ(LatestCheckpointPath(base), CheckpointEpochPath(base, 5));
+
+  // The retained snapshots are real checkpoints: resume from the latest.
+  TrainingConfig resume_config = config;
+  resume_config.checkpoint.every_n_epochs = 0;
+  resume_config.checkpoint.path.clear();
+  LinkPredictionTrainer resumed(&g, resume_config);
+  resumed.ResumeFrom(LatestCheckpointPath(base));
+  EXPECT_EQ(resumed.epochs_completed(), 5);
+  std::remove(CheckpointEpochPath(base, 4).c_str());
+  std::remove(CheckpointEpochPath(base, 5).c_str());
+}
+
+TEST(CheckpointRetention, PruneNeverDeletesTheFileBeingWritten) {
+  const std::string base = TempPath("mgnn_ckpt_prune");
+  auto exists = [](const std::string& p) {
+    return std::ifstream(p, std::ios::binary).good();
+  };
+  Dump(CheckpointEpochPath(base, 1), std::vector<char>(8, 'a'));
+  Dump(CheckpointEpochPath(base, 2), std::vector<char>(8, 'b'));
+  Dump(CheckpointEpochPath(base, 3), std::vector<char>(8, 'c'));
+  // keep_last_k=1 would normally leave only epoch3, but epoch1 is the file the
+  // caller just wrote (e.g. a re-run over old debris) — it must survive.
+  PruneCheckpoints(base, 1, CheckpointEpochPath(base, 1));
+  EXPECT_TRUE(exists(CheckpointEpochPath(base, 1)));
+  EXPECT_FALSE(exists(CheckpointEpochPath(base, 2)));
+  EXPECT_TRUE(exists(CheckpointEpochPath(base, 3)));
+  std::remove(CheckpointEpochPath(base, 1).c_str());
+  std::remove(CheckpointEpochPath(base, 3).c_str());
 }
 
 TEST(CheckpointCrash, ResumeRefusesWrongKindAndSeed) {

@@ -294,6 +294,24 @@ TEST(File, ReadPastEofReportsEofNotErrno) {
   ::remove(path.c_str());
 }
 
+TEST(File, TryReadAtReturnsFalseInsteadOfAborting) {
+  // The non-aborting read used on every untrusted-load path (checkpoints,
+  // serving snapshots): a short read comes back as (false, message), leaving
+  // the abort-on-error semantics to the ReadAt wrapper.
+  const std::string path = TempPath("util_test_tryread");
+  File f(path, /*truncate=*/true);
+  const char data[] = "abcdef";
+  f.WriteAt(data, 6, 0);
+  char buf[16];
+  std::string error;
+  EXPECT_TRUE(f.TryReadAt(buf, 6, 0, &error)) << error;
+  EXPECT_EQ(std::string(buf, 6), "abcdef");
+  EXPECT_FALSE(f.TryReadAt(buf, sizeof(buf), 0, &error));
+  EXPECT_NE(error.find("unexpected end of file"), std::string::npos) << error;
+  EXPECT_FALSE(f.TryReadAt(buf, 1, 100, &error));  // fully past EOF
+  ::remove(path.c_str());
+}
+
 TEST(File, ReadVectorRejectsCorruptCountBeforeAllocating) {
   // An on-disk element count far beyond the file size must fail validation, not
   // attempt a multi-GB allocation.
