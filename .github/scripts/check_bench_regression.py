@@ -84,6 +84,21 @@ def main():
                     f"{save_delta_pct:+.1f}% ({pk:.4f}s -> {ck:.4f}s, "
                     f"threshold {args.threshold_pct:.0f}%)"
                 )
+        # Gradient-exchange stall time (warn-only). Single-process bench rows
+        # run the zero-copy LocalExchange, so comm_sec is ~0 and the >= 10ms
+        # floor keeps those rows out; the track exists for any future
+        # multi-replica bench rows.
+        pm, cm = prev[key].get("comm_sec"), cur[key].get("comm_sec")
+        if isinstance(pm, (int, float)) and isinstance(cm, (int, float)) and pm >= 0.010:
+            comm_delta_pct = 100.0 * (cm - pm) / pm
+            print(f"{label}: comm {pm:.4f}s -> {cm:.4f}s ({comm_delta_pct:+.1f}%)")
+            if comm_delta_pct > args.threshold_pct:
+                regressions += 1
+                print(
+                    f"::warning title=Comm regression::{label} gradient-exchange time regressed "
+                    f"{comm_delta_pct:+.1f}% ({pm:.4f}s -> {cm:.4f}s, "
+                    f"threshold {args.threshold_pct:.0f}%)"
+                )
         # Serving rows (bench_serving.json) carry latency/throughput instead of
         # epoch time: tail latency regresses upward, QPS regresses downward.
         pp, cp = prev[key].get("p99_ms"), cur[key].get("p99_ms")
@@ -109,7 +124,7 @@ def main():
                     f"threshold {args.threshold_pct:.0f}%)"
                 )
     if regressions == 0:
-        print(f"No epoch-time, io-stall, checkpoint-save, or serving regression beyond {args.threshold_pct:.0f}%")
+        print(f"No epoch-time, io-stall, checkpoint-save, comm, or serving regression beyond {args.threshold_pct:.0f}%")
     return 0
 
 

@@ -5,12 +5,14 @@ Checks, over README.md and docs/*.md:
 
   1. Every `EpochStats.<field>` reference names a real member of the
      EpochStats struct in src/core/config.h.
-  2. Every `storage.<knob>` / `pipeline.<knob>` / `checkpoint.<knob>`
-     reference names a real member of StorageOptions / PipelineOptions /
-     CheckpointOptions in src/core/config.h (the documented convention for
-     naming config knobs), OR one of the dotted runtime-verification
-     invariant names defined in src/util/rv_monitor.cc (which share the
-     subsystem prefixes).
+  2. Every `storage.<knob>` / `pipeline.<knob>` / `checkpoint.<knob>` /
+     `replica.<knob>` reference names a real member of StorageOptions /
+     PipelineOptions / CheckpointOptions in src/core/config.h or
+     ReplicaOptions in src/comm/gradient_exchange.h (the documented
+     convention for naming config knobs), OR one of the dotted
+     runtime-verification invariant names defined in src/util/rv_monitor.cc
+     (which share the subsystem prefixes). `comm.<name>` references are
+     invariant-only: they must match an invariant name exactly.
   3. Every relative markdown link points at a file that exists.
 
 The parser is deliberately permissive (it may admit a few extra identifiers
@@ -24,15 +26,23 @@ import sys
 
 REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), "..", ".."))
 CONFIG_H = os.path.join(REPO_ROOT, "src", "core", "config.h")
+GRADIENT_EXCHANGE_H = os.path.join(
+    REPO_ROOT, "src", "comm", "gradient_exchange.h"
+)
 RV_MONITOR_CC = os.path.join(REPO_ROOT, "src", "util", "rv_monitor.cc")
 
-# Struct name in src/core/config.h -> doc prefix used to reference its members.
+# Struct name -> (doc prefix used to reference its members, defining header).
 STRUCTS = {
-    "EpochStats": "EpochStats",
-    "StorageOptions": "storage",
-    "PipelineOptions": "pipeline",
-    "CheckpointOptions": "checkpoint",
+    "EpochStats": ("EpochStats", CONFIG_H),
+    "StorageOptions": ("storage", CONFIG_H),
+    "PipelineOptions": ("pipeline", CONFIG_H),
+    "CheckpointOptions": ("checkpoint", CONFIG_H),
+    "ReplicaOptions": ("replica", GRADIENT_EXCHANGE_H),
 }
+
+# Prefixes with no config struct behind them: every `<prefix>.<name>` doc
+# reference must be an rv_monitor.cc invariant name, nothing else.
+INVARIANT_ONLY_PREFIXES = ["comm"]
 
 MEMBER_RE = re.compile(
     r"^\s*(?:[A-Za-z_][\w:<>,*&\s]*?[\s*&])([A-Za-z_]\w*)\s*(?:=[^;]*)?;", re.M
@@ -40,10 +50,10 @@ MEMBER_RE = re.compile(
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 
-def struct_body(source, name):
+def struct_body(source, name, path):
     m = re.search(r"\bstruct\s+" + name + r"\s*\{", source)
     if m is None:
-        sys.exit(f"check_docs_drift: struct {name} not found in {CONFIG_H}")
+        sys.exit(f"check_docs_drift: struct {name} not found in {path}")
     depth = 0
     for i in range(m.end() - 1, len(source)):
         if source[i] == "{":
@@ -55,9 +65,9 @@ def struct_body(source, name):
     sys.exit(f"check_docs_drift: unbalanced braces in struct {name}")
 
 
-def struct_members(source, name):
+def struct_members(source, name, path):
     members = set()
-    for line in struct_body(source, name).splitlines():
+    for line in struct_body(source, name, path).splitlines():
         code = line.split("//", 1)[0]
         if "(" in code:  # skip method declarations/calls
             continue
@@ -86,9 +96,15 @@ def doc_files():
 
 
 def main():
-    with open(CONFIG_H, encoding="utf-8") as f:
-        config_src = f.read()
-    known = {prefix: struct_members(config_src, s) for s, prefix in STRUCTS.items()}
+    sources = {}
+    known = {}
+    for struct, (prefix, header) in STRUCTS.items():
+        if header not in sources:
+            with open(header, encoding="utf-8") as f:
+                sources[header] = f.read()
+        known[prefix] = struct_members(sources[header], struct, header)
+    for prefix in INVARIANT_ONLY_PREFIXES:
+        known[prefix] = set()
     invariants = rv_invariant_names()
 
     errors = []
@@ -109,8 +125,8 @@ def main():
                 if field not in members:
                     line = text.count("\n", 0, m.start()) + 1
                     errors.append(
-                        f"{rel}:{line}: `{prefix}.{field}` does not exist in "
-                        f"src/core/config.h"
+                        f"{rel}:{line}: `{prefix}.{field}` is neither a config "
+                        f"member nor an rv invariant"
                     )
 
         for m in LINK_RE.finditer(text):

@@ -49,6 +49,10 @@ struct PipelineRun {
   uint64_t io_write_bytes = 0;
   double io_queue_depth_mean = 0.0;  // last epoch
   int io_inflight_peak = 0;          // max across epochs
+  // Gradient-exchange counters, summed over the epochs (zero for world=1's
+  // LocalExchange; nonzero only when replicas train over the seam).
+  double comm_seconds = 0.0;
+  uint64_t comm_bytes = 0;
   double loss = 0.0;  // last-epoch mean loss
   double mrr = 0.0;
   // Fold of the per-epoch determinism hashes across the run's epochs: one u64
@@ -118,6 +122,7 @@ void WriteJson(const std::string& path, bool all_identical) {
                  "\"resize_count\": %d, "
                  "\"io_read_bytes\": %llu, \"io_write_bytes\": %llu, "
                  "\"io_queue_depth_mean\": %.4f, \"io_inflight_peak\": %d, "
+                 "\"comm_sec\": %.6f, \"comm_bytes\": %llu, "
                  "\"loss\": %.8f, \"mrr\": %.8f, "
                  "\"determinism_hash\": \"%016llx\", \"rv_violations\": %llu, "
                  "\"checkpoint_save_sec\": %.6f, "
@@ -129,6 +134,8 @@ void WriteJson(const std::string& path, bool all_identical) {
                  static_cast<unsigned long long>(r.run.io_read_bytes),
                  static_cast<unsigned long long>(r.run.io_write_bytes),
                  r.run.io_queue_depth_mean, r.run.io_inflight_peak,
+                 r.run.comm_seconds,
+                 static_cast<unsigned long long>(r.run.comm_bytes),
                  r.run.loss, r.run.mrr,
                  static_cast<unsigned long long>(r.run.determinism_hash),
                  static_cast<unsigned long long>(r.run.rv_violations),
@@ -193,6 +200,8 @@ PipelineRun Run(const Graph& graph, bool disk, int workers,
     result.io_write_bytes += stats.io_write_bytes;
     result.io_queue_depth_mean = stats.io_queue_depth_mean;
     result.io_inflight_peak = std::max(result.io_inflight_peak, stats.io_inflight_peak);
+    result.comm_seconds += stats.comm_seconds;
+    result.comm_bytes += stats.comm_bytes;
     result.loss = stats.loss;
   }
   result.epoch_seconds /= kEpochs;

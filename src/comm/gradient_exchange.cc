@@ -1,0 +1,36 @@
+#include "src/comm/gradient_exchange.h"
+
+#include <utility>
+
+#include "src/comm/process_group_exchange.h"
+#include "src/util/check.h"
+
+namespace mariusgnn {
+
+GradientExchange::~GradientExchange() = default;
+
+CommStats GradientExchange::ConsumeStats() {
+  return std::exchange(stats_, CommStats());
+}
+
+const ReducedStep& LocalExchange::Exchange(const GradientStep& step) {
+  result_.losses.assign(1, step.loss);
+  result_.contributed.assign(1, step.has_batch ? 1 : 0);
+  result_.dense = nullptr;  // apply p.grad in place — the zero-copy identity
+  result_.sparse_nodes = step.sparse_nodes;
+  result_.sparse_grads = step.sparse_grads;
+  return result_;
+}
+
+std::unique_ptr<GradientExchange> CreateGradientExchange(
+    const ReplicaOptions& options) {
+  MG_CHECK_MSG(options.world_size >= 1, "replica.world_size must be >= 1");
+  MG_CHECK_MSG(options.rank >= 0 && options.rank < options.world_size,
+               "replica.rank must be in [0, world_size)");
+  if (options.world_size == 1) {
+    return std::make_unique<LocalExchange>();
+  }
+  return std::make_unique<ProcessGroupExchange>(options);
+}
+
+}  // namespace mariusgnn

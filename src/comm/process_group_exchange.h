@@ -1,0 +1,143 @@
+// Multi-process gradient exchange over localhost TCP (docs/DISTRIBUTED.md).
+//
+// Topology is a star around rank 0: the coordinator accepts world-1
+// connections at construction; every step, each rank ships its contribution
+// (loss + dense grads + touched sparse rows), the coordinator folds them in
+// ascending rank order (comm.fold_order monitored), and broadcasts one reduced
+// step that every rank — coordinator included — applies byte-identically.
+//
+// The send side runs as chained async stages on the BoundedQueue/exec-loop
+// pattern the pipeline already uses: Exchange() enqueues a serialize job whose
+// completion chains a transport job, then blocks only on the receive, so
+// serialization and the socket write overlap stage-3 compute of the next
+// batch on the other ranks. Any transport failure (peer died, connection
+// dropped) fails loudly via MG_CHECK before anything is applied — a step is
+// applied in full on every rank or the process aborts; there is no partial
+// apply.
+#ifndef SRC_COMM_PROCESS_GROUP_EXCHANGE_H_
+#define SRC_COMM_PROCESS_GROUP_EXCHANGE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/comm/gradient_exchange.h"
+#include "src/pipeline/queue.h"
+#include "src/util/rv_monitor.h"
+
+namespace mariusgnn {
+
+// One rank's deserialized contribution to a step reduction (the coordinator's
+// working form; exposed for the ordered-fold tests).
+struct StepContribution {
+  int32_t rank = 0;
+  bool has_batch = false;
+  float loss = 0.0f;
+  std::vector<std::vector<float>> dense;  // per parameter, raw gradient data
+  std::vector<int64_t> sparse_nodes;
+  std::vector<float> sparse_grads;  // sparse_nodes.size() x sparse_dim
+  int64_t sparse_dim = 0;
+};
+
+// The coordinator's fold product (serialized into the broadcast).
+struct FoldedStep {
+  std::vector<float> losses;         // ascending rank order
+  std::vector<uint8_t> contributed;  // ascending rank order
+  std::vector<std::vector<float>> dense;
+  std::vector<int64_t> sparse_nodes;  // first-touch order of the ascending fold
+  std::vector<float> sparse_grads;
+  int64_t sparse_dim = 0;
+};
+
+// Folds `contributions` in ascending RANK order — independent of the
+// container's (arrival) order, which is what makes the reduction deterministic
+// across send-order permutations. Dense gradients sum parameter-wise starting
+// from the lowest contributing rank's buffer; sparse rows merge per node
+// (first-touch node order, per-row sums in rank order). `monitor` observes
+// each folded rank so comm.fold_order catches any ordering bug.
+FoldedStep OrderedFold(const std::vector<StepContribution>& contributions,
+                       int32_t world, RvFoldOrderMonitor* monitor);
+
+// Single-thread job loop on a BoundedQueue — the pipeline's exec-loop shape,
+// reused for the comm stages. Submit blocks when the queue is full
+// (backpressure toward the trainer); the destructor drains remaining jobs.
+class CommExecLoop {
+ public:
+  explicit CommExecLoop(size_t capacity = 8);
+  ~CommExecLoop();
+
+  CommExecLoop(const CommExecLoop&) = delete;
+  CommExecLoop& operator=(const CommExecLoop&) = delete;
+
+  void Submit(std::function<void()> job);
+
+  // Blocks until every job submitted before this call has run.
+  void Flush();
+
+  // Seconds the loop spent running jobs since the last call.
+  double ConsumeBusySeconds();
+
+ private:
+  BoundedQueue<std::function<void()>> queue_;
+  std::atomic<int64_t> busy_nanos_{0};
+  std::thread thread_;
+};
+
+class ProcessGroupExchange : public GradientExchange {
+ public:
+  // Blocks until all world_size ranks are connected (rank 0 accepts, others
+  // connect with retry up to options.connect_timeout_seconds).
+  explicit ProcessGroupExchange(const ReplicaOptions& options);
+  ~ProcessGroupExchange() override;
+
+  int32_t rank() const override { return rank_; }
+  int32_t world() const override { return world_; }
+  const ReducedStep& Exchange(const GradientStep& step) override;
+  uint64_t ExchangeEpochHash(uint64_t local_hash) override;
+  CommStats ConsumeStats() override;
+
+ private:
+  void ConnectStar(const ReplicaOptions& options);
+  // Serialize this rank's contribution and ship it to the coordinator as
+  // chained serialize → transport exec-loop stages.
+  void SendContributionAsync(const GradientStep& step);
+  // Coordinator: receive world-1 contributions, ordered-fold with own step,
+  // broadcast the result; every rank then loads folded_/result_ from it.
+  void CoordinateStep(const GradientStep& step);
+  void LoadResultFromFolded();
+
+  // Framed blocking socket IO; MG_CHECK-aborts on short reads/writes so a
+  // dropped peer can never yield a partial apply.
+  void SendFrame(int fd, uint32_t kind, const std::vector<uint8_t>& payload);
+  std::vector<uint8_t> RecvFrame(int fd, uint32_t expect_kind);
+
+  int32_t rank_ = 0;
+  int32_t world_ = 1;
+  // rank != 0: peers_[0] is the coordinator socket. rank 0: peers_[r] is the
+  // socket to rank r (index 0 unused).
+  std::vector<int> peers_;
+
+  // Chained async send stages (see file comment).
+  std::unique_ptr<CommExecLoop> serialize_loop_;
+  std::unique_ptr<CommExecLoop> transport_loop_;
+
+  RvFoldOrderMonitor fold_monitor_{RvInvariant::kCommFoldOrder};
+
+  // Bytes written by exec-loop transport jobs; drained into stats_ by
+  // ConsumeStats (the trainer thread) so the counters stay race-free.
+  std::atomic<uint64_t> bytes_sent_async_{0};
+
+  // Current step's reduction, rebuilt by each Exchange call.
+  FoldedStep folded_;
+  std::vector<Tensor> result_dense_;
+  std::vector<int64_t> result_nodes_;
+  Tensor result_grads_;
+  ReducedStep result_;
+};
+
+}  // namespace mariusgnn
+
+#endif  // SRC_COMM_PROCESS_GROUP_EXCHANGE_H_

@@ -11,9 +11,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/comm/gradient_exchange.h"
 #include "src/core/model.h"
 #include "src/graph/neighbor_index.h"
 #include "src/nn/encoder.h"
@@ -129,10 +131,12 @@ struct TrainingConfig {
   float weight_lr = 0.01f;            // Adagrad on GNN/decoder weights
   uint64_t seed = 7;
 
-  // Subsystem option groups (see the struct docs above).
+  // Subsystem option groups (see the struct docs above; ReplicaOptions lives
+  // with its subsystem in src/comm/gradient_exchange.h).
   StorageOptions storage;
   PipelineOptions pipeline;
   CheckpointOptions checkpoint;
+  ReplicaOptions replica;
 
   // Forwarding accessors for the pre-grouping flat field names: read-only views
   // into the sub-structs so consumers of the config stay terse. Writers set the
@@ -218,6 +222,15 @@ struct TrainingConfig {
     return options;
   }
 
+  // Gradient-exchange seam for one trainer (both trainers build theirs through
+  // this so the replica wiring cannot diverge): the zero-copy LocalExchange
+  // when replica.world_size == 1, a localhost-TCP ProcessGroupExchange
+  // otherwise (construction blocks until every rank connects;
+  // docs/DISTRIBUTED.md).
+  std::unique_ptr<GradientExchange> MakeGradientExchange() const {
+    return CreateGradientExchange(replica);
+  }
+
   // Stage-3 compute handle for one trainer, recording into `stats` (both trainers
   // build theirs through this so the wiring cannot diverge).
   ComputeContext MakeComputeContext(ComputeStats* stats) const {
@@ -246,6 +259,14 @@ struct EpochStats {
   double io_seconds = 0.0;        // total modeled IO
   double io_stall_seconds = 0.0;  // IO not hidden by prefetch overlap
   double pipeline_stall_seconds = 0.0;  // compute blocked waiting for the next batch
+  // Cross-replica gradient-exchange accounting (all zero for the world=1
+  // LocalExchange): total comm time split into synchronous waits plus
+  // background serialize/transport, the part not hidden by compute overlap
+  // (same excess-over-overlap convention as io_stall_seconds — see
+  // AccumulateComm and docs/ARCHITECTURE.md), and bytes moved on the wire.
+  double comm_seconds = 0.0;
+  double comm_stall_seconds = 0.0;
+  uint64_t comm_bytes = 0;
   // IO-engine transfer counters for the epoch (zero when the engine is off):
   // bytes moved through the engine, the time-weighted mean of outstanding
   // requests while it was busy, and the peak outstanding count.
@@ -265,6 +286,10 @@ struct EpochStats {
   double queue_occupancy_mean = 0.0;
   int64_t num_batches = 0;
   int64_t num_examples = 0;
+  // Batches folded across ALL replicas this epoch (the loss divisor): every
+  // rank's exchange carries every contributed batch's loss, so this equals
+  // num_batches when world == 1 and world x the per-rank share otherwise.
+  int64_t num_global_batches = 0;
   int64_t num_partition_sets = 0;
   // Ordered FNV-1a 64 fold of every batch's mean-loss bits, in consumption
   // order (docs/DETERMINISM.md). Two runs of the same epoch — serial or
@@ -305,6 +330,18 @@ struct EpochStats {
                         double overlapped_compute) {
     io_seconds += sync_io + background_io;
     io_stall_seconds += sync_io + std::max(0.0, background_io - overlapped_compute);
+  }
+
+  // Folds the epoch's gradient-exchange accounting into the totals, using the
+  // same excess-over-overlap stall convention as AccumulateSwapIo: synchronous
+  // exchange waits (the trainer thread blocked inside Exchange) stall in full;
+  // background serialize/transport time only by its excess over the compute it
+  // overlapped.
+  void AccumulateComm(double blocking_comm, double background_comm,
+                      double overlapped_compute) {
+    comm_seconds += blocking_comm + background_comm;
+    comm_stall_seconds +=
+        blocking_comm + std::max(0.0, background_comm - overlapped_compute);
   }
 };
 

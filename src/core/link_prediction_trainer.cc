@@ -65,6 +65,20 @@ LinkPredictionTrainer::LinkPredictionTrainer(const Graph* graph, TrainingConfig 
     disk_store_ = std::make_unique<BufferedEmbeddingStore>(buffer_.get(), true);
     disk_store_->set_compute(&compute_);
     store_ = disk_store_.get();
+    if (replica_.world > 1 && !config_.storage.dir.empty()) {
+      // Multi-replica disk training over an explicitly shared storage dir:
+      // every replica holds identical embedding state in its buffer, so only
+      // the owning rank (partition % world) writes a partition back — the
+      // others skip the redundant (and racy) write. With a private per-rank
+      // temp file (storage.dir empty) every rank must keep writing everything,
+      // or its own later reads would see stale rows.
+      std::vector<uint8_t> owned(static_cast<size_t>(config_.storage.num_physical));
+      for (int32_t p = 0; p < config_.storage.num_physical; ++p) {
+        owned[static_cast<size_t>(p)] =
+            static_cast<uint8_t>(p % replica_.world == replica_.rank);
+      }
+      buffer_->SetPartitionOwnership(std::move(owned));
+    }
     if (config_.storage.policy == "beta") {
       policy_ = std::make_unique<BetaPolicy>();
     } else {
@@ -121,7 +135,7 @@ LinkPredictionTrainer::PreparedBatch LinkPredictionTrainer::PrepareBatch(
   return batch;
 }
 
-float LinkPredictionTrainer::ConsumeBatch(PreparedBatch& batch) {
+void LinkPredictionTrainer::ConsumeBatch(PreparedBatch& batch, EpochStats* stats) {
   Tensor reprs;
   if (model_.encoder != nullptr) {
     Tensor h0;
@@ -139,49 +153,54 @@ float LinkPredictionTrainer::ConsumeBatch(PreparedBatch& batch) {
   const float loss = model_.decoder->LossAndGrad(reprs, batch.src_rows, batch.dst_rows,
                                                  batch.rels, batch.neg_rows, &d_reprs);
 
+  // The touched sparse rows + their gradients for this batch; every update —
+  // sparse and dense — is applied through the gradient-exchange seam.
+  const std::vector<int64_t>* sparse_nodes = nullptr;
+  Tensor sparse_grads;
   if (model_.encoder != nullptr) {
-    Tensor dh0 = model_.encoder->Backward(d_reprs);
-    store_->ApplyGradients(batch.dense_nodes, dh0, config_.embedding_lr);
+    sparse_grads = model_.encoder->Backward(d_reprs);
+    sparse_nodes = &batch.dense_nodes;
   } else if (model_.block_encoder != nullptr) {
-    Tensor dh0 = model_.block_encoder->Backward(d_reprs);
-    store_->ApplyGradients(batch.layerwise.input_nodes(), dh0, config_.embedding_lr);
+    sparse_grads = model_.block_encoder->Backward(d_reprs);
+    sparse_nodes = &batch.layerwise.input_nodes();
   } else {
-    store_->ApplyGradients(batch.targets, d_reprs, config_.embedding_lr);
+    sparse_grads = std::move(d_reprs);
+    sparse_nodes = &batch.targets;
   }
-  if (!model_.params.empty()) {
-    model_.weight_opt->StepAll(model_.params);
-  }
-  return loss;
+  ExchangeApply(/*has_batch=*/true, loss, sparse_nodes, &sparse_grads, store_,
+                config_.embedding_lr, stats);
 }
 
 // One PipelineSession spans the whole epoch: the producer maps the session's
-// global index onto the current set's local batch number (run_batch_base_), so the
-// per-batch seed derivation — MixSeed(per-set run_seed, local batch) — is
-// unchanged from the per-set pipelines this replaces, and the batch stream is
-// bit-identical. The controller's worker count at epoch start (== pipeline.workers
-// when adapting is off) sizes the session; worker count never affects the batch
-// stream, only where time goes.
+// global index onto the current set's local batch number (run_batch_base_),
+// then through ReplicaBatchPartition onto the set's GLOBAL batch number g —
+// rank r builds exactly the batches with g % world == r, seeded by
+// ReplicaBatchPartition::BatchSeed(per-set run_seed, g). For world == 1 this
+// degenerates to g == local batch and the stream is bit-identical to the
+// single-replica pipelines it replaces. The controller's worker count at epoch
+// start (== pipeline.workers when adapting is off) sizes the session; worker
+// count never affects the batch stream, only where time goes.
 std::unique_ptr<PipelineSession> LinkPredictionTrainer::MakeSession(
     EpochStats* stats) {
   return std::make_unique<PipelineSession>(
       config_.MakePipelineSessionOptions(controller_.workers()),
       [this](int64_t index) -> std::shared_ptr<void> {
-        const int64_t b = index - run_batch_base_;
-        const int64_t begin = b * config_.batch_size;
+        const int64_t g = replica_.GlobalIndex(index - run_batch_base_);
+        const int64_t begin = g * config_.batch_size;
         const int64_t end = begin + config_.batch_size < run_total_
                                 ? begin + config_.batch_size
                                 : run_total_;
         const std::vector<int64_t> ids(run_ids_->begin() + begin,
                                        run_ids_->begin() + end);
-        return std::make_shared<PreparedBatch>(PrepareBatch(
-            ids, *run_negatives_, MixSeed(run_seed_, static_cast<uint64_t>(b))));
+        return std::make_shared<PreparedBatch>(
+            PrepareBatch(ids, *run_negatives_,
+                         ReplicaBatchPartition::BatchSeed(run_seed_, g)));
       },
       [this, stats](void* item, int64_t) {
-        const float loss = ConsumeBatch(*static_cast<PreparedBatch*>(item));
-        // The consumer runs strictly in batch-index order, so this fold defines
-        // the epoch's determinism hash (docs/DETERMINISM.md).
-        epoch_determinism_.FoldFloat(loss);
-        stats->loss += loss;
+        // The consumer runs strictly in batch-index order; ConsumeBatch routes
+        // the step through the exchange seam, which folds every replica's loss
+        // into the epoch's determinism hash (docs/DETERMINISM.md).
+        ConsumeBatch(*static_cast<PreparedBatch*>(item), stats);
       });
 }
 
@@ -210,8 +229,25 @@ PipelineStats LinkPredictionTrainer::RunBatches(
   run_total_ = total;
   const int64_t num_batches =
       (total + config_.batch_size - 1) / config_.batch_size;
-  const PipelineStats ps = session->RunSegment(num_batches);
-  stats->AccumulatePipeline(ps, total);
+  // Rank r consumes only the global batches with g % world == r; the other
+  // ranks' losses/gradients arrive through the exchange. Ranks whose share is
+  // short of the step count run trailing batchless exchanges so every rank
+  // performs the same exchange sequence (StepCount == rank 0's local count).
+  const int64_t local_batches = replica_.LocalCount(num_batches);
+  const int64_t steps = replica_.StepCount(num_batches);
+  const PipelineStats ps = session->RunSegment(local_batches);
+  for (int64_t s = local_batches; s < steps; ++s) {
+    ExchangeApply(/*has_batch=*/false, 0.0f, nullptr, nullptr, store_,
+                  config_.embedding_lr, stats);
+  }
+  int64_t local_examples = local_batches * config_.batch_size;
+  if (local_batches > 0 &&
+      replica_.GlobalIndex(local_batches - 1) == num_batches - 1) {
+    // This rank owns the (possibly partial) last global batch.
+    local_examples += total - (num_batches - 1) * config_.batch_size -
+                      config_.batch_size;
+  }
+  stats->AccumulatePipeline(ps, local_examples);
   return ps;
 }
 
@@ -249,8 +285,8 @@ EpochStats LinkPredictionTrainer::TrainEpochInMemory() {
   stats.compute_parallel_efficiency = compute_stats_.ParallelEfficiency();
   controller_.ObserveEpoch(stats.compute_parallel_efficiency);
   stats.num_partition_sets = 1;
-  if (stats.num_batches > 0) {
-    stats.loss /= static_cast<double>(stats.num_batches);
+  if (stats.num_global_batches > 0) {
+    stats.loss /= static_cast<double>(stats.num_global_batches);
   }
   return stats;
 }
@@ -328,8 +364,8 @@ EpochStats LinkPredictionTrainer::TrainEpochDisk() {
   stats.wall_seconds = stats.compute_seconds + stats.io_stall_seconds;
   stats.compute_parallel_efficiency = compute_stats_.ParallelEfficiency();
   controller_.ObserveEpoch(stats.compute_parallel_efficiency);
-  if (stats.num_batches > 0) {
-    stats.loss /= static_cast<double>(stats.num_batches);
+  if (stats.num_global_batches > 0) {
+    stats.loss /= static_cast<double>(stats.num_global_batches);
   }
   return stats;
 }

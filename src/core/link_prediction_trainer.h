@@ -70,8 +70,10 @@ class LinkPredictionTrainer : public TrainerBase {
   PreparedBatch PrepareBatch(const std::vector<int64_t>& edge_ids,
                              const UniformNegativeSampler& negatives,
                              uint64_t batch_seed) const;
-  // Pipeline stage 3 (calling thread, in batch order): forward/backward/update.
-  float ConsumeBatch(PreparedBatch& batch);
+  // Pipeline stage 3 (calling thread, in batch order): forward/backward, then
+  // the update through the gradient-exchange seam (ExchangeApply), which also
+  // folds the exchanged losses into `stats` and the determinism hash.
+  void ConsumeBatch(PreparedBatch& batch, EpochStats* stats);
 
   // Builds the epoch's PipelineSession: one session spans all partition sets, so
   // the PipelineController can resize the stage-1 worker count at set boundaries

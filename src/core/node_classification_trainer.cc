@@ -76,7 +76,8 @@ NodeClassificationTrainer::PreparedBatch NodeClassificationTrainer::PrepareBatch
   return batch;
 }
 
-float NodeClassificationTrainer::ConsumeBatch(PreparedBatch& batch) {
+void NodeClassificationTrainer::ConsumeBatch(PreparedBatch& batch,
+                                             EpochStats* stats) {
   Tensor reprs;
   if (model_.encoder != nullptr) {
     Tensor h0 = GatherFeatures(batch.dense_nodes, /*from_graph=*/false);
@@ -94,34 +95,37 @@ float NodeClassificationTrainer::ConsumeBatch(PreparedBatch& batch) {
   } else {
     model_.block_encoder->Backward(dreprs);
   }
-  model_.weight_opt->StepAll(model_.params);
-  return loss;
+  // Features are fixed inputs: no sparse stream, only the dense weights go
+  // through the gradient-exchange seam.
+  ExchangeApply(/*has_batch=*/true, loss, nullptr, nullptr, nullptr, 0.0f,
+                stats);
 }
 
-// One PipelineSession spans the whole epoch (see the link-prediction trainer): the
-// producer maps the session's global index onto the current set's local batch
-// number, keeping the per-batch seed derivation — and therefore the batch stream —
-// bit-identical to the per-set pipelines this replaces.
+// One PipelineSession spans the whole epoch (see the link-prediction trainer):
+// the producer maps the session's global index onto the current set's local
+// batch number, then through ReplicaBatchPartition onto the set's GLOBAL batch
+// number g — rank r builds exactly the batches with g % world == r, seeded by
+// ReplicaBatchPartition::BatchSeed(per-set run_seed, g). For world == 1 the
+// stream is bit-identical to the single-replica pipelines this replaces.
 std::unique_ptr<PipelineSession> NodeClassificationTrainer::MakeSession(
     EpochStats* stats) {
   return std::make_unique<PipelineSession>(
       config_.MakePipelineSessionOptions(controller_.workers()),
       [this](int64_t index) -> std::shared_ptr<void> {
-        const int64_t b = index - run_batch_base_;
-        const int64_t begin = b * config_.batch_size;
+        const int64_t g = replica_.GlobalIndex(index - run_batch_base_);
+        const int64_t begin = g * config_.batch_size;
         const int64_t end = begin + config_.batch_size < run_total_
                                 ? begin + config_.batch_size
                                 : run_total_;
         const std::vector<int64_t> ids(run_nodes_->begin() + begin,
                                        run_nodes_->begin() + end);
-        return std::make_shared<PreparedBatch>(
-            PrepareBatch(ids, MixSeed(run_seed_, static_cast<uint64_t>(b))));
+        return std::make_shared<PreparedBatch>(PrepareBatch(
+            ids, ReplicaBatchPartition::BatchSeed(run_seed_, g)));
       },
       [this, stats](void* item, int64_t) {
-        const float loss = ConsumeBatch(*static_cast<PreparedBatch*>(item));
-        // In-order consumer: this fold defines the epoch's determinism hash.
-        epoch_determinism_.FoldFloat(loss);
-        stats->loss += loss;
+        // In-order consumer; ConsumeBatch routes the step through the exchange
+        // seam, which folds every replica's loss into the determinism hash.
+        ConsumeBatch(*static_cast<PreparedBatch*>(item), stats);
       });
 }
 
@@ -147,8 +151,23 @@ PipelineStats NodeClassificationTrainer::RunBatches(
   run_total_ = total;
   const int64_t num_batches =
       (total + config_.batch_size - 1) / config_.batch_size;
-  const PipelineStats ps = session->RunSegment(num_batches);
-  stats->AccumulatePipeline(ps, total);
+  // Rank r consumes only the global batches with g % world == r (see the
+  // link-prediction trainer); short ranks run trailing batchless exchanges so
+  // every rank performs the same exchange sequence.
+  const int64_t local_batches = replica_.LocalCount(num_batches);
+  const int64_t steps = replica_.StepCount(num_batches);
+  const PipelineStats ps = session->RunSegment(local_batches);
+  for (int64_t s = local_batches; s < steps; ++s) {
+    ExchangeApply(/*has_batch=*/false, 0.0f, nullptr, nullptr, nullptr, 0.0f,
+                  stats);
+  }
+  int64_t local_examples = local_batches * config_.batch_size;
+  if (local_batches > 0 &&
+      replica_.GlobalIndex(local_batches - 1) == num_batches - 1) {
+    local_examples += total - (num_batches - 1) * config_.batch_size -
+                      config_.batch_size;
+  }
+  stats->AccumulatePipeline(ps, local_examples);
   return ps;
 }
 
@@ -241,8 +260,8 @@ EpochStats NodeClassificationTrainer::TrainEpochImpl() {
   }
   stats.compute_parallel_efficiency = compute_stats_.ParallelEfficiency();
   controller_.ObserveEpoch(stats.compute_parallel_efficiency);
-  if (stats.num_batches > 0) {
-    stats.loss /= static_cast<double>(stats.num_batches);
+  if (stats.num_global_batches > 0) {
+    stats.loss /= static_cast<double>(stats.num_global_batches);
   }
   return stats;
 }

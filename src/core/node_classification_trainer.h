@@ -47,8 +47,9 @@ class NodeClassificationTrainer : public TrainerBase {
   // Pipeline stage 1 (worker threads): pure in `batch_seed`, read-only state; the
   // samplers must already point at the active NeighborIndex (RunBatches does this).
   PreparedBatch PrepareBatch(const std::vector<int64_t>& nodes, uint64_t batch_seed) const;
-  // Pipeline stage 3 (calling thread, in batch order).
-  float ConsumeBatch(PreparedBatch& batch);
+  // Pipeline stage 3 (calling thread, in batch order): forward/backward, then
+  // the dense-weight update through the gradient-exchange seam (ExchangeApply).
+  void ConsumeBatch(PreparedBatch& batch, EpochStats* stats);
   // Builds the epoch's PipelineSession (one session spans all partition sets; the
   // producer closure reads the run_* members RunBatches swaps between segments).
   std::unique_ptr<PipelineSession> MakeSession(EpochStats* stats);

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/core/checkpoint.h"
+#include "src/storage/embedding_store.h"
 #include "src/util/check.h"
 
 namespace mariusgnn {
@@ -15,6 +16,9 @@ TrainerBase::TrainerBase(const Graph* graph, TrainingConfig config, TaskKind kin
       controller_(config_.MakePipelineController()),
       model_(ModelState::Build(kind, *graph, config_.model_config(), rng_)) {
   model_.SetCompute(&compute_);
+  exchange_ = config_.MakeGradientExchange();
+  replica_.rank = exchange_->rank();
+  replica_.world = exchange_->world();
   if (config_.checkpoint.every_n_epochs > 0) {
     MG_CHECK_MSG(!config_.checkpoint.path.empty(),
                  "checkpoint_every_n_epochs requires checkpoint_path");
@@ -29,6 +33,15 @@ EpochStats TrainerBase::TrainEpoch() {
   EpochStats stats = TrainEpochImpl();
   last_determinism_hash_ = epoch_determinism_.value();
   stats.determinism_hash = last_determinism_hash_;
+  // Cross-replica exchange-and-compare: every rank folded the identical loss
+  // stream, so all hashes must agree with rank 0's; any disagreement reports a
+  // comm.replica_hash violation inside the exchange (counted in rv_violations
+  // below). Identity for world == 1.
+  exchange_->ExchangeEpochHash(last_determinism_hash_);
+  const CommStats comm = exchange_->ConsumeStats();
+  stats.AccumulateComm(comm.blocking_seconds, comm.background_seconds,
+                       stats.compute_seconds);
+  stats.comm_bytes = comm.bytes_sent + comm.bytes_received;
   stats.rv_violations = RvRuntime::Global().TotalViolations() - rv_before;
   ++epochs_completed_;
   if (config_.checkpoint.every_n_epochs > 0 &&
@@ -50,6 +63,48 @@ EpochStats TrainerBase::TrainEpoch() {
     stats.checkpoint_peak_bytes = last_checkpoint_stats_.peak_bytes;
   }
   return stats;
+}
+
+void TrainerBase::ExchangeApply(bool has_batch, float loss,
+                                const std::vector<int64_t>* sparse_nodes,
+                                const Tensor* sparse_grads,
+                                EmbeddingStore* sparse_store, float sparse_lr,
+                                EpochStats* stats) {
+  GradientStep step;
+  step.has_batch = has_batch;
+  step.loss = loss;
+  step.dense = &model_.params;
+  step.sparse_nodes = sparse_nodes;
+  step.sparse_grads = sparse_grads;
+  const ReducedStep& reduced = exchange_->Exchange(step);
+
+  // Fold every contributed rank's loss in ascending rank order — the global
+  // batch order — so all replicas hash and average the identical loss stream
+  // (the in-order consumer makes this the epoch's determinism hash).
+  const int32_t world = exchange_->world();
+  for (int32_t r = 0; r < world; ++r) {
+    if (reduced.contributed[static_cast<size_t>(r)] != 0) {
+      epoch_determinism_.FoldFloat(reduced.losses[static_cast<size_t>(r)]);
+      stats->loss += reduced.losses[static_cast<size_t>(r)];
+      ++stats->num_global_batches;
+    }
+  }
+
+  // Apply the merged sparse rows, then the reduced dense gradients — the two
+  // touch disjoint parameters, preserving the historical sparse-then-dense
+  // order inside the trainers' consume step.
+  if (sparse_store != nullptr && reduced.sparse_nodes != nullptr &&
+      !reduced.sparse_nodes->empty()) {
+    sparse_store->ApplyGradients(*reduced.sparse_nodes, *reduced.sparse_grads,
+                                 sparse_lr);
+  }
+  if (!model_.params.empty()) {
+    if (reduced.dense != nullptr) {
+      model_.weight_opt->StepAllFromReduced(model_.params, *reduced.dense);
+    } else {
+      model_.weight_opt->StepAll(model_.params);
+    }
+  }
 }
 
 void TrainerBase::AppendCheckpointSections(CheckpointSaveRequest* request) {

@@ -10,8 +10,11 @@
 #ifndef SRC_CORE_TRAINER_BASE_H_
 #define SRC_CORE_TRAINER_BASE_H_
 
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "src/comm/gradient_exchange.h"
 #include "src/core/checkpoint.h"
 #include "src/core/config.h"
 #include "src/core/model.h"
@@ -22,6 +25,8 @@
 #include "src/util/rv_monitor.h"
 
 namespace mariusgnn {
+
+class EmbeddingStore;
 
 class TrainerBase {
  public:
@@ -66,6 +71,20 @@ class TrainerBase {
 
   virtual EpochStats TrainEpochImpl() = 0;
 
+  // The one place a batch's gradients meet the optimizer: routes this rank's
+  // step (dense p.grad + touched sparse rows + mean loss) through the
+  // gradient-exchange seam, folds every contributed rank's loss into the
+  // epoch's determinism hash and loss accumulator in ascending rank order (==
+  // global batch order), applies the merged sparse rows to `sparse_store` (may
+  // be null), and applies the reduced dense gradients through the optimizer's
+  // apply-from-reduced path. Batchless trailing steps (the global batch count
+  // was not divisible by world) call this with has_batch=false and null
+  // gradients so every rank performs the same exchange sequence.
+  void ExchangeApply(bool has_batch, float loss,
+                     const std::vector<int64_t>* sparse_nodes,
+                     const Tensor* sparse_grads, EmbeddingStore* sparse_store,
+                     float sparse_lr, EpochStats* stats);
+
   // Checkpoint extension hooks: extra sections after the model-parameter
   // sections (order and count must agree between the three). Append pushes
   // CheckpointSectionSpec producers (shapes known up front, payloads streamed
@@ -86,6 +105,14 @@ class TrainerBase {
   ComputeContext compute_;
   // In-epoch pipeline controller (see pipeline_controller.h).
   PipelineController controller_;
+
+  // Gradient-exchange seam (src/comm/): LocalExchange identity for world=1,
+  // ProcessGroupExchange for multi-replica runs. Built in the ctor, so a
+  // multi-replica trainer blocks there until all ranks connect.
+  std::unique_ptr<GradientExchange> exchange_;
+  // Batch-index → replica/seed partitioning shared by both trainers' producer
+  // lambdas (src/comm/gradient_exchange.h).
+  ReplicaBatchPartition replica_;
 
   // Per-epoch determinism hash: TrainEpoch resets it, the derived trainer's
   // in-order consumer folds each batch's mean-loss bits into it, and TrainEpoch

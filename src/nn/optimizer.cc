@@ -4,23 +4,23 @@
 
 namespace mariusgnn {
 
-void Sgd::Step(Parameter& p) {
+void Sgd::StepFromReduced(Parameter& p, const Tensor& grad) {
   ForEachChunk(compute_, p.value.size(), kComputeGrainElems,
                [&](int64_t, int64_t begin, int64_t end) {
                  for (int64_t i = begin; i < end; ++i) {
-                   p.value.data()[i] -= lr_ * p.grad.data()[i];
+                   p.value.data()[i] -= lr_ * grad.data()[i];
                  }
                });
 }
 
-void Adagrad::Step(Parameter& p) {
+void Adagrad::StepFromReduced(Parameter& p, const Tensor& grad) {
   if (p.state.size() != p.value.size()) {
     p.state = Tensor(p.value.rows(), p.value.cols());
   }
   ForEachChunk(compute_, p.value.size(), kComputeGrainElems,
                [&](int64_t, int64_t begin, int64_t end) {
                  for (int64_t i = begin; i < end; ++i) {
-                   const float g = p.grad.data()[i];
+                   const float g = grad.data()[i];
                    p.state.data()[i] += g * g;
                    p.value.data()[i] -= lr_ * g / (std::sqrt(p.state.data()[i]) + eps_);
                  }

@@ -19,13 +19,35 @@ class Optimizer {
   // so any pool size produces identical parameter bits (null = serial).
   void set_compute(const ComputeContext* compute) { compute_ = compute; }
 
+  // Applies one update computed from `grad` to p.value (same shape as
+  // p.value). Does not zero p.grad. This is the gradient-exchange seam's
+  // apply path: the exchange hands back either the parameter's own gradient
+  // (single replica) or the cross-replica ordered-fold sum, and the optimizer
+  // applies whichever it is given.
+  virtual void StepFromReduced(Parameter& p, const Tensor& grad) = 0;
+
   // Applies one update from p.grad to p.value. Does not zero the gradient.
-  virtual void Step(Parameter& p) = 0;
+  void Step(Parameter& p) { StepFromReduced(p, p.grad); }
 
   void StepAll(const std::vector<Parameter*>& params) {
     for (Parameter* p : params) {
       Step(*p);
       p->ZeroGrad();
+    }
+  }
+
+  // Applies reduced[i] — the exchange's fold output for params[i] — to each
+  // parameter, then zeroes the parameter's own gradient accumulator (the local
+  // contribution is already inside the fold).
+  void StepAllFromReduced(const std::vector<Parameter*>& params,
+                          const std::vector<Tensor>& reduced) {
+    MG_CHECK_MSG(params.size() == reduced.size(),
+                 "reduced gradient count does not match parameter count");
+    for (size_t i = 0; i < params.size(); ++i) {
+      MG_CHECK_MSG(reduced[i].size() == params[i]->value.size(),
+                   "reduced gradient size does not match parameter size");
+      StepFromReduced(*params[i], reduced[i]);
+      params[i]->ZeroGrad();
     }
   }
 
@@ -36,7 +58,7 @@ class Optimizer {
 class Sgd : public Optimizer {
  public:
   explicit Sgd(float lr) : lr_(lr) {}
-  void Step(Parameter& p) override;
+  void StepFromReduced(Parameter& p, const Tensor& grad) override;
 
  private:
   float lr_;
@@ -45,7 +67,7 @@ class Sgd : public Optimizer {
 class Adagrad : public Optimizer {
  public:
   explicit Adagrad(float lr, float eps = 1e-10f) : lr_(lr), eps_(eps) {}
-  void Step(Parameter& p) override;
+  void StepFromReduced(Parameter& p, const Tensor& grad) override;
 
  private:
   float lr_;

@@ -167,7 +167,8 @@ double PartitionBuffer::EvictSlot(int32_t slot, bool synchronous) {
     return 0.0;
   }
   double io = 0.0;
-  if (dirty_[static_cast<size_t>(slot)].load(std::memory_order_relaxed) != 0) {
+  if (dirty_[static_cast<size_t>(slot)].load(std::memory_order_relaxed) != 0 &&
+      OwnsPartition(partition)) {
     const float* vsrc =
         values_.data() + static_cast<size_t>(slot) * max_partition_rows_ * dim_;
     const float* ssrc =

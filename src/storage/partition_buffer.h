@@ -117,6 +117,25 @@ class PartitionBuffer {
   // returns modeled IO seconds of the synchronous flush.
   double FlushAll();
 
+  // Multi-replica ownership map (one byte per physical partition, nonzero =
+  // this replica writes it back). Dirty evictions of unowned partitions are
+  // skipped: with replicas sharing one backing file over a common storage dir,
+  // every replica holds identical state, so only the owner's write-back is
+  // needed and concurrent redundant writes are avoided. Only safe with SHARED
+  // backing storage — with a private per-rank file a skipped write-back would
+  // leave stale rows for this rank's own later reads. Empty (the default)
+  // means this replica owns everything.
+  void SetPartitionOwnership(std::vector<uint8_t> owned) {
+    MG_CHECK_MSG(owned.size() ==
+                     static_cast<size_t>(partitioning_->num_partitions()),
+                 "ownership map size does not match the partition count");
+    owned_partitions_ = std::move(owned);
+  }
+  bool OwnsPartition(int32_t partition) const {
+    return owned_partitions_.empty() ||
+           owned_partitions_[static_cast<size_t>(partition)] != 0;
+  }
+
   // Row access by global node id; the node's partition must be resident.
   float* ValueRow(int64_t node);
   const float* ValueRow(int64_t node) const;
@@ -228,6 +247,9 @@ class PartitionBuffer {
   // data races (see MarkDirty). Owned array rather than vector<atomic> because
   // atomics are neither copyable nor movable element-wise.
   std::unique_ptr<std::atomic<uint8_t>[]> dirty_;
+  // Per-partition write-back ownership (see SetPartitionOwnership); empty =
+  // own everything.
+  std::vector<uint8_t> owned_partitions_;
 
   // Async IO state (null when PartitionIoOptions::async is false). Declaration
   // order matters: the engine destructor drains in-flight completions, which

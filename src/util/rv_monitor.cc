@@ -19,6 +19,10 @@ const char* RvInvariantName(RvInvariant invariant) {
       return "io_engine.tag_order";
     case RvInvariant::kServeEpochPin:
       return "serve.epoch_pin";
+    case RvInvariant::kCommFoldOrder:
+      return "comm.fold_order";
+    case RvInvariant::kCommReplicaHash:
+      return "comm.replica_hash";
     case RvInvariant::kCount:
       break;
   }

@@ -25,6 +25,15 @@
 //                            the epoch of the snapshot the batch pinned — no
 //                            mixed-epoch answers across a hot swap
 //                            (RvEpochPinMonitor)
+//   comm.fold_order          cross-replica gradient reductions fold rank
+//                            contributions in strictly ascending rank order —
+//                            the ordered-fold rule that makes multi-replica
+//                            trajectories bitwise-reproducible
+//                            (RvFoldOrderMonitor)
+//   comm.replica_hash        the epoch-end determinism-hash exchange found a
+//                            replica whose hash disagrees with rank 0's —
+//                            the replicas' trajectories diverged (reported by
+//                            GradientExchange::ExchangeEpochHash)
 //
 // Each monitor observation is a branch or two plus one relaxed atomic load (the
 // global enable flag), so the monitors stay on in Release builds; bench_pipeline
@@ -61,6 +70,8 @@ enum class RvInvariant : int {
   kResizeQuiesce,
   kIoTagOrder,
   kServeEpochPin,
+  kCommFoldOrder,
+  kCommReplicaHash,
   kCount,
 };
 
@@ -265,6 +276,36 @@ class RvTagOrderMonitor {
  private:
   RvInvariant invariant_;
   std::unordered_map<int32_t, uint64_t> last_started_;
+};
+
+// Cross-replica reductions must fold rank contributions in strictly ascending
+// rank order (ComputeContext's fixed-reduction-order contract, extended across
+// processes): BeginReduction arms the monitor for one step's fold, ObserveFold
+// checks each folded rank exceeds the previous one. Observed from the thread
+// performing the fold (the coordinator's exchange call), so no locking.
+class RvFoldOrderMonitor {
+ public:
+  explicit RvFoldOrderMonitor(RvInvariant invariant) : invariant_(invariant) {}
+
+  void BeginReduction() { last_rank_ = -1; }
+
+  void ObserveFold(int32_t rank) {
+    RvRuntime& rt = RvRuntime::Global();
+    if (!rt.enabled()) {
+      return;
+    }
+    if (rank <= last_rank_) {
+      rt.Report(invariant_, "fold order not strictly ascending: rank " +
+                                std::to_string(rank) + " folded after rank " +
+                                std::to_string(last_rank_));
+      return;  // keep the high-water mark; one breach must not cascade
+    }
+    last_rank_ = rank;
+  }
+
+ private:
+  RvInvariant invariant_;
+  int32_t last_rank_ = -1;
 };
 
 // Every answer produced by one coalesced serving batch must carry the epoch of
