@@ -124,6 +124,14 @@ class GradientExchange {
   // rank 0, and returns rank 0's hash. Identity for world == 1.
   virtual uint64_t ExchangeEpochHash(uint64_t local_hash) = 0;
 
+  // Rendezvous barrier: no rank returns until every rank has entered. The
+  // shared-storage write-back contract rides on it — each rank drains its own
+  // async partition write-backs and then calls Barrier() before any rank
+  // re-reads a just-evicted partition from the shared file, so a reader can
+  // never observe a stale or torn partition image. Collective — all ranks
+  // must make matched calls. No-op identity for world == 1.
+  virtual void Barrier() {}
+
   // Drains the accumulated comm accounting (resets to zero). Virtual so
   // implementations with async stages can fold in their loop busy time.
   virtual CommStats ConsumeStats();

@@ -26,6 +26,8 @@ constexpr uint32_t kMsgStep = 2;
 constexpr uint32_t kMsgStepResult = 3;
 constexpr uint32_t kMsgEpochHash = 4;
 constexpr uint32_t kMsgEpochHashResult = 5;
+constexpr uint32_t kMsgBarrier = 6;
+constexpr uint32_t kMsgBarrierResult = 7;
 
 constexpr size_t kFrameHeaderBytes = sizeof(uint32_t) + sizeof(uint64_t);
 
@@ -77,11 +79,16 @@ struct Cursor {
   const uint8_t* p;
   const uint8_t* end;
 
+  size_t Remaining() const { return static_cast<size_t>(end - p); }
+
   void Read(void* out, size_t len) {
     if (len == 0) {
       return;  // out may be null (empty vector's data()); memcpy requires valid
     }
-    MG_CHECK_MSG(p + len <= end, "gradient exchange: truncated message");
+    // Compare against Remaining() rather than `p + len <= end`: for a huge
+    // corrupt len the pointer addition itself would overflow (UB) before the
+    // comparison ever ran.
+    MG_CHECK_MSG(len <= Remaining(), "gradient exchange: truncated message");
     std::memcpy(out, p, len);
     p += len;
   }
@@ -93,6 +100,8 @@ struct Cursor {
     return v;
   }
 };
+
+}  // namespace
 
 std::vector<uint8_t> SerializeContribution(const GradientStep& step) {
   std::vector<uint8_t> buf;
@@ -130,21 +139,40 @@ StepContribution ParseContribution(const std::vector<uint8_t>& payload,
   out.rank = rank;
   out.has_batch = c.Get<uint8_t>() != 0;
   out.loss = c.Get<float>();
+  // Every on-wire count is validated against the REMAINING payload before
+  // anything is sized from it: a corrupt or desynced frame must abort as a
+  // truncated message, never trigger a giant allocation. Each dense entry
+  // carries at least its own u64 length; each sparse row carries at least one
+  // node id / one float per dim (division also sidesteps rows * dim overflow).
   const uint32_t num_dense = c.Get<uint32_t>();
+  MG_CHECK_MSG(num_dense <= c.Remaining() / sizeof(uint64_t),
+               "gradient exchange: truncated message");
   out.dense.resize(num_dense);
   for (uint32_t i = 0; i < num_dense; ++i) {
     const uint64_t elems = c.Get<uint64_t>();
+    MG_CHECK_MSG(elems <= c.Remaining() / sizeof(float),
+                 "gradient exchange: truncated message");
     out.dense[i].resize(elems);
     c.Read(out.dense[i].data(), elems * sizeof(float));
   }
   const uint64_t rows = c.Get<uint64_t>();
   out.sparse_dim = c.Get<int64_t>();
+  MG_CHECK_MSG(out.sparse_dim >= 0 && (rows == 0) == (out.sparse_dim == 0),
+               "gradient exchange: corrupt sparse geometry");
+  MG_CHECK_MSG(rows <= c.Remaining() / sizeof(int64_t),
+               "gradient exchange: truncated message");
   out.sparse_nodes.resize(rows);
   c.Read(out.sparse_nodes.data(), rows * sizeof(int64_t));
+  MG_CHECK_MSG(out.sparse_dim == 0 ||
+                   rows <= c.Remaining() / sizeof(float) /
+                               static_cast<uint64_t>(out.sparse_dim),
+               "gradient exchange: truncated message");
   out.sparse_grads.resize(rows * static_cast<size_t>(out.sparse_dim));
   c.Read(out.sparse_grads.data(), out.sparse_grads.size() * sizeof(float));
   return out;
 }
+
+namespace {
 
 // The coordinator's own contribution, copied out of the step (the broadcast
 // serializer and the fold both outlive the caller's tensors' gradient values).
@@ -168,6 +196,8 @@ StepContribution ContributionFromStep(const GradientStep& step, int32_t rank) {
   }
   return out;
 }
+
+}  // namespace
 
 std::vector<uint8_t> SerializeFolded(const FoldedStep& folded) {
   std::vector<uint8_t> buf;
@@ -203,23 +233,35 @@ FoldedStep ParseFolded(const std::vector<uint8_t>& payload, int32_t world) {
     out.contributed[r] = c.Get<uint8_t>();
     out.losses[r] = c.Get<float>();
   }
+  // Same count-vs-remaining validation as ParseContribution: never size a
+  // vector from an on-wire count the payload cannot actually back.
   const uint32_t num_dense = c.Get<uint32_t>();
+  MG_CHECK_MSG(num_dense <= c.Remaining() / sizeof(uint64_t),
+               "gradient exchange: truncated message");
   out.dense.resize(num_dense);
   for (uint32_t i = 0; i < num_dense; ++i) {
     const uint64_t elems = c.Get<uint64_t>();
+    MG_CHECK_MSG(elems <= c.Remaining() / sizeof(float),
+                 "gradient exchange: truncated message");
     out.dense[i].resize(elems);
     c.Read(out.dense[i].data(), elems * sizeof(float));
   }
   const uint64_t rows = c.Get<uint64_t>();
   out.sparse_dim = c.Get<int64_t>();
+  MG_CHECK_MSG(out.sparse_dim >= 0 && (rows == 0) == (out.sparse_dim == 0),
+               "gradient exchange: corrupt sparse geometry");
+  MG_CHECK_MSG(rows <= c.Remaining() / sizeof(int64_t),
+               "gradient exchange: truncated message");
   out.sparse_nodes.resize(rows);
   c.Read(out.sparse_nodes.data(), rows * sizeof(int64_t));
+  MG_CHECK_MSG(out.sparse_dim == 0 ||
+                   rows <= c.Remaining() / sizeof(float) /
+                               static_cast<uint64_t>(out.sparse_dim),
+               "gradient exchange: truncated message");
   out.sparse_grads.resize(rows * static_cast<size_t>(out.sparse_dim));
   c.Read(out.sparse_grads.data(), out.sparse_grads.size() * sizeof(float));
   return out;
 }
-
-}  // namespace
 
 FoldedStep OrderedFold(const std::vector<StepContribution>& contributions,
                        int32_t world, RvFoldOrderMonitor* monitor) {
@@ -567,6 +609,32 @@ uint64_t ProcessGroupExchange::ExchangeEpochHash(uint64_t local_hash) {
   }
   stats_.blocking_seconds += timer.Seconds();
   return agreed;
+}
+
+void ProcessGroupExchange::Barrier() {
+  WallTimer timer;
+  // Quiesce the async stages first, like ExchangeEpochHash: the barrier frames
+  // are written on this thread and must not interleave with in-flight step
+  // frames on the sockets.
+  serialize_loop_->Flush();
+  transport_loop_->Flush();
+  const std::vector<uint8_t> empty;
+  if (rank_ == 0) {
+    // True rendezvous: receive from ALL ranks before releasing ANY rank, so no
+    // rank passes the barrier until every rank has reached it.
+    for (int32_t r = 1; r < world_; ++r) {
+      RecvFrame(peers_[static_cast<size_t>(r)], kMsgBarrier);
+    }
+    for (int32_t r = 1; r < world_; ++r) {
+      SendFrame(peers_[static_cast<size_t>(r)], kMsgBarrierResult, empty);
+      stats_.bytes_sent += kFrameHeaderBytes;
+    }
+  } else {
+    SendFrame(peers_[0], kMsgBarrier, empty);
+    stats_.bytes_sent += kFrameHeaderBytes;
+    RecvFrame(peers_[0], kMsgBarrierResult);
+  }
+  stats_.blocking_seconds += timer.Seconds();
 }
 
 CommStats ProcessGroupExchange::ConsumeStats() {

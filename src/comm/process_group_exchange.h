@@ -61,6 +61,16 @@ struct FoldedStep {
 FoldedStep OrderedFold(const std::vector<StepContribution>& contributions,
                        int32_t world, RvFoldOrderMonitor* monitor);
 
+// Wire codecs for the two payload shapes (exposed for the protocol-hardening
+// tests). The parsers validate every on-wire length and element count against
+// the remaining payload before sizing anything from it, and MG_CHECK-abort
+// ("truncated message") on corrupt or desynced frames instead of allocating.
+std::vector<uint8_t> SerializeContribution(const GradientStep& step);
+StepContribution ParseContribution(const std::vector<uint8_t>& payload,
+                                   int32_t rank);
+std::vector<uint8_t> SerializeFolded(const FoldedStep& folded);
+FoldedStep ParseFolded(const std::vector<uint8_t>& payload, int32_t world);
+
 // Single-thread job loop on a BoundedQueue — the pipeline's exec-loop shape,
 // reused for the comm stages. Submit blocks when the queue is full
 // (backpressure toward the trainer); the destructor drains remaining jobs.
@@ -97,6 +107,7 @@ class ProcessGroupExchange : public GradientExchange {
   int32_t world() const override { return world_; }
   const ReducedStep& Exchange(const GradientStep& step) override;
   uint64_t ExchangeEpochHash(uint64_t local_hash) override;
+  void Barrier() override;
   CommStats ConsumeStats() override;
 
  private:

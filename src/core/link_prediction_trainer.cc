@@ -311,6 +311,17 @@ EpochStats LinkPredictionTrainer::TrainEpochDisk() {
     stats.AccumulateSwapIo(sync_io, buffer_->ConsumeBackgroundIoSeconds(),
                            prev_compute);
 
+    // Shared-storage fence (no-op otherwise): this set's dirty evictions may
+    // still be async submissions, and partitions another rank owns are never
+    // written back by this rank at all — so before anyone reads ahead, drain
+    // own write-backs and rendezvous. Every set-i read is thereby covered by
+    // the fence at set i-1 (within one SetResident the evict and load sets are
+    // disjoint, and all ranks run identical plans); the prefetch below issues
+    // strictly after the fence. The epoch boundary needs no extra fence:
+    // FlushAll below is synchronous and the epoch-hash exchange that follows
+    // it is itself a rendezvous.
+    SharedWritebackBarrier(buffer_.get());
+
     // Stage the next set's partitions while this set trains (Figure 2's partition
     // prefetch); the policy knows the upcoming swap.
     if (config_.storage.prefetch && i + 1 < plan.num_sets()) {

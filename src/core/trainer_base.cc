@@ -4,6 +4,7 @@
 
 #include "src/core/checkpoint.h"
 #include "src/storage/embedding_store.h"
+#include "src/storage/partition_buffer.h"
 #include "src/util/check.h"
 
 namespace mariusgnn {
@@ -44,7 +45,16 @@ EpochStats TrainerBase::TrainEpoch() {
   stats.comm_bytes = comm.bytes_sent + comm.bytes_received;
   stats.rv_violations = RvRuntime::Global().TotalViolations() - rv_before;
   ++epochs_completed_;
-  if (config_.checkpoint.every_n_epochs > 0 &&
+  // Auto-save on rank 0 only: every replica runs the identical config, so with
+  // world > 1 all ranks would otherwise race on the same checkpoint path (and
+  // the same '<path>.tmp' staging file, which PruneCheckpoints also treats as
+  // stale debris — a concurrent save from another rank could be corrupted or
+  // deleted mid-write). Replica state is bitwise-identical at every epoch
+  // boundary (asserted by the hash exchange above), so rank 0's snapshot is
+  // everyone's snapshot. The hash exchange is also a rendezvous that runs
+  // after the impl's synchronous flush, so rank 0 reads fully-written shared
+  // storage. docs/DISTRIBUTED.md documents the contract.
+  if (replica_.rank == 0 && config_.checkpoint.every_n_epochs > 0 &&
       epochs_completed_ % config_.checkpoint.every_n_epochs == 0) {
     if (config_.checkpoint.keep_last_k > 0) {
       // Keep-last-k retention: each save lands in its own per-epoch file, and
@@ -63,6 +73,18 @@ EpochStats TrainerBase::TrainEpoch() {
     stats.checkpoint_peak_bytes = last_checkpoint_stats_.peak_bytes;
   }
   return stats;
+}
+
+void TrainerBase::SharedWritebackBarrier(PartitionBuffer* buffer) {
+  if (buffer == nullptr || !buffer->partition_ownership_active()) {
+    return;
+  }
+  // Local half: this rank's dirty evictions may still be queued in the IO
+  // engine — only a completed write makes the shared file safe to re-read.
+  buffer->DrainIo();
+  // Global half: no rank proceeds (and thus re-admits a partition) until every
+  // rank's own write-backs are durable.
+  exchange_->Barrier();
 }
 
 void TrainerBase::ExchangeApply(bool has_batch, float loss,

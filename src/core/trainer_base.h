@@ -27,6 +27,7 @@
 namespace mariusgnn {
 
 class EmbeddingStore;
+class PartitionBuffer;
 
 class TrainerBase {
  public:
@@ -84,6 +85,16 @@ class TrainerBase {
                      const std::vector<int64_t>* sparse_nodes,
                      const Tensor* sparse_grads, EmbeddingStore* sparse_store,
                      float sparse_lr, EpochStats* stats);
+
+  // Shared-storage write-back fence, called by a derived trainer at every
+  // partition-set transition when `buffer` has an active ownership map (i.e.
+  // multiple replicas share one backing file and each writes back only its
+  // owned partitions). Drains this rank's async write-backs, then runs a
+  // cross-replica rendezvous barrier — so by the time any rank re-admits a
+  // partition, its owner's dirty image is fully on disk and no reader can see
+  // a stale or torn partition. No-op when ownership is inactive (world == 1,
+  // private storage, or in-memory mode).
+  void SharedWritebackBarrier(PartitionBuffer* buffer);
 
   // Checkpoint extension hooks: extra sections after the model-parameter
   // sections (order and count must agree between the three). Append pushes

@@ -322,6 +322,12 @@ double PartitionBuffer::SetResident(const std::vector<int32_t>& partitions) {
   return io;
 }
 
+void PartitionBuffer::DrainIo() {
+  if (engine_ != nullptr) {
+    engine_->Drain();
+  }
+}
+
 double PartitionBuffer::FlushAll() {
   if (engine_ != nullptr) {
     engine_->Drain();

@@ -135,6 +135,16 @@ class PartitionBuffer {
     return owned_partitions_.empty() ||
            owned_partitions_[static_cast<size_t>(partition)] != 0;
   }
+  // True when an ownership map has partitioned write-backs across replicas —
+  // i.e. the buffer is in shared-storage multi-replica mode and readers need
+  // the cross-replica write-back barrier (see GradientExchange::Barrier).
+  bool partition_ownership_active() const { return !owned_partitions_.empty(); }
+
+  // Blocks until every already-submitted async IO request (prefetch reads and
+  // dirty write-backs) has completed. No-op when async IO is disabled. This is
+  // the local half of the shared-storage write-back barrier: drain own writes,
+  // then rendezvous, then it is safe for any replica to re-read.
+  void DrainIo();
 
   // Row access by global node id; the node's partition must be resident.
   float* ValueRow(int64_t node);

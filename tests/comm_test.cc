@@ -14,6 +14,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -183,6 +184,57 @@ int TrainLpReplica(const ReplicaOptions& replica, bool use_disk, int epochs,
   return out.good() ? 0 : 4;
 }
 
+// Shared-storage-dir variant: every replica trains over the SAME backing
+// embedding file, so the ownership map activates (each rank writes back only
+// partitions with p % world == rank) and every set transition runs the
+// drain-and-rendezvous write-back fence. Also pins rank-0-only
+// auto-checkpointing. Extra exit codes: 5 rank 0 did not auto-save,
+// 6 a follower auto-saved.
+int TrainLpReplicaSharedDisk(const ReplicaOptions& replica,
+                             const std::string& dir, int epochs,
+                             const std::string& out_path) {
+  Graph g = Fb15k237Like(0.03);
+  TrainingConfig config;
+  config.fanouts = {5};
+  config.dims = {16, 16};
+  config.batch_size = 512;
+  config.num_negatives = 32;
+  config.pipeline.enabled = false;
+  config.storage.use_disk = true;
+  config.storage.num_physical = 8;
+  config.storage.num_logical = 4;
+  config.storage.buffer_capacity = 4;
+  config.storage.dir = dir;
+  config.checkpoint.every_n_epochs = 1;
+  config.checkpoint.path = dir + "/ckpt";
+  config.replica = replica;
+  LinkPredictionTrainer trainer(&g, config);
+  std::ofstream out(out_path);
+  for (int e = 0; e < epochs; ++e) {
+    const EpochStats s = trainer.TrainEpoch();
+    if (s.rv_violations != 0) {
+      return 2;
+    }
+    if (s.comm_bytes == 0 || s.comm_seconds <= 0.0) {
+      return 3;
+    }
+    uint64_t loss_bits = 0;
+    std::memcpy(&loss_bits, &s.loss, sizeof(loss_bits));
+    out << s.determinism_hash << " " << loss_bits << "\n";
+  }
+  // Auto-saves must run on rank 0 only: every rank shares checkpoint.path, so
+  // a follower saving would race rank 0 on the file (docs/DISTRIBUTED.md).
+  const uint64_t saved = trainer.last_checkpoint_stats().bytes_written;
+  if (replica.rank == 0 && saved == 0) {
+    return 5;
+  }
+  if (replica.rank != 0 && saved != 0) {
+    return 6;
+  }
+  out.close();
+  return out.good() ? 0 : 4;
+}
+
 int TrainNcReplica(const ReplicaOptions& replica, int epochs,
                    const std::string& out_path) {
   Graph g = PapersMini(0.05);
@@ -282,6 +334,27 @@ TEST(ProcessGroupExchange, TwoReplicasAgreeOnDisk) {
       });
 }
 
+TEST(ProcessGroupExchange, TwoReplicasAgreeOnASharedStorageDir) {
+  // Over an explicitly shared storage dir the ownership map activates: each
+  // rank writes back only its own partitions, so replicas genuinely depend on
+  // each other's async write-backs being durable before re-reading — the race
+  // the per-set drain+rendezvous fence closes. Epoch-hash agreement here means
+  // no rank ever read a stale or torn partition image from the shared file.
+  const std::string dir = TempPath("comm_shared_dir");
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  RunReplicasAndExpectAgreement(
+      2, 2, [&dir](const ReplicaOptions& replica, const std::string& out) {
+        return TrainLpReplicaSharedDisk(replica, dir, 2, out);
+      });
+  // Rank 0's auto-save landed in the shared dir (the children already asserted
+  // which rank saved).
+  struct stat st {};
+  EXPECT_EQ(::stat((dir + "/ckpt").c_str(), &st), 0);
+  std::remove((dir + "/ckpt").c_str());
+  std::remove((dir + "/embeddings.bin").c_str());
+  ::rmdir(dir.c_str());
+}
+
 TEST(ProcessGroupExchange, FourReplicasAgreeOnEveryEpochHash) {
   RunReplicasAndExpectAgreement(
       4, 2, [](const ReplicaOptions& replica, const std::string& out) {
@@ -324,6 +397,105 @@ TEST(ProcessGroupExchange, DroppedConnectionAbortsBeforeAnyApply) {
   if (WIFSIGNALED(status)) {
     EXPECT_EQ(WTERMSIG(status), SIGABRT);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Wire-codec hardening: the parsers must round-trip real payloads and must
+// abort — "truncated message", before any allocation — on truncated frames and
+// on corrupt on-wire element counts. (Death tests fork; they stay in this
+// pre-thread region of the file like the fork tests above.)
+// ---------------------------------------------------------------------------
+
+TEST(WireCodec, ContributionRoundTrips) {
+  Parameter p1(Tensor::Full(2, 3, 1.5f));
+  p1.grad = Tensor::Full(2, 3, 0.25f);
+  Parameter p2(Tensor::Full(1, 4, -2.0f));
+  p2.grad = Tensor::Full(1, 4, -0.5f);
+  std::vector<Parameter*> dense = {&p1, &p2};
+  std::vector<int64_t> nodes = {7, 3, 11};
+  Tensor grads = Tensor::Full(3, 2, 0.125f);
+
+  GradientStep step;
+  step.has_batch = true;
+  step.loss = 0.75f;
+  step.dense = &dense;
+  step.sparse_nodes = &nodes;
+  step.sparse_grads = &grads;
+
+  const StepContribution got =
+      ParseContribution(SerializeContribution(step), /*rank=*/1);
+  EXPECT_EQ(got.rank, 1);
+  EXPECT_TRUE(got.has_batch);
+  EXPECT_EQ(got.loss, 0.75f);
+  ASSERT_EQ(got.dense.size(), 2u);
+  EXPECT_EQ(got.dense[0], std::vector<float>(6, 0.25f));
+  EXPECT_EQ(got.dense[1], std::vector<float>(4, -0.5f));
+  EXPECT_EQ(got.sparse_nodes, nodes);
+  EXPECT_EQ(got.sparse_dim, 2);
+  EXPECT_EQ(got.sparse_grads, std::vector<float>(6, 0.125f));
+}
+
+TEST(WireCodec, FoldedStepRoundTrips) {
+  FoldedStep folded;
+  folded.losses = {0.5f, 1.5f};
+  folded.contributed = {1, 0};
+  folded.dense = {{1.0f, 2.0f}, {3.0f}};
+  folded.sparse_nodes = {4, 9};
+  folded.sparse_dim = 3;
+  folded.sparse_grads.assign(6, 2.5f);
+
+  const FoldedStep got = ParseFolded(SerializeFolded(folded), /*world=*/2);
+  EXPECT_EQ(got.losses, folded.losses);
+  EXPECT_EQ(got.contributed, folded.contributed);
+  EXPECT_EQ(got.dense, folded.dense);
+  EXPECT_EQ(got.sparse_nodes, folded.sparse_nodes);
+  EXPECT_EQ(got.sparse_dim, folded.sparse_dim);
+  EXPECT_EQ(got.sparse_grads, folded.sparse_grads);
+}
+
+TEST(WireCodec, TruncatedPayloadAbortsLoudly) {
+  GradientStep step;
+  step.has_batch = false;
+  step.loss = 0.0f;
+  std::vector<uint8_t> payload = SerializeContribution(step);
+  payload.pop_back();
+  EXPECT_DEATH(ParseContribution(payload, 0), "truncated message");
+}
+
+TEST(WireCodec, HugeDenseCountAbortsBeforeAllocating) {
+  // A desynced/corrupt frame claiming 2^32-1 dense gradients must die as a
+  // truncated message — the count exceeds what the payload could back — not
+  // attempt a giant allocation.
+  std::vector<uint8_t> payload;
+  const uint8_t has_batch = 1;
+  const float loss = 0.0f;
+  const uint32_t num_dense = 0xFFFFFFFFu;
+  payload.insert(payload.end(), reinterpret_cast<const uint8_t*>(&has_batch),
+                 reinterpret_cast<const uint8_t*>(&has_batch) + 1);
+  payload.insert(payload.end(), reinterpret_cast<const uint8_t*>(&loss),
+                 reinterpret_cast<const uint8_t*>(&loss) + sizeof(loss));
+  payload.insert(payload.end(), reinterpret_cast<const uint8_t*>(&num_dense),
+                 reinterpret_cast<const uint8_t*>(&num_dense) + sizeof(num_dense));
+  EXPECT_DEATH(ParseContribution(payload, 0), "truncated message");
+}
+
+TEST(WireCodec, HugeSparseRowCountAbortsBeforeAllocating) {
+  std::vector<uint8_t> payload;
+  const uint8_t has_batch = 1;
+  const float loss = 0.0f;
+  const uint32_t num_dense = 0;
+  const uint64_t rows = 0x7FFFFFFFFFFFFFFFull;
+  const int64_t dim = 16;
+  const auto append = [&payload](const void* p, size_t n) {
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    payload.insert(payload.end(), b, b + n);
+  };
+  append(&has_batch, sizeof(has_batch));
+  append(&loss, sizeof(loss));
+  append(&num_dense, sizeof(num_dense));
+  append(&rows, sizeof(rows));
+  append(&dim, sizeof(dim));
+  EXPECT_DEATH(ParseContribution(payload, 0), "truncated message");
 }
 
 // ---------------------------------------------------------------------------
